@@ -1,0 +1,97 @@
+// Quantifies the paper's Section-8 positioning: classic
+// diversification baselines (max-min dispersion, recency, uniform
+// sampling, per-label round robin) at the SAME result size as an MQDP
+// cover leave a substantial fraction of (post, label) pairs uncovered
+// — i.e. users lose whole stretches of some subscribed topic — while
+// the MQDP algorithms cover everything by construction.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/baselines.h"
+#include "core/cover_stats.h"
+#include "core/greedy_sc.h"
+#include "core/scan.h"
+#include "gen/instance_gen.h"
+#include "util/logging.h"
+
+namespace mqd {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Baseline comparison (Section 8 positioning)",
+      "10-minute intervals, |L|=3, lambda=10s; all selections sized to "
+      "the GreedySC cover; metric = fraction of (post,label) pairs "
+      "left uncovered",
+      "similarity/dispersion-based diversification has no coverage "
+      "guarantee; MQDP covers 100% by construction");
+
+  TablePrinter table({"overlap", "k", "GreedySC", "Scan", "MaxMin",
+                      "TopKNewest", "UniformGrid", "RoundRobin"});
+  UniformLambda model(10.0);
+  GreedySCSolver greedy;
+  ScanSolver scan;
+
+  RunningStats maxmin_stats, grid_stats;
+  for (double overlap : {1.0, 1.3, 1.6, 1.9}) {
+    RunningStats uncovered_maxmin, uncovered_newest, uncovered_grid,
+        uncovered_rr, uncovered_scan;
+    RunningStats ks;
+    const size_t seeds = bench::Scaled(8, 3);
+    for (size_t seed = 0; seed < seeds; ++seed) {
+      InstanceGenConfig cfg;
+      cfg.num_labels = 3;
+      cfg.duration = 600.0;
+      cfg.posts_per_minute = bench::ScaledRate(20.0);
+      cfg.overlap_rate = overlap;
+      cfg.seed = 7000 + seed;
+      auto inst = GenerateInstance(cfg);
+      MQD_CHECK(inst.ok());
+
+      auto cover = greedy.Solve(*inst, model);
+      MQD_CHECK(cover.ok());
+      const size_t k = cover->size();
+      ks.Add(static_cast<double>(k));
+      MQD_CHECK(UncoveredPairFraction(*inst, model, *cover) == 0.0);
+
+      // Scan covers too, typically with more posts; evaluated at its
+      // own size for reference.
+      auto scan_cover = scan.Solve(*inst, model);
+      MQD_CHECK(scan_cover.ok());
+      uncovered_scan.Add(
+          UncoveredPairFraction(*inst, model, *scan_cover));
+
+      uncovered_maxmin.Add(UncoveredPairFraction(
+          *inst, model, MaxMinDispersion(*inst, k)));
+      uncovered_newest.Add(
+          UncoveredPairFraction(*inst, model, TopKNewest(*inst, k)));
+      uncovered_grid.Add(
+          UncoveredPairFraction(*inst, model, UniformGrid(*inst, k)));
+      uncovered_rr.Add(UncoveredPairFraction(*inst, model,
+                                             LabelRoundRobin(*inst, k)));
+    }
+    table.AddNumericRow({overlap, ks.mean(), 0.0, uncovered_scan.mean(),
+                         uncovered_maxmin.mean(), uncovered_newest.mean(),
+                         uncovered_grid.mean(), uncovered_rr.mean()},
+                        3);
+    maxmin_stats.Add(uncovered_maxmin.mean());
+    grid_stats.Add(uncovered_grid.mean());
+  }
+  table.Print(std::cout);
+
+  bench::PrintSection("Shape check");
+  std::cout << "MaxMin dispersion leaves "
+            << FormatDouble(maxmin_stats.mean() * 100.0, 1)
+            << "% of pairs uncovered on average; UniformGrid "
+            << FormatDouble(grid_stats.mean() * 100.0, 1)
+            << "% — coverage-oblivious diversity misses subscribed "
+               "content that MQDP guarantees\n";
+}
+
+}  // namespace
+}  // namespace mqd
+
+int main() {
+  mqd::Run();
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <fstream>
+
+namespace mqd::bench {
+
+void MaybeWriteCsv(std::string_view artifact, const TablePrinter& table) {
+  const char* dir = std::getenv("MQD_BENCH_CSV_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  const std::string path =
+      std::string(dir) + "/" + std::string(artifact) + ".csv";
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return;
+  }
+  table.PrintCsv(file);
+  std::cerr << "wrote " << path << "\n";
+}
+
+}  // namespace mqd::bench

@@ -1,0 +1,53 @@
+#ifndef MQD_BENCH_BENCH_COMMON_H_
+#define MQD_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "util/string_util.h"
+
+namespace mqd::bench {
+
+/// Prints the standard banner every reproduction binary starts with:
+/// which paper artifact it regenerates and what qualitative shape the
+/// paper reports, so the console output is self-describing.
+inline void PrintHeader(std::string_view artifact, std::string_view setup,
+                        std::string_view paper_expectation) {
+  std::cout << "==========================================================\n"
+            << "Reproduction of " << artifact << "\n"
+            << "  (Cheng, Arvanitis, Chrobak, Hristidis: Multi-Query\n"
+            << "   Diversification in Microblogging Posts, EDBT 2014)\n"
+            << "Setup: " << setup << "\n"
+            << "Paper reports: " << paper_expectation << "\n"
+            << "Workload scale: " << FormatDouble(BenchScale(), 3)
+            << "x (set MQD_BENCH_SCALE to change)\n"
+            << "==========================================================\n";
+}
+
+inline void PrintSection(std::string_view title) {
+  std::cout << "\n--- " << title << " ---\n";
+}
+
+/// Scales an integer workload knob by MQD_BENCH_SCALE, keeping a
+/// sensible minimum.
+inline size_t Scaled(size_t base, size_t minimum = 1) {
+  const double scaled = static_cast<double>(base) * BenchScale();
+  const size_t v = static_cast<size_t>(scaled);
+  return v < minimum ? minimum : v;
+}
+
+inline double ScaledRate(double base) { return base * BenchScale(); }
+
+/// Writes the table as `<MQD_BENCH_CSV_DIR>/<artifact>.csv` when the
+/// env var is set (plot-ready artifacts next to the console output);
+/// silently does nothing otherwise.
+void MaybeWriteCsv(std::string_view artifact, const TablePrinter& table);
+
+}  // namespace mqd::bench
+
+#endif  // MQD_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,66 @@
+// Reproduces Figure 14 (a-c): per-post execution time of the
+// StreamMQDP algorithms on one day of posts, varying lambda with
+// fixed tau = 300 seconds, for |L| = 2, 5, 20. Paper shapes:
+// StreamScan/StreamScan+ stable with respect to lambda;
+// StreamGreedySC gets faster with larger lambda (fewer set-cover
+// iterations per window).
+#include <iostream>
+
+#include "bench_common.h"
+#include "gen/instance_gen.h"
+#include "stream/factory.h"
+#include "util/logging.h"
+
+namespace mqd {
+namespace {
+
+double MatchRate(int L) { return bench::ScaledRate(0.1 * (58.0 * L + 20.0)); }
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 14 (a-c): StreamMQDP execution time per post vs lambda",
+      "24h synthetic stream (Table 2 rates x0.1), tau=300s, lambda in "
+      "{60s..30min}, |L| in {2,5,20}; microseconds/post",
+      "Scan-based processors flat in lambda and fastest; greedy "
+      "processors speed up as lambda grows");
+
+  const std::vector<StreamKind> algorithms{
+      StreamKind::kStreamScan, StreamKind::kStreamScanPlus,
+      StreamKind::kStreamGreedy, StreamKind::kStreamGreedyPlus};
+  const double tau = 300.0;
+
+  for (int L : {2, 5, 20}) {
+    bench::PrintSection(StrFormat("|L| = %d", L));
+    InstanceGenConfig cfg;
+    cfg.num_labels = L;
+    cfg.duration = 24 * 3600.0;
+    cfg.posts_per_minute = MatchRate(L);
+    cfg.overlap_rate = 1.0 + 0.02 * L;
+    cfg.seed = 70 + static_cast<uint64_t>(L);
+    auto inst = GenerateInstance(cfg);
+    MQD_CHECK(inst.ok());
+    std::cout << "posts: " << inst->num_posts() << "\n";
+
+    TablePrinter table({"lambda(s)", "StreamScan", "StreamScan+",
+                        "StreamGreedySC", "StreamGreedySC+"});
+    for (double lambda : {60.0, 120.0, 300.0, 600.0, 1800.0}) {
+      UniformLambda model(lambda);
+      std::vector<double> row{lambda};
+      for (StreamKind kind : algorithms) {
+        auto timed = RunTimedStream(kind, *inst, model, tau);
+        MQD_CHECK(timed.ok());
+        row.push_back(timed->stats.processing_micros_per_post());
+      }
+      table.AddNumericRow(row, 3);
+    }
+    table.Print(std::cout);
+  }
+}
+
+}  // namespace
+}  // namespace mqd
+
+int main() {
+  mqd::Run();
+  return 0;
+}

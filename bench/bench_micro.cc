@@ -1,0 +1,161 @@
+// Google-benchmark microbenchmarks of the hot operations underneath
+// the reproduction: coverage checks, per-label scans, greedy picks,
+// verifier passes, SimHash fingerprints, posting-list iteration,
+// index lookups and tokenization.
+#include <benchmark/benchmark.h>
+
+#include "core/greedy_sc.h"
+#include "core/scan.h"
+#include "core/verifier.h"
+#include "gen/instance_gen.h"
+#include "index/inverted_index.h"
+#include "simhash/simhash.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace mqd {
+namespace {
+
+Instance MakeBenchInstance(int num_labels, double posts_per_minute,
+                           uint64_t seed) {
+  InstanceGenConfig cfg;
+  cfg.num_labels = num_labels;
+  cfg.duration = 3600.0;
+  cfg.posts_per_minute = posts_per_minute;
+  cfg.overlap_rate = 1.3;
+  cfg.seed = seed;
+  auto inst = GenerateInstance(cfg);
+  MQD_CHECK(inst.ok());
+  return std::move(inst).value();
+}
+
+void BM_CoverageCheck(benchmark::State& state) {
+  Instance inst = MakeBenchInstance(4, 60.0, 1);
+  UniformLambda model(30.0);
+  Rng rng(2);
+  for (auto _ : state) {
+    const PostId a = static_cast<PostId>(rng.Uniform(inst.num_posts()));
+    const PostId b = static_cast<PostId>(rng.Uniform(inst.num_posts()));
+    const LabelId label =
+        static_cast<LabelId>(std::countr_zero(inst.labels(a)));
+    benchmark::DoNotOptimize(model.Covers(inst, a, label, b));
+  }
+}
+BENCHMARK(BM_CoverageCheck);
+
+void BM_ScanSolve(benchmark::State& state) {
+  Instance inst =
+      MakeBenchInstance(static_cast<int>(state.range(0)), 60.0, 3);
+  UniformLambda model(60.0);
+  ScanSolver scan;
+  for (auto _ : state) {
+    auto z = scan.Solve(inst, model);
+    benchmark::DoNotOptimize(z);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(inst.num_posts()));
+}
+BENCHMARK(BM_ScanSolve)->Arg(2)->Arg(8);
+
+void BM_ScanPlusSolve(benchmark::State& state) {
+  Instance inst =
+      MakeBenchInstance(static_cast<int>(state.range(0)), 60.0, 3);
+  UniformLambda model(60.0);
+  ScanPlusSolver scan_plus;
+  for (auto _ : state) {
+    auto z = scan_plus.Solve(inst, model);
+    benchmark::DoNotOptimize(z);
+  }
+}
+BENCHMARK(BM_ScanPlusSolve)->Arg(2)->Arg(8);
+
+void BM_GreedySolve(benchmark::State& state) {
+  Instance inst =
+      MakeBenchInstance(static_cast<int>(state.range(0)), 60.0, 4);
+  UniformLambda model(60.0);
+  GreedySCSolver greedy;
+  for (auto _ : state) {
+    auto z = greedy.Solve(inst, model);
+    benchmark::DoNotOptimize(z);
+  }
+}
+BENCHMARK(BM_GreedySolve)->Arg(2)->Arg(8);
+
+void BM_VerifyCover(benchmark::State& state) {
+  Instance inst = MakeBenchInstance(4, 120.0, 5);
+  UniformLambda model(60.0);
+  ScanSolver scan;
+  auto z = scan.Solve(inst, model);
+  MQD_CHECK(z.ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsCover(inst, model, *z));
+  }
+}
+BENCHMARK(BM_VerifyCover);
+
+void BM_SimHash(benchmark::State& state) {
+  Tokenizer tokenizer;
+  const std::vector<std::string> tokens = tokenizer.Tokenize(
+      "obama speaks to the senate about the economy tonight with live "
+      "coverage from washington");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimHash(tokens));
+  }
+}
+BENCHMARK(BM_SimHash);
+
+void BM_Tokenize(benchmark::State& state) {
+  Tokenizer tokenizer;
+  const std::string text =
+      "Breaking: Obama speaks to the #senate about the economy "
+      "tonight, $GOOG rallies http://t.co/abc123 ...";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.Tokenize(text));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_PostingIteration(benchmark::State& state) {
+  PostingList list;
+  Rng rng(6);
+  DocId doc = 0;
+  for (int i = 0; i < 100000; ++i) {
+    doc += 1 + static_cast<DocId>(rng.Uniform(50));
+    list.Add(doc);
+  }
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (auto it = list.NewIterator(); it.Valid(); it.Next()) {
+      sum += it.Doc();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          100000);
+}
+BENCHMARK(BM_PostingIteration);
+
+void BM_IndexMatchAny(benchmark::State& state) {
+  InvertedIndex index;
+  Rng rng(7);
+  const std::vector<std::string> words{"obama",  "senate", "nasdaq",
+                                       "stocks", "golf",   "storm",
+                                       "police", "nasa"};
+  for (int i = 0; i < 20000; ++i) {
+    std::string text;
+    for (int w = 0; w < 8; ++w) {
+      text += words[rng.Uniform(words.size())] + " ";
+    }
+    MQD_CHECK(index.AddDocument(static_cast<uint64_t>(i), i, text).ok());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.MatchAny({"obama", "nasdaq"}));
+  }
+}
+BENCHMARK(BM_IndexMatchAny);
+
+}  // namespace
+}  // namespace mqd
+
+BENCHMARK_MAIN();

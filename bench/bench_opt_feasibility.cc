@@ -1,0 +1,72 @@
+// Section 7.4 note: "our proposed exact dynamic programming algorithm
+// is feasible for small problem instances, where the number of
+// queries is up to 2-3 and lambda is less than a minute". This bench
+// maps OPT's feasibility frontier: runtime versus |L|, lambda and
+// instance length, with resource-guard trips reported as infeasible.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/opt_dp.h"
+#include "gen/instance_gen.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace mqd {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "OPT feasibility frontier (Section 7.4 discussion)",
+      "exact DP runtime vs |L|, lambda and interval length at a fixed "
+      "post rate (20/min)",
+      "feasible for |L| <= 2-3 and lambda below ~1 minute; state "
+      "space explodes beyond");
+
+  TablePrinter table(
+      {"|L|", "lambda(s)", "minutes", "posts", "opt_size", "ms",
+       "status"});
+  OptConfig guard;
+  guard.max_states_per_level = 100000;
+  guard.max_candidates_per_step = 100000;
+  guard.max_transitions = 50'000'000;  // a few seconds of DP work
+  OptDpSolver opt(guard);
+
+  for (int L : {1, 2, 3, 4}) {
+    for (double lambda : {5.0, 15.0, 60.0}) {
+      for (double minutes : {5.0, 10.0}) {
+        InstanceGenConfig cfg;
+        cfg.num_labels = L;
+        cfg.duration = minutes * 60.0;
+        cfg.posts_per_minute = bench::ScaledRate(20.0);
+        cfg.overlap_rate = 1.0 + 0.15 * (L - 1);
+        cfg.seed = 42 + static_cast<uint64_t>(L);
+        auto inst = GenerateInstance(cfg);
+        MQD_CHECK(inst.ok());
+
+        UniformLambda model(lambda);
+        Stopwatch watch;
+        auto z = opt.Solve(*inst, model);
+        const double ms = watch.ElapsedSeconds() * 1e3;
+        table.AddRow({FormatDouble(L, 0), FormatDouble(lambda, 0),
+                      FormatDouble(minutes, 0),
+                      FormatDouble(static_cast<double>(inst->num_posts()), 0),
+                      z.ok() ? FormatDouble(
+                                   static_cast<double>(z->size()), 0)
+                             : "-",
+                      FormatDouble(ms, 1),
+                      z.ok() ? "ok" : "infeasible (guard)"});
+        if (!z.ok()) break;  // larger lambdas will only be worse
+      }
+      // Keep the sweep short once this |L| became infeasible.
+    }
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace mqd
+
+int main() {
+  mqd::Run();
+  return 0;
+}

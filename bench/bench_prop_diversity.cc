@@ -1,0 +1,112 @@
+// Section 6 experiment (no figure in the paper): proportional
+// diversity through the post-specific lambda of Equation 2. We build a
+// bursty stream whose density varies strongly over time and across
+// labels, then compare the fixed-lambda cover with the variable-lambda
+// cover on (i) how picks track density over time and (ii) how picks
+// distribute over labels, while rare perspectives stay represented.
+#include <array>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/proportional.h"
+#include "core/scan.h"
+#include "core/verifier.h"
+#include "gen/instance_gen.h"
+#include "util/logging.h"
+
+namespace mqd {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Section 6: proportional diversity via variable lambda (Eq. 2)",
+      "bursty 2-label stream; Scan under fixed lambda0 vs Eq.-2 "
+      "lambda; picks per time decile and per label",
+      "variable lambda yields more representatives where/when posts "
+      "are dense, while rare labels remain represented (smooth "
+      "exponential formula)");
+
+  // Label 0: heavy and bursty (about 3x the baseline rate during the
+  // first half hour); label 1: rare. Time span 2 hours. Equation 2 is
+  // exponential in the density ratio, so the experiment keeps the
+  // ratio moderate — with an extreme spike lambda collapses towards 0
+  // and nearly every post becomes its own representative.
+  InstanceBuilder builder(2);
+  Rng rng(6);
+  const double span = 7200.0;
+  // Dense phase of label 0 in the first 30 minutes.
+  for (int i = 0; i < static_cast<int>(bench::Scaled(500, 120)); ++i) {
+    builder.Add(rng.UniformDouble(0.0, 1800.0), MaskOf(0),
+                static_cast<uint64_t>(i));
+  }
+  // Background label-0 traffic over the rest.
+  for (int i = 0; i < static_cast<int>(bench::Scaled(250, 60)); ++i) {
+    builder.Add(rng.UniformDouble(1800.0, span), MaskOf(0),
+                static_cast<uint64_t>(10000 + i));
+  }
+  // Rare label 1: a handful of posts.
+  for (int i = 0; i < 12; ++i) {
+    builder.Add(rng.UniformDouble(0.0, span), MaskOf(1),
+                static_cast<uint64_t>(20000 + i));
+  }
+  auto inst = builder.Build();
+  MQD_CHECK(inst.ok());
+
+  ProportionalConfig config;
+  config.lambda0 = 120.0;
+  config.base = BaseDensity::kAnyLabel;
+  auto variable = ComputeProportionalLambdas(*inst, config);
+  MQD_CHECK(variable.ok());
+  UniformLambda fixed(config.lambda0);
+
+  ScanSolver scan;
+  auto z_fixed = scan.Solve(*inst, fixed);
+  auto z_var = scan.Solve(*inst, **variable);
+  MQD_CHECK(z_fixed.ok() && z_var.ok());
+  MQD_CHECK(IsCover(*inst, fixed, *z_fixed));
+  MQD_CHECK(IsCover(*inst, **variable, *z_var));
+
+  bench::PrintSection("Picks per time decile (posts for context)");
+  TablePrinter table({"decile", "posts", "fixed-lambda picks",
+                      "variable-lambda picks"});
+  std::array<size_t, 10> posts{}, fixed_picks{}, var_picks{};
+  auto decile = [&](PostId p) {
+    return std::min<size_t>(
+        9, static_cast<size_t>(inst->value(p) / (span / 10.0)));
+  };
+  for (PostId p = 0; p < inst->num_posts(); ++p) ++posts[decile(p)];
+  for (PostId p : *z_fixed) ++fixed_picks[decile(p)];
+  for (PostId p : *z_var) ++var_picks[decile(p)];
+  for (size_t d = 0; d < 10; ++d) {
+    table.AddNumericRow({static_cast<double>(d),
+                         static_cast<double>(posts[d]),
+                         static_cast<double>(fixed_picks[d]),
+                         static_cast<double>(var_picks[d])},
+                        0);
+  }
+  table.Print(std::cout);
+
+  bench::PrintSection("Label representation");
+  size_t var_label1 = 0, fixed_label1 = 0;
+  for (PostId p : *z_var) var_label1 += MaskHas(inst->labels(p), 1);
+  for (PostId p : *z_fixed) fixed_label1 += MaskHas(inst->labels(p), 1);
+  std::cout << "total picks: fixed=" << z_fixed->size()
+            << " variable=" << z_var->size() << "\n";
+  std::cout << "rare-label picks: fixed=" << fixed_label1
+            << " variable=" << var_label1
+            << "  (rare perspective must not vanish)\n";
+  std::cout << "burst-decile picks: fixed=" << fixed_picks[0]
+            << " variable=" << var_picks[0]
+            << (var_picks[0] > fixed_picks[0]
+                    ? "  [OK: denser region -> more representatives]"
+                    : "  [MISMATCH]")
+            << "\n";
+}
+
+}  // namespace
+}  // namespace mqd
+
+int main() {
+  mqd::Run();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Reproduces Table 2: number of unique posts matching a label set per
+// minute, for label-set sizes |L| = 2, 5, 20 (paper: 136, 308, 1180
+// per minute on the 1% Twitter stream). We run the full pipeline:
+// LDA topics over synthetic news -> grouped -> profiles of |L| topics
+// within one broad topic -> keyword matching over a synthetic tweet
+// stream. Absolute rates depend on the stream scale; the monotone
+// growth with |L| is the reproduced shape.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "gen/news_gen.h"
+#include "gen/profile_gen.h"
+#include "gen/tweet_gen.h"
+#include "pipeline/matcher.h"
+#include "topics/corpus.h"
+#include "topics/lda.h"
+#include "topics/topic_model.h"
+#include "util/logging.h"
+
+namespace mqd {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Table 2: matching posts per minute vs label-set size |L|",
+      "LDA topics -> profiles (|L| topics within one broad topic) -> "
+      "keyword matching over a synthetic tweet stream",
+      "|L|=2 -> 136/min, |L|=5 -> 308/min, |L|=20 -> 1180/min "
+      "(monotone, roughly linear in |L|)");
+
+  // Train topics once.
+  NewsGenConfig news;
+  news.num_articles = bench::Scaled(1200, 300);
+  news.seed = 2014;
+  auto articles = GenerateNewsCorpus(news);
+  MQD_CHECK(articles.ok());
+  Corpus corpus;
+  for (const NewsArticle& a : *articles) {
+    corpus.AddDocument(a.text, a.broad_topic);
+  }
+  LdaConfig lda_config;
+  lda_config.num_topics = 48;
+  lda_config.iterations = 60;
+  lda_config.seed = 5;
+  auto lda = LdaModel::Train(corpus, lda_config);
+  MQD_CHECK(lda.ok());
+  std::vector<Topic> topics = ExtractTopics(*lda, /*keywords=*/12);
+  GroupTopicsByTag(corpus, *lda, 0.4, &topics);
+  std::vector<Topic> grouped = KeepUnambiguous(topics);
+  // Drop stopword-like high-document-frequency filler from the topic
+  // keyword lists (standard query-topic hygiene; our synthetic
+  // vocabulary is small, so filler words would otherwise make every
+  // topic match nearly every tweet).
+  const std::vector<std::string>& background = BackgroundWords();
+  for (Topic& topic : grouped) {
+    std::vector<std::string> filtered;
+    for (const std::string& kw : topic.keywords) {
+      if (std::find(background.begin(), background.end(), kw) ==
+          background.end()) {
+        filtered.push_back(kw);
+      }
+      if (filtered.size() == 8) break;
+    }
+    if (!filtered.empty()) topic.keywords = std::move(filtered);
+  }
+  MQD_CHECK(grouped.size() >= 20) << "need >= 20 grouped topics";
+
+  // One shared tweet stream.
+  TweetGenConfig stream_config;
+  stream_config.duration_seconds = bench::Scaled(4, 1) * 3600.0;
+  stream_config.base_rate_per_minute = 240.0;
+  stream_config.seed = 99;
+  auto stream = GenerateTweetStream(stream_config);
+  MQD_CHECK(stream.ok());
+  const double minutes = stream_config.duration_seconds / 60.0;
+  std::cout << "stream: " << stream->size() << " tweets over "
+            << FormatDouble(minutes, 0) << " minutes\n";
+
+  Rng rng(3);
+  const size_t profiles_per_size = bench::Scaled(20, 5);
+  TablePrinter table({"|L|", "matching posts/min (mean)", "min", "max"});
+  double rate2 = 0, rate20 = 0;
+  for (size_t L : {size_t{2}, size_t{5}, size_t{20}}) {
+    auto profiles = GenerateProfiles(grouped, L, profiles_per_size, &rng);
+    MQD_CHECK(profiles.ok()) << profiles.status();
+    RunningStats rates;
+    for (const Profile& profile : *profiles) {
+      std::vector<Topic> selected;
+      for (size_t idx : profile) selected.push_back(grouped[idx]);
+      auto matcher = TopicMatcher::Create(selected);
+      MQD_CHECK(matcher.ok());
+      size_t matched = 0;
+      for (const Tweet& tweet : *stream) {
+        matched += matcher->Match(tweet.text) != 0;
+      }
+      rates.Add(static_cast<double>(matched) / minutes);
+    }
+    table.AddNumericRow({static_cast<double>(L), rates.mean(),
+                         rates.min(), rates.max()},
+                        1);
+    if (L == 2) rate2 = rates.mean();
+    if (L == 20) rate20 = rates.mean();
+  }
+  table.Print(std::cout);
+
+  bench::PrintSection("Shape check");
+  std::cout << "rate(|L|=20)/rate(|L|=2) = "
+            << FormatDouble(rate20 / std::max(rate2, 1e-9), 2)
+            << " (paper: 1180/136 = 8.7; monotone growth expected)\n";
+}
+
+}  // namespace
+}  // namespace mqd
+
+int main() {
+  mqd::Run();
+  return 0;
+}

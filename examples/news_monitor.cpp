@@ -1,0 +1,99 @@
+// The paper's motivating scenario (i): a journalist subscribes to a
+// set of political topics and wants a live, non-redundant feed. This
+// example runs the full streaming pipeline on a synthetic day of
+// tweets: topic matching -> SimHash retweet removal -> StreamScan+
+// with a 30-second reporting budget, and prints a digest plus the
+// compression it achieved.
+//
+//   ./example_news_monitor
+#include <iostream>
+
+#include "gen/tweet_gen.h"
+#include "pipeline/digest.h"
+#include "pipeline/diversifier.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace mqd;
+
+  // The journalist's subscriptions, as keyword topics (in production
+  // these come from the LDA topic extractor; see example_pipeline).
+  Topic white_house;
+  white_house.name = "white-house";
+  white_house.keywords = {"obama", "whitehouse", "president",
+                          "administration"};
+  Topic senate;
+  senate.name = "senate";
+  senate.keywords = {"senate", "senator", "filibuster", "legislation"};
+  Topic elections;
+  elections.name = "elections";
+  elections.keywords = {"election", "vote", "poll", "campaign",
+                        "candidate"};
+
+  // A synthetic day of the public stream (substitute for the Twitter
+  // 1% sample; see DESIGN.md).
+  TweetGenConfig stream_config;
+  stream_config.duration_seconds = 6 * 3600.0;  // quarter day demo
+  stream_config.base_rate_per_minute = 120.0;
+  stream_config.duplicate_prob = 0.12;
+  stream_config.seed = 20140324;
+  auto tweets = GenerateTweetStream(stream_config);
+  if (!tweets.ok()) {
+    std::cerr << tweets.status() << "\n";
+    return 1;
+  }
+
+  auto matcher = TopicMatcher::Create({white_house, senate, elections});
+  if (!matcher.ok()) {
+    std::cerr << matcher.status() << "\n";
+    return 1;
+  }
+
+  StreamPipelineConfig config;
+  config.lambda = 15 * 60.0;  // one representative per topic per 15min
+  config.tau = 30.0;          // report within 30 seconds
+  config.algorithm = StreamKind::kStreamScanPlus;
+  config.dedup = true;
+  StreamingDiversifier diversifier(*std::move(matcher), config);
+
+  auto result = diversifier.Run(*tweets);
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "stream: " << tweets->size() << " tweets over "
+            << FormatDurationSeconds(stream_config.duration_seconds)
+            << "\n";
+  std::cout << "matched " << result->matched << " posts, removed "
+            << result->duplicates_removed << " near-duplicates, kept "
+            << result->instance.num_posts() << "\n";
+  std::cout << "digest: " << result->emissions.size()
+            << " representative posts ("
+            << FormatDouble(100.0 * result->emissions.size() /
+                                std::max<size_t>(1, result->matched),
+                            1)
+            << "% of matched), max reporting delay "
+            << FormatDouble(result->stats.max_delay, 1) << "s\n\n";
+
+  std::cout << "first 10 digest entries (time -> tweet id):\n";
+  for (size_t i = 0; i < result->emissions.size() && i < 10; ++i) {
+    const Emission& e = result->emissions[i];
+    const Post& post = result->instance.post(e.post);
+    std::cout << "  t=" << FormatDurationSeconds(post.value)
+              << "  tweet #" << post.external_id << "  (reported "
+              << FormatDouble(e.emit_time - post.value, 1)
+              << "s after posting)\n";
+  }
+
+  // The rendered briefing: per-topic sections plus a feed-vs-digest
+  // density timeline.
+  const std::vector<Topic> topics{white_house, senate, elections};
+  DigestRenderer::Options render_options;
+  render_options.max_items_per_topic = 4;
+  DigestRenderer renderer(&topics, render_options);
+  std::vector<PostId> selected;
+  for (const Emission& e : result->emissions) selected.push_back(e.post);
+  std::cout << "\n" << renderer.Render(result->instance, selected);
+  return 0;
+}

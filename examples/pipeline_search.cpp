@@ -1,0 +1,132 @@
+// Figure 1, left input path, end to end: build the inverted index over
+// a tweet corpus, derive query topics with LDA from a news corpus,
+// search the index with a user profile, and diversify the search
+// results with MQDP — i.e. the paper's offline search scenario (ii):
+// "a user may search a microblogging site by submitting a set of
+// queries instead of individual queries".
+//
+//   ./example_pipeline_search
+#include <algorithm>
+#include <iostream>
+
+#include "core/solver.h"
+#include "core/verifier.h"
+#include "gen/news_gen.h"
+#include "gen/profile_gen.h"
+#include "gen/tweet_gen.h"
+#include "index/inverted_index.h"
+#include "index/searcher.h"
+#include "pipeline/diversifier.h"
+#include "topics/corpus.h"
+#include "topics/lda.h"
+#include "topics/topic_model.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace mqd;
+
+  // --- 1. Topic discovery: LDA over a news corpus (Section 7.1). ---
+  NewsGenConfig news_config;
+  news_config.num_articles = 600;
+  news_config.seed = 1;
+  auto articles = GenerateNewsCorpus(news_config);
+  if (!articles.ok()) return 1;
+  Corpus corpus;
+  for (const NewsArticle& article : *articles) {
+    corpus.AddDocument(article.text, article.broad_topic);
+  }
+  LdaConfig lda_config;
+  lda_config.num_topics = 16;
+  lda_config.iterations = 60;
+  auto lda = LdaModel::Train(corpus, lda_config);
+  if (!lda.ok()) return 1;
+  std::vector<Topic> topics = ExtractTopics(*lda, /*keywords=*/10);
+  GroupTopicsByTag(corpus, *lda, 0.5, &topics);
+  std::vector<Topic> grouped = KeepUnambiguous(topics);
+  std::cout << "LDA: " << grouped.size() << " grouped topics of "
+            << topics.size() << " trained\n";
+
+  // --- 2. A user profile: |L| topics within one broad topic. ---
+  Rng rng(11);
+  auto profiles = GenerateProfiles(grouped, /*label_set_size=*/3,
+                                   /*count=*/1, &rng);
+  if (!profiles.ok()) {
+    std::cerr << profiles.status() << "\n";
+    return 1;
+  }
+  std::vector<Topic> profile_topics;
+  std::cout << "profile topics:\n";
+  for (size_t idx : profiles->front()) {
+    profile_topics.push_back(grouped[idx]);
+    std::cout << "  " << grouped[idx].name << ": "
+              << Join(grouped[idx].keywords, " ") << "\n";
+  }
+
+  // --- 3. Index a tweet corpus (the Lucene box of Figure 1). ---
+  TweetGenConfig stream_config;
+  stream_config.duration_seconds = 3 * 3600.0;
+  stream_config.base_rate_per_minute = 120.0;
+  stream_config.seed = 2;
+  auto tweets = GenerateTweetStream(stream_config);
+  if (!tweets.ok()) return 1;
+  InvertedIndex index;
+  for (const Tweet& tweet : *tweets) {
+    if (!index.AddDocument(tweet.id, tweet.time, tweet.text).ok()) {
+      return 1;
+    }
+  }
+  std::cout << "index: " << index.num_documents() << " tweets, "
+            << index.num_terms() << " terms, "
+            << index.postings_byte_size() << " posting bytes\n";
+
+  // --- 4. Search: union of the profile's keywords. ---
+  std::vector<std::string> query_terms;
+  for (const Topic& topic : profile_topics) {
+    query_terms.insert(query_terms.end(), topic.keywords.begin(),
+                       topic.keywords.end());
+  }
+  Searcher searcher(&index);
+  auto hits = searcher.Search(query_terms);
+  std::cout << "search: " << hits.size() << " matching tweets\n";
+
+  // --- 5. Diversify the result list with MQDP. ---
+  auto matcher = TopicMatcher::Create(profile_topics);
+  if (!matcher.ok()) return 1;
+  std::vector<Tweet> matched_tweets;
+  for (const SearchHit& hit : hits) {
+    Tweet t;
+    t.id = index.external_id(hit.doc);
+    t.time = index.timestamp(hit.doc);
+    t.text = (*tweets)[static_cast<size_t>(hit.doc)].text;
+    matched_tweets.push_back(std::move(t));
+  }
+  // Posts must be fed in time order; search hits are rank-ordered.
+  std::sort(matched_tweets.begin(), matched_tweets.end(),
+            [](const Tweet& a, const Tweet& b) { return a.time < b.time; });
+
+  PipelineConfig config;
+  config.lambda = 10 * 60.0;
+  config.solver = SolverKind::kGreedySC;
+  Diversifier diversifier(*std::move(matcher), config);
+  auto result = diversifier.Run(matched_tweets);
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    return 1;
+  }
+  std::cout << "diversified: " << result->selection.size()
+            << " representatives for " << result->instance.num_posts()
+            << " relevant posts ("
+            << FormatDouble(100.0 * result->selection.size() /
+                                std::max<size_t>(1,
+                                                 result->instance
+                                                     .num_posts()),
+                            1)
+            << "%)\n";
+  UniformLambda model(config.lambda);
+  std::cout << "cover valid: "
+            << (IsCover(result->instance, model, result->selection)
+                    ? "yes"
+                    : "NO")
+            << "\n";
+  return 0;
+}

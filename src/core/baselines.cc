@@ -1,0 +1,123 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/solver.h"
+#include "core/verifier.h"
+#include "util/logging.h"
+
+namespace mqd {
+
+std::vector<PostId> MaxMinDispersion(const Instance& inst, size_t k) {
+  const size_t n = inst.num_posts();
+  std::vector<PostId> selected;
+  if (n == 0 || k == 0) return selected;
+  k = std::min(k, n);
+
+  // Start from the earliest post (any extreme point works for the
+  // 2-approximation).
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  PostId next = 0;
+  while (selected.size() < k) {
+    selected.push_back(next);
+    if (selected.size() == k) break;
+    // Update distances and pick the farthest post.
+    const double picked_value = inst.value(next);
+    PostId farthest = kInvalidPost;
+    double best = -1.0;
+    for (PostId p = 0; p < n; ++p) {
+      min_dist[p] =
+          std::min(min_dist[p], std::fabs(inst.value(p) - picked_value));
+      if (min_dist[p] > best) {
+        best = min_dist[p];
+        farthest = p;
+      }
+    }
+    if (farthest == kInvalidPost || best <= 0.0) break;  // all coincide
+    next = farthest;
+  }
+  internal::CanonicalizeSelection(&selected);
+  return selected;
+}
+
+std::vector<PostId> TopKNewest(const Instance& inst, size_t k) {
+  const size_t n = inst.num_posts();
+  k = std::min(k, n);
+  std::vector<PostId> selected;
+  selected.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    selected.push_back(static_cast<PostId>(n - 1 - i));
+  }
+  internal::CanonicalizeSelection(&selected);
+  return selected;
+}
+
+std::vector<PostId> UniformGrid(const Instance& inst, size_t k) {
+  const size_t n = inst.num_posts();
+  std::vector<PostId> selected;
+  if (n == 0 || k == 0) return selected;
+  k = std::min(k, n);
+  const double lo = inst.min_value();
+  const double hi = inst.max_value();
+  for (size_t i = 0; i < k; ++i) {
+    const double target =
+        k == 1 ? (lo + hi) / 2.0
+               : lo + (hi - lo) * static_cast<double>(i) /
+                          static_cast<double>(k - 1);
+    // Closest post to the grid point.
+    PostId at = inst.LowerBound(target);
+    if (at == n) {
+      at = static_cast<PostId>(n - 1);
+    } else if (at > 0 && target - inst.value(at - 1) <
+                             inst.value(at) - target) {
+      at = at - 1;
+    }
+    selected.push_back(at);
+  }
+  internal::CanonicalizeSelection(&selected);
+  return selected;
+}
+
+std::vector<PostId> LabelRoundRobin(const Instance& inst, size_t k) {
+  const size_t n = inst.num_posts();
+  std::vector<PostId> selected;
+  if (n == 0 || k == 0) return selected;
+  k = std::min(k, n);
+  std::vector<bool> taken(n, false);
+  // Per-label cursor walking each list from newest to oldest.
+  std::vector<size_t> cursor(static_cast<size_t>(inst.num_labels()), 0);
+  size_t picked = 0;
+  bool progressed = true;
+  while (picked < k && progressed) {
+    progressed = false;
+    for (LabelId a = 0; a < static_cast<LabelId>(inst.num_labels()) &&
+                        picked < k;
+         ++a) {
+      const std::span<const PostId> posts = inst.label_posts(a);
+      size_t& c = cursor[a];
+      while (c < posts.size() && taken[posts[posts.size() - 1 - c]]) ++c;
+      if (c >= posts.size()) continue;
+      const PostId p = posts[posts.size() - 1 - c];
+      taken[p] = true;
+      selected.push_back(p);
+      ++picked;
+      ++c;
+      progressed = true;
+    }
+  }
+  internal::CanonicalizeSelection(&selected);
+  return selected;
+}
+
+double UncoveredPairFraction(const Instance& inst,
+                             const CoverageModel& model,
+                             const std::vector<PostId>& selected) {
+  if (inst.num_pairs() == 0) return 0.0;
+  return static_cast<double>(
+             FindUncoveredPairs(inst, model, selected).size()) /
+         static_cast<double>(inst.num_pairs());
+}
+
+}  // namespace mqd

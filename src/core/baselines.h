@@ -1,0 +1,51 @@
+#ifndef MQD_CORE_BASELINES_H_
+#define MQD_CORE_BASELINES_H_
+
+#include <vector>
+
+#include "core/coverage.h"
+#include "core/instance.h"
+#include "util/result.h"
+
+namespace mqd {
+
+/// Baselines from the related work the paper positions itself against
+/// (Section 8): classic result-diversification methods that maximize
+/// dissimilarity instead of guaranteeing coverage. They pick a fixed
+/// budget k of posts; benches compare what fraction of (post, label)
+/// pairs such selections leave uncovered versus an MQDP cover of the
+/// same size.
+
+/// Greedy max-min dispersion (the Gonzalez 2-approximation used by
+/// MaxMin diversification, cf. [2, 19]): start from the post with the
+/// extreme value, then repeatedly add the post maximizing the minimum
+/// distance (on the diversity dimension) to the already-selected set.
+/// Label-oblivious by design — which is exactly the weakness MQDP
+/// fixes.
+std::vector<PostId> MaxMinDispersion(const Instance& inst, size_t k);
+
+/// Recency baseline: the k newest posts (what a plain reverse-
+/// chronological timeline shows).
+std::vector<PostId> TopKNewest(const Instance& inst, size_t k);
+
+/// Uniform grid baseline: k posts closest to k evenly spaced points
+/// of the value range (time-bucketed sampling, a common dashboard
+/// heuristic). Duplicate picks are deduplicated, so fewer than k may
+/// return on sparse data.
+std::vector<PostId> UniformGrid(const Instance& inst, size_t k);
+
+/// Per-label round robin: cycle over the labels picking each label's
+/// next most recent unselected post until k posts are chosen —
+/// label-aware but coverage-oblivious.
+std::vector<PostId> LabelRoundRobin(const Instance& inst, size_t k);
+
+/// Fraction of (post, label) pairs of `inst` that `selected` leaves
+/// uncovered under `model` (0 = full cover). The headline comparison
+/// metric for the baseline bench.
+double UncoveredPairFraction(const Instance& inst,
+                             const CoverageModel& model,
+                             const std::vector<PostId>& selected);
+
+}  // namespace mqd
+
+#endif  // MQD_CORE_BASELINES_H_

@@ -1,0 +1,183 @@
+#include "core/brute_force.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/greedy_sc.h"
+#include "util/logging.h"
+
+namespace mqd {
+
+namespace {
+
+class BnB {
+ public:
+  BnB(const Instance& inst, const CoverageModel& model, uint64_t max_nodes)
+      : inst_(inst),
+        model_(model),
+        max_nodes_(max_nodes),
+        covered_(inst.num_posts(), 0),
+        remaining_(inst.num_pairs()) {
+    // Static candidate lists: coverers_[p][k] = posts that cover the
+    // k-th label of post p.
+    coverers_.resize(inst.num_posts());
+    const DimValue max_reach = model.MaxReach();
+    for (PostId p = 0; p < inst.num_posts(); ++p) {
+      const DimValue v = inst.value(p);
+      ForEachLabel(inst.labels(p), [&](LabelId a) {
+        std::vector<PostId> cands;
+        for (PostId r :
+             inst.LabelPostsInRange(a, v - max_reach, v + max_reach)) {
+          if (model.Covers(inst_, r, a, p)) cands.push_back(r);
+        }
+        coverers_[p].push_back(std::move(cands));
+      });
+    }
+  }
+
+  Result<std::vector<PostId>> Run() {
+    if (inst_.num_posts() == 0) return std::vector<PostId>{};
+    // Seed the incumbent with GreedySC (always a valid cover).
+    GreedySCSolver greedy;
+    MQD_ASSIGN_OR_RETURN(best_, greedy.Solve(inst_, model_));
+    nodes_ = 0;
+    exhausted_ = false;
+    Recurse();
+    if (exhausted_) {
+      return Status::ResourceExhausted(
+          "BranchAndBound exceeded its node budget");
+    }
+    internal::CanonicalizeSelection(&best_);
+    return best_;
+  }
+
+ private:
+  void Recurse() {
+    if (exhausted_) return;
+    if (++nodes_ > max_nodes_) {
+      exhausted_ = true;
+      return;
+    }
+    if (remaining_ == 0) {
+      if (chosen_.size() < best_.size()) best_ = chosen_;
+      return;
+    }
+    if (chosen_.size() + LowerBound() >= best_.size()) return;
+
+    // Branch on the uncovered pair with the fewest candidate coverers.
+    PostId bp = kInvalidPost;
+    int bk = -1;
+    size_t fewest = static_cast<size_t>(-1);
+    for (PostId p = 0; p < inst_.num_posts() && fewest > 1; ++p) {
+      int k = 0;
+      ForEachLabel(inst_.labels(p), [&](LabelId a) {
+        if (!MaskHas(covered_[p], a) && coverers_[p][k].size() < fewest) {
+          fewest = coverers_[p][k].size();
+          bp = p;
+          bk = k;
+        }
+        ++k;
+      });
+    }
+    MQD_DCHECK(bp != kInvalidPost);
+
+    for (PostId z : coverers_[bp][static_cast<size_t>(bk)]) {
+      const size_t undo_mark = undo_.size();
+      Apply(z);
+      chosen_.push_back(z);
+      Recurse();
+      chosen_.pop_back();
+      Unapply(undo_mark);
+      if (exhausted_) return;
+    }
+  }
+
+  void Apply(PostId z) {
+    const DimValue v = inst_.value(z);
+    ForEachLabel(inst_.labels(z), [&](LabelId a) {
+      const DimValue reach = model_.Reach(inst_, z, a);
+      for (PostId q : inst_.LabelPostsInRange(a, v - reach, v + reach)) {
+        if (!MaskHas(covered_[q], a)) {
+          covered_[q] |= MaskOf(a);
+          undo_.push_back({q, a});
+          --remaining_;
+        }
+      }
+    });
+  }
+
+  void Unapply(size_t mark) {
+    while (undo_.size() > mark) {
+      const auto [q, a] = undo_.back();
+      undo_.pop_back();
+      covered_[q] &= ~MaskOf(a);
+      ++remaining_;
+    }
+  }
+
+  /// Admissible bound: per-label residual optima divided by the max
+  /// labels per post (each chosen post helps at most s labels).
+  size_t LowerBound() const {
+    size_t total = 0;
+    const int s = std::max(1, inst_.max_labels_per_post());
+    for (LabelId a = 0; a < static_cast<LabelId>(inst_.num_labels()); ++a) {
+      total += ResidualScanCount(a);
+    }
+    return (total + static_cast<size_t>(s) - 1) / static_cast<size_t>(s);
+  }
+
+  /// Minimum number of a-posts needed to cover the still-uncovered
+  /// a-posts (interval-stabbing greedy; optimal per label).
+  size_t ResidualScanCount(LabelId a) const {
+    const std::span<const PostId> posts = inst_.label_posts(a);
+    const DimValue max_reach = model_.MaxReach();
+    const LabelMask abit = MaskOf(a);
+    size_t count = 0;
+    size_t i = 0;
+    DimValue covered_until = -std::numeric_limits<DimValue>::infinity();
+    while (i < posts.size()) {
+      const PostId px = posts[i];
+      if ((covered_[px] & abit) != 0 || inst_.value(px) <= covered_until) {
+        ++i;
+        continue;
+      }
+      const DimValue vx = inst_.value(px);
+      DimValue best_end = vx + model_.Reach(inst_, px, a);
+      for (size_t j = i + 1; j < posts.size(); ++j) {
+        const PostId z = posts[j];
+        if (inst_.value(z) > vx + max_reach) break;
+        if (!model_.Covers(inst_, z, a, px)) continue;
+        best_end =
+            std::max(best_end, inst_.value(z) + model_.Reach(inst_, z, a));
+      }
+      ++count;
+      covered_until = best_end;
+      ++i;
+    }
+    return count;
+  }
+
+  const Instance& inst_;
+  const CoverageModel& model_;
+  uint64_t max_nodes_;
+
+  std::vector<LabelMask> covered_;
+  size_t remaining_;
+  std::vector<std::vector<std::vector<PostId>>> coverers_;
+  std::vector<PostId> chosen_;
+  std::vector<PostId> best_;
+  std::vector<std::pair<PostId, LabelId>> undo_;
+  uint64_t nodes_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+Result<std::vector<PostId>> BranchAndBoundSolver::Solve(
+    const Instance& inst, const CoverageModel& model) const {
+  BnB bnb(inst, model, max_nodes_);
+  return bnb.Run();
+}
+
+}  // namespace mqd

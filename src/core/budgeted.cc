@@ -1,0 +1,96 @@
+#include "core/budgeted.h"
+
+#include <algorithm>
+
+#include "core/solver.h"
+#include "core/verifier.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace mqd {
+
+Result<BudgetedResult> SolveBudgeted(const Instance& inst,
+                                     const CoverageModel& model, size_t k) {
+  BudgetedResult result;
+  result.total_pairs = inst.num_pairs();
+  const size_t n = inst.num_posts();
+  if (n == 0 || k == 0) return result;
+
+  std::vector<LabelMask> covered(n, 0);
+  std::vector<int64_t> gain(n, 0);
+  for (PostId p = 0; p < n; ++p) {
+    ForEachLabel(inst.labels(p), [&](LabelId a) {
+      const DimValue reach = model.Reach(inst, p, a);
+      const DimValue v = inst.value(p);
+      gain[p] += static_cast<int64_t>(
+          inst.LabelPostsInRange(a, v - reach, v + reach).size());
+    });
+  }
+
+  const DimValue max_reach = model.MaxReach();
+  for (size_t round = 0; round < k; ++round) {
+    PostId best = kInvalidPost;
+    int64_t best_gain = 0;
+    for (PostId p = 0; p < n; ++p) {
+      if (gain[p] > best_gain) {
+        best_gain = gain[p];
+        best = p;
+      }
+    }
+    if (best == kInvalidPost) break;  // everything covered early
+    result.selection.push_back(best);
+    result.covered_pairs += static_cast<size_t>(best_gain);
+    ForEachLabel(inst.labels(best), [&](LabelId a) {
+      const LabelMask abit = MaskOf(a);
+      const DimValue reach = model.Reach(inst, best, a);
+      const DimValue v = inst.value(best);
+      for (PostId q : inst.LabelPostsInRange(a, v - reach, v + reach)) {
+        if ((covered[q] & abit) != 0) continue;
+        covered[q] |= abit;
+        const DimValue vq = inst.value(q);
+        for (PostId r :
+             inst.LabelPostsInRange(a, vq - max_reach, vq + max_reach)) {
+          if (model.Covers(inst, r, a, q)) --gain[r];
+        }
+      }
+    });
+  }
+  internal::CanonicalizeSelection(&result.selection);
+  return result;
+}
+
+Result<BudgetedResult> SolveBudgetedExact(const Instance& inst,
+                                          const CoverageModel& model,
+                                          size_t k) {
+  const size_t n = inst.num_posts();
+  if (n > 24) {
+    return Status::InvalidArgument(
+        StrFormat("exact budgeted search limited to tiny instances "
+                  "(n=%zu)",
+                  n));
+  }
+  BudgetedResult best;
+  best.total_pairs = inst.num_pairs();
+  if (n == 0 || k == 0) return best;
+  k = std::min(k, n);
+
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  std::vector<PostId> subset;
+  while (true) {
+    subset.assign(idx.begin(), idx.end());
+    const size_t covered = CountCoveredPairs(inst, model, subset);
+    if (covered > best.covered_pairs) {
+      best.covered_pairs = covered;
+      best.selection = subset;
+    }
+    size_t i = k;
+    while (i > 0 && idx[i - 1] == n - k + i - 1) --i;
+    if (i == 0) break;
+    ++idx[i - 1];
+    for (size_t j = i; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+  return best;
+}
+
+}  // namespace mqd

@@ -1,0 +1,46 @@
+#ifndef MQD_CORE_BUDGETED_H_
+#define MQD_CORE_BUDGETED_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/coverage.h"
+#include "core/instance.h"
+#include "util/result.h"
+
+namespace mqd {
+
+/// The budgeted companion of MQDP: a feed UI can display at most k
+/// posts ("if there are 20 negative posts and 2 positive, and we only
+/// show 3 to the user..." — Section 6's motivating constraint), so
+/// instead of the *minimum full cover* we want the k posts that
+/// lambda-cover the most (post, label) pairs — budgeted maximum
+/// coverage.
+struct BudgetedResult {
+  std::vector<PostId> selection;  // sorted, |selection| <= k
+  size_t covered_pairs = 0;
+  size_t total_pairs = 0;
+  double coverage_fraction() const {
+    return total_pairs == 0
+               ? 1.0
+               : static_cast<double>(covered_pairs) /
+                     static_cast<double>(total_pairs);
+  }
+};
+
+/// Greedy maximum coverage: k rounds of the highest-residual-gain
+/// post. Classic (1 - 1/e) approximation of the optimal k-selection
+/// (the objective is monotone submodular). With k at least the size of
+/// the GreedySC cover the result covers everything.
+Result<BudgetedResult> SolveBudgeted(const Instance& inst,
+                                     const CoverageModel& model, size_t k);
+
+/// Exact reference via exhaustive k-subset search; tiny instances
+/// only (n choose k explodes).
+Result<BudgetedResult> SolveBudgetedExact(const Instance& inst,
+                                          const CoverageModel& model,
+                                          size_t k);
+
+}  // namespace mqd
+
+#endif  // MQD_CORE_BUDGETED_H_

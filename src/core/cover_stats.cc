@@ -1,0 +1,101 @@
+#include "core/cover_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mqd {
+
+CoverStats ComputeCoverStats(const Instance& inst,
+                             const std::vector<PostId>& selected) {
+  CoverStats stats;
+  stats.instance_posts = inst.num_posts();
+  const size_t num_labels = static_cast<size_t>(inst.num_labels());
+  stats.per_label_selected.assign(num_labels, 0);
+  stats.per_label_posts.assign(num_labels, 0);
+
+  std::vector<PostId> sorted = selected;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  stats.selected_posts = sorted.size();
+  stats.compression =
+      inst.num_posts() == 0
+          ? 0.0
+          : static_cast<double>(sorted.size()) /
+                static_cast<double>(inst.num_posts());
+
+  // Per-label selected values, ascending (sorted ids are value-sorted).
+  std::vector<std::vector<double>> rep_values(num_labels);
+  for (PostId z : sorted) {
+    ForEachLabel(inst.labels(z), [&](LabelId a) {
+      rep_values[a].push_back(inst.value(z));
+      ++stats.per_label_selected[a];
+    });
+  }
+
+  double total_distance = 0.0;
+  size_t measured_pairs = 0;
+  for (LabelId a = 0; a < num_labels; ++a) {
+    const auto& reps = rep_values[a];
+    stats.per_label_posts[a] = inst.label_posts(a).size();
+    if (reps.empty()) continue;
+    for (PostId p : inst.label_posts(a)) {
+      const double v = inst.value(p);
+      auto it = std::lower_bound(reps.begin(), reps.end(), v);
+      double best = std::numeric_limits<double>::infinity();
+      if (it != reps.end()) best = std::min(best, *it - v);
+      if (it != reps.begin()) best = std::min(best, v - *(it - 1));
+      total_distance += best;
+      stats.max_distance_to_representative =
+          std::max(stats.max_distance_to_representative, best);
+      ++measured_pairs;
+    }
+  }
+  stats.mean_distance_to_representative =
+      measured_pairs == 0 ? 0.0 : total_distance / measured_pairs;
+
+  // Label-distribution proportionality.
+  const double total_sel_pairs = [&] {
+    double sum = 0.0;
+    for (size_t c : stats.per_label_selected) sum += c;
+    return sum;
+  }();
+  const double total_pairs = static_cast<double>(inst.num_pairs());
+  if (total_sel_pairs > 0.0 && total_pairs > 0.0) {
+    double l1 = 0.0;
+    for (LabelId a = 0; a < num_labels; ++a) {
+      l1 += std::fabs(stats.per_label_selected[a] / total_sel_pairs -
+                      stats.per_label_posts[a] / total_pairs);
+    }
+    stats.label_distribution_l1 = l1;
+  }
+  return stats;
+}
+
+double BucketDistributionL1(const Instance& inst,
+                            const std::vector<PostId>& selected,
+                            int num_buckets) {
+  if (inst.num_posts() == 0 || selected.empty() || num_buckets <= 0) {
+    return 0.0;
+  }
+  const double lo = inst.min_value();
+  const double span = std::max(1e-12, inst.max_value() - lo);
+  std::vector<double> all(static_cast<size_t>(num_buckets), 0.0);
+  std::vector<double> sel(static_cast<size_t>(num_buckets), 0.0);
+  auto bucket = [&](PostId p) {
+    return std::min<size_t>(
+        static_cast<size_t>(num_buckets) - 1,
+        static_cast<size_t>((inst.value(p) - lo) / span * num_buckets));
+  };
+  for (PostId p = 0; p < inst.num_posts(); ++p) ++all[bucket(p)];
+  for (PostId p : selected) ++sel[bucket(p)];
+  double l1 = 0.0;
+  for (int b = 0; b < num_buckets; ++b) {
+    l1 += std::fabs(
+        all[static_cast<size_t>(b)] / static_cast<double>(inst.num_posts()) -
+        sel[static_cast<size_t>(b)] / static_cast<double>(selected.size()));
+  }
+  return l1;
+}
+
+}  // namespace mqd

@@ -1,0 +1,49 @@
+#ifndef MQD_CORE_COVER_STATS_H_
+#define MQD_CORE_COVER_STATS_H_
+
+#include <vector>
+
+#include "core/coverage.h"
+#include "core/instance.h"
+
+namespace mqd {
+
+/// Descriptive statistics of a cover, used by the evaluation harness
+/// and the examples to talk about result quality beyond raw size.
+struct CoverStats {
+  size_t instance_posts = 0;
+  size_t selected_posts = 0;
+  /// selected / posts: the feed-shrink factor users experience.
+  double compression = 0.0;
+  /// Selected posts per label (size num_labels).
+  std::vector<size_t> per_label_selected;
+  /// Relevant posts per label (size num_labels).
+  std::vector<size_t> per_label_posts;
+  /// Mean |F(post) - F(nearest selected same-label post)| over all
+  /// (post, label) pairs: how far a reader is from a representative.
+  double mean_distance_to_representative = 0.0;
+  /// Max over pairs of that distance.
+  double max_distance_to_representative = 0.0;
+  /// L1 distance between the label distribution of the selection and
+  /// of the instance (0 = perfectly proportional representation,
+  /// 2 = disjoint). The Section-6 proportionality metric.
+  double label_distribution_l1 = 0.0;
+};
+
+/// Computes stats; `selected` need not be a valid cover (distances are
+/// +inf-free: pairs with no same-label representative are skipped and
+/// counted in `uncovered_pairs`).
+CoverStats ComputeCoverStats(const Instance& inst,
+                             const std::vector<PostId>& selected);
+
+/// Proportionality of picks across equal-width value buckets: the L1
+/// distance between the bucketed distribution of all posts and of the
+/// selection (Section 6's time-axis proportionality, 0 = perfectly
+/// proportional).
+double BucketDistributionL1(const Instance& inst,
+                            const std::vector<PostId>& selected,
+                            int num_buckets);
+
+}  // namespace mqd
+
+#endif  // MQD_CORE_COVER_STATS_H_

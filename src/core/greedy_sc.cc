@@ -1,0 +1,144 @@
+#include "core/greedy_sc.h"
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace mqd {
+
+namespace {
+
+struct HeapEntry {
+  int64_t gain;
+  PostId post;
+};
+
+/// Max-heap on gain; ties broken toward the smallest PostId so both
+/// engines pick identical sequences (kept deterministic for testing).
+struct HeapLess {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.post > b.post;
+  }
+};
+
+class GreedyState {
+ public:
+  GreedyState(const Instance& inst, const CoverageModel& model)
+      : inst_(inst),
+        model_(model),
+        covered_(inst.num_posts(), 0),
+        gain_(inst.num_posts(), 0),
+        remaining_(inst.num_pairs()) {
+    // Initial gain of post p = |S_p| = number of (q, a) pairs with
+    // a in label(p) and q within Reach(p, a) of p.
+    for (PostId p = 0; p < inst_.num_posts(); ++p) {
+      ForEachLabel(inst_.labels(p), [&](LabelId a) {
+        const DimValue reach = model_.Reach(inst_, p, a);
+        const DimValue v = inst_.value(p);
+        gain_[p] += static_cast<int64_t>(
+            inst_.LabelPostsInRange(a, v - reach, v + reach).size());
+      });
+    }
+  }
+
+  int64_t gain(PostId p) const { return gain_[p]; }
+  size_t remaining() const { return remaining_; }
+
+  /// Marks everything `p` covers and decrements the gains of every
+  /// post whose set loses a pair.
+  void Select(PostId p) {
+    const DimValue max_reach = model_.MaxReach();
+    ForEachLabel(inst_.labels(p), [&](LabelId a) {
+      const LabelMask abit = MaskOf(a);
+      const DimValue reach = model_.Reach(inst_, p, a);
+      const DimValue v = inst_.value(p);
+      for (PostId q : inst_.LabelPostsInRange(a, v - reach, v + reach)) {
+        if ((covered_[q] & abit) != 0) continue;
+        covered_[q] |= abit;
+        --remaining_;
+        // Every post r that covers (q, a) loses this pair.
+        const DimValue vq = inst_.value(q);
+        for (PostId r :
+             inst_.LabelPostsInRange(a, vq - max_reach, vq + max_reach)) {
+          if (model_.Covers(inst_, r, a, q)) --gain_[r];
+        }
+      }
+    });
+    MQD_DCHECK(gain_[p] == 0);
+  }
+
+ private:
+  const Instance& inst_;
+  const CoverageModel& model_;
+  std::vector<LabelMask> covered_;
+  std::vector<int64_t> gain_;
+  size_t remaining_;
+};
+
+Result<std::vector<PostId>> SolveLinear(const Instance& inst,
+                                        const CoverageModel& model) {
+  GreedyState state(inst, model);
+  std::vector<PostId> out;
+  while (state.remaining() > 0) {
+    PostId best = kInvalidPost;
+    int64_t best_gain = 0;
+    for (PostId p = 0; p < inst.num_posts(); ++p) {
+      if (state.gain(p) > best_gain) {
+        best_gain = state.gain(p);
+        best = p;
+      }
+    }
+    if (best == kInvalidPost) {
+      return Status::Internal("GreedySC stalled with uncovered pairs");
+    }
+    out.push_back(best);
+    state.Select(best);
+  }
+  return out;
+}
+
+Result<std::vector<PostId>> SolveLazyHeap(const Instance& inst,
+                                          const CoverageModel& model) {
+  GreedyState state(inst, model);
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess> heap;
+  for (PostId p = 0; p < inst.num_posts(); ++p) {
+    if (state.gain(p) > 0) heap.push(HeapEntry{state.gain(p), p});
+  }
+  std::vector<PostId> out;
+  while (state.remaining() > 0) {
+    if (heap.empty()) {
+      return Status::Internal("GreedySC(lazy) stalled with uncovered pairs");
+    }
+    const HeapEntry top = heap.top();
+    heap.pop();
+    const int64_t current = state.gain(top.post);
+    if (current != top.gain) {
+      // Stale entry: gains only decrease, so re-push with the current
+      // value and keep popping.
+      if (current > 0) heap.push(HeapEntry{current, top.post});
+      continue;
+    }
+    if (current == 0) continue;
+    out.push_back(top.post);
+    state.Select(top.post);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<PostId>> GreedySCSolver::Solve(
+    const Instance& inst, const CoverageModel& model) const {
+  Result<std::vector<PostId>> result =
+      engine_ == GreedyEngine::kLinearArgmax ? SolveLinear(inst, model)
+                                             : SolveLazyHeap(inst, model);
+  if (!result.ok()) return result;
+  std::vector<PostId> out = std::move(result).value();
+  internal::CanonicalizeSelection(&out);
+  return out;
+}
+
+}  // namespace mqd

@@ -1,0 +1,92 @@
+#include "core/instance.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace mqd {
+
+double Instance::overlap_rate() const {
+  if (posts_.empty()) return 0.0;
+  return static_cast<double>(num_pairs_) / static_cast<double>(posts_.size());
+}
+
+PostId Instance::LowerBound(DimValue v) const {
+  auto it = std::lower_bound(
+      posts_.begin(), posts_.end(), v,
+      [](const Post& p, DimValue x) { return p.value < x; });
+  return static_cast<PostId>(it - posts_.begin());
+}
+
+PostId Instance::UpperBound(DimValue v) const {
+  auto it = std::upper_bound(
+      posts_.begin(), posts_.end(), v,
+      [](DimValue x, const Post& p) { return x < p.value; });
+  return static_cast<PostId>(it - posts_.begin());
+}
+
+std::span<const PostId> Instance::LabelPostsInRange(LabelId a, DimValue lo,
+                                                    DimValue hi) const {
+  const std::vector<PostId>& list = label_lists_[a];
+  auto first = std::lower_bound(
+      list.begin(), list.end(), lo,
+      [this](PostId id, DimValue x) { return posts_[id].value < x; });
+  auto last = std::upper_bound(
+      first, list.end(), hi,
+      [this](DimValue x, PostId id) { return x < posts_[id].value; });
+  return {list.data() + (first - list.begin()),
+          static_cast<size_t>(last - first)};
+}
+
+InstanceBuilder::InstanceBuilder(int num_labels) : num_labels_(num_labels) {
+  MQD_CHECK(num_labels >= 1 && num_labels <= kMaxLabels)
+      << "num_labels must be in [1, " << kMaxLabels << "], got "
+      << num_labels;
+}
+
+InstanceBuilder& InstanceBuilder::Add(DimValue value, LabelMask labels,
+                                      uint64_t external_id) {
+  posts_.push_back(Post{value, labels, external_id});
+  return *this;
+}
+
+Result<Instance> InstanceBuilder::Build() {
+  const LabelMask universe =
+      num_labels_ == kMaxLabels ? ~LabelMask{0}
+                                : (LabelMask{1} << num_labels_) - 1;
+  for (size_t i = 0; i < posts_.size(); ++i) {
+    if (posts_[i].labels == 0) {
+      return Status::InvalidArgument(
+          StrFormat("post %zu has an empty label set", i));
+    }
+    if ((posts_[i].labels & ~universe) != 0) {
+      return Status::InvalidArgument(
+          StrFormat("post %zu has labels outside the %d-label universe", i,
+                    num_labels_));
+    }
+  }
+
+  // Stable sort keeps insertion order among equal values, giving a
+  // deterministic total order that refines the dimension order (OPT's
+  // "distinct timestamps" assumption is handled by this total order).
+  std::stable_sort(
+      posts_.begin(), posts_.end(),
+      [](const Post& a, const Post& b) { return a.value < b.value; });
+
+  Instance inst;
+  inst.posts_ = std::move(posts_);
+  posts_.clear();
+  inst.num_labels_ = num_labels_;
+  inst.label_lists_.assign(static_cast<size_t>(num_labels_), {});
+  for (PostId i = 0; i < inst.posts_.size(); ++i) {
+    const LabelMask mask = inst.posts_[i].labels;
+    ForEachLabel(mask, [&](LabelId a) { inst.label_lists_[a].push_back(i); });
+    inst.max_labels_per_post_ =
+        std::max(inst.max_labels_per_post_, MaskCount(mask));
+    inst.num_pairs_ += static_cast<size_t>(MaskCount(mask));
+  }
+  return inst;
+}
+
+}  // namespace mqd

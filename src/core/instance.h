@@ -1,0 +1,103 @@
+#ifndef MQD_CORE_INSTANCE_H_
+#define MQD_CORE_INSTANCE_H_
+
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace mqd {
+
+/// An immutable MQDP problem instance <P, lambda-model>: the post list
+/// sorted ascending by diversity-dimension value, plus the per-label
+/// posting lists LP(a) the algorithms scan. Build one through
+/// InstanceBuilder.
+///
+/// Invariants:
+///  * posts are sorted by (value, insertion order); PostId i is the
+///    position in this order;
+///  * every post has a non-empty label mask (posts matching no query
+///    are not part of P by definition);
+///  * label ids are dense in [0, num_labels).
+class Instance {
+ public:
+  size_t num_posts() const { return posts_.size(); }
+  int num_labels() const { return num_labels_; }
+
+  const Post& post(PostId id) const { return posts_[id]; }
+  DimValue value(PostId id) const { return posts_[id].value; }
+  LabelMask labels(PostId id) const { return posts_[id].labels; }
+
+  const std::vector<Post>& posts() const { return posts_; }
+
+  /// LP(a): ids of posts relevant to label a, ascending by value.
+  std::span<const PostId> label_posts(LabelId a) const {
+    return label_lists_[a];
+  }
+
+  /// Maximum number of labels any single post carries (the paper's
+  /// `s`, which bounds Scan's approximation ratio).
+  int max_labels_per_post() const { return max_labels_per_post_; }
+
+  /// Average number of labels per post (the paper's "post overlap
+  /// rate", Section 7.2). 1.0 means no post matches several queries.
+  double overlap_rate() const;
+
+  /// Total number of (post, label) pairs: sum_a |LP(a)|.
+  size_t num_pairs() const { return num_pairs_; }
+
+  /// Value span [min, max] of the posts; {0, 0} when empty.
+  DimValue min_value() const {
+    return posts_.empty() ? 0.0 : posts_.front().value;
+  }
+  DimValue max_value() const {
+    return posts_.empty() ? 0.0 : posts_.back().value;
+  }
+
+  /// First post index with value >= v (lower bound on the sorted post
+  /// order). O(log n).
+  PostId LowerBound(DimValue v) const;
+  /// First post index with value > v.
+  PostId UpperBound(DimValue v) const;
+
+  /// Restricts posts of label `a` to those with value in [lo, hi],
+  /// returned as a subrange of label_posts(a). O(log |LP(a)|).
+  std::span<const PostId> LabelPostsInRange(LabelId a, DimValue lo,
+                                            DimValue hi) const;
+
+ private:
+  friend class InstanceBuilder;
+
+  std::vector<Post> posts_;
+  std::vector<std::vector<PostId>> label_lists_;
+  int num_labels_ = 0;
+  int max_labels_per_post_ = 0;
+  size_t num_pairs_ = 0;
+};
+
+/// Accumulates posts and produces a canonical Instance.
+class InstanceBuilder {
+ public:
+  /// `num_labels` fixes the dense label universe size (1..kMaxLabels).
+  explicit InstanceBuilder(int num_labels);
+
+  /// Adds a post; `labels` must be a non-empty subset of the universe.
+  InstanceBuilder& Add(DimValue value, LabelMask labels,
+                       uint64_t external_id = 0);
+
+  /// Number of posts added so far.
+  size_t size() const { return posts_.size(); }
+
+  /// Validates, sorts, builds label lists. The builder is left empty.
+  Result<Instance> Build();
+
+ private:
+  int num_labels_;
+  std::vector<Post> posts_;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_CORE_INSTANCE_H_

@@ -1,0 +1,142 @@
+#include "core/io.h"
+
+#include <charconv>
+#include <optional>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace mqd {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+std::string_view StripComment(std::string_view line) {
+  const size_t hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  return Trim(line);
+}
+
+}  // namespace
+
+Status WriteInstance(const Instance& inst, std::ostream& os) {
+  os << "# MQDP instance (libmqd)\n";
+  os << "mqdp " << kFormatVersion << " " << inst.num_labels() << "\n";
+  os.precision(17);
+  for (PostId p = 0; p < inst.num_posts(); ++p) {
+    const Post& post = inst.post(p);
+    os << "post " << post.value << " " << post.external_id;
+    ForEachLabel(post.labels, [&](LabelId a) { os << " " << a; });
+    os << "\n";
+  }
+  if (!os) return Status::Internal("stream write failed");
+  return Status::OK();
+}
+
+Status WriteInstanceToFile(const Instance& inst, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::NotFound("cannot open for write: " + path);
+  return WriteInstance(inst, file);
+}
+
+Result<Instance> ReadInstance(std::istream& is) {
+  std::string line;
+  int num_labels = -1;
+  InstanceBuilder* builder = nullptr;
+  // Deferred construction: the header fixes the universe size.
+  std::optional<InstanceBuilder> storage;
+  size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view content = StripComment(line);
+    if (content.empty()) continue;
+    std::istringstream fields{std::string(content)};
+    std::string tag;
+    fields >> tag;
+    if (tag == "mqdp") {
+      int version = 0;
+      fields >> version >> num_labels;
+      if (!fields || version != kFormatVersion) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: bad header", line_no));
+      }
+      if (num_labels < 1 || num_labels > kMaxLabels) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: num_labels out of range", line_no));
+      }
+      storage.emplace(num_labels);
+      builder = &*storage;
+    } else if (tag == "post") {
+      if (builder == nullptr) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: post before header", line_no));
+      }
+      double value = 0.0;
+      uint64_t external_id = 0;
+      fields >> value >> external_id;
+      if (!fields) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: malformed post", line_no));
+      }
+      LabelMask mask = 0;
+      int label = 0;
+      while (fields >> label) {
+        if (label < 0 || label >= num_labels) {
+          return Status::InvalidArgument(
+              StrFormat("line %zu: label %d out of range", line_no,
+                        label));
+        }
+        mask |= MaskOf(static_cast<LabelId>(label));
+      }
+      builder->Add(value, mask, external_id);
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: unknown record '%s'", line_no,
+                    tag.c_str()));
+    }
+  }
+  if (builder == nullptr) {
+    return Status::InvalidArgument("missing mqdp header");
+  }
+  return builder->Build();
+}
+
+Result<Instance> ReadInstanceFromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open for read: " + path);
+  return ReadInstance(file);
+}
+
+Status WriteSelection(const std::vector<PostId>& selection,
+                      std::ostream& os) {
+  os << "# size " << selection.size() << "\n";
+  for (PostId p : selection) os << p << "\n";
+  if (!os) return Status::Internal("stream write failed");
+  return Status::OK();
+}
+
+Result<std::vector<PostId>> ReadSelection(std::istream& is) {
+  std::vector<PostId> out;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view content = StripComment(line);
+    if (content.empty()) continue;
+    uint32_t value = 0;
+    const auto [ptr, ec] = std::from_chars(
+        content.data(), content.data() + content.size(), value);
+    if (ec != std::errc() || ptr != content.data() + content.size()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: malformed post id", line_no));
+    }
+    out.push_back(value);
+  }
+  return out;
+}
+
+}  // namespace mqd

@@ -1,0 +1,36 @@
+#ifndef MQD_CORE_IO_H_
+#define MQD_CORE_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace mqd {
+
+/// Plain-text instance format for reproducible experiments and tooling
+/// interop. Line-oriented:
+///
+///   # comments and blank lines are skipped
+///   mqdp 1 <num_labels>
+///   post <value> <external_id> <label> [<label> ...]
+///
+/// Values use max-precision decimal so a round trip is bit-exact.
+Status WriteInstance(const Instance& inst, std::ostream& os);
+Status WriteInstanceToFile(const Instance& inst, const std::string& path);
+
+Result<Instance> ReadInstance(std::istream& is);
+Result<Instance> ReadInstanceFromFile(const std::string& path);
+
+/// Selections (solver output) as one PostId per line with the same
+/// comment rules; `# size <n>` header is informative only.
+Status WriteSelection(const std::vector<PostId>& selection,
+                      std::ostream& os);
+Result<std::vector<PostId>> ReadSelection(std::istream& is);
+
+}  // namespace mqd
+
+#endif  // MQD_CORE_IO_H_

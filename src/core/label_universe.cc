@@ -1,0 +1,44 @@
+#include "core/label_universe.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace mqd {
+
+Result<LabelId> LabelUniverse::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  if (names_.size() >= static_cast<size_t>(kMaxLabels)) {
+    return Status::ResourceExhausted(
+        StrFormat("label universe is full (max %d labels)", kMaxLabels));
+  }
+  const LabelId id = static_cast<LabelId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+Result<LabelId> LabelUniverse::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) {
+    return Status::NotFound("unknown label: " + std::string(name));
+  }
+  return it->second;
+}
+
+const std::string& LabelUniverse::Name(LabelId id) const {
+  MQD_CHECK(id < names_.size()) << "label id out of range: " << id;
+  return names_[id];
+}
+
+Result<LabelMask> LabelUniverse::InternAll(
+    const std::vector<std::string>& names) {
+  LabelMask mask = 0;
+  for (const std::string& name : names) {
+    MQD_ASSIGN_OR_RETURN(LabelId id, Intern(name));
+    mask |= MaskOf(id);
+  }
+  return mask;
+}
+
+}  // namespace mqd

@@ -1,0 +1,49 @@
+#ifndef MQD_CORE_LABEL_UNIVERSE_H_
+#define MQD_CORE_LABEL_UNIVERSE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace mqd {
+
+/// Bidirectional mapping between label names (query strings, topic
+/// names, hashtags) and the dense LabelIds used by the optimizer. An
+/// instance's universe is bounded by kMaxLabels so label sets fit in a
+/// LabelMask.
+class LabelUniverse {
+ public:
+  LabelUniverse() = default;
+
+  /// Interns `name`, returning its id; returns the existing id if the
+  /// name is already present. Fails with ResourceExhausted once
+  /// kMaxLabels distinct names have been interned.
+  Result<LabelId> Intern(std::string_view name);
+
+  /// Looks up an existing name.
+  Result<LabelId> Find(std::string_view name) const;
+
+  /// Name for an id; requires id < size().
+  const std::string& Name(LabelId id) const;
+
+  /// Builds a mask from a list of names, interning as needed.
+  Result<LabelMask> InternAll(const std::vector<std::string>& names);
+
+  size_t size() const { return names_.size(); }
+
+  /// All names, indexed by LabelId.
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, LabelId> ids_;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_CORE_LABEL_UNIVERSE_H_

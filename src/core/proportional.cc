@@ -1,0 +1,69 @@
+#include "core/proportional.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mqd {
+
+DimValue ProportionalLambda(DimValue lambda0, double density_a,
+                            double density0) {
+  MQD_DCHECK(density0 > 0.0);
+  return lambda0 * std::exp(1.0 - density_a / density0);
+}
+
+Result<std::unique_ptr<VariableLambda>> ComputeProportionalLambdas(
+    const Instance& inst, const ProportionalConfig& config) {
+  if (inst.num_posts() == 0) {
+    return Status::InvalidArgument(
+        "proportional lambdas need a non-empty instance");
+  }
+  if (config.lambda0 <= 0.0 || config.minute <= 0.0) {
+    return Status::InvalidArgument("lambda0 and minute must be positive");
+  }
+
+  // Baseline density in posts per minute. A degenerate span (all posts
+  // at one value) falls back to the whole set in a single 2*lambda0
+  // window.
+  const DimValue span =
+      std::max(inst.max_value() - inst.min_value(), 2.0 * config.lambda0);
+  const double span_minutes = span / config.minute;
+  double density0 = 0.0;
+  switch (config.base) {
+    case BaseDensity::kPerLabelMean: {
+      double sum = 0.0;
+      for (LabelId a = 0; a < static_cast<LabelId>(inst.num_labels()); ++a) {
+        sum += static_cast<double>(inst.label_posts(a).size());
+      }
+      density0 = sum / inst.num_labels() / span_minutes;
+      break;
+    }
+    case BaseDensity::kAnyLabel:
+      density0 = static_cast<double>(inst.num_posts()) / span_minutes;
+      break;
+  }
+  if (density0 <= 0.0) {
+    return Status::Internal("baseline density is not positive");
+  }
+
+  const double window_minutes = 2.0 * config.lambda0 / config.minute;
+  std::vector<std::vector<DimValue>> reaches(inst.num_posts());
+  DimValue max_reach = 0.0;
+  for (PostId p = 0; p < inst.num_posts(); ++p) {
+    const DimValue v = inst.value(p);
+    ForEachLabel(inst.labels(p), [&](LabelId a) {
+      const size_t in_window =
+          inst.LabelPostsInRange(a, v - config.lambda0, v + config.lambda0)
+              .size();
+      const double density_a =
+          static_cast<double>(in_window) / window_minutes;
+      const DimValue reach =
+          ProportionalLambda(config.lambda0, density_a, density0);
+      reaches[p].push_back(reach);
+      max_reach = std::max(max_reach, reach);
+    });
+  }
+  return std::make_unique<VariableLambda>(std::move(reaches), max_reach);
+}
+
+}  // namespace mqd

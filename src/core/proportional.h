@@ -1,0 +1,56 @@
+#ifndef MQD_CORE_PROPORTIONAL_H_
+#define MQD_CORE_PROPORTIONAL_H_
+
+#include <memory>
+
+#include "core/coverage.h"
+#include "core/instance.h"
+#include "util/result.h"
+
+namespace mqd {
+
+/// How density0 in Equation 2 is computed from the instance.
+enum class BaseDensity {
+  /// Mean of the per-label densities |LP(a)| / span (the paper's
+  /// "average number of posts per minute relevant to any label a in
+  /// L", read as a per-label average).
+  kPerLabelMean,
+  /// Density of posts relevant to at least one label: |P| / span.
+  kAnyLabel,
+};
+
+/// Parameters of the smooth proportional-diversity formula
+/// (Section 6, Equation 2):
+///
+///   lambda_a(Pi) = lambda0 * exp(1 - density_a(ti - lambda0,
+///                                ti + lambda0) / density0)
+///
+/// where density_a(w) is the per-minute rate of a-posts inside the
+/// window and density0 the baseline rate. Dense regions get a smaller
+/// lambda (more representatives), sparse regions a larger one, and the
+/// exponential keeps rare perspectives represented: lambda is bounded
+/// by e * lambda0.
+struct ProportionalConfig {
+  /// The expert-chosen base threshold lambda0, in dimension units.
+  DimValue lambda0 = 60.0;
+  /// Dimension units per "minute" for the density rate (60 for the
+  /// time dimension in seconds; pick the natural granule for other
+  /// dimensions, e.g. 0.1 for sentiment in [-1, 1]).
+  DimValue minute = 60.0;
+  BaseDensity base = BaseDensity::kPerLabelMean;
+};
+
+/// Builds the directional variable-lambda coverage model of Section 6
+/// for `inst`. Fails on an empty instance (density0 undefined).
+Result<std::unique_ptr<VariableLambda>> ComputeProportionalLambdas(
+    const Instance& inst, const ProportionalConfig& config);
+
+/// The raw Equation-2 value for one (post, label) pair; exposed for
+/// testing and diagnostics. `density_a` and `density0` are rates in
+/// posts per minute.
+DimValue ProportionalLambda(DimValue lambda0, double density_a,
+                            double density0);
+
+}  // namespace mqd
+
+#endif  // MQD_CORE_PROPORTIONAL_H_

@@ -1,0 +1,179 @@
+#include "core/reduction.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace mqd {
+
+namespace {
+
+Status Validate(const CnfFormula& formula) {
+  if (formula.num_vars <= 0) {
+    return Status::InvalidArgument("formula needs at least one variable");
+  }
+  if (formula.clauses.empty()) {
+    return Status::InvalidArgument("formula needs at least one clause");
+  }
+  for (const std::vector<int>& clause : formula.clauses) {
+    if (clause.empty()) {
+      return Status::InvalidArgument("empty clause");
+    }
+    for (int lit : clause) {
+      if (lit == 0 || std::abs(lit) > formula.num_vars) {
+        return Status::InvalidArgument(StrFormat("bad literal %d", lit));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool ClauseHas(const std::vector<int>& clause, int lit) {
+  for (int l : clause) {
+    if (l == lit) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<ReductionOutput> BuildCnfReduction(const CnfFormula& formula) {
+  MQD_RETURN_NOT_OK(Validate(formula));
+  const int n = formula.num_vars;
+  const int m = static_cast<int>(formula.clauses.size());
+  const int num_labels = 3 * n + m;
+  if (num_labels > kMaxLabels) {
+    return Status::ResourceExhausted(
+        StrFormat("reduction needs %d labels (max %d)", num_labels,
+                  kMaxLabels));
+  }
+
+  // Label ids: w_i, u_i, ubar_i packed per variable, then c_j.
+  const auto w = [](int i) { return static_cast<LabelId>(3 * (i - 1)); };
+  const auto u = [](int i) { return static_cast<LabelId>(3 * (i - 1) + 1); };
+  const auto ub = [](int i) { return static_cast<LabelId>(3 * (i - 1) + 2); };
+  const auto c = [n](int j) {
+    return static_cast<LabelId>(3 * n + (j - 1));
+  };
+
+  InstanceBuilder builder(num_labels);
+  for (int i = 1; i <= n; ++i) {
+    // (i) time 1 and (ii) time 2m+3: {u_i, w_i} and {ubar_i, w_i}.
+    builder.Add(1.0, MaskOf(u(i)) | MaskOf(w(i)));
+    builder.Add(1.0, MaskOf(ub(i)) | MaskOf(w(i)));
+    builder.Add(2.0 * m + 3.0, MaskOf(u(i)) | MaskOf(w(i)));
+    builder.Add(2.0 * m + 3.0, MaskOf(ub(i)) | MaskOf(w(i)));
+    // (iii) even times 2j: singleton {u_i} and {ubar_i}.
+    for (int j = 1; j <= m + 1; ++j) {
+      builder.Add(2.0 * j, MaskOf(u(i)));
+      builder.Add(2.0 * j, MaskOf(ub(i)));
+    }
+    // (iv)/(v) odd times 2j+1: U_ij / Ubar_ij depending on whether
+    // clause C_j contains x_i / not-x_i.
+    for (int j = 1; j <= m; ++j) {
+      const std::vector<int>& clause =
+          formula.clauses[static_cast<size_t>(j - 1)];
+      LabelMask pos = MaskOf(u(i));
+      if (ClauseHas(clause, i)) pos |= MaskOf(c(j));
+      builder.Add(2.0 * j + 1.0, pos);
+      LabelMask neg = MaskOf(ub(i));
+      if (ClauseHas(clause, -i)) neg |= MaskOf(c(j));
+      builder.Add(2.0 * j + 1.0, neg);
+    }
+  }
+
+  ReductionOutput out{Instance{}, /*lambda=*/1.0,
+                      static_cast<size_t>(n) *
+                          static_cast<size_t>(2 * m + 3)};
+  MQD_ASSIGN_OR_RETURN(out.instance, builder.Build());
+  return out;
+}
+
+namespace {
+
+/// Finds the unique post with this exact (value, mask); the gadget
+/// never repeats a (time, label-set) combination.
+Result<PostId> FindPost(const Instance& inst, DimValue value,
+                        LabelMask mask) {
+  for (PostId p = inst.LowerBound(value); p < inst.num_posts(); ++p) {
+    if (inst.value(p) > value) break;
+    if (inst.labels(p) == mask) return p;
+  }
+  return Status::NotFound(
+      StrFormat("no gadget post at t=%g with the requested labels", value));
+}
+
+}  // namespace
+
+Result<std::vector<PostId>> BuildAssignmentCover(
+    const CnfFormula& formula, const std::vector<bool>& assignment,
+    const Instance& instance) {
+  MQD_RETURN_NOT_OK(Validate(formula));
+  const int n = formula.num_vars;
+  const int m = static_cast<int>(formula.clauses.size());
+  if (assignment.size() != static_cast<size_t>(n)) {
+    return Status::InvalidArgument("assignment size mismatch");
+  }
+  const auto w = [](int i) { return static_cast<LabelId>(3 * (i - 1)); };
+  const auto u = [](int i) { return static_cast<LabelId>(3 * (i - 1) + 1); };
+  const auto ub = [](int i) { return static_cast<LabelId>(3 * (i - 1) + 2); };
+  const auto c = [n](int j) {
+    return static_cast<LabelId>(3 * n + (j - 1));
+  };
+
+  std::vector<PostId> out;
+  for (int i = 1; i <= n; ++i) {
+    // With f(x_i) = 1 the cover tracks the u_i chain (whose odd posts
+    // carry the c_j labels of clauses containing x_i); with f(x_i) = 0
+    // it tracks the ubar_i chain.
+    const bool truth = assignment[static_cast<size_t>(i - 1)];
+    const LabelId chain = truth ? u(i) : ub(i);
+    const LabelId other = truth ? ub(i) : u(i);
+    PostId p = kInvalidPost;
+    MQD_ASSIGN_OR_RETURN(p,
+                         FindPost(instance, 1.0, MaskOf(chain) | MaskOf(w(i))));
+    out.push_back(p);
+    MQD_ASSIGN_OR_RETURN(
+        p, FindPost(instance, 2.0 * m + 3.0, MaskOf(chain) | MaskOf(w(i))));
+    out.push_back(p);
+    for (int j = 1; j <= m + 1; ++j) {
+      MQD_ASSIGN_OR_RETURN(p, FindPost(instance, 2.0 * j, MaskOf(other)));
+      out.push_back(p);
+    }
+    for (int j = 1; j <= m; ++j) {
+      const std::vector<int>& clause =
+          formula.clauses[static_cast<size_t>(j - 1)];
+      LabelMask mask = MaskOf(chain);
+      if (ClauseHas(clause, truth ? i : -i)) mask |= MaskOf(c(j));
+      MQD_ASSIGN_OR_RETURN(p, FindPost(instance, 2.0 * j + 1.0, mask));
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+bool IsSatisfiable(const CnfFormula& formula) {
+  const int n = formula.num_vars;
+  for (uint64_t bits = 0; bits < (uint64_t{1} << n); ++bits) {
+    bool all = true;
+    for (const std::vector<int>& clause : formula.clauses) {
+      bool sat = false;
+      for (int lit : clause) {
+        const int var = std::abs(lit);
+        const bool val = (bits >> (var - 1)) & 1;
+        if ((lit > 0) == val) {
+          sat = true;
+          break;
+        }
+      }
+      if (!sat) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+}  // namespace mqd

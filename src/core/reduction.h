@@ -1,0 +1,61 @@
+#ifndef MQD_CORE_REDUCTION_H_
+#define MQD_CORE_REDUCTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/instance.h"
+#include "util/result.h"
+
+namespace mqd {
+
+/// A CNF formula: each clause is a list of non-zero literals, DIMACS
+/// style (+k = variable x_k, -k = its negation; variables are
+/// 1-based).
+struct CnfFormula {
+  int num_vars = 0;
+  std::vector<std::vector<int>> clauses;
+};
+
+/// Output of the Lemma-1 reduction: an MQDP instance (lambda = 1)
+/// whose minimum cover has size `target` iff the formula is
+/// satisfiable (and > target otherwise).
+struct ReductionOutput {
+  Instance instance;
+  DimValue lambda = 1.0;
+  /// n(2m + 3), the satisfiability threshold.
+  size_t target = 0;
+};
+
+/// Builds the NP-hardness gadget of Section 3: labels {w_i, u_i,
+/// ubar_i} per variable plus {c_j} per clause; posts at integral times
+/// 1..2m+3 per the construction. Fails when the label budget
+/// 3*num_vars + num_clauses exceeds kMaxLabels or the formula is
+/// malformed.
+Result<ReductionOutput> BuildCnfReduction(const CnfFormula& formula);
+
+/// Exhaustive satisfiability check (2^num_vars); test oracle for tiny
+/// formulas.
+bool IsSatisfiable(const CnfFormula& formula);
+
+/// The explicit cover the Lemma-1 (=>) direction constructs from a
+/// satisfying assignment (`assignment[i]` is the value of x_{i+1}):
+/// exactly n(2m+3) posts that lambda-cover the gadget. `instance` must
+/// be the one BuildCnfReduction produced for `formula`.
+///
+/// Reproduction note (documented in DESIGN.md): the (<=) direction of
+/// the published proof claims every cover needs n(2m+3) posts, via
+/// "the only way to cover the 2m+3 u_i-posts with m+1 posts is the
+/// even singletons". That step is incorrect — e.g. for m=1 the posts
+/// at times {1, 4} also cover times 1..5, which lets "mixed" covers
+/// reuse the {u_i, w_i} end posts and save one post per variable, so
+/// minimum covers below the threshold exist even for unsatisfiable
+/// formulas. Our exact solvers expose this; see
+/// reduction_test.cc:LemmaOneErratum.
+Result<std::vector<PostId>> BuildAssignmentCover(
+    const CnfFormula& formula, const std::vector<bool>& assignment,
+    const Instance& instance);
+
+}  // namespace mqd
+
+#endif  // MQD_CORE_REDUCTION_H_

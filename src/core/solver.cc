@@ -1,0 +1,60 @@
+#include "core/solver.h"
+
+#include <algorithm>
+
+#include "core/brute_force.h"
+#include "core/greedy_sc.h"
+#include "core/opt_dp.h"
+#include "core/scan.h"
+#include "util/logging.h"
+
+namespace mqd {
+
+std::string_view SolverKindName(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kScan:
+      return "Scan";
+    case SolverKind::kScanPlus:
+      return "Scan+";
+    case SolverKind::kGreedySC:
+      return "GreedySC";
+    case SolverKind::kGreedySCLazy:
+      return "GreedySC(lazy)";
+    case SolverKind::kOpt:
+      return "OPT";
+    case SolverKind::kBranchAndBound:
+      return "BnB";
+  }
+  return "?";
+}
+
+std::unique_ptr<Solver> CreateSolver(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kScan:
+      return std::make_unique<ScanSolver>();
+    case SolverKind::kScanPlus:
+      return std::make_unique<ScanPlusSolver>();
+    case SolverKind::kGreedySC:
+      return std::make_unique<GreedySCSolver>(GreedyEngine::kLinearArgmax);
+    case SolverKind::kGreedySCLazy:
+      return std::make_unique<GreedySCSolver>(GreedyEngine::kLazyHeap);
+    case SolverKind::kOpt:
+      return std::make_unique<OptDpSolver>();
+    case SolverKind::kBranchAndBound:
+      return std::make_unique<BranchAndBoundSolver>();
+  }
+  MQD_LOG(Fatal) << "unknown solver kind";
+  return nullptr;
+}
+
+namespace internal {
+
+void CanonicalizeSelection(std::vector<PostId>* selection) {
+  std::sort(selection->begin(), selection->end());
+  selection->erase(std::unique(selection->begin(), selection->end()),
+                   selection->end());
+}
+
+}  // namespace internal
+
+}  // namespace mqd

@@ -1,0 +1,57 @@
+#ifndef MQD_CORE_SOLVER_H_
+#define MQD_CORE_SOLVER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/coverage.h"
+#include "core/instance.h"
+#include "util/result.h"
+
+namespace mqd {
+
+/// A static (offline) MQDP solver: given <P, lambda> it returns a
+/// lambda-cover Z of P. Exact solvers return a minimum-cardinality
+/// cover; approximate solvers carry a provable bound (see each
+/// implementation).
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Human-readable algorithm name as the paper uses it ("Scan",
+  /// "GreedySC", "OPT", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Computes a lambda-cover. The returned PostIds are sorted
+  /// ascending and duplicate-free.
+  virtual Result<std::vector<PostId>> Solve(
+      const Instance& inst, const CoverageModel& model) const = 0;
+};
+
+/// The algorithms of Sections 4 (plus exact references used by the
+/// evaluation).
+enum class SolverKind {
+  kScan,         // Algorithm 3
+  kScanPlus,     // Scan with cross-label pruning
+  kGreedySC,     // Algorithm 2, linear argmax (paper's implementation)
+  kGreedySCLazy, // Algorithm 2 with a lazy decreasing-gain heap
+  kOpt,          // Algorithm 1 (exact DP; uniform lambda only)
+  kBranchAndBound,  // exact branch-and-bound reference
+};
+
+std::string_view SolverKindName(SolverKind kind);
+
+/// Factory for the built-in solvers.
+std::unique_ptr<Solver> CreateSolver(SolverKind kind);
+
+namespace internal {
+/// Sorts ascending and removes duplicates in place (the Solver output
+/// contract).
+void CanonicalizeSelection(std::vector<PostId>* selection);
+}  // namespace internal
+
+}  // namespace mqd
+
+#endif  // MQD_CORE_SOLVER_H_

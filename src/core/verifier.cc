@@ -1,0 +1,66 @@
+#include "core/verifier.h"
+
+#include <algorithm>
+
+namespace mqd {
+
+namespace {
+
+/// Selected posts relevant to each label, ascending by value.
+std::vector<std::vector<PostId>> SelectedPerLabel(
+    const Instance& inst, const std::vector<PostId>& selected) {
+  std::vector<PostId> sorted = selected;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::vector<std::vector<PostId>> per_label(
+      static_cast<size_t>(inst.num_labels()));
+  for (PostId z : sorted) {
+    ForEachLabel(inst.labels(z),
+                 [&](LabelId a) { per_label[a].push_back(z); });
+  }
+  return per_label;
+}
+
+}  // namespace
+
+std::vector<UncoveredPair> FindUncoveredPairs(
+    const Instance& inst, const CoverageModel& model,
+    const std::vector<PostId>& selected) {
+  std::vector<UncoveredPair> uncovered;
+  const std::vector<std::vector<PostId>> per_label =
+      SelectedPerLabel(inst, selected);
+  const DimValue max_reach = model.MaxReach();
+
+  for (LabelId a = 0; a < static_cast<LabelId>(inst.num_labels()); ++a) {
+    const std::span<const PostId> posts = inst.label_posts(a);
+    const std::vector<PostId>& zs = per_label[a];
+    size_t lo = 0;  // first candidate coverer not yet out of window
+    for (PostId p : posts) {
+      const DimValue v = inst.value(p);
+      while (lo < zs.size() && inst.value(zs[lo]) < v - max_reach) ++lo;
+      bool covered = false;
+      for (size_t k = lo; k < zs.size(); ++k) {
+        if (inst.value(zs[k]) > v + max_reach) break;
+        if (model.Covers(inst, zs[k], a, p)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) uncovered.push_back(UncoveredPair{p, a});
+    }
+  }
+  return uncovered;
+}
+
+bool IsCover(const Instance& inst, const CoverageModel& model,
+             const std::vector<PostId>& selected) {
+  return FindUncoveredPairs(inst, model, selected).empty();
+}
+
+size_t CountCoveredPairs(const Instance& inst, const CoverageModel& model,
+                         const std::vector<PostId>& selected) {
+  return inst.num_pairs() -
+         FindUncoveredPairs(inst, model, selected).size();
+}
+
+}  // namespace mqd

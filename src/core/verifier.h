@@ -1,0 +1,40 @@
+#ifndef MQD_CORE_VERIFIER_H_
+#define MQD_CORE_VERIFIER_H_
+
+#include <vector>
+
+#include "core/coverage.h"
+#include "core/instance.h"
+#include "core/types.h"
+
+namespace mqd {
+
+/// A (post, label) pair that no selected post lambda-covers.
+struct UncoveredPair {
+  PostId post;
+  LabelId label;
+  bool operator==(const UncoveredPair&) const = default;
+};
+
+/// Checks whether `selected` (PostIds into `inst`, any order,
+/// duplicates tolerated) is a lambda-cover of the whole instance
+/// (Definition 2). Returns all uncovered (post, label) pairs; an empty
+/// result means the cover is valid. O(sum_a (|LP(a)| + |Z_a|) log)
+/// via per-label sorted merges.
+std::vector<UncoveredPair> FindUncoveredPairs(
+    const Instance& inst, const CoverageModel& model,
+    const std::vector<PostId>& selected);
+
+/// Convenience wrapper: true iff `selected` lambda-covers the
+/// instance.
+bool IsCover(const Instance& inst, const CoverageModel& model,
+             const std::vector<PostId>& selected);
+
+/// Number of (post, label) pairs covered by `selected` (the set-cover
+/// objective GreedySC maximizes per pick).
+size_t CountCoveredPairs(const Instance& inst, const CoverageModel& model,
+                         const std::vector<PostId>& selected);
+
+}  // namespace mqd
+
+#endif  // MQD_CORE_VERIFIER_H_

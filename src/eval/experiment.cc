@@ -1,0 +1,41 @@
+#include "eval/experiment.h"
+
+#include <cstdlib>
+
+#include "util/timer.h"
+
+namespace mqd {
+
+double BenchScale() {
+  static const double kScale = [] {
+    if (const char* env = std::getenv("MQD_BENCH_SCALE")) {
+      const double v = std::atof(env);
+      if (v > 0.0) return v;
+    }
+    return 1.0;
+  }();
+  return kScale;
+}
+
+Result<TimedSolve> RunTimedSolve(const Solver& solver, const Instance& inst,
+                                 const CoverageModel& model) {
+  Stopwatch watch;
+  TimedSolve out;
+  MQD_ASSIGN_OR_RETURN(out.selection, solver.Solve(inst, model));
+  out.seconds = watch.ElapsedSeconds();
+  out.micros_per_post =
+      inst.num_posts() == 0 ? 0.0 : out.seconds * 1e6 / inst.num_posts();
+  return out;
+}
+
+Result<TimedStream> RunTimedStream(StreamKind kind, const Instance& inst,
+                                   const CoverageModel& model, double tau) {
+  const std::unique_ptr<StreamProcessor> processor =
+      CreateStreamProcessor(kind, inst, model, tau);
+  TimedStream out;
+  MQD_ASSIGN_OR_RETURN(out.stats, RunStream(inst, processor.get()));
+  out.selection = processor->SelectedPosts();
+  return out;
+}
+
+}  // namespace mqd

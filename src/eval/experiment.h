@@ -1,0 +1,41 @@
+#ifndef MQD_EVAL_EXPERIMENT_H_
+#define MQD_EVAL_EXPERIMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/solver.h"
+#include "stream/factory.h"
+#include "stream/replay.h"
+#include "util/result.h"
+
+namespace mqd {
+
+/// Global scale factor for benchmark workloads, read once from the
+/// MQD_BENCH_SCALE environment variable (default 1.0). Benches
+/// multiply dataset sizes/rates by it so the same binaries run both as
+/// quick smoke checks (< 1) and at closer-to-paper scale (> 1).
+double BenchScale();
+
+/// One timed static-solver run.
+struct TimedSolve {
+  std::vector<PostId> selection;
+  double seconds = 0.0;
+  double micros_per_post = 0.0;
+};
+
+Result<TimedSolve> RunTimedSolve(const Solver& solver, const Instance& inst,
+                                 const CoverageModel& model);
+
+/// One timed streaming run.
+struct TimedStream {
+  std::vector<PostId> selection;
+  StreamRunStats stats;
+};
+
+Result<TimedStream> RunTimedStream(StreamKind kind, const Instance& inst,
+                                   const CoverageModel& model, double tau);
+
+}  // namespace mqd
+
+#endif  // MQD_EVAL_EXPERIMENT_H_

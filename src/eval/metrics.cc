@@ -1,0 +1,47 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mqd {
+
+double RelativeError(size_t estimated, size_t optimal) {
+  if (optimal == 0) return estimated == 0 ? 0.0 : 1.0;
+  const double diff = estimated >= optimal
+                          ? static_cast<double>(estimated - optimal)
+                          : static_cast<double>(optimal - estimated);
+  return diff / static_cast<double>(optimal);
+}
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  const double m = mean();
+  return std::max(0.0, sum_sq_ / count_ - m * m);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> values, double p) {
+  MQD_CHECK(p >= 0.0 && p <= 100.0);
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(values.size())));
+  return values[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace mqd

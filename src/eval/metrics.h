@@ -1,0 +1,39 @@
+#ifndef MQD_EVAL_METRICS_H_
+#define MQD_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace mqd {
+
+/// The paper's relative solution-size error:
+/// |estimated - optimal| / optimal (Section 7.2). Returns 0 when both
+/// are zero.
+double RelativeError(size_t estimated, size_t optimal);
+
+/// Streaming accumulator for min/mean/max/stddev of a sample.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile (nearest-rank) of a sample; `p` in [0, 100].
+double Percentile(std::vector<double> values, double p);
+
+}  // namespace mqd
+
+#endif  // MQD_EVAL_METRICS_H_

@@ -1,0 +1,36 @@
+#ifndef MQD_EVAL_TABLE_H_
+#define MQD_EVAL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mqd {
+
+/// Column-aligned plain-text table, the output format of every bench
+/// binary (one table/series per paper table or figure).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Row width must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: stringify doubles with FormatDouble.
+  void AddNumericRow(const std::vector<double>& cells, int digits = 4);
+
+  void Print(std::ostream& os) const;
+
+  /// The same data as CSV (for plotting scripts).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_EVAL_TABLE_H_

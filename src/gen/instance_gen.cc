@@ -1,0 +1,108 @@
+#include "gen/instance_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mqd {
+
+namespace {
+
+/// Adds labels beyond the base one so the expected label count per
+/// post is `overlap_rate`.
+LabelMask AddExtraLabels(LabelMask base, int num_labels, double overlap_rate,
+                         Rng* rng) {
+  if (num_labels <= 1) return base;
+  const double p_extra =
+      std::clamp((overlap_rate - 1.0) / (num_labels - 1), 0.0, 1.0);
+  LabelMask mask = base;
+  for (LabelId a = 0; a < static_cast<LabelId>(num_labels); ++a) {
+    if (!MaskHas(mask, a) && rng->Bernoulli(p_extra)) mask |= MaskOf(a);
+  }
+  return mask;
+}
+
+}  // namespace
+
+Result<Instance> GenerateInstance(const InstanceGenConfig& config) {
+  if (config.num_labels < 1 || config.num_labels > kMaxLabels) {
+    return Status::InvalidArgument("num_labels out of range");
+  }
+  if (config.duration <= 0.0 || config.posts_per_minute < 0.0) {
+    return Status::InvalidArgument("bad duration or rate");
+  }
+  if (config.overlap_rate < 1.0 ||
+      config.overlap_rate > config.num_labels) {
+    return Status::InvalidArgument(
+        "overlap_rate must lie in [1, num_labels]");
+  }
+
+  Rng rng(config.seed);
+  const double mean_posts =
+      config.duration / 60.0 * config.posts_per_minute;
+  const size_t total =
+      static_cast<size_t>(std::max<int64_t>(1, rng.Poisson(mean_posts)));
+  const ZipfSampler popularity(static_cast<size_t>(config.num_labels),
+                               config.popularity_skew);
+
+  InstanceBuilder builder(config.num_labels);
+  const size_t burst_posts = static_cast<size_t>(
+      std::llround(static_cast<double>(total) * config.burst_fraction));
+
+  // Background (uniform-arrival) posts.
+  for (size_t i = 0; i < total - burst_posts; ++i) {
+    const double t = rng.UniformDouble(0.0, config.duration);
+    const LabelId base =
+        static_cast<LabelId>(popularity.Sample(&rng));
+    builder.Add(t,
+                AddExtraLabels(MaskOf(base), config.num_labels,
+                               config.overlap_rate, &rng),
+                builder.size());
+  }
+
+  // Bursty posts: clustered around topic-specific event times.
+  size_t emitted = 0;
+  while (emitted < burst_posts) {
+    const double center = rng.UniformDouble(0.0, config.duration);
+    const LabelId topic = static_cast<LabelId>(popularity.Sample(&rng));
+    const size_t burst_size = std::min<size_t>(
+        burst_posts - emitted,
+        1 + static_cast<size_t>(rng.Poisson(20.0)));
+    for (size_t k = 0; k < burst_size; ++k) {
+      const double t = std::clamp(
+          center + rng.Normal(0.0, config.burst_duration / 2.0), 0.0,
+          config.duration);
+      builder.Add(t,
+                  AddExtraLabels(MaskOf(topic), config.num_labels,
+                                 config.overlap_rate, &rng),
+                  builder.size());
+    }
+    emitted += burst_size;
+  }
+
+  return builder.Build();
+}
+
+Result<Instance> GenerateTinyInstance(int n, int num_labels,
+                                      int max_labels_per_post,
+                                      int value_range, Rng* rng) {
+  MQD_CHECK(n >= 0 && num_labels >= 1 && max_labels_per_post >= 1);
+  InstanceBuilder builder(num_labels);
+  const int cap = std::min(max_labels_per_post, num_labels);
+  for (int i = 0; i < n; ++i) {
+    const double t =
+        static_cast<double>(rng->UniformInt(0, value_range));
+    const int count = 1 + static_cast<int>(rng->Uniform(
+                              static_cast<uint64_t>(cap)));
+    LabelMask mask = 0;
+    while (MaskCount(mask) < count) {
+      mask |= MaskOf(static_cast<LabelId>(
+          rng->Uniform(static_cast<uint64_t>(num_labels))));
+    }
+    builder.Add(t, mask, static_cast<uint64_t>(i));
+  }
+  return builder.Build();
+}
+
+}  // namespace mqd

@@ -1,0 +1,55 @@
+#ifndef MQD_GEN_INSTANCE_GEN_H_
+#define MQD_GEN_INSTANCE_GEN_H_
+
+#include <cstdint>
+
+#include "core/instance.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace mqd {
+
+/// Direct generator of MQDP instances with the knobs the paper's
+/// evaluation sweeps: label-set size |L|, interval length, matching
+/// rate, post overlap rate, label popularity skew and burstiness. The
+/// solvers only see (value, label mask) pairs, so this generator is
+/// what drives the Figure 6-15 reproductions; the full-text tweet
+/// generator (gen/tweet_gen.h) feeds the end-to-end pipeline
+/// experiments instead.
+struct InstanceGenConfig {
+  int num_labels = 2;
+  /// Length of the generated interval, in dimension units (seconds).
+  double duration = 600.0;
+  /// Mean rate of matching posts, per minute of interval (compare
+  /// paper Table 2: 136/min for |L|=2 ... 1180/min for |L|=20).
+  double posts_per_minute = 30.0;
+  /// Target post overlap rate in [1, num_labels]: the mean number of
+  /// labels per post. 1.0 = disjoint queries; higher values make the
+  /// multi-query structure harder (Figure 6).
+  double overlap_rate = 1.2;
+  /// Zipf exponent of label popularity (0 = uniform).
+  double popularity_skew = 0.7;
+  /// Fraction of posts arriving in bursts (pairs topics with short
+  /// high-rate windows) instead of uniformly.
+  double burst_fraction = 0.0;
+  /// Mean burst length in dimension units.
+  double burst_duration = 30.0;
+  uint64_t seed = 42;
+};
+
+/// Generates an instance; post values lie in [0, duration] with
+/// Poisson-like arrivals. The realized overlap rate is within noise of
+/// `overlap_rate`; read the exact value from
+/// Instance::overlap_rate().
+Result<Instance> GenerateInstance(const InstanceGenConfig& config);
+
+/// Uniformly random tiny instance for property tests: `n` posts, each
+/// with 1..max_labels_per_post labels out of num_labels, values
+/// uniform integers in [0, value_range].
+Result<Instance> GenerateTinyInstance(int n, int num_labels,
+                                      int max_labels_per_post,
+                                      int value_range, Rng* rng);
+
+}  // namespace mqd
+
+#endif  // MQD_GEN_INSTANCE_GEN_H_

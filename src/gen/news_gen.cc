@@ -1,0 +1,172 @@
+#include "gen/news_gen.h"
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace mqd {
+
+namespace {
+
+std::vector<BroadTopicSpec>* BuildBroadTopics() {
+  return new std::vector<BroadTopicSpec>{
+      {"politics",
+       {"obama", "president", "congress", "senate", "house", "election",
+        "vote", "poll", "republican", "democrat", "campaign", "candidate",
+        "barack", "michelle", "inauguration", "administration", "party",
+        "political", "race", "electoral", "coalition", "governor", "senator",
+        "legislation", "bill", "veto", "debate", "primary", "caucus",
+        "whitehouse", "capitol", "policy", "lobbyist", "filibuster",
+        "bipartisan", "ballot", "electorate", "incumbent", "mandate",
+        "presidential"}},
+      {"sports",
+       {"woods", "tiger", "golf", "masters", "championship", "mcilroy",
+        "garcia", "pga", "augusta", "rory", "mickelson", "nfl", "super",
+        "bowl", "draft", "ravens", "football", "baltimore", "patriots",
+        "jets", "quarterback", "giants", "eagles", "basketball", "nba",
+        "playoffs", "finals", "lakers", "heat", "lebron", "baseball",
+        "yankees", "soccer", "goal", "tournament", "coach", "touchdown",
+        "stadium", "league", "season"}},
+      {"finance",
+       {"stocks", "market", "nasdaq", "dow", "trading", "investor",
+        "earnings", "shares", "goog", "msft", "aapl", "fed", "rates",
+        "interest", "inflation", "bond", "treasury", "bank", "banking",
+        "economy", "economic", "gdp", "unemployment", "jobs", "hiring",
+        "revenue", "profit", "quarterly", "dividend", "ipo", "merger",
+        "acquisition", "hedge", "fund", "portfolio", "bullish", "bearish",
+        "currency", "dollar", "euro"}},
+      {"tech",
+       {"apple", "google", "microsoft", "iphone", "android", "software",
+        "startup", "silicon", "valley", "app", "cloud", "data", "privacy",
+        "security", "hack", "hacker", "internet", "web", "mobile", "tablet",
+        "laptop", "chip", "processor", "facebook", "twitter", "social",
+        "network", "algorithm", "ai", "robot", "gadget", "device", "launch",
+        "update", "developer", "code", "platform", "browser", "search",
+        "wearable"}},
+      {"health",
+       {"health", "hospital", "doctor", "patient", "cancer", "disease",
+        "virus", "vaccine", "flu", "outbreak", "epidemic", "drug", "fda",
+        "treatment", "therapy", "surgery", "clinical", "trial", "medicare",
+        "medicaid", "insurance", "obamacare", "nutrition", "diet", "obesity",
+        "diabetes", "heart", "stroke", "mental", "depression", "anxiety",
+        "research", "study", "gene", "dna", "antibiotic", "infection",
+        "symptom", "diagnosis", "wellness"}},
+      {"entertainment",
+       {"movie", "film", "hollywood", "actor", "actress", "oscar", "awards",
+        "premiere", "boxoffice", "trailer", "sequel", "director", "studio",
+        "music", "album", "concert", "tour", "grammy", "singer", "band",
+        "celebrity", "gossip", "fashion", "style", "designer", "television",
+        "episode", "series", "netflix", "streaming", "drama", "comedy",
+        "thriller", "documentary", "festival", "cannes", "broadway",
+        "theater", "pop", "rapper"}},
+      {"science",
+       {"nasa", "space", "mars", "rover", "telescope", "hubble", "orbit",
+        "satellite", "rocket", "launch", "astronaut", "planet", "asteroid",
+        "comet", "galaxy", "physics", "particle", "higgs", "cern",
+        "quantum", "climate", "carbon", "emissions", "warming", "energy",
+        "solar", "fossil", "species", "evolution", "biology", "chemistry",
+        "experiment", "laboratory", "discovery", "researcher", "journal",
+        "peer", "hypothesis", "observatory", "expedition"}},
+      {"world",
+       {"syria", "china", "russia", "iran", "korea", "europe", "eu",
+        "brussels", "nato", "un", "united", "nations", "diplomat",
+        "embassy", "sanctions", "treaty", "border", "refugee", "migration",
+        "conflict", "war", "ceasefire", "peace", "talks", "summit",
+        "minister", "parliament", "prime", "chancellor", "beijing",
+        "moscow", "tehran", "damascus", "cairo", "istanbul", "africa",
+        "asia", "latin", "america", "global"}},
+      {"weather",
+       {"storm", "hurricane", "tornado", "flood", "flooding", "rain",
+        "snow", "blizzard", "drought", "heat", "heatwave", "temperature",
+        "forecast", "meteorologist", "wind", "gust", "hail", "lightning",
+        "thunder", "cyclone", "typhoon", "tropical", "depression",
+        "evacuation", "shelter", "damage", "warning", "watch", "advisory",
+        "coast", "coastal", "inland", "rainfall", "snowfall", "degrees",
+        "celsius", "fahrenheit", "humidity", "barometric", "front"}},
+      {"crime",
+       {"police", "arrest", "suspect", "shooting", "gun", "murder",
+        "homicide", "robbery", "burglary", "theft", "fraud", "scam",
+        "investigation", "detective", "fbi", "warrant", "charges",
+        "indictment", "trial", "jury", "verdict", "sentence", "prison",
+        "jail", "parole", "victim", "witness", "evidence", "forensic",
+        "court", "judge", "attorney", "prosecutor", "defense", "bail",
+        "felony", "misdemeanor", "gang", "narcotics", "smuggling"}}};
+}
+
+}  // namespace
+
+const std::vector<BroadTopicSpec>& BuiltinBroadTopics() {
+  static const std::vector<BroadTopicSpec>* const kTopics =
+      BuildBroadTopics();
+  return *kTopics;
+}
+
+const std::vector<std::string>& BackgroundWords() {
+  static const std::vector<std::string>* const kWords =
+      new std::vector<std::string>{
+          "today",    "report",   "reports",  "said",     "says",
+          "people",   "city",     "state",    "country",  "national",
+          "local",    "official", "officials", "source",  "sources",
+          "breaking", "update",   "live",     "video",    "photo",
+          "story",    "article",  "read",     "watch",    "full",
+          "million",  "billion",  "percent",  "year",     "years",
+          "week",     "month",    "monday",   "tuesday",  "friday",
+          "morning",  "evening",  "night",    "early",    "late",
+          "group",    "public",   "plan",     "plans",    "announce",
+          "announced", "statement", "press",  "media",    "coverage"};
+  return *kWords;
+}
+
+Result<std::vector<NewsArticle>> GenerateNewsCorpus(
+    const NewsGenConfig& config) {
+  if (config.num_articles == 0 || config.mean_words <= 0.0) {
+    return Status::InvalidArgument("bad news generator config");
+  }
+  if (config.background_fraction < 0.0 ||
+      config.background_fraction >= 1.0 || config.mixture_prob < 0.0 ||
+      config.mixture_prob > 1.0) {
+    return Status::InvalidArgument("fractions must be probabilities");
+  }
+
+  const std::vector<BroadTopicSpec>& topics = BuiltinBroadTopics();
+  Rng rng(config.seed);
+  std::vector<ZipfSampler> word_samplers;
+  word_samplers.reserve(topics.size());
+  for (const BroadTopicSpec& spec : topics) {
+    word_samplers.emplace_back(spec.keywords.size(), config.word_skew);
+  }
+  const ZipfSampler background_sampler(BackgroundWords().size(),
+                                       config.word_skew);
+
+  std::vector<NewsArticle> corpus;
+  corpus.reserve(config.num_articles);
+  for (size_t i = 0; i < config.num_articles; ++i) {
+    const int primary =
+        static_cast<int>(rng.Uniform(topics.size()));
+    int secondary = -1;
+    if (rng.Bernoulli(config.mixture_prob)) {
+      do {
+        secondary = static_cast<int>(rng.Uniform(topics.size()));
+      } while (secondary == primary);
+    }
+    const int64_t words = std::max<int64_t>(8, rng.Poisson(config.mean_words));
+    std::vector<std::string> text;
+    text.reserve(static_cast<size_t>(words));
+    for (int64_t k = 0; k < words; ++k) {
+      if (rng.Bernoulli(config.background_fraction)) {
+        text.push_back(BackgroundWords()[background_sampler.Sample(&rng)]);
+        continue;
+      }
+      // 70/30 split between primary and secondary topic words.
+      const int topic =
+          (secondary >= 0 && rng.Bernoulli(0.3)) ? secondary : primary;
+      const BroadTopicSpec& spec = topics[static_cast<size_t>(topic)];
+      text.push_back(
+          spec.keywords[word_samplers[static_cast<size_t>(topic)].Sample(
+              &rng)]);
+    }
+    corpus.push_back(NewsArticle{Join(text, " "), primary});
+  }
+  return corpus;
+}
+
+}  // namespace mqd

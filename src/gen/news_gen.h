@@ -1,0 +1,57 @@
+#ifndef MQD_GEN_NEWS_GEN_H_
+#define MQD_GEN_NEWS_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mqd {
+
+/// A built-in broad news category with its characteristic vocabulary
+/// (the generator's ground truth; the paper's analogue is the manual
+/// grouping of LDA topics into 10 broad topics like politics or
+/// sports).
+struct BroadTopicSpec {
+  std::string name;
+  std::vector<std::string> keywords;
+};
+
+/// The 10 built-in broad topics (politics, sports, finance, tech,
+/// health, entertainment, science, world, weather, crime), ~40
+/// keywords each.
+const std::vector<BroadTopicSpec>& BuiltinBroadTopics();
+
+/// Shared non-topical filler vocabulary.
+const std::vector<std::string>& BackgroundWords();
+
+/// A synthetic news article: space-joined words drawn from 1-2 broad
+/// topics plus background filler, Zipf-weighted within each
+/// vocabulary.
+struct NewsArticle {
+  std::string text;
+  /// Ground-truth dominant broad topic (index into
+  /// BuiltinBroadTopics()).
+  int broad_topic;
+};
+
+struct NewsGenConfig {
+  size_t num_articles = 2000;
+  /// Mean words per article (Poisson).
+  double mean_words = 80.0;
+  /// Probability an article mixes in a secondary topic.
+  double mixture_prob = 0.25;
+  /// Fraction of words drawn from the background vocabulary.
+  double background_fraction = 0.35;
+  /// Zipf exponent within each vocabulary.
+  double word_skew = 0.8;
+  uint64_t seed = 42;
+};
+
+Result<std::vector<NewsArticle>> GenerateNewsCorpus(
+    const NewsGenConfig& config);
+
+}  // namespace mqd
+
+#endif  // MQD_GEN_NEWS_GEN_H_

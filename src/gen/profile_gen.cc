@@ -1,0 +1,57 @@
+#include "gen/profile_gen.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mqd {
+
+Result<std::vector<Profile>> GenerateProfiles(
+    const std::vector<Topic>& topics, size_t label_set_size, size_t count,
+    Rng* rng) {
+  if (label_set_size == 0) {
+    return Status::InvalidArgument("label_set_size must be positive");
+  }
+  // Topics per broad group.
+  std::map<int, std::vector<size_t>> groups;
+  std::vector<size_t> pool;
+  for (size_t i = 0; i < topics.size(); ++i) {
+    if (topics[i].group >= 0) {
+      groups[topics[i].group].push_back(i);
+      pool.push_back(i);
+    }
+  }
+  if (pool.empty()) {
+    return Status::FailedPrecondition("no grouped topics to pick from");
+  }
+  if (pool.size() < label_set_size) {
+    return Status::InvalidArgument(
+        "label_set_size exceeds the number of grouped topics");
+  }
+  std::vector<int> group_keys;
+  group_keys.reserve(groups.size());
+  for (const auto& [key, members] : groups) group_keys.push_back(key);
+
+  std::vector<Profile> profiles;
+  profiles.reserve(count);
+  for (size_t c = 0; c < count; ++c) {
+    const int group = group_keys[rng->Uniform(group_keys.size())];
+    std::vector<size_t> candidates = groups[group];
+    rng->Shuffle(&candidates);
+    Profile profile(candidates.begin(),
+                    candidates.begin() +
+                        static_cast<long>(std::min(candidates.size(),
+                                                   label_set_size)));
+    // Top up from the global pool when the broad topic is small.
+    while (profile.size() < label_set_size) {
+      const size_t pick = pool[rng->Uniform(pool.size())];
+      if (std::find(profile.begin(), profile.end(), pick) ==
+          profile.end()) {
+        profile.push_back(pick);
+      }
+    }
+    profiles.push_back(std::move(profile));
+  }
+  return profiles;
+}
+
+}  // namespace mqd

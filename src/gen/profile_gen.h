@@ -1,0 +1,29 @@
+#ifndef MQD_GEN_PROFILE_GEN_H_
+#define MQD_GEN_PROFILE_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "topics/topic_model.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace mqd {
+
+/// A user profile: the set of query topics the user subscribed to
+/// (Section 7.1: "to generate a label set L, we first randomly pick a
+/// broad topic and then randomly pick |L| topics within the broad
+/// topic"). Values are indices into the grouped topic vector.
+using Profile = std::vector<size_t>;
+
+/// Generates `count` profiles of `label_set_size` topics each from the
+/// grouped topics (group >= 0). When a broad topic has fewer than
+/// |L| topics the remainder is drawn from the whole pool, keeping the
+/// profile size exact. Fails when there are no grouped topics.
+Result<std::vector<Profile>> GenerateProfiles(
+    const std::vector<Topic>& topics, size_t label_set_size, size_t count,
+    Rng* rng);
+
+}  // namespace mqd
+
+#endif  // MQD_GEN_PROFILE_GEN_H_

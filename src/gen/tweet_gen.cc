@@ -1,0 +1,178 @@
+#include "gen/tweet_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "gen/news_gen.h"
+#include "sentiment/lexicon.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace mqd {
+
+namespace {
+
+constexpr double kDaySeconds = 24 * 3600.0;
+
+double DiurnalRate(const TweetGenConfig& config, double t) {
+  const double phase =
+      2.0 * std::numbers::pi * (t - config.diurnal_phase_seconds) /
+      kDaySeconds;
+  return config.base_rate_per_minute / 60.0 *
+         (1.0 + config.diurnal_amplitude * std::sin(phase));
+}
+
+/// Words of one synthetic tweet.
+std::string MakeTweetText(const TweetGenConfig& config, int topic,
+                          int secondary, double sentiment, Rng* rng,
+                          const std::vector<ZipfSampler>& topic_samplers,
+                          const ZipfSampler& background_sampler) {
+  const auto& topics = BuiltinBroadTopics();
+  const int64_t words =
+      std::max<int64_t>(3, rng->Poisson(config.mean_words));
+  std::vector<std::string> text;
+  text.reserve(static_cast<size_t>(words) + 2);
+  for (int64_t k = 0; k < words; ++k) {
+    const double draw = rng->NextDouble();
+    if (topic >= 0 && draw < 0.45) {
+      const int chosen =
+          (secondary >= 0 && rng->Bernoulli(0.3)) ? secondary : topic;
+      const auto& spec = topics[static_cast<size_t>(chosen)];
+      text.push_back(
+          spec.keywords[topic_samplers[static_cast<size_t>(chosen)].Sample(
+              rng)]);
+    } else {
+      text.push_back(BackgroundWords()[background_sampler.Sample(rng)]);
+    }
+  }
+  // Plant sentiment-bearing words matching the intended polarity.
+  const int64_t opinion_words = rng->Poisson(1.2);
+  for (int64_t k = 0; k < opinion_words; ++k) {
+    const double p_positive = (1.0 + sentiment) / 2.0;
+    if (rng->Bernoulli(p_positive)) {
+      text.push_back(std::string(
+          PositiveWords()[rng->Uniform(PositiveWords().size())]));
+    } else {
+      text.push_back(std::string(
+          NegativeWords()[rng->Uniform(NegativeWords().size())]));
+    }
+  }
+  // Occasionally hashtag the topic.
+  if (topic >= 0 && rng->Bernoulli(0.3)) {
+    text.push_back("#" + topics[static_cast<size_t>(topic)].name);
+  }
+  rng->Shuffle(&text);
+  return Join(text, " ");
+}
+
+}  // namespace
+
+Result<std::vector<Tweet>> GenerateTweetStream(
+    const TweetGenConfig& config) {
+  if (config.duration_seconds <= 0.0 ||
+      config.base_rate_per_minute <= 0.0) {
+    return Status::InvalidArgument("bad duration or rate");
+  }
+  if (config.diurnal_amplitude < 0.0 || config.diurnal_amplitude >= 1.0) {
+    return Status::InvalidArgument("diurnal amplitude must be in [0, 1)");
+  }
+  if (config.duplicate_prob < 0.0 || config.duplicate_prob >= 1.0) {
+    return Status::InvalidArgument("duplicate_prob must be in [0, 1)");
+  }
+
+  const auto& topics = BuiltinBroadTopics();
+  Rng rng(config.seed);
+  std::vector<ZipfSampler> topic_word_samplers;
+  topic_word_samplers.reserve(topics.size());
+  for (const BroadTopicSpec& spec : topics) {
+    topic_word_samplers.emplace_back(spec.keywords.size(), 0.8);
+  }
+  const ZipfSampler background_sampler(BackgroundWords().size(), 0.8);
+  const ZipfSampler topic_popularity(topics.size(), config.topic_skew);
+
+  // Per-topic sentiment mood: stable bias so sentiment distributions
+  // differ across topics (Section 6's motivating scenario).
+  std::vector<double> mood(topics.size());
+  for (double& m : mood) {
+    m = rng.UniformDouble(-config.sentiment_bias, config.sentiment_bias);
+  }
+
+  // Arrival times: thinning of a homogeneous Poisson process at the
+  // diurnal max rate.
+  std::vector<std::pair<double, int>> arrivals;  // (time, forced topic)
+  const double max_rate = config.base_rate_per_minute / 60.0 *
+                          (1.0 + config.diurnal_amplitude);
+  double t = 0.0;
+  while (true) {
+    t += rng.Exponential(max_rate);
+    if (t >= config.duration_seconds) break;
+    if (rng.NextDouble() <= DiurnalRate(config, t) / max_rate) {
+      arrivals.emplace_back(t, -2);  // -2 = sample topic normally
+    }
+  }
+
+  // Burst events: topic-specific spikes with exponential decay.
+  for (int b = 0; b < config.num_bursts; ++b) {
+    const double start =
+        rng.UniformDouble(0.0, config.duration_seconds * 0.95);
+    const int topic = static_cast<int>(topic_popularity.Sample(&rng));
+    const int64_t size = rng.Poisson(config.burst_size);
+    for (int64_t k = 0; k < size; ++k) {
+      const double offset = rng.Exponential(1.0 / config.burst_tau);
+      const double when = start + offset;
+      if (when < config.duration_seconds) arrivals.emplace_back(when, topic);
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+
+  std::vector<Tweet> stream;
+  stream.reserve(arrivals.size());
+  std::vector<size_t> recent;  // indices of recent tweets, ring buffer
+  constexpr size_t kRecentWindow = 200;
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    Tweet tweet;
+    tweet.id = i + 1;
+    tweet.time = arrivals[i].first;
+
+    if (!recent.empty() && rng.Bernoulli(config.duplicate_prob)) {
+      // Near-duplicate (retweet): copy a recent tweet, tweak lightly.
+      const Tweet& source =
+          stream[recent[rng.Uniform(recent.size())]];
+      tweet.text = "rt " + source.text;
+      tweet.broad_topic = source.broad_topic;
+      tweet.true_sentiment = source.true_sentiment;
+      tweet.is_retweet = true;
+    } else {
+      int topic = arrivals[i].second;
+      if (topic == -2) {
+        topic = rng.Bernoulli(config.topical_fraction)
+                    ? static_cast<int>(topic_popularity.Sample(&rng))
+                    : -1;
+      }
+      int secondary = -1;
+      if (topic >= 0 && rng.Bernoulli(config.mixture_prob)) {
+        do {
+          secondary = static_cast<int>(rng.Uniform(topics.size()));
+        } while (secondary == topic);
+      }
+      const double base_mood =
+          topic >= 0 ? mood[static_cast<size_t>(topic)] : 0.0;
+      tweet.true_sentiment =
+          std::clamp(base_mood + rng.Normal(0.0, 0.35), -1.0, 1.0);
+      tweet.broad_topic = topic;
+      tweet.text =
+          MakeTweetText(config, topic, secondary, tweet.true_sentiment,
+                        &rng, topic_word_samplers, background_sampler);
+    }
+
+    recent.push_back(stream.size());
+    if (recent.size() > kRecentWindow) {
+      recent.erase(recent.begin());
+    }
+    stream.push_back(std::move(tweet));
+  }
+  return stream;
+}
+
+}  // namespace mqd

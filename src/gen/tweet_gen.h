@@ -1,0 +1,65 @@
+#ifndef MQD_GEN_TWEET_GEN_H_
+#define MQD_GEN_TWEET_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mqd {
+
+/// A synthetic microblog post. Substitutes the paper's 24-hour, ~4.3M
+/// tweet 1% Twitter-stream sample (2013-06-12), which is not
+/// redistributable: what the algorithms consume is the arrival
+/// process, topical mix, near-duplicates and sentiment-bearing text,
+/// all modeled here with explicit knobs.
+struct Tweet {
+  uint64_t id = 0;
+  /// Seconds since the stream start.
+  double time = 0.0;
+  std::string text;
+  /// Ground-truth dominant broad topic (-1 = pure chatter).
+  int broad_topic = -1;
+  /// Ground-truth sentiment the text was planted with, in [-1, 1].
+  double true_sentiment = 0.0;
+  /// True when emitted as a near-duplicate (retweet) of another tweet.
+  bool is_retweet = false;
+};
+
+struct TweetGenConfig {
+  double duration_seconds = 24 * 3600.0;
+  /// Mean stream rate in tweets/minute at the diurnal baseline.
+  double base_rate_per_minute = 120.0;
+  /// Diurnal modulation amplitude in [0, 1): rate(t) = base * (1 + A *
+  /// sin(2 pi (t - phase)/day)).
+  double diurnal_amplitude = 0.4;
+  double diurnal_phase_seconds = 6 * 3600.0;
+  /// Probability a tweet is topical (else background chatter).
+  double topical_fraction = 0.55;
+  /// Zipf exponent over broad-topic popularity.
+  double topic_skew = 0.8;
+  /// Probability a topical tweet references a second topic.
+  double mixture_prob = 0.15;
+  /// Mean words per tweet (tweets are short: the paper's motivation
+  /// for not using text-distance diversity).
+  double mean_words = 9.0;
+  /// Probability a tweet is a near-duplicate of a recent tweet.
+  double duplicate_prob = 0.08;
+  /// Number of burst events (topic-specific rate spikes).
+  int num_bursts = 12;
+  /// Mean burst intensity: extra tweets per burst.
+  double burst_size = 400.0;
+  /// Burst decay time constant, seconds.
+  double burst_tau = 900.0;
+  /// Per-topic sentiment bias amplitude in [0,1].
+  double sentiment_bias = 0.5;
+  uint64_t seed = 42;
+};
+
+/// Generates the stream sorted by time.
+Result<std::vector<Tweet>> GenerateTweetStream(const TweetGenConfig& config);
+
+}  // namespace mqd
+
+#endif  // MQD_GEN_TWEET_GEN_H_

@@ -1,0 +1,153 @@
+#include "index/phrase_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace mqd {
+
+PhraseIndex::PhraseIndex(TokenizerOptions tokenizer_options)
+    : tokenizer_(tokenizer_options) {}
+
+Result<DocId> PhraseIndex::AddDocument(uint64_t external_id,
+                                       double timestamp,
+                                       std::string_view text) {
+  if (!timestamps_.empty() && timestamp < timestamps_.back()) {
+    return Status::InvalidArgument(
+        "document timestamps must be non-decreasing");
+  }
+  const DocId doc = static_cast<DocId>(timestamps_.size());
+  timestamps_.push_back(timestamp);
+  external_ids_.push_back(external_id);
+
+  const std::vector<std::string> tokens = tokenizer_.Tokenize(text);
+  for (uint32_t position = 0; position < tokens.size(); ++position) {
+    const TermId term = vocab_.Intern(tokens[position]);
+    if (term >= postings_.size()) postings_.resize(term + 1);
+    std::vector<Posting>& list = postings_[term];
+    if (list.empty() || list.back().doc != doc) {
+      list.push_back(Posting{doc, {}});
+    }
+    list.back().positions.push_back(position);
+  }
+  return doc;
+}
+
+const std::vector<PhraseIndex::Posting>* PhraseIndex::PostingsFor(
+    const std::string& token) const {
+  const TermId id = vocab_.Find(token);
+  if (id == kInvalidTerm) return nullptr;
+  return &postings_[id];
+}
+
+std::vector<DocId> PhraseIndex::TermSearch(std::string_view term) const {
+  const std::vector<std::string> tokens =
+      tokenizer_.Tokenize(std::string(term));
+  if (tokens.size() != 1) return {};
+  const std::vector<Posting>* list = PostingsFor(tokens[0]);
+  if (list == nullptr) return {};
+  std::vector<DocId> out;
+  out.reserve(list->size());
+  for (const Posting& posting : *list) out.push_back(posting.doc);
+  return out;
+}
+
+std::vector<PhraseIndex::RankedHit> PhraseIndex::RankedSearch(
+    std::string_view query, size_t k) const {
+  std::vector<std::string> terms = tokenizer_.Tokenize(std::string(query));
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+
+  const double n = static_cast<double>(num_documents());
+  std::unordered_map<DocId, double> scores;
+  for (const std::string& term : terms) {
+    const std::vector<Posting>* list = PostingsFor(term);
+    if (list == nullptr || list->empty()) continue;
+    const double idf =
+        std::log(1.0 + n / static_cast<double>(list->size()));
+    for (const Posting& posting : *list) {
+      scores[posting.doc] +=
+          static_cast<double>(posting.positions.size()) * idf;
+    }
+  }
+  std::vector<RankedHit> hits;
+  hits.reserve(scores.size());
+  for (const auto& [doc, score] : scores) {
+    hits.push_back(RankedHit{doc, score});
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const RankedHit& a, const RankedHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc > b.doc;  // recency
+            });
+  if (k > 0 && hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+std::vector<DocId> PhraseIndex::PhraseSearch(
+    std::string_view phrase) const {
+  const std::vector<std::string> tokens =
+      tokenizer_.Tokenize(std::string(phrase));
+  if (tokens.empty()) return {};
+  if (tokens.size() == 1) return TermSearch(tokens[0]);
+
+  // Gather the posting lists; bail on any unseen term.
+  std::vector<const std::vector<Posting>*> lists;
+  lists.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    const std::vector<Posting>* list = PostingsFor(token);
+    if (list == nullptr) return {};
+    lists.push_back(list);
+  }
+
+  // Document-at-a-time intersection driven by the rarest list, with
+  // positional verification: positions of token i must contain
+  // p0 + i for some start p0.
+  size_t rarest = 0;
+  for (size_t i = 1; i < lists.size(); ++i) {
+    if (lists[i]->size() < lists[rarest]->size()) rarest = i;
+  }
+  std::vector<DocId> out;
+  for (const Posting& anchor : *lists[rarest]) {
+    const DocId doc = anchor.doc;
+    // Locate this doc in every list (binary search).
+    std::vector<const Posting*> doc_postings(lists.size());
+    bool all = true;
+    for (size_t i = 0; i < lists.size() && all; ++i) {
+      const auto& list = *lists[i];
+      auto it = std::lower_bound(
+          list.begin(), list.end(), doc,
+          [](const Posting& p, DocId d) { return p.doc < d; });
+      if (it == list.end() || it->doc != doc) {
+        all = false;
+      } else {
+        doc_postings[i] = &*it;
+      }
+    }
+    if (!all) continue;
+    // Verify consecutive positions: for each start of token 0, check
+    // the rest.
+    bool match = false;
+    for (uint32_t start : doc_postings[0]->positions) {
+      bool consecutive = true;
+      for (size_t i = 1; i < doc_postings.size(); ++i) {
+        const auto& positions = doc_postings[i]->positions;
+        if (!std::binary_search(positions.begin(), positions.end(),
+                                start + static_cast<uint32_t>(i))) {
+          consecutive = false;
+          break;
+        }
+      }
+      if (consecutive) {
+        match = true;
+        break;
+      }
+    }
+    if (match) out.push_back(doc);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace mqd

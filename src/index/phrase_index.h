@@ -1,0 +1,69 @@
+#ifndef MQD_INDEX_PHRASE_INDEX_H_
+#define MQD_INDEX_PHRASE_INDEX_H_
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+#include "index/postings.h"
+#include "util/result.h"
+
+namespace mqd {
+
+/// Positional inverted index: per (term, document) it keeps the token
+/// positions, enabling exact phrase queries — "white house" must beat
+/// bag-of-words matching for multi-word topics (several of the paper's
+/// Table-1 topics are phrases: "super bowl", "tiger woods", "white
+/// house").
+class PhraseIndex {
+ public:
+  explicit PhraseIndex(TokenizerOptions tokenizer_options = {});
+
+  /// Ingests a document (non-decreasing timestamps).
+  Result<DocId> AddDocument(uint64_t external_id, double timestamp,
+                            std::string_view text);
+
+  size_t num_documents() const { return timestamps_.size(); }
+  double timestamp(DocId doc) const { return timestamps_[doc]; }
+  uint64_t external_id(DocId doc) const { return external_ids_[doc]; }
+
+  /// Documents containing the exact token sequence of `phrase`
+  /// (normalized by the tokenizer; stopwords are removed on both sides
+  /// so "the white house" == "white house"). A single-token phrase is
+  /// a plain term lookup.
+  std::vector<DocId> PhraseSearch(std::string_view phrase) const;
+
+  /// Documents containing the term (ascending).
+  std::vector<DocId> TermSearch(std::string_view term) const;
+
+  /// TF-IDF ranked retrieval: top-`k` documents by sum over query
+  /// terms of tf(t, d) * log(1 + N / df(t)), descending score with
+  /// recency tie-break. Term frequencies come from the stored
+  /// positions. `k` = 0 means all matches.
+  struct RankedHit {
+    DocId doc;
+    double score;
+  };
+  std::vector<RankedHit> RankedSearch(std::string_view query,
+                                      size_t k = 10) const;
+
+ private:
+  struct Posting {
+    DocId doc;
+    std::vector<uint32_t> positions;  // ascending token offsets
+  };
+
+  const std::vector<Posting>* PostingsFor(const std::string& token) const;
+
+  Tokenizer tokenizer_;
+  Vocabulary vocab_;
+  std::vector<std::vector<Posting>> postings_;  // per TermId
+  std::vector<double> timestamps_;
+  std::vector<uint64_t> external_ids_;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_INDEX_PHRASE_INDEX_H_

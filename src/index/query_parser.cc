@@ -1,0 +1,259 @@
+#include "index/query_parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace mqd {
+
+namespace {
+
+struct TermNode final : QueryNode {
+  explicit TermNode(std::string t) : term(std::move(t)) {}
+  Kind kind() const override { return Kind::kTerm; }
+  std::string ToString() const override { return term; }
+  std::string term;
+};
+
+struct BinaryNode final : QueryNode {
+  BinaryNode(Kind k, std::unique_ptr<QueryNode> l,
+             std::unique_ptr<QueryNode> r)
+      : op(k), lhs(std::move(l)), rhs(std::move(r)) {}
+  Kind kind() const override { return op; }
+  std::string ToString() const override {
+    return "(" + lhs->ToString() + (op == Kind::kAnd ? " AND " : " OR ") +
+           rhs->ToString() + ")";
+  }
+  Kind op;
+  std::unique_ptr<QueryNode> lhs;
+  std::unique_ptr<QueryNode> rhs;
+};
+
+struct NotNode final : QueryNode {
+  explicit NotNode(std::unique_ptr<QueryNode> c) : child(std::move(c)) {}
+  Kind kind() const override { return Kind::kNot; }
+  std::string ToString() const override {
+    return "(NOT " + child->ToString() + ")";
+  }
+  std::unique_ptr<QueryNode> child;
+};
+
+struct Token {
+  enum class Type { kTerm, kAnd, kOr, kNot, kLParen, kRParen, kEnd };
+  Type type;
+  std::string text;
+};
+
+Result<std::vector<Token>> Lex(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < input.size()) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '(') {
+      tokens.push_back({Token::Type::kLParen, "("});
+      ++i;
+      continue;
+    }
+    if (c == ')') {
+      tokens.push_back({Token::Type::kRParen, ")"});
+      ++i;
+      continue;
+    }
+    // A word: letters/digits/_/#/$.
+    size_t j = i;
+    while (j < input.size() &&
+           (std::isalnum(static_cast<unsigned char>(input[j])) ||
+            input[j] == '_' || input[j] == '#' || input[j] == '$')) {
+      ++j;
+    }
+    if (j == i) {
+      return Status::InvalidArgument(
+          StrFormat("unexpected character '%c' at offset %zu", c, i));
+    }
+    std::string word(input.substr(i, j - i));
+    const std::string upper = [&] {
+      std::string u = word;
+      for (char& ch : u) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      return u;
+    }();
+    if (upper == "AND") {
+      tokens.push_back({Token::Type::kAnd, word});
+    } else if (upper == "OR") {
+      tokens.push_back({Token::Type::kOr, word});
+    } else if (upper == "NOT") {
+      tokens.push_back({Token::Type::kNot, word});
+    } else {
+      tokens.push_back({Token::Type::kTerm, std::move(word)});
+    }
+    i = j;
+  }
+  tokens.push_back({Token::Type::kEnd, ""});
+  return tokens;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<QueryNode>> Parse() {
+    std::unique_ptr<QueryNode> node = nullptr;
+    MQD_ASSIGN_OR_RETURN(node, ParseOr());
+    if (Peek().type != Token::Type::kEnd) {
+      return Status::InvalidArgument("trailing tokens after query");
+    }
+    return node;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Take() { return tokens_[pos_++]; }
+
+  Result<std::unique_ptr<QueryNode>> ParseOr() {
+    std::unique_ptr<QueryNode> lhs = nullptr;
+    MQD_ASSIGN_OR_RETURN(lhs, ParseAnd());
+    while (Peek().type == Token::Type::kOr) {
+      Take();
+      std::unique_ptr<QueryNode> rhs = nullptr;
+      MQD_ASSIGN_OR_RETURN(rhs, ParseAnd());
+      lhs = std::make_unique<BinaryNode>(QueryNode::Kind::kOr,
+                                         std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<QueryNode>> ParseAnd() {
+    std::unique_ptr<QueryNode> lhs = nullptr;
+    MQD_ASSIGN_OR_RETURN(lhs, ParseUnary());
+    while (true) {
+      const Token::Type t = Peek().type;
+      if (t == Token::Type::kAnd) {
+        Take();
+      } else if (t != Token::Type::kTerm && t != Token::Type::kNot &&
+                 t != Token::Type::kLParen) {
+        break;  // juxtaposition only continues on operand starters
+      }
+      std::unique_ptr<QueryNode> rhs = nullptr;
+      MQD_ASSIGN_OR_RETURN(rhs, ParseUnary());
+      lhs = std::make_unique<BinaryNode>(QueryNode::Kind::kAnd,
+                                         std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<QueryNode>> ParseUnary() {
+    const Token token = Take();
+    switch (token.type) {
+      case Token::Type::kNot: {
+        std::unique_ptr<QueryNode> child = nullptr;
+        MQD_ASSIGN_OR_RETURN(child, ParseUnary());
+        return std::unique_ptr<QueryNode>(
+            std::make_unique<NotNode>(std::move(child)));
+      }
+      case Token::Type::kLParen: {
+        std::unique_ptr<QueryNode> inner = nullptr;
+        MQD_ASSIGN_OR_RETURN(inner, ParseOr());
+        if (Take().type != Token::Type::kRParen) {
+          return Status::InvalidArgument("missing ')'");
+        }
+        return inner;
+      }
+      case Token::Type::kTerm:
+        return std::unique_ptr<QueryNode>(
+            std::make_unique<TermNode>(token.text));
+      default:
+        return Status::InvalidArgument("expected a term, NOT or '('");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+std::vector<DocId> Union(const std::vector<DocId>& a,
+                         const std::vector<DocId>& b) {
+  std::vector<DocId> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::vector<DocId> Intersect(const std::vector<DocId>& a,
+                             const std::vector<DocId>& b) {
+  std::vector<DocId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<DocId> Complement(const std::vector<DocId>& a, size_t n) {
+  std::vector<DocId> out;
+  out.reserve(n - a.size());
+  size_t j = 0;
+  for (DocId d = 0; d < n; ++d) {
+    if (j < a.size() && a[j] == d) {
+      ++j;
+    } else {
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+std::vector<DocId> Eval(const InvertedIndex& index, const QueryNode& node) {
+  switch (node.kind()) {
+    case QueryNode::Kind::kTerm: {
+      const auto& term = static_cast<const TermNode&>(node);
+      const PostingList* list = index.Postings(term.term);
+      return list == nullptr ? std::vector<DocId>{} : list->ToVector();
+    }
+    case QueryNode::Kind::kAnd: {
+      const auto& binary = static_cast<const BinaryNode&>(node);
+      return Intersect(Eval(index, *binary.lhs), Eval(index, *binary.rhs));
+    }
+    case QueryNode::Kind::kOr: {
+      const auto& binary = static_cast<const BinaryNode&>(node);
+      return Union(Eval(index, *binary.lhs), Eval(index, *binary.rhs));
+    }
+    case QueryNode::Kind::kNot: {
+      const auto& not_node = static_cast<const NotNode&>(node);
+      return Complement(Eval(index, *not_node.child),
+                        index.num_documents());
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+Result<std::unique_ptr<QueryNode>> ParseQuery(std::string_view query) {
+  if (Trim(query).empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+  std::vector<Token> tokens;
+  MQD_ASSIGN_OR_RETURN(tokens, Lex(query));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+std::vector<DocId> EvaluateQuery(const InvertedIndex& index,
+                                 const QueryNode& query) {
+  return Eval(index, query);
+}
+
+Result<std::vector<DocId>> SearchBoolean(const InvertedIndex& index,
+                                         std::string_view query) {
+  std::unique_ptr<QueryNode> parsed = nullptr;
+  MQD_ASSIGN_OR_RETURN(parsed, ParseQuery(query));
+  return EvaluateQuery(index, *parsed);
+}
+
+}  // namespace mqd

@@ -1,0 +1,51 @@
+#ifndef MQD_INDEX_QUERY_PARSER_H_
+#define MQD_INDEX_QUERY_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "util/result.h"
+
+namespace mqd {
+
+/// A parsed Boolean query over index terms. Grammar (case-insensitive
+/// operators, terms run through the index tokenizer):
+///
+///   query  := or
+///   or     := and ( "OR" and )*
+///   and    := unary ( ("AND")? unary )*      -- juxtaposition = AND
+///   unary  := "NOT" unary | "(" query ")" | TERM
+///
+/// Examples: `obama AND senate`, `(goog OR msft) NOT lawsuit`,
+/// `storm flood` (implicit AND).
+class QueryNode {
+ public:
+  enum class Kind { kTerm, kAnd, kOr, kNot };
+
+  virtual ~QueryNode() = default;
+  virtual Kind kind() const = 0;
+  /// Parenthesized canonical form, for diagnostics and tests.
+  virtual std::string ToString() const = 0;
+};
+
+/// Parses a query string. Fails on syntax errors (unbalanced
+/// parentheses, dangling operators, empty input).
+Result<std::unique_ptr<QueryNode>> ParseQuery(std::string_view query);
+
+/// Evaluates a parsed query against the index, returning matching
+/// documents ascending. NOT is evaluated relative to the full document
+/// set (top-level `NOT x` means "all documents without x"), via sorted
+/// set operations on posting lists.
+std::vector<DocId> EvaluateQuery(const InvertedIndex& index,
+                                 const QueryNode& query);
+
+/// Convenience: parse + evaluate.
+Result<std::vector<DocId>> SearchBoolean(const InvertedIndex& index,
+                                         std::string_view query);
+
+}  // namespace mqd
+
+#endif  // MQD_INDEX_QUERY_PARSER_H_

@@ -1,0 +1,115 @@
+#include "index/realtime_index.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace mqd {
+
+RealtimeIndex::RealtimeIndex(size_t active_budget_docs,
+                             TokenizerOptions tokenizer_options)
+    : active_budget_(std::max<size_t>(1, active_budget_docs)),
+      tokenizer_(tokenizer_options) {}
+
+Result<DocId> RealtimeIndex::AddDocument(uint64_t external_id,
+                                         double timestamp,
+                                         std::string_view text) {
+  if (!timestamps_.empty() && timestamp < timestamps_.back()) {
+    return Status::InvalidArgument(StrFormat(
+        "document timestamps must be non-decreasing (%.3f after %.3f)",
+        timestamp, timestamps_.back()));
+  }
+  const DocId doc = static_cast<DocId>(timestamps_.size());
+  timestamps_.push_back(timestamp);
+  external_ids_.push_back(external_id);
+
+  std::vector<std::string> tokens = tokenizer_.Tokenize(text);
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  for (const std::string& token : tokens) {
+    active_.postings[vocab_.Intern(token)].Add(doc);
+  }
+  active_.end = doc + 1;
+  if (active_.size() >= active_budget_) SealActive();
+  return doc;
+}
+
+void RealtimeIndex::SealActive() {
+  if (active_.size() == 0) return;
+  sealed_.push_back(std::move(active_));
+  active_ = Segment{};
+  active_.begin = active_.end = static_cast<DocId>(timestamps_.size());
+
+  // LSM merge rule: collapse the trailing run while the newest segment
+  // is at least half the size of its predecessor, producing O(log n)
+  // exponentially sized segments.
+  while (sealed_.size() >= 2) {
+    const Segment& newer = sealed_[sealed_.size() - 1];
+    const Segment& older = sealed_[sealed_.size() - 2];
+    if (newer.size() * 2 < older.size()) break;
+    Segment merged = MergeSegments(older, newer);
+    sealed_.pop_back();
+    sealed_.pop_back();
+    sealed_.push_back(std::move(merged));
+    ++merges_;
+  }
+}
+
+RealtimeIndex::Segment RealtimeIndex::MergeSegments(const Segment& older,
+                                                    const Segment& newer) {
+  Segment merged;
+  merged.begin = older.begin;
+  merged.end = newer.end;
+  // Doc ranges are adjacent and disjoint (older < newer), so a merged
+  // posting list is the older list followed by the newer one.
+  for (const auto& [term, list] : older.postings) {
+    PostingList& out = merged.postings[term];
+    for (auto it = list.NewIterator(); it.Valid(); it.Next()) {
+      out.Add(it.Doc());
+    }
+  }
+  for (const auto& [term, list] : newer.postings) {
+    PostingList& out = merged.postings[term];
+    for (auto it = list.NewIterator(); it.Valid(); it.Next()) {
+      out.Add(it.Doc());
+    }
+  }
+  return merged;
+}
+
+std::vector<DocId> RealtimeIndex::MatchAny(
+    const std::vector<std::string>& terms) const {
+  // Resolve query terms once.
+  std::vector<TermId> ids;
+  for (const std::string& raw : terms) {
+    const std::vector<std::string> tokens = tokenizer_.Tokenize(raw);
+    if (tokens.size() != 1) continue;
+    const TermId id = vocab_.Find(tokens[0]);
+    if (id != kInvalidTerm) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+  std::vector<DocId> out;
+  auto scan_segment = [&](const Segment& segment) {
+    // Per segment, docs of all matching terms, deduplicated; segments
+    // are range-disjoint and visited in ascending order, so appending
+    // keeps the global result sorted.
+    std::vector<DocId> local;
+    for (TermId id : ids) {
+      auto it = segment.postings.find(id);
+      if (it == segment.postings.end()) continue;
+      for (auto pit = it->second.NewIterator(); pit.Valid(); pit.Next()) {
+        local.push_back(pit.Doc());
+      }
+    }
+    std::sort(local.begin(), local.end());
+    local.erase(std::unique(local.begin(), local.end()), local.end());
+    out.insert(out.end(), local.begin(), local.end());
+  };
+  for (const Segment& segment : sealed_) scan_segment(segment);
+  scan_segment(active_);
+  return out;
+}
+
+}  // namespace mqd

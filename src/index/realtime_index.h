@@ -1,0 +1,72 @@
+#ifndef MQD_INDEX_REALTIME_INDEX_H_
+#define MQD_INDEX_REALTIME_INDEX_H_
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "index/postings.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+#include "util/result.h"
+
+namespace mqd {
+
+/// Real-time segmented inverted index in the spirit of the systems the
+/// paper cites as its indexing substrate (EarlyBird [5], TI [6],
+/// LSII [25]): appends go to a small mutable active segment; when the
+/// active segment reaches its document budget it is sealed, and sealed
+/// segments of similar size are merged log-structured-merge style into
+/// exponentially larger read-only segments. The number of segments
+/// stays O(log n), keeping both ingestion cheap and query fan-out
+/// small — LSII's core idea, single-threaded here.
+///
+/// Query results are identical to a monolithic InvertedIndex over the
+/// same documents (asserted test-side).
+class RealtimeIndex {
+ public:
+  explicit RealtimeIndex(size_t active_budget_docs = 1024,
+                         TokenizerOptions tokenizer_options = {});
+
+  /// Ingests a document (non-decreasing timestamps).
+  Result<DocId> AddDocument(uint64_t external_id, double timestamp,
+                            std::string_view text);
+
+  size_t num_documents() const { return timestamps_.size(); }
+  double timestamp(DocId doc) const { return timestamps_[doc]; }
+  uint64_t external_id(DocId doc) const { return external_ids_[doc]; }
+
+  /// Documents containing at least one of `terms`, ascending.
+  std::vector<DocId> MatchAny(const std::vector<std::string>& terms) const;
+
+  /// Diagnostics: current segment count (active excluded) and total
+  /// merges performed.
+  size_t num_sealed_segments() const { return sealed_.size(); }
+  size_t num_merges() const { return merges_; }
+
+ private:
+  struct Segment {
+    std::unordered_map<TermId, PostingList> postings;
+    DocId begin = 0;
+    DocId end = 0;  // exclusive
+    size_t size() const { return end - begin; }
+  };
+
+  void SealActive();
+  static Segment MergeSegments(const Segment& older, const Segment& newer);
+
+  size_t active_budget_;
+  Tokenizer tokenizer_;
+  Vocabulary vocab_;
+  /// Sealed segments, ascending by doc range; adjacent similar-size
+  /// segments are merged after each seal.
+  std::vector<Segment> sealed_;
+  Segment active_;
+  size_t merges_ = 0;
+  std::vector<double> timestamps_;
+  std::vector<uint64_t> external_ids_;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_INDEX_REALTIME_INDEX_H_

@@ -1,0 +1,48 @@
+#include "index/searcher.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mqd {
+
+std::vector<SearchHit> Searcher::Search(
+    const std::vector<std::string>& terms, size_t limit) const {
+  return Rank(terms, index_->MatchAny(terms), limit);
+}
+
+std::vector<SearchHit> Searcher::SearchInRange(
+    const std::vector<std::string>& terms, double t_begin, double t_end,
+    size_t limit) const {
+  return Rank(terms, index_->MatchAnyInRange(terms, t_begin, t_end), limit);
+}
+
+std::vector<SearchHit> Searcher::Rank(const std::vector<std::string>& terms,
+                                      std::vector<DocId> candidates,
+                                      size_t limit) const {
+  std::unordered_map<DocId, int> coordination;
+  coordination.reserve(candidates.size());
+  for (DocId doc : candidates) coordination[doc] = 0;
+  for (const std::string& term : terms) {
+    const PostingList* list = index_->Postings(term);
+    if (list == nullptr) continue;
+    for (PostingList::Iterator it = list->NewIterator(); it.Valid();
+         it.Next()) {
+      auto found = coordination.find(it.Doc());
+      if (found != coordination.end()) ++found->second;
+    }
+  }
+  std::vector<SearchHit> hits;
+  hits.reserve(candidates.size());
+  for (DocId doc : candidates) {
+    hits.push_back(SearchHit{doc, coordination[doc]});
+  }
+  std::stable_sort(hits.begin(), hits.end(),
+                   [](const SearchHit& a, const SearchHit& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.doc > b.doc;  // recency
+                   });
+  if (limit > 0 && hits.size() > limit) hits.resize(limit);
+  return hits;
+}
+
+}  // namespace mqd

@@ -1,0 +1,47 @@
+#ifndef MQD_PIPELINE_DIGEST_H_
+#define MQD_PIPELINE_DIGEST_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cover_stats.h"
+#include "core/instance.h"
+#include "pipeline/matcher.h"
+
+namespace mqd {
+
+/// Renders diversified selections as the user-facing briefing the
+/// paper's applications imply: per-topic sections, a coverage-quality
+/// footer, and an ASCII density timeline contrasting the full feed
+/// with the selected representatives.
+class DigestRenderer {
+ public:
+  struct Options {
+    /// Buckets of the timeline sparkline.
+    int timeline_buckets = 48;
+    /// Cap on representatives listed per topic (0 = all).
+    size_t max_items_per_topic = 8;
+    /// Label the dimension axis ("time", "sentiment", ...).
+    std::string dimension_name = "time";
+  };
+
+  explicit DigestRenderer(const std::vector<Topic>* topics);
+  DigestRenderer(const std::vector<Topic>* topics, Options options);
+
+  /// The full briefing: header, per-topic sections, timeline, quality
+  /// footer. `selection` must hold PostIds of `inst`.
+  std::string Render(const Instance& inst,
+                     const std::vector<PostId>& selection) const;
+
+  /// Just the two-row density sparkline ("feed" vs "digest").
+  std::string RenderTimeline(const Instance& inst,
+                             const std::vector<PostId>& selection) const;
+
+ private:
+  const std::vector<Topic>* topics_;
+  Options options_;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_PIPELINE_DIGEST_H_

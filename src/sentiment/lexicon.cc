@@ -1,0 +1,85 @@
+#include "sentiment/lexicon.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace mqd {
+
+namespace {
+
+const std::vector<std::string_view>* BuildPositive() {
+  return new std::vector<std::string_view>{
+      "good",      "great",      "excellent", "amazing",    "awesome",
+      "love",      "loved",      "wonderful", "fantastic",  "happy",
+      "glad",      "positive",   "win",       "winning",    "won",
+      "best",      "better",     "strong",    "stronger",   "success",
+      "successful", "beautiful", "brilliant", "celebrate",  "cheer",
+      "congrats",  "delight",    "delighted", "enjoy",      "enjoyed",
+      "excited",   "exciting",   "favorite",  "gain",       "gains",
+      "hope",      "hopeful",    "improve",   "improved",   "improving",
+      "impressive", "inspiring", "nice",      "optimistic", "outstanding",
+      "perfect",   "pleased",    "progress",  "proud",      "rally",
+      "recover",   "recovery",   "rise",      "rising",     "safe",
+      "smile",     "soar",       "soaring",   "solid",      "support",
+      "surge",     "thankful",   "thanks",    "thrilled",   "triumph",
+      "up",        "upbeat",     "victory",   "vibrant",    "warm",
+      "welcome",   "well",       "wow",       "yay",        "booming",
+      "breakthrough", "bullish", "calm",      "charming",   "clean",
+      "confident", "courage",    "dream",     "eager",      "effective",
+      "elegant",   "energetic",  "fair",      "fresh",      "friendly",
+      "fun",       "generous",   "genius",    "grateful",   "healthy"};
+}
+
+const std::vector<std::string_view>* BuildNegative() {
+  return new std::vector<std::string_view>{
+      "bad",        "terrible",  "awful",      "horrible",  "hate",
+      "hated",      "sad",       "angry",      "negative",  "lose",
+      "losing",     "lost",      "worst",      "worse",     "weak",
+      "weaker",     "fail",      "failed",     "failure",   "crisis",
+      "crash",      "crashed",   "fear",       "fears",     "afraid",
+      "alarm",      "alarming",  "anxious",    "attack",    "bearish",
+      "bleak",      "broke",     "broken",     "collapse",  "concern",
+      "concerned",  "corrupt",   "damage",     "damaged",   "danger",
+      "dangerous",  "dead",      "decline",    "declined",  "deficit",
+      "desperate",  "disaster",  "disappointed", "down",    "downturn",
+      "drop",       "dropped",   "gloomy",     "grim",      "hurt",
+      "injured",    "kill",      "killed",     "lawsuit",   "layoff",
+      "layoffs",    "mess",      "miss",       "missed",    "outrage",
+      "pain",       "painful",   "panic",      "plunge",    "plunged",
+      "poor",       "problem",   "problems",   "recession", "riot",
+      "risk",       "risky",     "scandal",    "scare",     "shock",
+      "shocking",   "slump",     "sorry",      "struggle",  "struggling",
+      "tragedy",    "tragic",    "trouble",    "ugly",      "unhappy",
+      "unrest",     "violence",  "violent",    "warning",   "worried",
+      "worry"};
+}
+
+const std::unordered_map<std::string, int>& PolarityMap() {
+  static const std::unordered_map<std::string, int>* const kMap = [] {
+    auto* map = new std::unordered_map<std::string, int>();
+    for (std::string_view w : PositiveWords()) map->emplace(w, 1);
+    for (std::string_view w : NegativeWords()) map->emplace(w, -1);
+    return map;
+  }();
+  return *kMap;
+}
+
+}  // namespace
+
+const std::vector<std::string_view>& PositiveWords() {
+  static const std::vector<std::string_view>* const kWords = BuildPositive();
+  return *kWords;
+}
+
+const std::vector<std::string_view>& NegativeWords() {
+  static const std::vector<std::string_view>* const kWords = BuildNegative();
+  return *kWords;
+}
+
+int WordPolarity(std::string_view word) {
+  const auto& map = PolarityMap();
+  auto it = map.find(std::string(word));
+  return it == map.end() ? 0 : it->second;
+}
+
+}  // namespace mqd

@@ -1,0 +1,20 @@
+#ifndef MQD_SENTIMENT_LEXICON_H_
+#define MQD_SENTIMENT_LEXICON_H_
+
+#include <string_view>
+#include <vector>
+
+namespace mqd {
+
+/// Polarity of a single (lowercased) word: +1 positive, -1 negative,
+/// 0 neutral/unknown. Backed by a built-in ~200-word opinion lexicon.
+int WordPolarity(std::string_view word);
+
+/// The built-in word lists (exposed so the tweet generator can plant
+/// sentiment-bearing words with known ground truth).
+const std::vector<std::string_view>& PositiveWords();
+const std::vector<std::string_view>& NegativeWords();
+
+}  // namespace mqd
+
+#endif  // MQD_SENTIMENT_LEXICON_H_

@@ -1,0 +1,53 @@
+#include "sentiment/scorer.h"
+
+#include <string>
+#include <vector>
+
+#include "sentiment/lexicon.h"
+#include "text/tokenizer.h"
+
+namespace mqd {
+
+namespace {
+
+bool IsNegator(const std::string& token) {
+  return token == "not" || token == "no" || token == "never" ||
+         token == "dont" || token == "cant" || token == "wont" ||
+         token == "isnt" || token == "wasnt" || token == "didnt";
+}
+
+}  // namespace
+
+double SentimentScorer::Score(std::string_view text) const {
+  // Keep stopwords: negators ("not", "no") are function words the
+  // default pipeline would drop.
+  TokenizerOptions options;
+  options.remove_stopwords = false;
+  options.min_token_length = 2;
+  const Tokenizer tokenizer(options);
+  const std::vector<std::string> tokens = tokenizer.Tokenize(text);
+
+  int pos = 0;
+  int neg = 0;
+  bool negated = false;
+  for (const std::string& token : tokens) {
+    if (IsNegator(token)) {
+      negated = true;
+      continue;
+    }
+    int polarity = WordPolarity(token);
+    if (polarity != 0) {
+      if (negated) polarity = -polarity;
+      if (polarity > 0) {
+        ++pos;
+      } else {
+        ++neg;
+      }
+    }
+    negated = false;
+  }
+  if (pos + neg == 0) return 0.0;
+  return static_cast<double>(pos - neg) / static_cast<double>(pos + neg);
+}
+
+}  // namespace mqd

@@ -1,0 +1,23 @@
+#ifndef MQD_SENTIMENT_SCORER_H_
+#define MQD_SENTIMENT_SCORER_H_
+
+#include <string_view>
+
+namespace mqd {
+
+/// Lexicon-based sentiment polarity scorer. Sentiment is one of the
+/// two diversity dimensions the paper highlights (Sections 1, 2, 6);
+/// the score below is the post's value F(P) on that dimension.
+///
+/// score = (pos - neg) / (pos + neg) in [-1, 1], 0 when no opinion
+/// words occur. A negator ("not", "no", "never", "n't"-collapsed
+/// forms) directly before an opinion word flips its polarity.
+class SentimentScorer {
+ public:
+  /// Scores raw post text (tokenizes internally, keeping negators).
+  double Score(std::string_view text) const;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_SENTIMENT_SCORER_H_

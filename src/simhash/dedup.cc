@@ -1,0 +1,56 @@
+#include "simhash/dedup.h"
+
+#include <algorithm>
+
+#include "simhash/simhash.h"
+#include "util/logging.h"
+
+namespace mqd {
+
+NearDuplicateDetector::NearDuplicateDetector(int max_distance,
+                                             uint64_t window)
+    : max_distance_(max_distance), window_(window) {
+  MQD_CHECK(max_distance >= 0 && max_distance <= 3)
+      << "the 4x16-bit block scheme guarantees recall only up to "
+         "distance 3";
+  MQD_CHECK(window > 0);
+}
+
+bool NearDuplicateDetector::IsDuplicate(uint64_t fingerprint) {
+  const uint64_t oldest_live = seq_ < window_ ? 0 : seq_ - window_;
+  bool duplicate = false;
+  for (int block = 0; block < 4 && !duplicate; ++block) {
+    const uint16_t key =
+        static_cast<uint16_t>(fingerprint >> (16 * block));
+    auto it = tables_[static_cast<size_t>(block)].find(key);
+    if (it == tables_[static_cast<size_t>(block)].end()) continue;
+    for (const Entry& entry : it->second) {
+      if (entry.seq < oldest_live) continue;
+      if (HammingDistance(entry.fingerprint, fingerprint) <=
+          max_distance_) {
+        duplicate = true;
+        break;
+      }
+    }
+  }
+  if (duplicate) return true;
+
+  // Record, evicting expired entries of the touched buckets (amortized
+  // cleanup keeps buckets proportional to the live window).
+  for (int block = 0; block < 4; ++block) {
+    const uint16_t key =
+        static_cast<uint16_t>(fingerprint >> (16 * block));
+    std::vector<Entry>& bucket =
+        tables_[static_cast<size_t>(block)][key];
+    bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
+                                [oldest_live](const Entry& e) {
+                                  return e.seq < oldest_live;
+                                }),
+                 bucket.end());
+    bucket.push_back(Entry{fingerprint, seq_});
+  }
+  ++seq_;
+  return false;
+}
+
+}  // namespace mqd

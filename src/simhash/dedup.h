@@ -1,0 +1,53 @@
+#ifndef MQD_SIMHASH_DEDUP_H_
+#define MQD_SIMHASH_DEDUP_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace mqd {
+
+/// Streaming near-duplicate filter over SimHash fingerprints, the
+/// pre-processing stage of the paper's pipeline ("we eliminate
+/// near-duplicate posts using existing duplicate detection methods
+/// like SimHash").
+///
+/// Uses the Manku-style block-permutation scheme: the 64-bit
+/// fingerprint is split into 4 blocks of 16 bits; two fingerprints
+/// within Hamming distance <= 3 agree exactly on at least one block
+/// (pigeonhole), so each of the 4 tables keyed by one block yields a
+/// small candidate set to verify.
+///
+/// Only the most recent `window` fingerprints are retained: a post is
+/// a duplicate only of a recent post, matching microblog retweet
+/// behaviour and bounding memory.
+class NearDuplicateDetector {
+ public:
+  /// `max_distance` must be <= 3 for the 4-block scheme to be
+  /// loss-less.
+  explicit NearDuplicateDetector(int max_distance = 3,
+                                 uint64_t window = 100000);
+
+  /// True when `fingerprint` is within max_distance of a fingerprint
+  /// seen in the recent window; otherwise records it and returns
+  /// false.
+  bool IsDuplicate(uint64_t fingerprint);
+
+  uint64_t num_seen() const { return seq_; }
+
+ private:
+  struct Entry {
+    uint64_t fingerprint;
+    uint64_t seq;
+  };
+
+  int max_distance_;
+  uint64_t window_;
+  uint64_t seq_ = 0;
+  std::array<std::unordered_map<uint16_t, std::vector<Entry>>, 4> tables_;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_SIMHASH_DEDUP_H_

@@ -1,0 +1,43 @@
+#include "simhash/simhash.h"
+
+#include <array>
+#include <bit>
+
+namespace mqd {
+
+uint64_t HashToken(std::string_view token) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : token) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  // Finalizer (splitmix) so low-entropy tokens still spread over all
+  // 64 bits; SimHash quality depends on per-bit independence.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+uint64_t SimHash(const std::vector<std::string>& tokens) {
+  std::array<int32_t, 64> votes{};
+  for (const std::string& token : tokens) {
+    const uint64_t h = HashToken(token);
+    for (int bit = 0; bit < 64; ++bit) {
+      votes[static_cast<size_t>(bit)] += ((h >> bit) & 1) ? 1 : -1;
+    }
+  }
+  uint64_t fingerprint = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    if (votes[static_cast<size_t>(bit)] > 0) {
+      fingerprint |= uint64_t{1} << bit;
+    }
+  }
+  return fingerprint;
+}
+
+int HammingDistance(uint64_t a, uint64_t b) { return std::popcount(a ^ b); }
+
+}  // namespace mqd

@@ -1,0 +1,31 @@
+#include "spatial/geo.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace mqd {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+
+double Radians(double degrees) {
+  return degrees * std::numbers::pi / 180.0;
+}
+}  // namespace
+
+double HaversineKm(const GeoPoint& a, const GeoPoint& b) {
+  const double dlat = Radians(b.lat - a.lat);
+  const double dlon = Radians(b.lon - a.lon);
+  const double h =
+      std::sin(dlat / 2.0) * std::sin(dlat / 2.0) +
+      std::cos(Radians(a.lat)) * std::cos(Radians(b.lat)) *
+          std::sin(dlon / 2.0) * std::sin(dlon / 2.0);
+  return 2.0 * kEarthRadiusKm *
+         std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double KmToLatDegrees(double km) {
+  return km / (kEarthRadiusKm * std::numbers::pi / 180.0);
+}
+
+}  // namespace mqd

@@ -1,0 +1,22 @@
+#ifndef MQD_SPATIAL_GEO_H_
+#define MQD_SPATIAL_GEO_H_
+
+namespace mqd {
+
+/// A WGS84 coordinate, degrees.
+struct GeoPoint {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// Great-circle distance in kilometers (haversine formula, mean earth
+/// radius 6371 km — plenty for coverage radii of city scale).
+double HaversineKm(const GeoPoint& a, const GeoPoint& b);
+
+/// Degrees of latitude spanning `km` kilometers (used to bound
+/// candidate scans; 1 degree latitude ~ 111.2 km everywhere).
+double KmToLatDegrees(double km);
+
+}  // namespace mqd
+
+#endif  // MQD_SPATIAL_GEO_H_

@@ -1,0 +1,70 @@
+#include "spatial/geo_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.h"
+
+namespace mqd {
+
+Result<GeoInstance> GenerateGeoInstance(const GeoGenConfig& config) {
+  if (config.num_labels < 1 || config.num_labels > kMaxLabels) {
+    return Status::InvalidArgument("num_labels out of range");
+  }
+  if (config.duration <= 0.0 || config.posts_per_minute <= 0.0 ||
+      config.num_cities < 1) {
+    return Status::InvalidArgument("bad geo generator config");
+  }
+  if (config.overlap_rate < 1.0 ||
+      config.overlap_rate > config.num_labels) {
+    return Status::InvalidArgument("overlap_rate out of range");
+  }
+
+  Rng rng(config.seed);
+  // Scatter city centers over a continent-sized box away from the
+  // poles (so the lon/lat distortion stays mild).
+  std::vector<GeoPoint> cities(static_cast<size_t>(config.num_cities));
+  for (GeoPoint& city : cities) {
+    city.lat = rng.UniformDouble(25.0, 48.0);
+    city.lon = rng.UniformDouble(-120.0, -70.0);
+  }
+  const ZipfSampler city_popularity(cities.size(), config.city_skew);
+  const ZipfSampler label_popularity(
+      static_cast<size_t>(config.num_labels), 0.7);
+
+  const double sigma_lat = KmToLatDegrees(config.city_sigma_km);
+  const size_t total = static_cast<size_t>(std::max<int64_t>(
+      1, rng.Poisson(config.duration / 60.0 * config.posts_per_minute)));
+  const double p_extra =
+      config.num_labels > 1
+          ? std::clamp((config.overlap_rate - 1.0) /
+                           (config.num_labels - 1),
+                       0.0, 1.0)
+          : 0.0;
+
+  GeoInstanceBuilder builder(config.num_labels);
+  for (size_t i = 0; i < total; ++i) {
+    const GeoPoint& city = cities[city_popularity.Sample(&rng)];
+    GeoPoint where;
+    where.lat =
+        std::clamp(city.lat + rng.Normal(0.0, sigma_lat), -90.0, 90.0);
+    // Longitude degrees shrink with latitude; correct so scatter is
+    // isotropic in kilometers.
+    const double lon_scale =
+        1.0 / std::max(0.2, std::cos(city.lat * std::numbers::pi / 180.0));
+    where.lon = std::clamp(
+        city.lon + rng.Normal(0.0, sigma_lat * lon_scale), -180.0, 180.0);
+
+    LabelMask mask =
+        MaskOf(static_cast<LabelId>(label_popularity.Sample(&rng)));
+    for (LabelId a = 0; a < static_cast<LabelId>(config.num_labels);
+         ++a) {
+      if (!MaskHas(mask, a) && rng.Bernoulli(p_extra)) mask |= MaskOf(a);
+    }
+    builder.Add(rng.UniformDouble(0.0, config.duration), where, mask, i);
+  }
+  return builder.Build();
+}
+
+}  // namespace mqd

@@ -1,0 +1,32 @@
+#ifndef MQD_SPATIAL_GEO_GEN_H_
+#define MQD_SPATIAL_GEO_GEN_H_
+
+#include <cstdint>
+
+#include "spatial/geo_instance.h"
+#include "util/result.h"
+
+namespace mqd {
+
+/// Synthetic geotagged stream: posts cluster around a handful of city
+/// centers (Gaussian scatter) with Zipf city popularity — the shape of
+/// real geotagged microblog data.
+struct GeoGenConfig {
+  int num_labels = 2;
+  double duration = 3600.0;
+  double posts_per_minute = 20.0;
+  /// Mean labels per post in [1, num_labels].
+  double overlap_rate = 1.2;
+  int num_cities = 5;
+  /// Standard deviation of the per-city scatter, km.
+  double city_sigma_km = 15.0;
+  /// Zipf exponent of city popularity.
+  double city_skew = 0.8;
+  uint64_t seed = 42;
+};
+
+Result<GeoInstance> GenerateGeoInstance(const GeoGenConfig& config);
+
+}  // namespace mqd
+
+#endif  // MQD_SPATIAL_GEO_GEN_H_

@@ -1,0 +1,75 @@
+#include "spatial/geo_instance.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace mqd {
+
+std::span<const PostId> GeoInstance::LabelPostsInTimeRange(
+    LabelId a, double lo, double hi) const {
+  const std::vector<PostId>& list = label_lists_[a];
+  auto first = std::lower_bound(
+      list.begin(), list.end(), lo,
+      [this](PostId id, double x) { return posts_[id].time < x; });
+  auto last = std::upper_bound(
+      first, list.end(), hi,
+      [this](double x, PostId id) { return x < posts_[id].time; });
+  return {list.data() + (first - list.begin()),
+          static_cast<size_t>(last - first)};
+}
+
+GeoInstanceBuilder::GeoInstanceBuilder(int num_labels)
+    : num_labels_(num_labels) {
+  MQD_CHECK(num_labels >= 1 && num_labels <= kMaxLabels);
+}
+
+GeoInstanceBuilder& GeoInstanceBuilder::Add(double time, GeoPoint location,
+                                            LabelMask labels,
+                                            uint64_t external_id) {
+  posts_.push_back(GeoPost{time, location, labels, external_id});
+  return *this;
+}
+
+Result<GeoInstance> GeoInstanceBuilder::Build() {
+  const LabelMask universe =
+      num_labels_ == kMaxLabels ? ~LabelMask{0}
+                                : (LabelMask{1} << num_labels_) - 1;
+  for (size_t i = 0; i < posts_.size(); ++i) {
+    if (posts_[i].labels == 0) {
+      return Status::InvalidArgument(
+          StrFormat("geo post %zu has an empty label set", i));
+    }
+    if ((posts_[i].labels & ~universe) != 0) {
+      return Status::InvalidArgument(
+          StrFormat("geo post %zu has labels outside the universe", i));
+    }
+    if (posts_[i].location.lat < -90.0 || posts_[i].location.lat > 90.0 ||
+        posts_[i].location.lon < -180.0 ||
+        posts_[i].location.lon > 180.0) {
+      return Status::InvalidArgument(
+          StrFormat("geo post %zu has an invalid coordinate", i));
+    }
+  }
+  std::stable_sort(
+      posts_.begin(), posts_.end(),
+      [](const GeoPost& a, const GeoPost& b) { return a.time < b.time; });
+
+  GeoInstance inst;
+  inst.posts_ = std::move(posts_);
+  posts_.clear();
+  inst.num_labels_ = num_labels_;
+  inst.label_lists_.assign(static_cast<size_t>(num_labels_), {});
+  for (PostId i = 0; i < inst.posts_.size(); ++i) {
+    ForEachLabel(inst.posts_[i].labels,
+                 [&](LabelId a) { inst.label_lists_[a].push_back(i); });
+    inst.max_labels_per_post_ = std::max(
+        inst.max_labels_per_post_, MaskCount(inst.posts_[i].labels));
+    inst.num_pairs_ +=
+        static_cast<size_t>(MaskCount(inst.posts_[i].labels));
+  }
+  return inst;
+}
+
+}  // namespace mqd

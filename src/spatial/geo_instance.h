@@ -1,0 +1,74 @@
+#ifndef MQD_SPATIAL_GEO_INSTANCE_H_
+#define MQD_SPATIAL_GEO_INSTANCE_H_
+
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "spatial/geo.h"
+#include "util/result.h"
+
+namespace mqd {
+
+/// A geotagged post: timestamp plus location plus matched labels.
+/// This is the paper's Section-9 extension target ("the selected posts
+/// need to cover both the time and geospatial dimension").
+struct GeoPost {
+  double time = 0.0;
+  GeoPoint location;
+  LabelMask labels = 0;
+  uint64_t external_id = 0;
+};
+
+/// Immutable spatiotemporal MQDP instance: posts sorted by time with
+/// per-label lists, mirroring core/Instance for the 2-D setting.
+class GeoInstance {
+ public:
+  size_t num_posts() const { return posts_.size(); }
+  int num_labels() const { return num_labels_; }
+
+  const GeoPost& post(PostId id) const { return posts_[id]; }
+  double time(PostId id) const { return posts_[id].time; }
+  const GeoPoint& location(PostId id) const { return posts_[id].location; }
+  LabelMask labels(PostId id) const { return posts_[id].labels; }
+
+  std::span<const PostId> label_posts(LabelId a) const {
+    return label_lists_[a];
+  }
+
+  size_t num_pairs() const { return num_pairs_; }
+  int max_labels_per_post() const { return max_labels_per_post_; }
+
+  /// Posts of label `a` with time in [lo, hi] (the time window is the
+  /// cheap first filter; callers apply the distance predicate).
+  std::span<const PostId> LabelPostsInTimeRange(LabelId a, double lo,
+                                                double hi) const;
+
+ private:
+  friend class GeoInstanceBuilder;
+  std::vector<GeoPost> posts_;
+  std::vector<std::vector<PostId>> label_lists_;
+  int num_labels_ = 0;
+  size_t num_pairs_ = 0;
+  int max_labels_per_post_ = 0;
+};
+
+class GeoInstanceBuilder {
+ public:
+  explicit GeoInstanceBuilder(int num_labels);
+
+  GeoInstanceBuilder& Add(double time, GeoPoint location, LabelMask labels,
+                          uint64_t external_id = 0);
+
+  size_t size() const { return posts_.size(); }
+
+  Result<GeoInstance> Build();
+
+ private:
+  int num_labels_;
+  std::vector<GeoPost> posts_;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_SPATIAL_GEO_INSTANCE_H_

@@ -1,0 +1,234 @@
+#include "spatial/geo_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/solver.h"
+#include "util/logging.h"
+
+namespace mqd {
+
+bool GeoCovers(const GeoInstance& inst, const GeoCoverage& cov,
+               PostId coverer, PostId coveree) {
+  if (std::fabs(inst.time(coverer) - inst.time(coveree)) >
+      cov.lambda_seconds) {
+    return false;
+  }
+  return HaversineKm(inst.location(coverer), inst.location(coveree)) <=
+         cov.lambda_km;
+}
+
+std::vector<UncoveredGeoPair> FindUncoveredGeoPairs(
+    const GeoInstance& inst, const GeoCoverage& cov,
+    const std::vector<PostId>& selected) {
+  std::vector<std::vector<PostId>> per_label(
+      static_cast<size_t>(inst.num_labels()));
+  {
+    std::vector<PostId> sorted = selected;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    for (PostId z : sorted) {
+      ForEachLabel(inst.labels(z),
+                   [&](LabelId a) { per_label[a].push_back(z); });
+    }
+  }
+  std::vector<UncoveredGeoPair> uncovered;
+  for (LabelId a = 0; a < static_cast<LabelId>(inst.num_labels()); ++a) {
+    const std::vector<PostId>& zs = per_label[a];
+    size_t lo = 0;
+    for (PostId p : inst.label_posts(a)) {
+      const double t = inst.time(p);
+      while (lo < zs.size() &&
+             inst.time(zs[lo]) < t - cov.lambda_seconds) {
+        ++lo;
+      }
+      bool covered = false;
+      for (size_t k = lo; k < zs.size(); ++k) {
+        if (inst.time(zs[k]) > t + cov.lambda_seconds) break;
+        if (GeoCovers(inst, cov, zs[k], p)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) uncovered.push_back(UncoveredGeoPair{p, a});
+    }
+  }
+  return uncovered;
+}
+
+Result<std::vector<PostId>> SolveGeoGreedy(const GeoInstance& inst,
+                                           const GeoCoverage& cov) {
+  const size_t n = inst.num_posts();
+  std::vector<LabelMask> covered(n, 0);
+  std::vector<int64_t> gain(n, 0);
+  size_t remaining = inst.num_pairs();
+
+  // Initial gains: posts each candidate covers, per carried label.
+  for (PostId p = 0; p < n; ++p) {
+    ForEachLabel(inst.labels(p), [&](LabelId a) {
+      for (PostId q : inst.LabelPostsInTimeRange(
+               a, inst.time(p) - cov.lambda_seconds,
+               inst.time(p) + cov.lambda_seconds)) {
+        if (GeoCovers(inst, cov, p, q)) ++gain[p];
+      }
+    });
+  }
+
+  std::vector<PostId> out;
+  while (remaining > 0) {
+    PostId best = kInvalidPost;
+    int64_t best_gain = 0;
+    for (PostId p = 0; p < n; ++p) {
+      if (gain[p] > best_gain) {
+        best_gain = gain[p];
+        best = p;
+      }
+    }
+    if (best == kInvalidPost) {
+      return Status::Internal("geo greedy stalled with uncovered pairs");
+    }
+    out.push_back(best);
+    ForEachLabel(inst.labels(best), [&](LabelId a) {
+      const LabelMask abit = MaskOf(a);
+      for (PostId q : inst.LabelPostsInTimeRange(
+               a, inst.time(best) - cov.lambda_seconds,
+               inst.time(best) + cov.lambda_seconds)) {
+        if ((covered[q] & abit) != 0 ||
+            !GeoCovers(inst, cov, best, q)) {
+          continue;
+        }
+        covered[q] |= abit;
+        --remaining;
+        for (PostId r : inst.LabelPostsInTimeRange(
+                 a, inst.time(q) - cov.lambda_seconds,
+                 inst.time(q) + cov.lambda_seconds)) {
+          if (GeoCovers(inst, cov, r, q)) --gain[r];
+        }
+      }
+    });
+  }
+  internal::CanonicalizeSelection(&out);
+  return out;
+}
+
+namespace {
+
+class GeoBnB {
+ public:
+  GeoBnB(const GeoInstance& inst, const GeoCoverage& cov,
+         uint64_t max_nodes)
+      : inst_(inst),
+        cov_(cov),
+        max_nodes_(max_nodes),
+        covered_(inst.num_posts(), 0),
+        remaining_(inst.num_pairs()) {
+    coverers_.resize(inst.num_posts());
+    for (PostId p = 0; p < inst.num_posts(); ++p) {
+      ForEachLabel(inst.labels(p), [&](LabelId a) {
+        std::vector<PostId> cands;
+        for (PostId r : inst.LabelPostsInTimeRange(
+                 a, inst.time(p) - cov.lambda_seconds,
+                 inst.time(p) + cov.lambda_seconds)) {
+          if (GeoCovers(inst, cov, r, p)) cands.push_back(r);
+        }
+        coverers_[p].push_back(std::move(cands));
+      });
+    }
+  }
+
+  Result<std::vector<PostId>> Run() {
+    if (inst_.num_posts() == 0) return std::vector<PostId>{};
+    MQD_ASSIGN_OR_RETURN(best_, SolveGeoGreedy(inst_, cov_));
+    Recurse();
+    if (exhausted_) {
+      return Status::ResourceExhausted("geo BnB exceeded its node budget");
+    }
+    internal::CanonicalizeSelection(&best_);
+    return best_;
+  }
+
+ private:
+  void Recurse() {
+    if (exhausted_) return;
+    if (++nodes_ > max_nodes_) {
+      exhausted_ = true;
+      return;
+    }
+    if (remaining_ == 0) {
+      if (chosen_.size() < best_.size()) best_ = chosen_;
+      return;
+    }
+    if (chosen_.size() + 1 >= best_.size()) return;
+
+    PostId bp = kInvalidPost;
+    int bk = -1;
+    size_t fewest = static_cast<size_t>(-1);
+    for (PostId p = 0; p < inst_.num_posts() && fewest > 1; ++p) {
+      int k = 0;
+      ForEachLabel(inst_.labels(p), [&](LabelId a) {
+        if (!MaskHas(covered_[p], a) && coverers_[p][k].size() < fewest) {
+          fewest = coverers_[p][k].size();
+          bp = p;
+          bk = k;
+        }
+        ++k;
+      });
+    }
+    MQD_DCHECK(bp != kInvalidPost);
+    for (PostId z : coverers_[bp][static_cast<size_t>(bk)]) {
+      const size_t mark = undo_.size();
+      Apply(z);
+      chosen_.push_back(z);
+      Recurse();
+      chosen_.pop_back();
+      Unapply(mark);
+      if (exhausted_) return;
+    }
+  }
+
+  void Apply(PostId z) {
+    ForEachLabel(inst_.labels(z), [&](LabelId a) {
+      for (PostId q : inst_.LabelPostsInTimeRange(
+               a, inst_.time(z) - cov_.lambda_seconds,
+               inst_.time(z) + cov_.lambda_seconds)) {
+        if (!MaskHas(covered_[q], a) && GeoCovers(inst_, cov_, z, q)) {
+          covered_[q] |= MaskOf(a);
+          undo_.push_back({q, a});
+          --remaining_;
+        }
+      }
+    });
+  }
+
+  void Unapply(size_t mark) {
+    while (undo_.size() > mark) {
+      const auto [q, a] = undo_.back();
+      undo_.pop_back();
+      covered_[q] &= ~MaskOf(a);
+      ++remaining_;
+    }
+  }
+
+  const GeoInstance& inst_;
+  const GeoCoverage& cov_;
+  uint64_t max_nodes_;
+  std::vector<LabelMask> covered_;
+  size_t remaining_;
+  std::vector<std::vector<std::vector<PostId>>> coverers_;
+  std::vector<PostId> chosen_;
+  std::vector<PostId> best_;
+  std::vector<std::pair<PostId, LabelId>> undo_;
+  uint64_t nodes_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+Result<std::vector<PostId>> SolveGeoExact(const GeoInstance& inst,
+                                          const GeoCoverage& cov,
+                                          uint64_t max_nodes) {
+  GeoBnB bnb(inst, cov, max_nodes);
+  return bnb.Run();
+}
+
+}  // namespace mqd

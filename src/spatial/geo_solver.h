@@ -1,0 +1,53 @@
+#ifndef MQD_SPATIAL_GEO_SOLVER_H_
+#define MQD_SPATIAL_GEO_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "spatial/geo_instance.h"
+#include "util/result.h"
+
+namespace mqd {
+
+/// Spatiotemporal coverage thresholds: a post lambda-covers a label of
+/// another post when both carry the label, their times differ by at
+/// most lambda_seconds AND their locations are within lambda_km.
+struct GeoCoverage {
+  double lambda_seconds = 3600.0;
+  double lambda_km = 50.0;
+};
+
+/// Does `coverer` cover label `a` of `coveree`? Requires the label on
+/// both posts.
+bool GeoCovers(const GeoInstance& inst, const GeoCoverage& cov,
+               PostId coverer, PostId coveree);
+
+struct UncoveredGeoPair {
+  PostId post;
+  LabelId label;
+  bool operator==(const UncoveredGeoPair&) const = default;
+};
+
+/// Uncovered (post, label) pairs of `selected` (empty = valid cover).
+std::vector<UncoveredGeoPair> FindUncoveredGeoPairs(
+    const GeoInstance& inst, const GeoCoverage& cov,
+    const std::vector<PostId>& selected);
+
+/// GreedySC generalized to the 2-D coverage relation. The per-label
+/// Scan sweep does NOT generalize (2-D coverage regions are not
+/// intervals), so the set-cover greedy is the workhorse here — with
+/// the same ln(|P||L|) guarantee, since the reduction to set cover
+/// never used one-dimensionality.
+Result<std::vector<PostId>> SolveGeoGreedy(const GeoInstance& inst,
+                                           const GeoCoverage& cov);
+
+/// Exact branch-and-bound reference for tiny spatiotemporal
+/// instances (branches on the uncovered pair with fewest coverers,
+/// incumbent seeded by the greedy).
+Result<std::vector<PostId>> SolveGeoExact(const GeoInstance& inst,
+                                          const GeoCoverage& cov,
+                                          uint64_t max_nodes = 20'000'000);
+
+}  // namespace mqd
+
+#endif  // MQD_SPATIAL_GEO_SOLVER_H_

@@ -1,0 +1,212 @@
+#include "stream/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace mqd {
+
+namespace {
+constexpr double kNever = std::numeric_limits<double>::infinity();
+constexpr double kLn2 = 0.6931471805599453;
+}  // namespace
+
+OnlineRateEstimator::OnlineRateEstimator(double half_life_seconds)
+    : half_life_(half_life_seconds) {
+  MQD_CHECK(half_life_seconds > 0.0);
+}
+
+void OnlineRateEstimator::Observe(double t) {
+  if (any_) {
+    weight_ *= std::exp2(-(t - last_) / half_life_);
+  }
+  weight_ += 1.0;
+  last_ = t;
+  any_ = true;
+}
+
+double OnlineRateEstimator::RatePerSecond(double now) const {
+  if (!any_) return 0.0;
+  const double decayed =
+      weight_ * std::exp2(-std::max(0.0, now - last_) / half_life_);
+  return decayed * kLn2 / half_life_;
+}
+
+AdaptiveFeed::AdaptiveFeed(int num_labels, AdaptiveOptions options)
+    : options_(options), labels_(static_cast<size_t>(num_labels)) {
+  MQD_CHECK(num_labels >= 1 && num_labels <= kMaxLabels);
+  MQD_CHECK(options.lambda0 > 0.0 && options.tau >= 0.0);
+  MQD_CHECK(options.min_lambda_fraction > 0.0 &&
+            options.min_lambda_fraction <= 1.0);
+  label_rates_.reserve(static_cast<size_t>(num_labels));
+  for (int i = 0; i < num_labels; ++i) {
+    label_rates_.emplace_back(options.half_life_seconds);
+  }
+}
+
+double AdaptiveFeed::CurrentLambda(LabelId a, double now) const {
+  if (!options_.adaptation_enabled) return options_.lambda0;
+  const double rate_a = label_rates_[a].RatePerSecond(now);
+  // rate0: cumulative mean pair rate per label since the stream began
+  // (the kPerLabelMean reading of the paper's whole-dataset density0).
+  double rate0 = 0.0;
+  if (saw_first_ && now > first_time_) {
+    rate0 = static_cast<double>(total_pairs_) / (now - first_time_) /
+            static_cast<double>(labels_.size());
+  }
+  double lambda = options_.lambda0;
+  if (rate0 > 0.0) {
+    lambda = options_.lambda0 * std::exp(1.0 - rate_a / rate0);
+  }
+  return std::clamp(lambda, options_.lambda0 * options_.min_lambda_fraction,
+                    std::exp(1.0) * options_.lambda0);
+}
+
+double AdaptiveFeed::Deadline(const LabelState& state) {
+  if (state.uncovered.empty()) return kNever;
+  const double t_lu = Entry(state.uncovered.back()).time;
+  return std::min(t_lu + options_.tau, state.min_patience);
+}
+
+void AdaptiveFeed::Fire(LabelId a, double when, std::vector<Output>* out) {
+  LabelState& state = labels_[a];
+  MQD_DCHECK(!state.uncovered.empty());
+  const size_t lu_index = state.uncovered.back();
+  Pending& lu = Entry(lu_index);
+  if (!lu.emitted) {
+    lu.emitted = true;
+    ++emitted_;
+    out->push_back(Output{lu.id, lu.time, when});
+  }
+  state.lc_time = lu.time;
+  state.has_lc = true;
+  for (size_t idx : state.uncovered) --Entry(idx).refs;
+  state.uncovered.clear();
+  state.patience_deadline.clear();
+  state.min_patience = kNever;
+
+  if (options_.cross_label_pruning) {
+    ForEachLabel(lu.labels, [&](LabelId b) {
+      if (b == a) return;
+      LabelState& other = labels_[b];
+      if (!other.has_lc || lu.time > other.lc_time) {
+        other.lc_time = lu.time;
+        other.has_lc = true;
+      }
+      // Coveree-directed removal: q is satisfied when lu lies within
+      // q's own patience.
+      std::deque<size_t> kept_posts;
+      std::deque<double> kept_patience;
+      for (size_t i = 0; i < other.uncovered.size(); ++i) {
+        const Pending& q = Entry(other.uncovered[i]);
+        const double lambda_q = other.patience_deadline[i] - q.time;
+        if (std::fabs(lu.time - q.time) <= lambda_q) {
+          --Entry(other.uncovered[i]).refs;
+        } else {
+          kept_posts.push_back(other.uncovered[i]);
+          kept_patience.push_back(other.patience_deadline[i]);
+        }
+      }
+      other.uncovered = std::move(kept_posts);
+      other.patience_deadline = std::move(kept_patience);
+      // min_patience is left as-is (possibly stale-low: safe).
+    });
+  }
+  TrimRing();
+}
+
+void AdaptiveFeed::TrimRing() {
+  while (!ring_.empty() && ring_.front().refs == 0) {
+    ring_.pop_front();
+    ++ring_base_;
+  }
+}
+
+void AdaptiveFeed::Drain(double now, std::vector<Output>* out) {
+  while (true) {
+    LabelId best = 0;
+    double best_deadline = kNever;
+    for (LabelId a = 0; a < labels_.size(); ++a) {
+      const double d = Deadline(labels_[a]);
+      if (d < best_deadline) {
+        best_deadline = d;
+        best = a;
+      }
+    }
+    if (best_deadline == kNever || best_deadline > now) break;
+    Fire(best, best_deadline, out);
+  }
+}
+
+Result<std::vector<AdaptiveFeed::Output>> AdaptiveFeed::Push(
+    uint64_t post_id, double time, LabelMask labels,
+    double* assigned_lambda) {
+  if (time < last_time_) {
+    return Status::InvalidArgument(
+        StrFormat("out-of-order post at t=%.3f after t=%.3f", time,
+                  last_time_));
+  }
+  if (labels == 0) {
+    return Status::InvalidArgument("post without labels");
+  }
+  const LabelMask universe =
+      labels_.size() == kMaxLabels
+          ? ~LabelMask{0}
+          : (LabelMask{1} << labels_.size()) - 1;
+  if ((labels & ~universe) != 0) {
+    return Status::InvalidArgument("labels outside the universe");
+  }
+  last_time_ = time;
+  std::vector<Output> outputs;
+  Drain(time, &outputs);
+
+  // Update the estimators first so the post's own lambda reflects it.
+  if (!saw_first_) {
+    saw_first_ = true;
+    first_time_ = time;
+  }
+  ForEachLabel(labels, [&](LabelId a) {
+    label_rates_[a].Observe(time);
+    ++total_pairs_;
+  });
+
+  double min_lambda = kNever;
+  const size_t global_index = ring_base_ + ring_.size();
+  Pending pending{post_id, time, labels, /*refs=*/0, /*emitted=*/false};
+  ForEachLabel(labels, [&](LabelId a) {
+    const double lambda = CurrentLambda(a, time);
+    LabelState& state = labels_[a];
+    if (state.has_lc && std::fabs(state.lc_time - time) <= lambda) {
+      return;  // covered on arrival, within its own patience
+    }
+    min_lambda = std::min(min_lambda, lambda);
+    if (state.uncovered.empty()) state.min_patience = kNever;
+    state.uncovered.push_back(global_index);
+    state.patience_deadline.push_back(time + lambda);
+    state.min_patience = std::min(state.min_patience, time + lambda);
+    ++pending.refs;
+  });
+  if (assigned_lambda != nullptr) {
+    *assigned_lambda = min_lambda == kNever ? 0.0 : min_lambda;
+  }
+  if (pending.refs > 0) ring_.push_back(pending);
+  return outputs;
+}
+
+std::vector<AdaptiveFeed::Output> AdaptiveFeed::AdvanceTo(double now) {
+  last_time_ = std::max(last_time_, now);
+  std::vector<Output> outputs;
+  Drain(now, &outputs);
+  return outputs;
+}
+
+std::vector<AdaptiveFeed::Output> AdaptiveFeed::Flush() {
+  std::vector<Output> outputs;
+  Drain(kNever, &outputs);
+  return outputs;
+}
+
+}  // namespace mqd

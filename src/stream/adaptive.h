@@ -1,0 +1,139 @@
+#ifndef MQD_STREAM_ADAPTIVE_H_
+#define MQD_STREAM_ADAPTIVE_H_
+
+#include <deque>
+#include <vector>
+
+#include "core/types.h"
+#include "util/result.h"
+
+namespace mqd {
+
+/// Exponentially decayed arrival-rate estimate: the online analogue of
+/// the fixed-window density of Equation 2. A Poisson stream of rate r
+/// converges to weight r * half_life / ln 2, so the rate read-out is
+/// weight * ln2 / half_life.
+class OnlineRateEstimator {
+ public:
+  explicit OnlineRateEstimator(double half_life_seconds);
+
+  /// Records an arrival at time `t` (non-decreasing).
+  void Observe(double t);
+
+  /// Decayed events-per-second estimate as of `now`.
+  double RatePerSecond(double now) const;
+
+ private:
+  double half_life_;
+  double weight_ = 0.0;
+  double last_ = 0.0;
+  bool any_ = false;
+};
+
+/// Section 6 in the streaming setting ("a dynamic post-specific
+/// diversity threshold can be defined"): each arriving post gets a
+/// personal patience
+///
+///   lambda_a(P) = clamp(lambda0 * exp(1 - rate_a / rate0),
+///                       lambda_min, e * lambda0)
+///
+/// from the per-label EWMA rate versus the cross-label mean rate —
+/// dense topics/periods get small lambdas (more representatives),
+/// sparse ones large lambdas.
+///
+/// Coverage here is *coveree-directed*: post q is satisfied by an
+/// emitted post within lambda_a(q) of q. (The offline Section-6 model
+/// uses the coverer's reach; a live system cannot know a future
+/// coverer's lambda when q's reporting deadline must be scheduled, so
+/// the streaming variant anchors on the arriving post. Both are valid
+/// directional readings of Eq. 2.) Per label the scheduler fires at
+///
+///   min(t_latest_uncovered + tau, min_q (t_q + lambda_a(q)))
+///
+/// which, exactly as in StreamScan, guarantees the emitted post covers
+/// every pending post of its label and is reported within tau.
+struct AdaptiveOptions {
+  double lambda0 = 600.0;
+  double tau = 30.0;
+  /// Floor on the personal lambda, as a fraction of lambda0 (guards
+  /// against Eq. 2's exponential collapse under extreme spikes).
+  double min_lambda_fraction = 0.05;
+  /// EWMA half life for the rate estimators.
+  double half_life_seconds = 300.0;
+  /// When false, every post gets exactly lambda0 (a fixed-lambda
+  /// reference running on the same engine).
+  bool adaptation_enabled = true;
+  bool cross_label_pruning = true;
+};
+
+class AdaptiveFeed {
+ public:
+  struct Output {
+    uint64_t post_id;
+    double post_time;
+    double emit_time;
+  };
+
+  AdaptiveFeed(int num_labels, AdaptiveOptions options);
+
+  /// Pushes a matched post (non-decreasing times; labels non-empty).
+  /// `assigned_lambda` (optional) receives the personal lambda the
+  /// post was given (0 when it was already covered on arrival for all
+  /// its labels).
+  Result<std::vector<Output>> Push(uint64_t post_id, double time,
+                                   LabelMask labels,
+                                   double* assigned_lambda = nullptr);
+
+  std::vector<Output> AdvanceTo(double now);
+  std::vector<Output> Flush();
+
+  size_t emitted() const { return emitted_; }
+  /// Current Eq.-2 lambda for a label, as of `now`.
+  double CurrentLambda(LabelId a, double now) const;
+
+ private:
+  struct Pending {
+    uint64_t id;
+    double time;
+    LabelMask labels;
+    int refs = 0;
+    bool emitted = false;
+  };
+  struct LabelState {
+    std::deque<size_t> uncovered;          // global ring indices
+    std::deque<double> patience_deadline;  // t_q + lambda_q, parallel
+    /// Running min of patience_deadline since the last clear. May go
+    /// stale (too small) after cross-label removals; firing early is
+    /// safe, merely conservative.
+    double min_patience = 0.0;
+    double lc_time = 0.0;
+    bool has_lc = false;
+  };
+
+  Pending& Entry(size_t global_index) {
+    return ring_[global_index - ring_base_];
+  }
+  double Deadline(const LabelState& state);
+  void Fire(LabelId a, double when, std::vector<Output>* out);
+  void Drain(double now, std::vector<Output>* out);
+  void TrimRing();
+
+  AdaptiveOptions options_;
+  std::vector<LabelState> labels_;
+  std::vector<OnlineRateEstimator> label_rates_;
+  /// Baseline rate0 = cumulative (post,label) pairs per second per
+  /// label — the streaming analogue of the paper's density0, which
+  /// averages over the whole dataset rather than a recent window (a
+  /// short-window baseline would cancel against rate_a).
+  uint64_t total_pairs_ = 0;
+  double first_time_ = 0.0;
+  bool saw_first_ = false;
+  std::deque<Pending> ring_;
+  size_t ring_base_ = 0;
+  double last_time_ = -1e300;
+  size_t emitted_ = 0;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_STREAM_ADAPTIVE_H_

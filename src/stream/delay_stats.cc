@@ -1,0 +1,48 @@
+#include "stream/delay_stats.h"
+
+#include <vector>
+
+#include "core/verifier.h"
+#include "util/string_util.h"
+
+namespace mqd {
+
+Status ValidateStreamOutput(const Instance& inst, const CoverageModel& model,
+                            const std::vector<Emission>& emissions,
+                            double tau) {
+  std::vector<PostId> selected;
+  selected.reserve(emissions.size());
+  double last_emit = -kNeverDeadline;
+  for (const Emission& e : emissions) {
+    if (e.post >= inst.num_posts()) {
+      return Status::FailedPrecondition(
+          StrFormat("emission references unknown post %u", e.post));
+    }
+    const double delay = e.emit_time - inst.value(e.post);
+    if (delay < -1e-9) {
+      return Status::FailedPrecondition(StrFormat(
+          "post %u emitted %.6f before it arrived", e.post, -delay));
+    }
+    if (delay > tau + 1e-9) {
+      return Status::FailedPrecondition(StrFormat(
+          "post %u emitted with delay %.6f > tau %.6f", e.post, delay, tau));
+    }
+    if (e.emit_time + 1e-9 < last_emit) {
+      return Status::FailedPrecondition(
+          StrFormat("emission times go backwards at post %u", e.post));
+    }
+    last_emit = e.emit_time;
+    selected.push_back(e.post);
+  }
+  const auto uncovered = FindUncoveredPairs(inst, model, selected);
+  if (!uncovered.empty()) {
+    return Status::FailedPrecondition(
+        StrFormat("%zu (post,label) pairs left uncovered, first: post %u "
+                  "label %u",
+                  uncovered.size(), uncovered.front().post,
+                  uncovered.front().label));
+  }
+  return Status::OK();
+}
+
+}  // namespace mqd

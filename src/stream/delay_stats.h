@@ -1,0 +1,23 @@
+#ifndef MQD_STREAM_DELAY_STATS_H_
+#define MQD_STREAM_DELAY_STATS_H_
+
+#include <vector>
+
+#include "stream/stream_solver.h"
+#include "util/status.h"
+
+namespace mqd {
+
+/// Checks the StreamMQDP output contract for a finished run:
+///  * the emitted set lambda-covers the whole stream;
+///  * every emission happened within [time(post), time(post) + tau];
+///  * emission times are non-decreasing (a live system cannot emit
+///    into the past).
+/// Returns the first violated property as a FailedPrecondition.
+Status ValidateStreamOutput(const Instance& inst, const CoverageModel& model,
+                            const std::vector<Emission>& emissions,
+                            double tau);
+
+}  // namespace mqd
+
+#endif  // MQD_STREAM_DELAY_STATS_H_

@@ -1,0 +1,49 @@
+#include "stream/factory.h"
+
+#include "stream/instant.h"
+#include "stream/stream_greedy.h"
+#include "stream/stream_scan.h"
+#include "util/logging.h"
+
+namespace mqd {
+
+std::string_view StreamKindName(StreamKind kind) {
+  switch (kind) {
+    case StreamKind::kStreamScan:
+      return "StreamScan";
+    case StreamKind::kStreamScanPlus:
+      return "StreamScan+";
+    case StreamKind::kStreamGreedy:
+      return "StreamGreedySC";
+    case StreamKind::kStreamGreedyPlus:
+      return "StreamGreedySC+";
+    case StreamKind::kInstant:
+      return "StreamInstant";
+  }
+  return "?";
+}
+
+std::unique_ptr<StreamProcessor> CreateStreamProcessor(
+    StreamKind kind, const Instance& inst, const CoverageModel& model,
+    double tau) {
+  switch (kind) {
+    case StreamKind::kStreamScan:
+      return std::make_unique<StreamScanProcessor>(inst, model, tau,
+                                                   /*cross=*/false);
+    case StreamKind::kStreamScanPlus:
+      return std::make_unique<StreamScanProcessor>(inst, model, tau,
+                                                   /*cross=*/true);
+    case StreamKind::kStreamGreedy:
+      return std::make_unique<StreamGreedyProcessor>(inst, model, tau,
+                                                     /*stop_at_anchor=*/false);
+    case StreamKind::kStreamGreedyPlus:
+      return std::make_unique<StreamGreedyProcessor>(inst, model, tau,
+                                                     /*stop_at_anchor=*/true);
+    case StreamKind::kInstant:
+      return std::make_unique<InstantStreamProcessor>(inst, model);
+  }
+  MQD_LOG(Fatal) << "unknown stream kind";
+  return nullptr;
+}
+
+}  // namespace mqd

@@ -1,0 +1,30 @@
+#ifndef MQD_STREAM_FACTORY_H_
+#define MQD_STREAM_FACTORY_H_
+
+#include <memory>
+#include <string_view>
+
+#include "stream/stream_solver.h"
+
+namespace mqd {
+
+/// The StreamMQDP algorithms of Section 5.
+enum class StreamKind {
+  kStreamScan,       // delayed per-label scan
+  kStreamScanPlus,   // + cross-label pruning
+  kStreamGreedy,     // windowed GreedySC, cover whole window
+  kStreamGreedyPlus, // windowed GreedySC, stop once the anchor is covered
+  kInstant,          // tau = 0 cache-based output (Scan == GreedySC here)
+};
+
+std::string_view StreamKindName(StreamKind kind);
+
+/// Creates a fresh processor for one replay. `tau` is ignored by
+/// kInstant (it is identically 0 there).
+std::unique_ptr<StreamProcessor> CreateStreamProcessor(
+    StreamKind kind, const Instance& inst, const CoverageModel& model,
+    double tau);
+
+}  // namespace mqd
+
+#endif  // MQD_STREAM_FACTORY_H_

@@ -1,0 +1,23 @@
+#include "stream/instant.h"
+
+namespace mqd {
+
+InstantStreamProcessor::InstantStreamProcessor(const Instance& inst,
+                                               const CoverageModel& model)
+    : StreamProcessor(inst, model),
+      cache_(static_cast<size_t>(inst.num_labels()), kInvalidPost) {}
+
+void InstantStreamProcessor::OnArrival(PostId post) {
+  bool covered = true;
+  ForEachLabel(inst_.labels(post), [&](LabelId a) {
+    if (cache_[a] == kInvalidPost ||
+        !model_.Covers(inst_, cache_[a], a, post)) {
+      covered = false;
+    }
+  });
+  if (covered) return;
+  Emit(post, inst_.value(post));
+  ForEachLabel(inst_.labels(post), [&](LabelId a) { cache_[a] = post; });
+}
+
+}  // namespace mqd

@@ -1,0 +1,44 @@
+#include "stream/replay.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace mqd {
+
+std::vector<PostId> StreamProcessor::SelectedPosts() const {
+  std::vector<PostId> out;
+  out.reserve(emissions_.size());
+  for (const Emission& e : emissions_) out.push_back(e.post);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<StreamRunStats> RunStream(const Instance& inst,
+                                 StreamProcessor* processor) {
+  if (processor == nullptr) {
+    return Status::InvalidArgument("null processor");
+  }
+  Stopwatch watch;
+  for (PostId p = 0; p < inst.num_posts(); ++p) {
+    processor->AdvanceTo(inst.value(p));
+    processor->OnArrival(p);
+  }
+  processor->Finish();
+
+  StreamRunStats stats;
+  stats.num_posts = inst.num_posts();
+  stats.processing_seconds = watch.ElapsedSeconds();
+  stats.num_emitted = processor->emissions().size();
+  double total_delay = 0.0;
+  for (const Emission& e : processor->emissions()) {
+    const double delay = e.emit_time - inst.value(e.post);
+    stats.max_delay = std::max(stats.max_delay, delay);
+    total_delay += delay;
+  }
+  stats.mean_delay =
+      stats.num_emitted == 0 ? 0.0 : total_delay / stats.num_emitted;
+  return stats;
+}
+
+}  // namespace mqd

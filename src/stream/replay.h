@@ -1,0 +1,30 @@
+#ifndef MQD_STREAM_REPLAY_H_
+#define MQD_STREAM_REPLAY_H_
+
+#include "stream/stream_solver.h"
+#include "util/result.h"
+
+namespace mqd {
+
+/// Statistics of one stream replay.
+struct StreamRunStats {
+  size_t num_posts = 0;
+  size_t num_emitted = 0;
+  double max_delay = 0.0;
+  double mean_delay = 0.0;
+  /// Wall-clock processing time of the replay (the efficiency metric
+  /// of Figures 14-15), in seconds.
+  double processing_seconds = 0.0;
+  double processing_micros_per_post() const {
+    return num_posts == 0 ? 0.0 : processing_seconds * 1e6 / num_posts;
+  }
+};
+
+/// Replays the instance (post value = arrival timestamp) through the
+/// processor and collects delay statistics.
+Result<StreamRunStats> RunStream(const Instance& inst,
+                                 StreamProcessor* processor);
+
+}  // namespace mqd
+
+#endif  // MQD_STREAM_REPLAY_H_

@@ -1,0 +1,54 @@
+#ifndef MQD_STREAM_STREAM_GREEDY_H_
+#define MQD_STREAM_STREAM_GREEDY_H_
+
+#include <deque>
+#include <vector>
+
+#include "stream/stream_solver.h"
+
+namespace mqd {
+
+/// StreamGreedySC / StreamGreedySC+ (Section 5.2, delayed output).
+///
+/// Let P' be the oldest post not yet fully covered by emitted posts.
+/// At time time(P') + tau the processor takes the window Z of posts
+/// with timestamps in [time(P'), time(P') + tau] and runs GreedySC on
+/// Z's uncovered (post, label) pairs, emitting the picked posts (each
+/// within its tau budget, since every post in Z is younger than P').
+///
+/// The base variant greedily picks until *all* of Z is covered; the +
+/// variant stops as soon as P' itself is covered and immediately
+/// re-anchors on the next uncovered post (possibly inside Z).
+class StreamGreedyProcessor final : public StreamProcessor {
+ public:
+  StreamGreedyProcessor(const Instance& inst, const CoverageModel& model,
+                        double tau, bool stop_at_anchor = false);
+
+  std::string_view name() const override {
+    return stop_at_anchor_ ? "StreamGreedySC+" : "StreamGreedySC";
+  }
+  void AdvanceTo(double now) override;
+  void OnArrival(PostId post) override;
+  void Finish() override;
+
+ private:
+  /// True when every label of `post` is covered by an emitted post.
+  bool IsCoveredByEmitted(PostId post) const;
+  /// Runs one window batch anchored at anchor_, emitting at `when`.
+  void RunBatch(double when);
+  void RecordEmitted(PostId post);
+
+  double tau_;
+  bool stop_at_anchor_;
+  /// Emitted posts per label, ascending by value (binary searched for
+  /// coverage checks).
+  std::vector<std::vector<PostId>> emitted_per_label_;
+  /// Posts with timestamp >= time(anchor_), candidates for the next
+  /// window; pruned whenever the anchor advances.
+  std::deque<PostId> buffer_;
+  PostId anchor_ = kInvalidPost;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_STREAM_STREAM_GREEDY_H_

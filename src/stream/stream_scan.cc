@@ -1,0 +1,83 @@
+#include "stream/stream_scan.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mqd {
+
+StreamScanProcessor::StreamScanProcessor(const Instance& inst,
+                                         const CoverageModel& model,
+                                         double tau,
+                                         bool cross_label_pruning)
+    : StreamProcessor(inst, model),
+      tau_(tau),
+      cross_label_pruning_(cross_label_pruning),
+      labels_(static_cast<size_t>(inst.num_labels())) {
+  MQD_CHECK(tau >= 0.0) << "tau must be non-negative";
+}
+
+double StreamScanProcessor::Deadline(const LabelState& state) const {
+  if (state.uncovered.empty()) return kNeverDeadline;
+  const double t_lu = inst_.value(state.uncovered.back());
+  const double t_ou = inst_.value(state.uncovered.front());
+  return std::min(t_lu + tau_, t_ou + model_.MaxReach());
+}
+
+void StreamScanProcessor::AdvanceTo(double now) {
+  // Fire all deadlines <= now in time order (firing one may change
+  // others under cross-label pruning).
+  while (true) {
+    LabelId best = 0;
+    double best_deadline = kNeverDeadline;
+    for (LabelId a = 0; a < labels_.size(); ++a) {
+      const double d = Deadline(labels_[a]);
+      if (d < best_deadline) {
+        best_deadline = d;
+        best = a;
+      }
+    }
+    if (best_deadline == kNeverDeadline || best_deadline > now) break;
+    Fire(best, best_deadline);
+  }
+}
+
+void StreamScanProcessor::Fire(LabelId a, double when) {
+  LabelState& state = labels_[a];
+  MQD_DCHECK(!state.uncovered.empty());
+  const PostId lu = state.uncovered.back();
+  Emit(lu, when);
+  state.lc = lu;
+  state.uncovered.clear();
+
+  if (!cross_label_pruning_) return;
+  // StreamScan+: the emitted post also covers pending posts of its
+  // other labels.
+  ForEachLabel(inst_.labels(lu), [&](LabelId b) {
+    if (b == a) return;
+    LabelState& other = labels_[b];
+    if (other.lc == kInvalidPost ||
+        inst_.value(lu) > inst_.value(other.lc)) {
+      other.lc = lu;
+    }
+    auto covered = [&](PostId q) { return model_.Covers(inst_, lu, b, q); };
+    other.uncovered.erase(std::remove_if(other.uncovered.begin(),
+                                         other.uncovered.end(), covered),
+                          other.uncovered.end());
+  });
+}
+
+void StreamScanProcessor::OnArrival(PostId post) {
+  ForEachLabel(inst_.labels(post), [&](LabelId a) {
+    LabelState& state = labels_[a];
+    if (state.lc != kInvalidPost &&
+        model_.Covers(inst_, state.lc, a, post)) {
+      return;  // already covered by the latest outputted relevant post
+    }
+    state.uncovered.push_back(post);
+  });
+}
+
+void StreamScanProcessor::Finish() { AdvanceTo(kNeverDeadline); }
+
+}  // namespace mqd

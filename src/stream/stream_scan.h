@@ -1,0 +1,60 @@
+#ifndef MQD_STREAM_STREAM_SCAN_H_
+#define MQD_STREAM_STREAM_SCAN_H_
+
+#include <deque>
+#include <vector>
+
+#include "stream/stream_solver.h"
+
+namespace mqd {
+
+/// StreamScan / StreamScan+ (Section 5.1, delayed output).
+///
+/// Per label a the processor tracks the oldest and latest uncovered
+/// relevant posts P_ou(a), P_lu(a) and the latest outputted relevant
+/// post P_lc(a), and emits P_lu(a) at time
+///     min(time(P_lu(a)) + tau, time(P_ou(a)) + lambda),
+/// which keeps every reporting delay within tau while covering every
+/// uncovered post accumulated since P_ou(a).
+///
+/// With cross_label_pruning (StreamScan+), emitting a post updates the
+/// state of *every* label it carries: pending uncovered posts that the
+/// emission covers are dropped, often cancelling or postponing other
+/// labels' deadlines.
+///
+/// Approximation: s for tau >= lambda (identical output to Scan), 2s
+/// for 0 <= tau < lambda (Section 5.1).
+class StreamScanProcessor final : public StreamProcessor {
+ public:
+  StreamScanProcessor(const Instance& inst, const CoverageModel& model,
+                      double tau, bool cross_label_pruning = false);
+
+  std::string_view name() const override {
+    return cross_label_pruning_ ? "StreamScan+" : "StreamScan";
+  }
+  void AdvanceTo(double now) override;
+  void OnArrival(PostId post) override;
+  void Finish() override;
+
+ private:
+  struct LabelState {
+    /// Uncovered relevant posts since the last emission, ascending by
+    /// time; front = P_ou, back = P_lu. Plain StreamScan only ever
+    /// needs front/back, StreamScan+ erases covered middles.
+    std::deque<PostId> uncovered;
+    PostId lc = kInvalidPost;
+  };
+
+  double Deadline(const LabelState& state) const;
+  /// Emits the P_lu of label `a` at time `when` and applies the
+  /// per-label (and, for +, cross-label) state updates.
+  void Fire(LabelId a, double when);
+
+  double tau_;
+  bool cross_label_pruning_;
+  std::vector<LabelState> labels_;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_STREAM_STREAM_SCAN_H_

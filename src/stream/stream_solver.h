@@ -1,0 +1,78 @@
+#ifndef MQD_STREAM_STREAM_SOLVER_H_
+#define MQD_STREAM_STREAM_SOLVER_H_
+
+#include <limits>
+#include <string_view>
+#include <vector>
+
+#include "core/coverage.h"
+#include "core/instance.h"
+#include "core/types.h"
+
+namespace mqd {
+
+/// One output decision of a streaming algorithm: `post` was reported
+/// at simulated time `emit_time` (>= the post's timestamp; the
+/// reporting delay is emit_time - value(post) and must not exceed the
+/// algorithm's tau).
+struct Emission {
+  PostId post;
+  double emit_time;
+  bool operator==(const Emission&) const = default;
+};
+
+inline constexpr double kNeverDeadline =
+    std::numeric_limits<double>::infinity();
+
+/// A StreamMQDP algorithm. The replay driver (stream/replay.h) feeds
+/// posts in timestamp order, advancing the simulated clock so that
+/// internal timers (tau/lambda deadlines) fire exactly when they
+/// would in a live system.
+///
+/// Contract:
+///  * AdvanceTo(now) is called with non-decreasing `now` and must fire
+///    every internal deadline <= now, in deadline order;
+///  * OnArrival(p) is called after AdvanceTo(value(p));
+///  * Finish() fires all remaining deadlines (end of stream);
+///  * processors must only inspect posts that have arrived (the shared
+///    Instance carries the whole stream for convenience, but peeking
+///    at the future would falsify the evaluation).
+class StreamProcessor {
+ public:
+  StreamProcessor(const Instance& inst, const CoverageModel& model)
+      : inst_(inst), model_(model), emitted_flag_(inst.num_posts(), false) {}
+  virtual ~StreamProcessor() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual void AdvanceTo(double now) = 0;
+  virtual void OnArrival(PostId post) = 0;
+  virtual void Finish() = 0;
+
+  /// All emissions so far, in emission-time order.
+  const std::vector<Emission>& emissions() const { return emissions_; }
+
+  /// The output Z as sorted PostIds.
+  std::vector<PostId> SelectedPosts() const;
+
+ protected:
+  /// Records an emission; a post already emitted (e.g. for another
+  /// label) is not re-added (Z is a set).
+  void Emit(PostId post, double time) {
+    if (emitted_flag_[post]) return;
+    emitted_flag_[post] = true;
+    emissions_.push_back(Emission{post, time});
+  }
+
+  bool AlreadyEmitted(PostId post) const { return emitted_flag_[post]; }
+
+  const Instance& inst_;
+  const CoverageModel& model_;
+
+ private:
+  std::vector<Emission> emissions_;
+  std::vector<bool> emitted_flag_;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_STREAM_STREAM_SOLVER_H_

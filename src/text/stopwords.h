@@ -1,0 +1,15 @@
+#ifndef MQD_TEXT_STOPWORDS_H_
+#define MQD_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace mqd {
+
+/// True when `word` (already lowercased) is an English stopword. The
+/// built-in list is the usual ~120-word function-word set used by
+/// search engines; topic modeling and indexing both drop these.
+bool IsStopword(std::string_view word);
+
+}  // namespace mqd
+
+#endif  // MQD_TEXT_STOPWORDS_H_

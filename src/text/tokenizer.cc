@@ -1,0 +1,69 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "text/stopwords.h"
+#include "util/string_util.h"
+
+namespace mqd {
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (current.empty()) return;
+    std::string token = std::move(current);
+    current.clear();
+    // Drop URLs.
+    if (StartsWith(token, "http") || StartsWith(token, "www.")) return;
+    // A bare '#'/'$' is noise.
+    const bool tagged = token[0] == '#' || token[0] == '$';
+    const size_t body_len = tagged ? token.size() - 1 : token.size();
+    if (body_len < options_.min_token_length) return;
+    if (options_.remove_stopwords &&
+        IsStopword(tagged ? std::string_view(token).substr(1) : token)) {
+      return;
+    }
+    tokens.push_back(std::move(token));
+  };
+
+  bool skip_chunk = false;  // inside a URL: ignore until whitespace
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char raw = text[i];
+    const unsigned char c = static_cast<unsigned char>(raw);
+    if (skip_chunk) {
+      if (std::isspace(c)) skip_chunk = false;
+      continue;
+    }
+    // Entering a URL chunk ("http://...", "www.example.com"): drop it
+    // wholesale rather than emitting its fragments.
+    if (current == "http" || current == "https") {
+      if (raw == ':') {
+        current.clear();
+        skip_chunk = true;
+        continue;
+      }
+    } else if (current == "www" && raw == '.') {
+      current.clear();
+      skip_chunk = true;
+      continue;
+    }
+    if (std::isalnum(c) || raw == '_') {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else if ((raw == '#' || raw == '$') && current.empty() &&
+               options_.keep_tag_prefixes) {
+      current.push_back(raw);
+    } else if (raw == '\'') {
+      // Collapse contractions ("don't" -> "dont").
+      continue;
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace mqd

@@ -1,0 +1,38 @@
+#ifndef MQD_TEXT_TOKENIZER_H_
+#define MQD_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mqd {
+
+/// Tokenization options for microblog text.
+struct TokenizerOptions {
+  /// Keep the leading '#' of hashtags / '$' of cashtags as part of the
+  /// token ("#nasdaq", "$goog"), the way microblog search engines
+  /// treat them as first-class query atoms.
+  bool keep_tag_prefixes = true;
+  /// Drop tokens shorter than this after normalization.
+  size_t min_token_length = 2;
+  /// Remove stopwords (see text/stopwords.h).
+  bool remove_stopwords = true;
+};
+
+/// Splits text into lowercase word tokens. ASCII-oriented (our corpora
+/// are synthetic English); URLs ("http..." prefixes) are dropped,
+/// alphanumerics plus '_' stay, '#'/'$' prefixes are kept per the
+/// options.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_TEXT_TOKENIZER_H_

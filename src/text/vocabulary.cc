@@ -1,0 +1,34 @@
+#include "text/vocabulary.h"
+
+#include "util/logging.h"
+
+namespace mqd {
+
+TermId Vocabulary::Intern(std::string_view word) {
+  auto it = ids_.find(std::string(word));
+  if (it != ids_.end()) return it->second;
+  const TermId id = static_cast<TermId>(words_.size());
+  words_.emplace_back(word);
+  ids_.emplace(words_.back(), id);
+  return id;
+}
+
+TermId Vocabulary::Find(std::string_view word) const {
+  auto it = ids_.find(std::string(word));
+  return it == ids_.end() ? kInvalidTerm : it->second;
+}
+
+const std::string& Vocabulary::Word(TermId id) const {
+  MQD_CHECK(id < words_.size()) << "term id out of range";
+  return words_[id];
+}
+
+std::vector<TermId> Vocabulary::InternAll(
+    const std::vector<std::string>& tokens) {
+  std::vector<TermId> out;
+  out.reserve(tokens.size());
+  for (const std::string& token : tokens) out.push_back(Intern(token));
+  return out;
+}
+
+}  // namespace mqd

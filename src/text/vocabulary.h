@@ -1,0 +1,41 @@
+#ifndef MQD_TEXT_VOCABULARY_H_
+#define MQD_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mqd {
+
+/// Dense term id.
+using TermId = uint32_t;
+
+inline constexpr TermId kInvalidTerm = static_cast<TermId>(-1);
+
+/// String <-> dense TermId interning table shared by the inverted
+/// index and the topic model. Unbounded (unlike LabelUniverse).
+class Vocabulary {
+ public:
+  /// Interns `word`, returning its id (existing id when present).
+  TermId Intern(std::string_view word);
+
+  /// kInvalidTerm when absent.
+  TermId Find(std::string_view word) const;
+
+  const std::string& Word(TermId id) const;
+
+  size_t size() const { return words_.size(); }
+
+  /// Interns every token, in order.
+  std::vector<TermId> InternAll(const std::vector<std::string>& tokens);
+
+ private:
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, TermId> ids_;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_TEXT_VOCABULARY_H_

@@ -1,0 +1,16 @@
+#include "topics/corpus.h"
+
+namespace mqd {
+
+Corpus::Corpus(TokenizerOptions tokenizer_options)
+    : tokenizer_(tokenizer_options) {}
+
+size_t Corpus::AddDocument(std::string_view text, int tag) {
+  const std::vector<std::string> tokens = tokenizer_.Tokenize(text);
+  docs_.push_back(vocab_.InternAll(tokens));
+  tags_.push_back(tag);
+  num_tokens_ += docs_.back().size();
+  return docs_.size() - 1;
+}
+
+}  // namespace mqd

@@ -1,0 +1,43 @@
+#ifndef MQD_TOPICS_CORPUS_H_
+#define MQD_TOPICS_CORPUS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace mqd {
+
+/// A bag-of-words corpus for topic modeling (documents as TermId
+/// sequences over a shared Vocabulary). The paper trained 300 LDA
+/// topics on ~1M news articles; we train on the synthetic news corpus
+/// of gen/news_gen.h.
+class Corpus {
+ public:
+  explicit Corpus(TokenizerOptions tokenizer_options = {});
+
+  /// Tokenizes and adds a document; returns its index. `tag` is an
+  /// opaque ground-truth marker (the generator's broad-topic id) used
+  /// later to group trained topics; pass -1 when unknown.
+  size_t AddDocument(std::string_view text, int tag = -1);
+
+  size_t num_documents() const { return docs_.size(); }
+  size_t num_terms() const { return vocab_.size(); }
+  size_t num_tokens() const { return num_tokens_; }
+
+  const std::vector<TermId>& document(size_t i) const { return docs_[i]; }
+  int tag(size_t i) const { return tags_[i]; }
+  const Vocabulary& vocabulary() const { return vocab_; }
+
+ private:
+  Tokenizer tokenizer_;
+  Vocabulary vocab_;
+  std::vector<std::vector<TermId>> docs_;
+  std::vector<int> tags_;
+  size_t num_tokens_ = 0;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_TOPICS_CORPUS_H_

@@ -1,0 +1,157 @@
+#include "topics/lda.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mqd {
+
+Result<LdaModel> LdaModel::Train(const Corpus& corpus,
+                                 const LdaConfig& config) {
+  if (config.num_topics < 1) {
+    return Status::InvalidArgument("num_topics must be >= 1");
+  }
+  if (config.alpha <= 0.0 || config.beta <= 0.0) {
+    return Status::InvalidArgument("Dirichlet priors must be positive");
+  }
+  if (corpus.num_documents() == 0 || corpus.num_tokens() == 0) {
+    return Status::InvalidArgument("empty corpus");
+  }
+  LdaModel model(corpus, config);
+  Rng rng(config.seed);
+  model.Initialize(&rng);
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    model.SweepOnce(&rng);
+  }
+  return model;
+}
+
+LdaModel::LdaModel(const Corpus& corpus, LdaConfig config)
+    : corpus_(&corpus), config_(config) {}
+
+void LdaModel::Initialize(Rng* rng) {
+  const size_t num_docs = corpus_->num_documents();
+  const size_t num_terms = corpus_->num_terms();
+  const int k = config_.num_topics;
+
+  assignments_.resize(num_docs);
+  doc_topic_.assign(num_docs, std::vector<int32_t>(static_cast<size_t>(k), 0));
+  topic_term_.assign(static_cast<size_t>(k),
+                     std::vector<int32_t>(num_terms, 0));
+  topic_total_.assign(static_cast<size_t>(k), 0);
+
+  for (size_t d = 0; d < num_docs; ++d) {
+    const std::vector<TermId>& doc = corpus_->document(d);
+    assignments_[d].resize(doc.size());
+    for (size_t i = 0; i < doc.size(); ++i) {
+      const int topic =
+          static_cast<int>(rng->Uniform(static_cast<uint64_t>(k)));
+      assignments_[d][i] = topic;
+      ++doc_topic_[d][static_cast<size_t>(topic)];
+      ++topic_term_[static_cast<size_t>(topic)][doc[i]];
+      ++topic_total_[static_cast<size_t>(topic)];
+    }
+  }
+}
+
+void LdaModel::SweepOnce(Rng* rng) {
+  const int k = config_.num_topics;
+  const double beta = config_.beta;
+  const double alpha = config_.alpha;
+  const double beta_sum = beta * static_cast<double>(corpus_->num_terms());
+  std::vector<double> weights(static_cast<size_t>(k));
+
+  for (size_t d = 0; d < corpus_->num_documents(); ++d) {
+    const std::vector<TermId>& doc = corpus_->document(d);
+    for (size_t i = 0; i < doc.size(); ++i) {
+      const TermId w = doc[i];
+      const int old_topic = assignments_[d][i];
+      // Remove the token from the counts.
+      --doc_topic_[d][static_cast<size_t>(old_topic)];
+      --topic_term_[static_cast<size_t>(old_topic)][w];
+      --topic_total_[static_cast<size_t>(old_topic)];
+
+      // Full conditional p(z = t | .) ~ (n_{d,t} + alpha) *
+      // (n_{t,w} + beta) / (n_t + beta*V).
+      double total = 0.0;
+      for (int t = 0; t < k; ++t) {
+        const size_t ts = static_cast<size_t>(t);
+        const double p =
+            (doc_topic_[d][ts] + alpha) * (topic_term_[ts][w] + beta) /
+            (static_cast<double>(topic_total_[ts]) + beta_sum);
+        total += p;
+        weights[ts] = total;
+      }
+      const double u = rng->NextDouble() * total;
+      const int new_topic = static_cast<int>(
+          std::lower_bound(weights.begin(), weights.end(), u) -
+          weights.begin());
+
+      assignments_[d][i] = new_topic;
+      ++doc_topic_[d][static_cast<size_t>(new_topic)];
+      ++topic_term_[static_cast<size_t>(new_topic)][w];
+      ++topic_total_[static_cast<size_t>(new_topic)];
+    }
+  }
+}
+
+double LdaModel::TopicWordProbability(int topic, TermId term) const {
+  const size_t t = static_cast<size_t>(topic);
+  const double beta_sum =
+      config_.beta * static_cast<double>(corpus_->num_terms());
+  return (topic_term_[t][term] + config_.beta) /
+         (static_cast<double>(topic_total_[t]) + beta_sum);
+}
+
+std::vector<std::pair<std::string, double>> LdaModel::TopWords(
+    int topic, size_t n) const {
+  const size_t t = static_cast<size_t>(topic);
+  std::vector<TermId> terms(corpus_->num_terms());
+  for (TermId w = 0; w < terms.size(); ++w) terms[w] = w;
+  const size_t take = std::min(n, terms.size());
+  std::partial_sort(terms.begin(), terms.begin() + static_cast<long>(take),
+                    terms.end(), [&](TermId a, TermId b) {
+                      return topic_term_[t][a] > topic_term_[t][b];
+                    });
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    out.emplace_back(corpus_->vocabulary().Word(terms[i]),
+                     TopicWordProbability(topic, terms[i]));
+  }
+  return out;
+}
+
+double LdaModel::DocumentTopicProbability(size_t doc, int topic) const {
+  const std::vector<int32_t>& counts = doc_topic_[doc];
+  const double alpha_sum =
+      config_.alpha * static_cast<double>(config_.num_topics);
+  const double len = static_cast<double>(corpus_->document(doc).size());
+  return (counts[static_cast<size_t>(topic)] + config_.alpha) /
+         (len + alpha_sum);
+}
+
+int LdaModel::DominantTopic(size_t doc) const {
+  const std::vector<int32_t>& counts = doc_topic_[doc];
+  return static_cast<int>(std::max_element(counts.begin(), counts.end()) -
+                          counts.begin());
+}
+
+double LdaModel::TokenLogLikelihood() const {
+  double total = 0.0;
+  size_t tokens = 0;
+  for (size_t d = 0; d < corpus_->num_documents(); ++d) {
+    for (TermId w : corpus_->document(d)) {
+      double p = 0.0;
+      for (int t = 0; t < config_.num_topics; ++t) {
+        p += DocumentTopicProbability(d, t) * TopicWordProbability(t, w);
+      }
+      total += std::log(std::max(p, 1e-300));
+      ++tokens;
+    }
+  }
+  return tokens == 0 ? 0.0 : total / static_cast<double>(tokens);
+}
+
+}  // namespace mqd

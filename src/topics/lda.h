@@ -1,0 +1,73 @@
+#ifndef MQD_TOPICS_LDA_H_
+#define MQD_TOPICS_LDA_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "topics/corpus.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace mqd {
+
+/// Latent Dirichlet Allocation trained by collapsed Gibbs sampling —
+/// the stand-in for the Mallet LDA run of Section 7.1 (the paper:
+/// "We applied unsupervised LDA ... to generate 300 topics", keeping
+/// the 40 highest-weight keywords per topic).
+struct LdaConfig {
+  int num_topics = 20;
+  /// Symmetric Dirichlet priors (Mallet-style defaults scaled for
+  /// short synthetic articles).
+  double alpha = 0.1;
+  double beta = 0.01;
+  int iterations = 150;
+  uint64_t seed = 42;
+};
+
+class LdaModel {
+ public:
+  /// Runs the Gibbs sampler over the corpus.
+  static Result<LdaModel> Train(const Corpus& corpus,
+                                const LdaConfig& config);
+
+  int num_topics() const { return config_.num_topics; }
+
+  /// phi_{k,w}: smoothed probability of term w under topic k.
+  double TopicWordProbability(int topic, TermId term) const;
+
+  /// The `n` highest-probability words of a topic with their weights,
+  /// descending (the paper's per-topic keyword lists, Table 1).
+  std::vector<std::pair<std::string, double>> TopWords(int topic,
+                                                       size_t n) const;
+
+  /// theta_{d,k}: smoothed topic proportion of document d.
+  double DocumentTopicProbability(size_t doc, int topic) const;
+
+  /// argmax_k theta_{d,k}.
+  int DominantTopic(size_t doc) const;
+
+  /// Mean per-token log-likelihood under the trained model (higher is
+  /// better; used to sanity-check convergence).
+  double TokenLogLikelihood() const;
+
+ private:
+  LdaModel(const Corpus& corpus, LdaConfig config);
+
+  void Initialize(Rng* rng);
+  void SweepOnce(Rng* rng);
+
+  const Corpus* corpus_;
+  LdaConfig config_;
+  /// topic assignment of every token, parallel to corpus docs.
+  std::vector<std::vector<int>> assignments_;
+  /// n_{k,w}: topic-term counts; n_k: tokens per topic; n_{d,k}.
+  std::vector<std::vector<int32_t>> topic_term_;
+  std::vector<int64_t> topic_total_;
+  std::vector<std::vector<int32_t>> doc_topic_;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_TOPICS_LDA_H_

@@ -1,0 +1,64 @@
+#include "topics/topic_model.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace mqd {
+
+std::vector<Topic> ExtractTopics(const LdaModel& lda,
+                                 size_t keywords_per_topic) {
+  std::vector<Topic> topics;
+  topics.reserve(static_cast<size_t>(lda.num_topics()));
+  for (int t = 0; t < lda.num_topics(); ++t) {
+    Topic topic;
+    topic.name = StrFormat("topic-%d", t);
+    for (auto& [word, weight] : lda.TopWords(t, keywords_per_topic)) {
+      topic.keywords.push_back(word);
+      topic.weights.push_back(weight);
+    }
+    topics.push_back(std::move(topic));
+  }
+  return topics;
+}
+
+void GroupTopicsByTag(const Corpus& corpus, const LdaModel& lda,
+                      double min_purity, std::vector<Topic>* topics) {
+  const int k = lda.num_topics();
+  // mass[t][tag] = sum over docs with that tag of len(d) * theta_{d,t}.
+  std::vector<std::map<int, double>> mass(static_cast<size_t>(k));
+  std::vector<double> total(static_cast<size_t>(k), 0.0);
+  for (size_t d = 0; d < corpus.num_documents(); ++d) {
+    const int tag = corpus.tag(d);
+    const double len = static_cast<double>(corpus.document(d).size());
+    for (int t = 0; t < k; ++t) {
+      const double w = len * lda.DocumentTopicProbability(d, t);
+      mass[static_cast<size_t>(t)][tag] += w;
+      total[static_cast<size_t>(t)] += w;
+    }
+  }
+  for (int t = 0; t < k && t < static_cast<int>(topics->size()); ++t) {
+    const size_t ts = static_cast<size_t>(t);
+    int best_tag = -1;
+    double best_mass = 0.0;
+    for (const auto& [tag, m] : mass[ts]) {
+      if (tag >= 0 && m > best_mass) {
+        best_mass = m;
+        best_tag = tag;
+      }
+    }
+    Topic& topic = (*topics)[ts];
+    topic.purity = total[ts] > 0.0 ? best_mass / total[ts] : 0.0;
+    topic.group = topic.purity >= min_purity ? best_tag : -1;
+  }
+}
+
+std::vector<Topic> KeepUnambiguous(std::vector<Topic> topics) {
+  topics.erase(std::remove_if(topics.begin(), topics.end(),
+                              [](const Topic& t) { return t.group < 0; }),
+               topics.end());
+  return topics;
+}
+
+}  // namespace mqd

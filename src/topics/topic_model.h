@@ -1,0 +1,47 @@
+#ifndef MQD_TOPICS_TOPIC_MODEL_H_
+#define MQD_TOPICS_TOPIC_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "topics/lda.h"
+
+namespace mqd {
+
+/// A query topic: the unit the paper uses as a "query"/label. Each
+/// trained LDA topic is kept as its top-k keyword list; a post matches
+/// the topic when it contains at least one keyword (Section 7.1).
+struct Topic {
+  std::string name;
+  std::vector<std::string> keywords;  // descending weight
+  std::vector<double> weights;
+  /// Broad-topic group (politics, sports, ...); -1 = discarded as
+  /// ambiguous.
+  int group = -1;
+  /// Fraction of the topic's probability mass explained by its
+  /// dominant broad topic (the grouping confidence).
+  double purity = 0.0;
+};
+
+/// Extracts the top-`keywords_per_topic` keyword lists of every
+/// trained topic (paper: top 40).
+std::vector<Topic> ExtractTopics(const LdaModel& lda,
+                                 size_t keywords_per_topic = 40);
+
+/// Groups topics into broad topics using the corpus ground-truth tags
+/// (simulating the paper's manual grouping by three researchers, who
+/// discarded ambiguous topics — kept 215 of 300): each topic is
+/// assigned the tag whose documents contribute most of the topic's
+/// tokens; topics whose purity is below `min_purity` get group = -1.
+///
+/// `assignment_weight(doc, topic)` is approximated by theta_{d,k}
+/// weighted by document length.
+void GroupTopicsByTag(const Corpus& corpus, const LdaModel& lda,
+                      double min_purity, std::vector<Topic>* topics);
+
+/// Drops group = -1 topics.
+std::vector<Topic> KeepUnambiguous(std::vector<Topic> topics);
+
+}  // namespace mqd
+
+#endif  // MQD_TOPICS_TOPIC_MODEL_H_

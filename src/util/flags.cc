@@ -1,0 +1,104 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace mqd {
+
+void FlagParser::Define(const std::string& name,
+                        const std::string& default_value,
+                        const std::string& help) {
+  flags_[name] = Flag{default_value, default_value, help, false};
+  order_.push_back(name);
+}
+
+void FlagParser::DefineBool(const std::string& name, bool default_value,
+                            const std::string& help) {
+  const std::string v = default_value ? "true" : "false";
+  flags_[name] = Flag{v, v, help, true};
+  order_.push_back(name);
+}
+
+Status FlagParser::Parse(const std::vector<std::string>& args) {
+  positional_.clear();
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    if (it->second.is_bool) {
+      it->second.value = has_value ? value : "true";
+      if (it->second.value != "true" && it->second.value != "false") {
+        return Status::InvalidArgument("--" + name +
+                                       " expects true/false");
+      }
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument("--" + name + " needs a value");
+      }
+      value = args[++i];
+    }
+    it->second.value = value;
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? "" : it->second.value;
+}
+
+Result<int64_t> FlagParser::GetInt(const std::string& name) const {
+  const std::string value = GetString(name);
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--" + name + " is not an integer: " +
+                                   value);
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> FlagParser::GetDouble(const std::string& name) const {
+  const std::string value = GetString(name);
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--" + name + " is not a number: " +
+                                   value);
+  }
+  return v;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  return GetString(name) == "true";
+}
+
+std::string FlagParser::Help() const {
+  std::string out;
+  for (const std::string& name : order_) {
+    const Flag& flag = flags_.at(name);
+    out += StrFormat("  --%-22s %s (default: %s)\n", name.c_str(),
+                     flag.help.c_str(), flag.default_value.c_str());
+  }
+  return out;
+}
+
+}  // namespace mqd

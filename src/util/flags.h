@@ -1,0 +1,57 @@
+#ifndef MQD_UTIL_FLAGS_H_
+#define MQD_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace mqd {
+
+/// Minimal command-line parser for the bundled tools:
+/// `tool <command> [--flag value] [--flag=value] [--switch] args...`.
+/// Unknown flags are errors (catching typos beats silently ignoring
+/// them).
+class FlagParser {
+ public:
+  /// Declares a flag with a default; declaration order is the help
+  /// order.
+  void Define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+  void DefineBool(const std::string& name, bool default_value,
+                  const std::string& help);
+
+  /// Parses argv after the command word. Fails on unknown flags or
+  /// missing values.
+  Status Parse(const std::vector<std::string>& args);
+
+  /// Typed access (after Parse; falls back to the default otherwise).
+  std::string GetString(const std::string& name) const;
+  Result<int64_t> GetInt(const std::string& name) const;
+  Result<double> GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// Non-flag positional arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Formatted flag help.
+  std::string Help() const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+    bool is_bool = false;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_UTIL_FLAGS_H_

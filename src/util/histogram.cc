@@ -1,0 +1,71 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace mqd {
+
+Histogram::Histogram(double lo, double hi, size_t num_buckets)
+    : lo_(lo), hi_(hi), buckets_(num_buckets, 0) {
+  MQD_CHECK(num_buckets >= 1);
+  MQD_CHECK(lo < hi);
+}
+
+size_t Histogram::BucketOf(double value) const {
+  if (value < lo_) return 0;
+  if (value >= hi_) return buckets_.size() - 1;
+  const double fraction = (value - lo_) / (hi_ - lo_);
+  return std::min(buckets_.size() - 1,
+                  static_cast<size_t>(fraction * buckets_.size()));
+}
+
+void Histogram::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketOf(value)];
+}
+
+double Histogram::Quantile(double q) const {
+  MQD_CHECK(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  uint64_t seen = 0;
+  const double width = (hi_ - lo_) / static_cast<double>(buckets_.size());
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (static_cast<double>(seen) >= target) {
+      return lo_ + (static_cast<double>(b) + 0.5) * width;
+    }
+  }
+  return hi_;
+}
+
+std::string Histogram::ToString(size_t bar_width) const {
+  std::string out;
+  const double width = (hi_ - lo_) / static_cast<double>(buckets_.size());
+  uint64_t peak = 1;
+  for (uint64_t b : buckets_) peak = std::max(peak, b);
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    const double begin = lo_ + static_cast<double>(b) * width;
+    const size_t bar = static_cast<size_t>(
+        static_cast<double>(buckets_[b]) / static_cast<double>(peak) *
+        static_cast<double>(bar_width));
+    out += StrFormat("[%10s, %10s) %-*s %llu\n",
+                     FormatDouble(begin, 2).c_str(),
+                     FormatDouble(begin + width, 2).c_str(),
+                     static_cast<int>(bar_width),
+                     std::string(bar, '#').c_str(),
+                     static_cast<unsigned long long>(buckets_[b]));
+  }
+  return out;
+}
+
+}  // namespace mqd

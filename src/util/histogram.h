@@ -1,0 +1,49 @@
+#ifndef MQD_UTIL_HISTOGRAM_H_
+#define MQD_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mqd {
+
+/// Fixed-bucket linear histogram over [lo, hi); values outside the
+/// range land in saturated edge buckets. Used for delay and
+/// solution-size distributions in the evaluation harness.
+class Histogram {
+ public:
+  /// `num_buckets` >= 1; `lo < hi`.
+  Histogram(double lo, double hi, size_t num_buckets);
+
+  void Add(double value);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Approximate quantile from the bucket midpoints; q in [0, 1].
+  double Quantile(double q) const;
+
+  uint64_t bucket_count(size_t bucket) const { return buckets_[bucket]; }
+  size_t num_buckets() const { return buckets_.size(); }
+
+  /// Multi-line ASCII rendering ("[lo, hi) ####### n").
+  std::string ToString(size_t bar_width = 40) const;
+
+ private:
+  size_t BucketOf(double value) const;
+
+  double lo_;
+  double hi_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_UTIL_HISTOGRAM_H_

@@ -1,0 +1,65 @@
+#include "util/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace mqd {
+namespace internal {
+
+namespace {
+
+LogLevel g_level = LogLevel::kInfo;
+std::once_flag g_level_init;
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+void InitFromEnv() {
+  if (const char* env = std::getenv("MQD_LOG_LEVEL")) {
+    int v = std::atoi(env);
+    if (v >= 0 && v <= 4) g_level = static_cast<LogLevel>(v);
+  }
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() {
+  std::call_once(g_level_init, InitFromEnv);
+  return g_level;
+}
+
+void SetLogLevel(LogLevel level) {
+  std::call_once(g_level_init, InitFromEnv);
+  g_level = level;
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= GetLogLevel() || level_ == LogLevel::kFatal) {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (level_ == LogLevel::kFatal) std::abort();
+}
+
+}  // namespace internal
+}  // namespace mqd

@@ -1,0 +1,74 @@
+#ifndef MQD_UTIL_LOGGING_H_
+#define MQD_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+#include "util/status.h"
+
+namespace mqd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+namespace internal {
+
+/// Minimum level that is emitted; default kInfo. Settable via
+/// SetLogLevel or the MQD_LOG_LEVEL env var (0..4) at first use.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Stream-style log sink. Emits the accumulated message on
+/// destruction; aborts the process for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// A sink that swallows everything (for disabled levels).
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define MQD_LOG_INTERNAL(level) \
+  ::mqd::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define MQD_LOG(severity) MQD_LOG_INTERNAL(::mqd::LogLevel::k##severity)
+
+/// Always-on invariant check; logs expression and aborts on failure.
+#define MQD_CHECK(cond)                                            \
+  if (!(cond))                                                     \
+  MQD_LOG(Fatal) << "Check failed: " #cond " "
+
+#define MQD_CHECK_OK(expr)                                    \
+  do {                                                        \
+    ::mqd::Status _st = (expr);                               \
+    if (!_st.ok()) MQD_LOG(Fatal) << "Status not OK: " << _st.ToString(); \
+  } while (false)
+
+/// Debug-only invariant check (compiled out in NDEBUG builds).
+#ifdef NDEBUG
+#define MQD_DCHECK(cond) \
+  while (false) MQD_CHECK(cond)
+#else
+#define MQD_DCHECK(cond) MQD_CHECK(cond)
+#endif
+
+}  // namespace mqd
+
+#endif  // MQD_UTIL_LOGGING_H_

@@ -1,0 +1,92 @@
+#ifndef MQD_UTIL_RESULT_H_
+#define MQD_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace mqd {
+
+/// A value-or-error holder in the spirit of arrow::Result /
+/// absl::StatusOr. A Result is either a T or a non-OK Status; default
+/// construction is not allowed.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status (failure). Constructing from an OK
+  /// status is a programming error and aborts.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      std::cerr << "Result constructed from OK status\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; Status::OK() when holding a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Accesses the value. Aborts (with the error printed) if not ok();
+  /// call ok()/status() first on fallible paths.
+  const T& value() const& {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    DieIfError();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::cerr << "Result::value() on error: "
+                << std::get<Status>(repr_).ToString() << "\n";
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, returning the
+/// error status to the caller on failure.
+#define MQD_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define MQD_ASSIGN_OR_RETURN(lhs, expr) \
+  MQD_ASSIGN_OR_RETURN_IMPL(MQD_CONCAT_(_mqd_result_, __LINE__), lhs, expr)
+
+#define MQD_CONCAT_INNER_(a, b) a##b
+#define MQD_CONCAT_(a, b) MQD_CONCAT_INNER_(a, b)
+
+}  // namespace mqd
+
+#endif  // MQD_UTIL_RESULT_H_

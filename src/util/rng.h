@@ -1,0 +1,88 @@
+#ifndef MQD_UTIL_RNG_H_
+#define MQD_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mqd {
+
+/// Deterministic, seedable PRNG (xoshiro256**) plus the distributions
+/// the workload generators need. Not thread-safe; create one per
+/// thread. We deliberately avoid std::mt19937 + std::*_distribution so
+/// that generated workloads are bit-identical across standard library
+/// implementations.
+class Rng {
+ public:
+  /// Seeds the four-word state via SplitMix64 expansion of `seed`.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift
+  /// rejection method; bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal deviate (Marsaglia polar method).
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential deviate with the given rate (mean 1/rate); rate > 0.
+  double Exponential(double rate);
+
+  /// Poisson deviate; uses inversion for small mean, normal
+  /// approximation with rounding for mean > 64.
+  int64_t Poisson(double mean);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Zipf(s) sampler over ranks {0, ..., n-1}; rank 0 is the most
+/// popular. Precomputes the CDF (O(n) space) for O(log n) sampling,
+/// which is the right trade-off for our vocabulary/topic sizes.
+class ZipfSampler {
+ public:
+  /// `n` items with exponent `s` (s = 0 degenerates to uniform).
+  ZipfSampler(size_t n, double s);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of a given rank.
+  double Pmf(size_t rank) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+  std::vector<double> pmf_;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_UTIL_RNG_H_

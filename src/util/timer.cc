@@ -1,0 +1,3 @@
+// Stopwatch/TimeAccumulator are header-only; this TU anchors the
+// module so every mqd_* library has at least one object file.
+#include "util/timer.h"

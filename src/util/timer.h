@@ -1,0 +1,56 @@
+#ifndef MQD_UTIL_TIMER_H_
+#define MQD_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace mqd {
+
+/// Wall-clock stopwatch over std::chrono::steady_clock, used by the
+/// benchmark harness to report per-post execution times.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Elapsed time since construction/Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Accumulates multiple timed sections (e.g. algorithm invocations
+/// across label sets) and reports totals/means.
+class TimeAccumulator {
+ public:
+  void Add(double seconds) {
+    total_ += seconds;
+    ++count_;
+  }
+
+  double total_seconds() const { return total_; }
+  uint64_t count() const { return count_; }
+  double mean_seconds() const { return count_ == 0 ? 0.0 : total_ / count_; }
+
+  void Reset() {
+    total_ = 0.0;
+    count_ = 0;
+  }
+
+ private:
+  double total_ = 0.0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_UTIL_TIMER_H_

@@ -1,0 +1,190 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stream/adaptive.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace mqd {
+namespace {
+
+TEST(RateEstimatorTest, ConvergesToPoissonRate) {
+  OnlineRateEstimator est(/*half_life=*/60.0);
+  EXPECT_DOUBLE_EQ(est.RatePerSecond(0.0), 0.0);
+  Rng rng(3);
+  // Poisson arrivals at 2 per second for 10 minutes.
+  double t = 0.0;
+  while (t < 600.0) {
+    t += rng.Exponential(2.0);
+    est.Observe(t);
+  }
+  EXPECT_NEAR(est.RatePerSecond(600.0), 2.0, 0.4);
+  // Decays toward zero when the stream stops.
+  EXPECT_LT(est.RatePerSecond(600.0 + 600.0),
+            est.RatePerSecond(600.0) / 500.0);
+}
+
+TEST(RateEstimatorTest, StepChangeTracked) {
+  OnlineRateEstimator est(30.0);
+  for (double t = 0.0; t < 300.0; t += 1.0) est.Observe(t);  // 1/s
+  const double before = est.RatePerSecond(300.0);
+  for (double t = 300.0; t < 600.0; t += 0.2) est.Observe(t);  // 5/s
+  const double after = est.RatePerSecond(600.0);
+  EXPECT_NEAR(before, 1.0, 0.25);
+  EXPECT_NEAR(after, 5.0, 1.0);
+}
+
+TEST(AdaptiveFeedTest, ValidatesInput) {
+  AdaptiveFeed feed(2, {});
+  ASSERT_TRUE(feed.Push(1, 10.0, MaskOf(0)).ok());
+  EXPECT_FALSE(feed.Push(2, 5.0, MaskOf(0)).ok());   // out of order
+  EXPECT_FALSE(feed.Push(3, 11.0, 0).ok());          // no labels
+  EXPECT_FALSE(feed.Push(4, 11.0, MaskOf(5)).ok());  // unknown label
+}
+
+TEST(AdaptiveFeedTest, ColdStartUsesLambda0) {
+  AdaptiveOptions options;
+  options.lambda0 = 100.0;
+  AdaptiveFeed feed(1, options);
+  // Before any traffic the current lambda is clamped near e*lambda0
+  // or lambda0 (rate0 == 0 -> lambda0 path).
+  EXPECT_NEAR(feed.CurrentLambda(0, 0.0), 100.0, 1e-9);
+}
+
+TEST(AdaptiveFeedTest, EveryPostCoveredWithinItsOwnLambda) {
+  // The streaming contract: for each pushed post q there is an emitted
+  // post within lambda_a(q), and every emission happens within tau of
+  // the emitted post.
+  AdaptiveOptions options;
+  options.lambda0 = 60.0;
+  options.tau = 10.0;
+  AdaptiveFeed feed(2, options);
+
+  Rng rng(9);
+  struct Arrival {
+    double time;
+    double lambda;
+  };
+  std::vector<Arrival> arrivals;
+  std::vector<AdaptiveFeed::Output> outputs;
+  double t = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    t += rng.Exponential(0.8);
+    const LabelMask mask = MaskOf(static_cast<LabelId>(
+        rng.Bernoulli(0.7) ? 0 : 1));
+    double lambda = 0.0;
+    auto out = feed.Push(static_cast<uint64_t>(i), t, mask, &lambda);
+    ASSERT_TRUE(out.ok());
+    outputs.insert(outputs.end(), out->begin(), out->end());
+    if (lambda > 0.0) arrivals.push_back({t, lambda});
+  }
+  auto flushed = feed.Flush();
+  outputs.insert(outputs.end(), flushed.begin(), flushed.end());
+  ASSERT_FALSE(outputs.empty());
+
+  for (const auto& e : outputs) {
+    EXPECT_GE(e.emit_time, e.post_time);
+    EXPECT_LE(e.emit_time - e.post_time, options.tau + 1e-9);
+  }
+  // Coverage: every pending-at-arrival post has an emission within its
+  // personal lambda. (Posts covered on arrival had lambda = 0 and were
+  // within an emitted post's reach by construction.)
+  for (const Arrival& q : arrivals) {
+    bool covered = false;
+    for (const auto& e : outputs) {
+      if (std::fabs(e.post_time - q.time) <= q.lambda + 1e-9) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "post at t=" << q.time;
+  }
+}
+
+TEST(AdaptiveFeedTest, DenseLabelGetsSmallerLambda) {
+  AdaptiveOptions options;
+  options.lambda0 = 100.0;
+  options.half_life_seconds = 60.0;
+  AdaptiveFeed feed(2, options);
+  Rng rng(4);
+  double t = 0.0;
+  // Label 0: 2/s; label 1: 0.05/s.
+  double next1 = rng.Exponential(0.05);
+  for (int i = 0; i < 2000; ++i) {
+    t += rng.Exponential(2.0);
+    ASSERT_TRUE(feed.Push(static_cast<uint64_t>(i), t, MaskOf(0)).ok());
+    if (t > next1) {
+      ASSERT_TRUE(
+          feed.Push(static_cast<uint64_t>(10000 + i), t, MaskOf(1)).ok());
+      next1 = t + rng.Exponential(0.05);
+    }
+  }
+  const double dense = feed.CurrentLambda(0, t);
+  const double sparse = feed.CurrentLambda(1, t);
+  EXPECT_LT(dense, sparse);
+  // Bounds: clamped to [min_fraction * lambda0, e * lambda0].
+  EXPECT_GE(dense, options.lambda0 * options.min_lambda_fraction - 1e-9);
+  EXPECT_LE(sparse, std::exp(1.0) * options.lambda0 + 1e-9);
+}
+
+TEST(AdaptiveFeedTest, BurstProducesMoreRepresentativesThanFixedRate) {
+  // A burst hour at 10x the base rate must receive proportionally more
+  // emissions per post-time than under the post-burst regime... at
+  // minimum, the per-minute emission rate during the burst exceeds the
+  // quiet-period one while per-post compression is higher in the
+  // burst.
+  AdaptiveOptions options;
+  options.lambda0 = 120.0;
+  options.tau = 20.0;
+  options.half_life_seconds = 120.0;
+  AdaptiveFeed feed(1, options);
+  Rng rng(11);
+  std::vector<AdaptiveFeed::Output> outputs;
+  double t = 0.0;
+  uint64_t id = 0;
+  auto push_span = [&](double end, double rate) {
+    while (true) {
+      const double next = t + rng.Exponential(rate);
+      if (next >= end) break;
+      t = next;
+      auto out = feed.Push(id++, t, MaskOf(0));
+      MQD_CHECK(out.ok()) << out.status();
+      outputs.insert(outputs.end(), out->begin(), out->end());
+    }
+    t = end;  // clock carries across spans
+  };
+  // Quiet history first (the baseline rate0 is a cumulative mean, so
+  // adaptation needs context), then the burst, then quiet again.
+  push_span(3600.0, 0.1);  // quiet: 0.1/s for 60 min
+  push_span(5400.0, 1.0);  // burst: 1/s for 30 min
+  push_span(9000.0, 0.1);  // quiet: 0.1/s for 60 min
+  auto flushed = feed.Flush();
+  outputs.insert(outputs.end(), flushed.begin(), flushed.end());
+
+  size_t burst_emissions = 0, quiet_emissions = 0;
+  for (const auto& e : outputs) {
+    const bool in_burst =
+        e.post_time >= 3600.0 && e.post_time < 5400.0;
+    (in_burst ? burst_emissions : quiet_emissions) += 1;
+  }
+  const double burst_per_min = burst_emissions / 30.0;
+  const double quiet_per_min = quiet_emissions / 120.0;
+  EXPECT_GT(burst_per_min, quiet_per_min);
+}
+
+TEST(AdaptiveFeedTest, MemoryBounded) {
+  AdaptiveOptions options;
+  options.lambda0 = 5.0;
+  options.tau = 1.0;
+  AdaptiveFeed feed(1, options);
+  for (int i = 0; i < 30000; ++i) {
+    ASSERT_TRUE(
+        feed.Push(static_cast<uint64_t>(i), i * 0.05, MaskOf(0)).ok());
+  }
+  feed.Flush();
+  EXPECT_GT(feed.emitted(), 50u);
+}
+
+}  // namespace
+}  // namespace mqd

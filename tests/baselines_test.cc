@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/scan.h"
+#include "core/verifier.h"
+#include "gen/instance_gen.h"
+#include "test_helpers.h"
+
+namespace mqd {
+namespace {
+
+using ::mqd::testing::MakeInstance;
+
+Instance LadderInstance() {
+  // Ten posts, values 0..9, alternating labels.
+  InstanceBuilder b(2);
+  for (int i = 0; i < 10; ++i) {
+    b.Add(static_cast<double>(i), MaskOf(static_cast<LabelId>(i % 2)),
+          static_cast<uint64_t>(i));
+  }
+  auto inst = b.Build();
+  MQD_CHECK(inst.ok());
+  return std::move(inst).value();
+}
+
+TEST(MaxMinDispersionTest, SpreadsAcrossRange) {
+  Instance inst = LadderInstance();
+  auto picks = MaxMinDispersion(inst, 3);
+  ASSERT_EQ(picks.size(), 3u);
+  // First pick is the earliest post; second the farthest (value 9).
+  EXPECT_EQ(picks.front(), 0u);
+  EXPECT_EQ(picks.back(), 9u);
+}
+
+TEST(MaxMinDispersionTest, EdgeBudgets) {
+  Instance inst = LadderInstance();
+  EXPECT_TRUE(MaxMinDispersion(inst, 0).empty());
+  EXPECT_EQ(MaxMinDispersion(inst, 1).size(), 1u);
+  EXPECT_EQ(MaxMinDispersion(inst, 100).size(), 10u);
+}
+
+TEST(MaxMinDispersionTest, CoincidentValuesTerminate) {
+  Instance inst = MakeInstance(
+      1, {{5.0, MaskOf(0)}, {5.0, MaskOf(0)}, {5.0, MaskOf(0)}});
+  auto picks = MaxMinDispersion(inst, 3);
+  // All posts coincide: dispersion stops after one pick.
+  EXPECT_EQ(picks.size(), 1u);
+}
+
+TEST(TopKNewestTest, PicksSuffix) {
+  Instance inst = LadderInstance();
+  EXPECT_EQ(TopKNewest(inst, 3), (std::vector<PostId>{7, 8, 9}));
+  EXPECT_EQ(TopKNewest(inst, 100).size(), 10u);
+}
+
+TEST(UniformGridTest, PicksSpreadAndDedupes) {
+  Instance inst = LadderInstance();
+  auto picks = UniformGrid(inst, 5);
+  ASSERT_FALSE(picks.empty());
+  EXPECT_LE(picks.size(), 5u);
+  EXPECT_EQ(picks.front(), 0u);
+  EXPECT_EQ(picks.back(), 9u);
+  // k = 1 picks something near the middle.
+  auto one = UniformGrid(inst, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_NEAR(inst.value(one[0]), 4.5, 1.0);
+}
+
+TEST(LabelRoundRobinTest, AlternatesLabels) {
+  Instance inst = LadderInstance();
+  auto picks = LabelRoundRobin(inst, 4);
+  ASSERT_EQ(picks.size(), 4u);
+  // Newest of each label first: posts 8 (label 0), 9 (label 1), then
+  // 6, 7.
+  EXPECT_EQ(picks, (std::vector<PostId>{6, 7, 8, 9}));
+}
+
+TEST(LabelRoundRobinTest, HandlesExhaustedLabels) {
+  Instance inst = MakeInstance(
+      2, {{0.0, MaskOf(0)}, {1.0, MaskOf(0)}, {2.0, MaskOf(1)}});
+  auto picks = LabelRoundRobin(inst, 3);
+  EXPECT_EQ(picks.size(), 3u);
+}
+
+TEST(UncoveredPairFractionTest, BoundsAndMonotonicity) {
+  InstanceGenConfig cfg;
+  cfg.num_labels = 3;
+  cfg.duration = 600.0;
+  cfg.posts_per_minute = 30.0;
+  cfg.seed = 17;
+  auto inst = GenerateInstance(cfg);
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(10.0);
+
+  EXPECT_DOUBLE_EQ(UncoveredPairFraction(*inst, model, {}), 1.0);
+
+  ScanSolver scan;
+  auto cover = scan.Solve(*inst, model);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_DOUBLE_EQ(UncoveredPairFraction(*inst, model, *cover), 0.0);
+
+  // Label-oblivious baselines of the same size leave pairs uncovered
+  // on multi-label instances (the paper's core argument).
+  const size_t k = cover->size();
+  const double maxmin =
+      UncoveredPairFraction(*inst, model, MaxMinDispersion(*inst, k));
+  const double newest =
+      UncoveredPairFraction(*inst, model, TopKNewest(*inst, k));
+  EXPECT_GT(maxmin, 0.0);
+  EXPECT_GT(newest, 0.0);
+  EXPECT_LE(maxmin, 1.0);
+}
+
+}  // namespace
+}  // namespace mqd

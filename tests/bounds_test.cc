@@ -1,0 +1,112 @@
+// Tightness constructions for the paper's approximation bounds: the
+// bounds are not just upper bounds, they are achieved (up to the
+// stated constants) by explicit adversarial instances.
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/scan.h"
+#include "core/verifier.h"
+#include "stream/instant.h"
+#include "stream/replay.h"
+#include "test_helpers.h"
+#include "util/logging.h"
+
+namespace mqd {
+namespace {
+
+using ::mqd::testing::MakeInstance;
+
+// Scan's s-approximation is tight: s labels; one hub post carrying all
+// s labels sits at the center of s disjoint singleton-label posts.
+// OPT picks the hub (plus nothing) when the hub covers everything;
+// Scan processes labels separately and picks ~one post per label.
+TEST(BoundTightnessTest, ScanApproachesSTimesOptimal) {
+  for (int s : {2, 3, 4, 6}) {
+    InstanceBuilder builder(s);
+    LabelMask all = 0;
+    for (int a = 0; a < s; ++a) all |= MaskOf(static_cast<LabelId>(a));
+    // Hub at time 0 with every label.
+    builder.Add(0.0, all, 999);
+    // One singleton post per label, each within lambda of the hub but
+    // the singletons mutually apart (still within the hub's reach).
+    for (int a = 0; a < s; ++a) {
+      builder.Add(0.1 + 0.01 * a, MaskOf(static_cast<LabelId>(a)),
+                  static_cast<uint64_t>(a));
+    }
+    auto inst = builder.Build();
+    ASSERT_TRUE(inst.ok());
+    UniformLambda model(1.0);
+
+    BranchAndBoundSolver exact;
+    auto opt = exact.Solve(*inst, model);
+    ASSERT_TRUE(opt.ok());
+    EXPECT_EQ(opt->size(), 1u) << "hub covers everything";
+
+    ScanSolver scan;
+    auto z = scan.Solve(*inst, model);
+    ASSERT_TRUE(z.ok());
+    EXPECT_TRUE(IsCover(*inst, model, *z));
+    // Scan picks per label; thanks to dedup the picks may coincide,
+    // but the per-label sweep picks the LAST post within lambda of the
+    // leftmost uncovered, i.e. the singleton of that label: s picks.
+    EXPECT_EQ(z->size(), static_cast<size_t>(s));
+    EXPECT_LE(z->size(), static_cast<size_t>(s) * opt->size());
+  }
+}
+
+// Instant output is strictly suboptimal on the paper's equally spaced
+// pattern (Figure 5 flavor): with posts exactly lambda apart, instant
+// greedily takes every other post (ceil(n/2)) while the clairvoyant
+// optimum takes every third (ceil(n/3)) -- within the proven 2s bound
+// and approaching ratio 1.5 on this family.
+TEST(BoundTightnessTest, InstantStrictlySuboptimalWithinTwiceBound) {
+  for (int n : {6, 9, 15}) {
+    InstanceBuilder builder(1);
+    for (int i = 0; i < n; ++i) {
+      builder.Add(static_cast<double>(i), MaskOf(0),
+                  static_cast<uint64_t>(i));
+    }
+    auto inst = builder.Build();
+    ASSERT_TRUE(inst.ok());
+    UniformLambda model(1.0);
+
+    InstantStreamProcessor instant(*inst, model);
+    ASSERT_TRUE(RunStream(*inst, &instant).ok());
+    EXPECT_EQ(instant.emissions().size(),
+              static_cast<size_t>((n + 1) / 2));
+
+    BranchAndBoundSolver exact;
+    auto opt = exact.Solve(*inst, model);
+    ASSERT_TRUE(opt.ok());
+    EXPECT_EQ(opt->size(), static_cast<size_t>((n + 2) / 3));
+    EXPECT_GT(instant.emissions().size(), opt->size());
+    EXPECT_LE(instant.emissions().size(), 2 * opt->size());
+  }
+}
+
+// Value-axis reflection invariance: negating all values (and re-
+// sorting) must preserve minimum cover sizes — coverage is symmetric
+// in |difference|.
+TEST(BoundTightnessTest, ReflectionInvariance) {
+  Instance inst = MakeInstance(2, {{0.0, MaskOf(0)},
+                                   {1.0, MaskOf(0) | MaskOf(1)},
+                                   {2.5, MaskOf(1)},
+                                   {3.0, MaskOf(0)},
+                                   {4.0, MaskOf(1)}});
+  InstanceBuilder reflected_builder(2);
+  for (PostId p = 0; p < inst.num_posts(); ++p) {
+    reflected_builder.Add(-inst.value(p), inst.labels(p),
+                          inst.post(p).external_id);
+  }
+  auto reflected = reflected_builder.Build();
+  ASSERT_TRUE(reflected.ok());
+  UniformLambda model(1.0);
+  BranchAndBoundSolver exact;
+  auto a = exact.Solve(inst, model);
+  auto b = exact.Solve(*reflected, model);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->size(), b->size());
+}
+
+}  // namespace
+}  // namespace mqd

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "core/cover_stats.h"
+#include "core/proportional.h"
+#include "core/scan.h"
+#include "gen/instance_gen.h"
+#include "test_helpers.h"
+
+namespace mqd {
+namespace {
+
+using ::mqd::testing::MakeInstance;
+
+TEST(CoverStatsTest, BasicCounts) {
+  Instance inst = MakeInstance(2, {{0.0, MaskOf(0)},
+                                   {1.0, MaskOf(0) | MaskOf(1)},
+                                   {2.0, MaskOf(1)},
+                                   {3.0, MaskOf(1)}});
+  CoverStats stats = ComputeCoverStats(inst, {1});
+  EXPECT_EQ(stats.instance_posts, 4u);
+  EXPECT_EQ(stats.selected_posts, 1u);
+  EXPECT_DOUBLE_EQ(stats.compression, 0.25);
+  EXPECT_EQ(stats.per_label_selected[0], 1u);
+  EXPECT_EQ(stats.per_label_selected[1], 1u);
+  EXPECT_EQ(stats.per_label_posts[0], 2u);
+  EXPECT_EQ(stats.per_label_posts[1], 3u);
+}
+
+TEST(CoverStatsTest, DistancesToRepresentative) {
+  Instance inst = MakeInstance(
+      1, {{0.0, MaskOf(0)}, {2.0, MaskOf(0)}, {10.0, MaskOf(0)}});
+  CoverStats stats = ComputeCoverStats(inst, {1});  // value 2
+  EXPECT_DOUBLE_EQ(stats.max_distance_to_representative, 8.0);
+  EXPECT_DOUBLE_EQ(stats.mean_distance_to_representative,
+                   (2.0 + 0.0 + 8.0) / 3.0);
+}
+
+TEST(CoverStatsTest, EmptySelectionAndInstance) {
+  Instance inst = MakeInstance(1, {{0.0, MaskOf(0)}});
+  CoverStats stats = ComputeCoverStats(inst, {});
+  EXPECT_EQ(stats.selected_posts, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_distance_to_representative, 0.0);
+  InstanceBuilder b(1);
+  auto empty = b.Build();
+  ASSERT_TRUE(empty.ok());
+  CoverStats empty_stats = ComputeCoverStats(*empty, {});
+  EXPECT_DOUBLE_EQ(empty_stats.compression, 0.0);
+}
+
+TEST(CoverStatsTest, LabelDistributionL1) {
+  // Selection over-represents label 0 exclusively.
+  Instance inst = MakeInstance(2, {{0.0, MaskOf(0)},
+                                   {1.0, MaskOf(0)},
+                                   {2.0, MaskOf(1)},
+                                   {3.0, MaskOf(1)}});
+  CoverStats balanced = ComputeCoverStats(inst, {0, 2});
+  EXPECT_NEAR(balanced.label_distribution_l1, 0.0, 1e-12);
+  CoverStats skewed = ComputeCoverStats(inst, {0, 1});
+  EXPECT_NEAR(skewed.label_distribution_l1, 1.0, 1e-12);  // |1-.5|+|0-.5|
+}
+
+TEST(BucketDistributionTest, UniformSelectionIsProportional) {
+  InstanceBuilder b(1);
+  for (int i = 0; i < 100; ++i) {
+    b.Add(static_cast<double>(i), MaskOf(0), static_cast<uint64_t>(i));
+  }
+  auto inst = b.Build();
+  ASSERT_TRUE(inst.ok());
+  std::vector<PostId> every_tenth;
+  for (PostId p = 4; p < 100; p += 10) every_tenth.push_back(p);
+  EXPECT_LT(BucketDistributionL1(*inst, every_tenth, 10), 0.05);
+  // All picks in one bucket: maximal disproportion (~1.8 of max 2).
+  std::vector<PostId> clumped{0, 1, 2, 3, 4};
+  EXPECT_GT(BucketDistributionL1(*inst, clumped, 10), 1.5);
+}
+
+TEST(BucketDistributionTest, ProportionalLambdaBeatsFixedOnBursts) {
+  // The Section-6 metric in action: Eq.-2 covers track a two-phase
+  // distribution more closely than fixed-lambda covers. The density
+  // contrast is kept moderate (~3x) — Equation 2 is exponential in
+  // the density ratio, so extreme spikes overshoot proportionality
+  // (the "drastic variation" the paper's smooth formula guards
+  // against).
+  InstanceBuilder b(1);
+  Rng rng(12);
+  for (int i = 0; i < 360; ++i) {  // dense first hour: 6/min
+    b.Add(rng.UniformDouble(0.0, 3600.0), MaskOf(0),
+          static_cast<uint64_t>(i));
+  }
+  for (int i = 0; i < 240; ++i) {  // sparse second+third hour: 2/min
+    b.Add(rng.UniformDouble(3600.0, 10800.0), MaskOf(0),
+          static_cast<uint64_t>(1000 + i));
+  }
+  auto inst = b.Build();
+  ASSERT_TRUE(inst.ok());
+
+  ProportionalConfig pc;
+  pc.lambda0 = 120.0;
+  pc.base = BaseDensity::kAnyLabel;
+  auto variable = ComputeProportionalLambdas(*inst, pc);
+  ASSERT_TRUE(variable.ok());
+  UniformLambda fixed(pc.lambda0);
+
+  ScanSolver scan;
+  auto z_fixed = scan.Solve(*inst, fixed);
+  auto z_var = scan.Solve(*inst, **variable);
+  ASSERT_TRUE(z_fixed.ok() && z_var.ok());
+  EXPECT_LT(BucketDistributionL1(*inst, *z_var, 12),
+            BucketDistributionL1(*inst, *z_fixed, 12));
+}
+
+}  // namespace
+}  // namespace mqd

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "core/coverage.h"
+#include "core/verifier.h"
+#include "test_helpers.h"
+
+namespace mqd {
+namespace {
+
+using ::mqd::testing::MakeInstance;
+
+// The paper's Figure 2 example: P1(a), P2(a), P3(a,c), P4(c) spaced
+// delta-t apart; lambda = delta-t.
+Instance Figure2Instance() {
+  return MakeInstance(2, {{0.0, MaskOf(0)},           // P1 {a}
+                          {1.0, MaskOf(0)},           // P2 {a}
+                          {2.0, MaskOf(0) | MaskOf(1)},  // P3 {a,c}
+                          {3.0, MaskOf(1)}});         // P4 {c}
+}
+
+TEST(UniformLambdaTest, ReachIsConstantAndSymmetric) {
+  Instance inst = Figure2Instance();
+  UniformLambda model(1.0);
+  EXPECT_TRUE(model.IsUniform());
+  EXPECT_EQ(model.MaxReach(), 1.0);
+  EXPECT_EQ(model.Reach(inst, 0, 0), 1.0);
+  // Example 1 of the paper.
+  EXPECT_TRUE(model.Covers(inst, 1, 0, 0));   // P2 covers a in P1
+  EXPECT_TRUE(model.Covers(inst, 1, 0, 2));   // P2 covers a in P3
+  EXPECT_TRUE(model.Covers(inst, 0, 0, 1));   // P1 covers a in P2
+  EXPECT_TRUE(model.Covers(inst, 2, 0, 1));   // P3 covers a in P2
+  EXPECT_TRUE(model.Covers(inst, 2, 1, 3));   // P3 covers c in P4
+  EXPECT_TRUE(model.Covers(inst, 3, 1, 2));   // P4 covers c in P3
+  EXPECT_FALSE(model.Covers(inst, 0, 0, 2));  // P1 too far from P3
+}
+
+TEST(UniformLambdaTest, BoundaryIsInclusive) {
+  Instance inst = MakeInstance(1, {{0.0, MaskOf(0)}, {5.0, MaskOf(0)}});
+  UniformLambda model(5.0);
+  EXPECT_TRUE(model.Covers(inst, 0, 0, 1));
+  UniformLambda tight(4.999);
+  EXPECT_FALSE(tight.Covers(inst, 0, 0, 1));
+}
+
+TEST(VariableLambdaTest, DirectionalCoverage) {
+  // Two posts 3 apart; p0 has reach 4 (covers p1), p1 has reach 1
+  // (does not cover p0): the Section 6 asymmetry.
+  Instance inst = MakeInstance(1, {{0.0, MaskOf(0)}, {3.0, MaskOf(0)}});
+  VariableLambda model({{4.0}, {1.0}}, /*max_reach=*/4.0);
+  EXPECT_FALSE(model.IsUniform());
+  EXPECT_TRUE(model.Covers(inst, 0, 0, 1));
+  EXPECT_FALSE(model.Covers(inst, 1, 0, 0));
+}
+
+TEST(VariableLambdaTest, PerLabelReach) {
+  // One post with two labels at different reaches; reaches are stored
+  // in ascending label order.
+  Instance inst = MakeInstance(4, {{0.0, MaskOf(1) | MaskOf(3)},
+                                   {2.0, MaskOf(1) | MaskOf(3)}});
+  VariableLambda model({{1.0, 5.0}, {1.0, 5.0}}, 5.0);
+  EXPECT_EQ(model.Reach(inst, 0, 1), 1.0);
+  EXPECT_EQ(model.Reach(inst, 0, 3), 5.0);
+  EXPECT_FALSE(model.Covers(inst, 0, 1, 1));
+  EXPECT_TRUE(model.Covers(inst, 0, 3, 1));
+}
+
+TEST(VerifierTest, PaperExample2) {
+  // Example 2: {P2, P4} lambda-covers all four posts.
+  Instance inst = Figure2Instance();
+  UniformLambda model(1.0);
+  EXPECT_TRUE(IsCover(inst, model, {1, 3}));
+  EXPECT_EQ(CountCoveredPairs(inst, model, {1, 3}), inst.num_pairs());
+}
+
+TEST(VerifierTest, DetectsUncoveredLabelDespiteNearbyPost) {
+  // A post matching only 'a' does not cover a post matching only 'c'
+  // even at the same value (the paper's key coverage point).
+  Instance inst =
+      MakeInstance(2, {{1.0, MaskOf(0)}, {1.0, MaskOf(1)}});
+  UniformLambda model(10.0);
+  auto uncovered = FindUncoveredPairs(inst, model, {0});
+  ASSERT_EQ(uncovered.size(), 1u);
+  EXPECT_EQ(uncovered[0].post, 1u);
+  EXPECT_EQ(uncovered[0].label, 1u);
+  EXPECT_FALSE(IsCover(inst, model, {0}));
+  EXPECT_TRUE(IsCover(inst, model, {0, 1}));
+}
+
+TEST(VerifierTest, MultiLabelPostNeedsAllLabelsCovered) {
+  // P1 {a,b}: selecting an 'a' neighbour and a 'b' neighbour jointly
+  // covers it (Definition 1 allows different coverers per label).
+  Instance inst = MakeInstance(2, {{0.0, MaskOf(0)},
+                                   {1.0, MaskOf(0) | MaskOf(1)},
+                                   {2.0, MaskOf(1)}});
+  UniformLambda model(1.0);
+  EXPECT_FALSE(IsCover(inst, model, {0}));
+  EXPECT_FALSE(IsCover(inst, model, {2}));
+  EXPECT_TRUE(IsCover(inst, model, {0, 2}));
+  EXPECT_TRUE(IsCover(inst, model, {1}));
+}
+
+TEST(VerifierTest, EmptySelectionOnEmptyInstanceIsCover) {
+  InstanceBuilder b(1);
+  auto inst = b.Build();
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(1.0);
+  EXPECT_TRUE(IsCover(*inst, model, {}));
+}
+
+TEST(VerifierTest, DuplicatesInSelectionAreTolerated) {
+  Instance inst = Figure2Instance();
+  UniformLambda model(1.0);
+  EXPECT_TRUE(IsCover(inst, model, {1, 1, 3, 3, 1}));
+}
+
+TEST(VerifierTest, ZeroLambdaRequiresExactValueMatch) {
+  Instance inst = MakeInstance(
+      1, {{1.0, MaskOf(0)}, {1.0, MaskOf(0)}, {2.0, MaskOf(0)}});
+  UniformLambda model(0.0);
+  EXPECT_TRUE(IsCover(inst, model, {0, 2}));  // post 1 shares value 1.0
+  EXPECT_FALSE(IsCover(inst, model, {0, 1}));
+}
+
+TEST(VerifierTest, DirectionalCoverInVerifier) {
+  Instance inst = MakeInstance(1, {{0.0, MaskOf(0)}, {3.0, MaskOf(0)}});
+  VariableLambda model({{4.0}, {1.0}}, 4.0);
+  // p0 covers both; p1 covers only itself.
+  EXPECT_TRUE(IsCover(inst, model, {0}));
+  EXPECT_FALSE(IsCover(inst, model, {1}));
+}
+
+}  // namespace
+}  // namespace mqd

@@ -1,0 +1,128 @@
+// Second-layer cross-validation properties tying independent
+// implementations to each other:
+//  * StreamGreedySC with a window spanning the whole stream must equal
+//    static GreedySC exactly (the batch IS the instance);
+//  * StreamScan with tau >= lambda equals static Scan (paper claim,
+//    already covered) — here the + variants are compared for size;
+//  * OPT's transition budget guard trips cleanly;
+//  * the instant processor is a subset relation sanity check.
+#include <gtest/gtest.h>
+
+#include "core/greedy_sc.h"
+#include "core/opt_dp.h"
+#include "core/scan.h"
+#include "core/verifier.h"
+#include "gen/instance_gen.h"
+#include "stream/factory.h"
+#include "stream/instant.h"
+#include "stream/replay.h"
+#include "util/logging.h"
+
+namespace mqd {
+namespace {
+
+class WholeWindowTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WholeWindowTest, StreamGreedyWithWholeStreamWindowEqualsStatic) {
+  InstanceGenConfig cfg;
+  cfg.num_labels = 3;
+  cfg.duration = 300.0;
+  cfg.posts_per_minute = 30.0;
+  cfg.overlap_rate = 1.4;
+  cfg.seed = GetParam();
+  auto inst = GenerateInstance(cfg);
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(20.0);
+
+  // tau > stream span: the first (only) batch window contains every
+  // post, so the windowed greedy degenerates to Algorithm 2.
+  auto stream = CreateStreamProcessor(StreamKind::kStreamGreedy, *inst,
+                                      model, /*tau=*/cfg.duration + 10.0);
+  ASSERT_TRUE(RunStream(*inst, stream.get()).ok());
+
+  GreedySCSolver greedy;
+  auto statically = greedy.Solve(*inst, model);
+  ASSERT_TRUE(statically.ok());
+  EXPECT_EQ(stream->SelectedPosts(), *statically);
+}
+
+TEST_P(WholeWindowTest, StreamScanPlusNeverWorseThanStreamScan) {
+  InstanceGenConfig cfg;
+  cfg.num_labels = 3;
+  cfg.duration = 300.0;
+  cfg.posts_per_minute = 30.0;
+  cfg.overlap_rate = 1.5;
+  cfg.seed = GetParam() + 100;
+  auto inst = GenerateInstance(cfg);
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(15.0);
+  for (double tau : {5.0, 15.0, 40.0}) {
+    auto plain = CreateStreamProcessor(StreamKind::kStreamScan, *inst,
+                                       model, tau);
+    auto plus = CreateStreamProcessor(StreamKind::kStreamScanPlus, *inst,
+                                      model, tau);
+    ASSERT_TRUE(RunStream(*inst, plain.get()).ok());
+    ASSERT_TRUE(RunStream(*inst, plus.get()).ok());
+    EXPECT_LE(plus->emissions().size(), plain->emissions().size())
+        << "tau " << tau;
+  }
+}
+
+TEST_P(WholeWindowTest, InstantIsSupersetSizeOfDelayedScan) {
+  // Waiting never hurts: the zero-delay cache algorithm emits at least
+  // as many posts as StreamScan with a generous delay.
+  InstanceGenConfig cfg;
+  cfg.num_labels = 2;
+  cfg.duration = 300.0;
+  cfg.posts_per_minute = 25.0;
+  cfg.overlap_rate = 1.2;
+  cfg.seed = GetParam() + 200;
+  auto inst = GenerateInstance(cfg);
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(15.0);
+  InstantStreamProcessor instant(*inst, model);
+  ASSERT_TRUE(RunStream(*inst, &instant).ok());
+  auto delayed = CreateStreamProcessor(StreamKind::kStreamScan, *inst,
+                                       model, /*tau=*/15.0);
+  ASSERT_TRUE(RunStream(*inst, delayed.get()).ok());
+  EXPECT_GE(instant.emissions().size(), delayed->emissions().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WholeWindowTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+TEST(OptGuardTest, TransitionBudgetTripsCleanly) {
+  InstanceGenConfig cfg;
+  cfg.num_labels = 3;
+  cfg.duration = 600.0;
+  cfg.posts_per_minute = 40.0;
+  cfg.overlap_rate = 1.5;
+  cfg.seed = 5;
+  auto inst = GenerateInstance(cfg);
+  ASSERT_TRUE(inst.ok());
+  OptConfig guard;
+  guard.max_transitions = 1000;  // absurdly small
+  OptDpSolver opt(guard);
+  UniformLambda model(30.0);
+  const auto result = opt.Solve(*inst, model);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GreedyCrossCheckTest, GreedyNeverBeatsExactButCoversAlways) {
+  Rng rng(88);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto inst = GenerateTinyInstance(20, 4, 3, 30, &rng);
+    ASSERT_TRUE(inst.ok());
+    for (double lambda : {1.0, 4.0, 16.0}) {
+      UniformLambda model(lambda);
+      GreedySCSolver greedy;
+      auto z = greedy.Solve(*inst, model);
+      ASSERT_TRUE(z.ok());
+      EXPECT_TRUE(IsCover(*inst, model, *z));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mqd

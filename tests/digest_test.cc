@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "pipeline/digest.h"
+#include "test_helpers.h"
+
+namespace mqd {
+namespace {
+
+using ::mqd::testing::MakeInstance;
+
+std::vector<Topic> TwoTopics() {
+  Topic a;
+  a.name = "politics";
+  a.keywords = {"obama"};
+  Topic b;
+  b.name = "finance";
+  b.keywords = {"nasdaq"};
+  return {a, b};
+}
+
+TEST(DigestTest, RendersSectionsAndStats) {
+  const auto topics = TwoTopics();
+  Instance inst = MakeInstance(2, {{0.0, MaskOf(0)},
+                                   {1.0, MaskOf(0) | MaskOf(1)},
+                                   {2.0, MaskOf(1)},
+                                   {3.0, MaskOf(1)}});
+  DigestRenderer renderer(&topics);
+  const std::string out = renderer.Render(inst, {1, 3});
+  EXPECT_NE(out.find("2 of 4 posts (50.0%)"), std::string::npos) << out;
+  EXPECT_NE(out.find("[politics]"), std::string::npos);
+  EXPECT_NE(out.find("[finance]"), std::string::npos);
+  EXPECT_NE(out.find("feed   |"), std::string::npos);
+  EXPECT_NE(out.find("digest |"), std::string::npos);
+  EXPECT_NE(out.find("mean distance to representative"),
+            std::string::npos);
+}
+
+TEST(DigestTest, CapsItemsPerTopic) {
+  const auto topics = TwoTopics();
+  InstanceBuilder b(1);
+  std::vector<PostId> all;
+  for (int i = 0; i < 20; ++i) {
+    b.Add(i, MaskOf(0), static_cast<uint64_t>(i));
+    all.push_back(static_cast<PostId>(i));
+  }
+  auto inst = b.Build();
+  ASSERT_TRUE(inst.ok());
+  DigestRenderer::Options options;
+  options.max_items_per_topic = 3;
+  DigestRenderer renderer(&topics, options);
+  const std::string out = renderer.Render(*inst, all);
+  EXPECT_NE(out.find("..."), std::string::npos);
+  // 3 listed entries + the count header mention.
+  EXPECT_EQ(static_cast<size_t>(std::count(out.begin(), out.end(), '#')) >=
+                3,
+            true);
+}
+
+TEST(DigestTest, TimelineHandlesEmptyAndDegenerate) {
+  const auto topics = TwoTopics();
+  DigestRenderer renderer(&topics);
+  InstanceBuilder b(1);
+  auto empty = b.Build();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_NE(renderer.RenderTimeline(*empty, {}).find("empty"),
+            std::string::npos);
+
+  Instance one = MakeInstance(1, {{5.0, MaskOf(0)}});
+  const std::string line = renderer.RenderTimeline(one, {0});
+  EXPECT_NE(line.find("feed   |"), std::string::npos);
+}
+
+TEST(DigestTest, SentimentDimensionLabel) {
+  const auto topics = TwoTopics();
+  DigestRenderer::Options options;
+  options.dimension_name = "sentiment";
+  DigestRenderer renderer(&topics, options);
+  Instance inst = MakeInstance(1, {{-0.5, MaskOf(0)}, {0.5, MaskOf(0)}});
+  const std::string out = renderer.Render(inst, {0, 1});
+  EXPECT_NE(out.find("sentiment=-0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mqd

@@ -1,0 +1,103 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/scan.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "gen/instance_gen.h"
+
+namespace mqd {
+namespace {
+
+TEST(MetricsTest, RelativeError) {
+  EXPECT_DOUBLE_EQ(RelativeError(10, 10), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeError(15, 10), 0.5);
+  EXPECT_DOUBLE_EQ(RelativeError(5, 10), 0.5);
+  EXPECT_DOUBLE_EQ(RelativeError(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeError(3, 0), 1.0);
+}
+
+TEST(MetricsTest, RunningStats) {
+  RunningStats stats;
+  EXPECT_EQ(stats.mean(), 0.0);
+  for (double x : {1.0, 2.0, 3.0, 4.0}) stats.Add(x);
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+  EXPECT_NEAR(stats.stddev(), 1.118, 1e-3);
+}
+
+TEST(MetricsTest, Percentile) {
+  std::vector<double> v{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(TableTest, AlignedOutput) {
+  TablePrinter table({"alg", "size"});
+  table.AddRow({"Scan", "120"});
+  table.AddNumericRow({3.14159, 2.0}, 2);
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alg"), std::string::npos);
+  EXPECT_NE(out.find("Scan"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableTest, CsvEscaping) {
+  TablePrinter table({"name", "note"});
+  table.AddRow({"a,b", "say \"hi\""});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(ExperimentTest, BenchScaleDefaultsToOne) {
+  EXPECT_GT(BenchScale(), 0.0);
+}
+
+TEST(ExperimentTest, TimedSolveReturnsValidCoverAndTiming) {
+  InstanceGenConfig cfg;
+  cfg.num_labels = 2;
+  cfg.duration = 120.0;
+  cfg.posts_per_minute = 60.0;
+  cfg.seed = 3;
+  auto inst = GenerateInstance(cfg);
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(5.0);
+  ScanSolver scan;
+  auto timed = RunTimedSolve(scan, *inst, model);
+  ASSERT_TRUE(timed.ok());
+  EXPECT_FALSE(timed->selection.empty());
+  EXPECT_GE(timed->seconds, 0.0);
+  EXPECT_GE(timed->micros_per_post, 0.0);
+}
+
+TEST(ExperimentTest, TimedStreamRunsAllKinds) {
+  InstanceGenConfig cfg;
+  cfg.num_labels = 2;
+  cfg.duration = 120.0;
+  cfg.posts_per_minute = 30.0;
+  cfg.seed = 4;
+  auto inst = GenerateInstance(cfg);
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(10.0);
+  for (StreamKind kind :
+       {StreamKind::kStreamScan, StreamKind::kStreamScanPlus,
+        StreamKind::kStreamGreedy, StreamKind::kStreamGreedyPlus,
+        StreamKind::kInstant}) {
+    auto timed = RunTimedStream(kind, *inst, model, /*tau=*/5.0);
+    ASSERT_TRUE(timed.ok()) << StreamKindName(kind);
+    EXPECT_FALSE(timed->selection.empty()) << StreamKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace mqd

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/opt_dp.h"
+#include "core/verifier.h"
+#include "gen/instance_gen.h"
+#include "test_helpers.h"
+
+namespace mqd {
+namespace {
+
+using ::mqd::testing::EnumerateOptimum;
+using ::mqd::testing::MakeInstance;
+
+TEST(OptTest, PaperExample2IsSizeTwo) {
+  Instance inst = MakeInstance(2, {{0.0, MaskOf(0)},
+                                   {1.0, MaskOf(0)},
+                                   {2.0, MaskOf(0) | MaskOf(1)},
+                                   {3.0, MaskOf(1)}});
+  UniformLambda model(1.0);
+  OptDpSolver opt;
+  auto z = opt.Solve(inst, model);
+  ASSERT_TRUE(z.ok()) << z.status();
+  EXPECT_TRUE(IsCover(inst, model, *z));
+  EXPECT_EQ(z->size(), 2u);
+}
+
+TEST(OptTest, SinglePostSingleLabel) {
+  Instance inst = MakeInstance(1, {{1.0, MaskOf(0)}});
+  UniformLambda model(1.0);
+  OptDpSolver opt;
+  auto z = opt.Solve(inst, model);
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ(*z, (std::vector<PostId>{0}));
+}
+
+TEST(OptTest, EmptyInstance) {
+  InstanceBuilder b(2);
+  auto inst = b.Build();
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(1.0);
+  OptDpSolver opt;
+  auto z = opt.Solve(*inst, model);
+  ASSERT_TRUE(z.ok());
+  EXPECT_TRUE(z->empty());
+}
+
+TEST(OptTest, IntersectingLabelSetsNeedBothPosts) {
+  // Two nearby posts with intersecting but not nested label sets:
+  // neither covers the other (the paper's abstract scenario).
+  Instance inst = MakeInstance(3, {{0.0, MaskOf(0) | MaskOf(1)},
+                                   {0.5, MaskOf(1) | MaskOf(2)}});
+  UniformLambda model(1.0);
+  OptDpSolver opt;
+  auto z = opt.Solve(inst, model);
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ(z->size(), 2u);
+}
+
+TEST(OptTest, NestedLabelSetsNeedOne) {
+  Instance inst = MakeInstance(2, {{0.0, MaskOf(0)},
+                                   {0.5, MaskOf(0) | MaskOf(1)}});
+  UniformLambda model(1.0);
+  OptDpSolver opt;
+  auto z = opt.Solve(inst, model);
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ(*z, (std::vector<PostId>{1}));
+}
+
+TEST(OptTest, RejectsVariableLambda) {
+  Instance inst = MakeInstance(1, {{0.0, MaskOf(0)}});
+  VariableLambda model({{1.0}}, 1.0);
+  OptDpSolver opt;
+  EXPECT_EQ(opt.Solve(inst, model).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(OptTest, TieTimestampsHandled) {
+  // Several posts at identical values (the CNF gadget shape).
+  Instance inst = MakeInstance(2, {{1.0, MaskOf(0)},
+                                   {1.0, MaskOf(1)},
+                                   {2.0, MaskOf(0) | MaskOf(1)},
+                                   {3.0, MaskOf(0)},
+                                   {3.0, MaskOf(1)}});
+  UniformLambda model(1.0);
+  OptDpSolver opt;
+  auto z = opt.Solve(inst, model);
+  ASSERT_TRUE(z.ok());
+  EXPECT_TRUE(IsCover(inst, model, *z));
+  EXPECT_EQ(z->size(), 1u);  // the {a,b} hub covers everything
+}
+
+TEST(OptTest, MatchesEnumerationOnRandomTinyInstances) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 60; ++trial) {
+    auto inst = GenerateTinyInstance(10, 3, 2, 12, &rng);
+    ASSERT_TRUE(inst.ok());
+    UniformLambda model(2.0);
+    OptDpSolver opt;
+    auto z = opt.Solve(*inst, model);
+    ASSERT_TRUE(z.ok()) << z.status();
+    ASSERT_TRUE(IsCover(*inst, model, *z)) << "trial " << trial;
+    EXPECT_EQ(z->size(), EnumerateOptimum(*inst, model))
+        << "trial " << trial;
+  }
+}
+
+TEST(BnBTest, MatchesEnumerationOnRandomTinyInstances) {
+  Rng rng(2025);
+  for (int trial = 0; trial < 60; ++trial) {
+    auto inst = GenerateTinyInstance(12, 3, 2, 15, &rng);
+    ASSERT_TRUE(inst.ok());
+    UniformLambda model(2.5);
+    BranchAndBoundSolver bnb;
+    auto z = bnb.Solve(*inst, model);
+    ASSERT_TRUE(z.ok()) << z.status();
+    ASSERT_TRUE(IsCover(*inst, model, *z)) << "trial " << trial;
+    EXPECT_EQ(z->size(), EnumerateOptimum(*inst, model))
+        << "trial " << trial;
+  }
+}
+
+TEST(BnBTest, ExactUnderDirectionalCoverage) {
+  // Variable-lambda exact reference: cross-check against enumeration
+  // with randomized per-(post,label) reaches.
+  Rng rng(2026);
+  for (int trial = 0; trial < 40; ++trial) {
+    auto inst = GenerateTinyInstance(10, 2, 2, 12, &rng);
+    ASSERT_TRUE(inst.ok());
+    std::vector<std::vector<DimValue>> reaches(inst->num_posts());
+    DimValue max_reach = 0.0;
+    for (PostId p = 0; p < inst->num_posts(); ++p) {
+      for (int k = 0; k < MaskCount(inst->labels(p)); ++k) {
+        const DimValue r = rng.UniformDouble(0.5, 4.0);
+        reaches[p].push_back(r);
+        max_reach = std::max(max_reach, r);
+      }
+    }
+    VariableLambda model(std::move(reaches), max_reach);
+    BranchAndBoundSolver bnb;
+    auto z = bnb.Solve(*inst, model);
+    ASSERT_TRUE(z.ok());
+    ASSERT_TRUE(IsCover(*inst, model, *z)) << "trial " << trial;
+    EXPECT_EQ(z->size(), EnumerateOptimum(*inst, model))
+        << "trial " << trial;
+  }
+}
+
+TEST(OptAndBnBAgreeOnMediumInstances, Sweep) {
+  // Larger than the enumeration oracle allows: the two independent
+  // exact solvers must still agree.
+  Rng rng(31337);
+  for (int trial = 0; trial < 15; ++trial) {
+    auto inst = GenerateTinyInstance(26, 2, 2, 40, &rng);
+    ASSERT_TRUE(inst.ok());
+    UniformLambda model(4.0);
+    OptDpSolver opt;
+    BranchAndBoundSolver bnb;
+    auto a = opt.Solve(*inst, model);
+    auto b = bnb.Solve(*inst, model);
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+    EXPECT_TRUE(IsCover(*inst, model, *a));
+    EXPECT_TRUE(IsCover(*inst, model, *b));
+    EXPECT_EQ(a->size(), b->size()) << "trial " << trial;
+  }
+}
+
+TEST(OptTest, ResourceGuardTrips) {
+  // A dense instance with a tiny state budget must fail cleanly.
+  Rng rng(9);
+  auto inst = GenerateTinyInstance(40, 3, 3, 10, &rng);
+  ASSERT_TRUE(inst.ok());
+  OptConfig config;
+  config.max_candidates_per_step = 4;
+  OptDpSolver opt(config);
+  UniformLambda model(5.0);
+  EXPECT_EQ(opt.Solve(*inst, model).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace mqd

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+
+namespace mqd {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser flags;
+  flags.Define("lambda", "60", "coverage threshold");
+  flags.Define("name", "scan", "algorithm");
+  flags.DefineBool("verbose", false, "chatty output");
+  return flags;
+}
+
+TEST(FlagsTest, DefaultsApply) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(flags.Parse({}).ok());
+  EXPECT_EQ(*flags.GetInt("lambda"), 60);
+  EXPECT_EQ(flags.GetString("name"), "scan");
+  EXPECT_FALSE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, SpaceAndEqualsForms) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(
+      flags.Parse({"--lambda", "120", "--name=greedy"}).ok());
+  EXPECT_EQ(*flags.GetInt("lambda"), 120);
+  EXPECT_EQ(flags.GetString("name"), "greedy");
+}
+
+TEST(FlagsTest, BoolSwitchAndExplicit) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(flags.Parse({"--verbose"}).ok());
+  EXPECT_TRUE(flags.GetBool("verbose"));
+  FlagParser flags2 = MakeParser();
+  ASSERT_TRUE(flags2.Parse({"--verbose=false"}).ok());
+  EXPECT_FALSE(flags2.GetBool("verbose"));
+  FlagParser flags3 = MakeParser();
+  EXPECT_FALSE(flags3.Parse({"--verbose=maybe"}).ok());
+}
+
+TEST(FlagsTest, PositionalArgsCollected) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(
+      flags.Parse({"input.mqdp", "--lambda", "5", "more.txt"}).ok());
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"input.mqdp", "more.txt"}));
+}
+
+TEST(FlagsTest, Errors) {
+  FlagParser flags = MakeParser();
+  EXPECT_FALSE(flags.Parse({"--nope", "1"}).ok());
+  FlagParser flags2 = MakeParser();
+  EXPECT_FALSE(flags2.Parse({"--lambda"}).ok());  // missing value
+}
+
+TEST(FlagsTest, TypedAccessors) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(flags.Parse({"--lambda", "2.5"}).ok());
+  EXPECT_FALSE(flags.GetInt("lambda").ok());  // not an integer
+  EXPECT_DOUBLE_EQ(*flags.GetDouble("lambda"), 2.5);
+  ASSERT_TRUE(flags.Parse({"--name", "abc"}).ok());
+  EXPECT_FALSE(flags.GetDouble("name").ok());
+}
+
+TEST(FlagsTest, HelpListsFlags) {
+  FlagParser flags = MakeParser();
+  const std::string help = flags.Help();
+  EXPECT_NE(help.find("--lambda"), std::string::npos);
+  EXPECT_NE(help.find("coverage threshold"), std::string::npos);
+  EXPECT_NE(help.find("default: 60"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mqd

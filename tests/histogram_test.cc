@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "util/histogram.h"
+#include "util/rng.h"
+
+namespace mqd {
+namespace {
+
+TEST(HistogramTest, EmptyState) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.num_buckets(), 5u);
+}
+
+TEST(HistogramTest, BucketsAndMoments) {
+  Histogram h(0.0, 10.0, 5);
+  for (double v : {1.0, 3.0, 5.0, 7.0, 9.0}) h.Add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 9.0);
+  for (size_t b = 0; b < 5; ++b) EXPECT_EQ(h.bucket_count(b), 1u);
+}
+
+TEST(HistogramTest, OutOfRangeSaturates) {
+  Histogram h(0.0, 10.0, 2);
+  h.Add(-5.0);
+  h.Add(100.0);
+  h.Add(10.0);  // hi is exclusive -> top bucket
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(HistogramTest, QuantilesApproximateNormal) {
+  Histogram h(-5.0, 5.0, 200);
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) h.Add(rng.Normal(0.0, 1.0));
+  EXPECT_NEAR(h.Quantile(0.5), 0.0, 0.1);
+  EXPECT_NEAR(h.Quantile(0.8413), 1.0, 0.15);  // +1 sigma
+  EXPECT_NEAR(h.Quantile(0.1587), -1.0, 0.15);
+  EXPECT_LE(h.Quantile(0.0), h.Quantile(1.0));
+}
+
+TEST(HistogramTest, AsciiRendering) {
+  Histogram h(0.0, 4.0, 2);
+  h.Add(1.0);
+  h.Add(1.5);
+  h.Add(3.0);
+  const std::string out = h.ToString(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);  // peak bucket
+  EXPECT_NE(out.find(" 2\n"), std::string::npos);
+  EXPECT_NE(out.find(" 1\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mqd

@@ -1,0 +1,108 @@
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "index/inverted_index.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace mqd {
+namespace {
+
+InvertedIndex BuildSample(int docs, uint64_t seed) {
+  InvertedIndex index;
+  Rng rng(seed);
+  const std::vector<std::string> words{"obama", "senate",  "nasdaq",
+                                       "goog",  "storm",   "golf",
+                                       "police", "masters", "economy"};
+  for (int i = 0; i < docs; ++i) {
+    std::string text;
+    const int len = 2 + static_cast<int>(rng.Uniform(7));
+    for (int w = 0; w < len; ++w) {
+      text += words[rng.Uniform(words.size())] + " ";
+    }
+    MQD_CHECK(
+        index.AddDocument(static_cast<uint64_t>(i), i, text).ok());
+  }
+  return index;
+}
+
+TEST(IndexIoTest, RoundTripPreservesQueries) {
+  InvertedIndex original = BuildSample(500, 1);
+  std::stringstream buffer;
+  ASSERT_TRUE(original.Save(buffer).ok());
+  auto loaded = InvertedIndex::Load(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ(loaded->num_documents(), original.num_documents());
+  EXPECT_EQ(loaded->num_terms(), original.num_terms());
+  EXPECT_EQ(loaded->postings_byte_size(), original.postings_byte_size());
+  for (DocId d = 0; d < original.num_documents(); d += 37) {
+    EXPECT_EQ(loaded->timestamp(d), original.timestamp(d));
+    EXPECT_EQ(loaded->external_id(d), original.external_id(d));
+  }
+  for (const std::string term :
+       {"obama", "nasdaq", "golf", "absent"}) {
+    const PostingList* a = original.Postings(term);
+    const PostingList* b = loaded->Postings(term);
+    ASSERT_EQ(a == nullptr, b == nullptr) << term;
+    if (a != nullptr) {
+      EXPECT_EQ(a->ToVector(), b->ToVector()) << term;
+    }
+  }
+  EXPECT_EQ(loaded->MatchAny({"obama", "storm"}),
+            original.MatchAny({"obama", "storm"}));
+  EXPECT_EQ(loaded->MatchAnyInRange({"senate"}, 100.0, 300.0),
+            original.MatchAnyInRange({"senate"}, 100.0, 300.0));
+}
+
+TEST(IndexIoTest, EmptyIndexRoundTrip) {
+  InvertedIndex empty;
+  std::stringstream buffer;
+  ASSERT_TRUE(empty.Save(buffer).ok());
+  auto loaded = InvertedIndex::Load(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_documents(), 0u);
+  EXPECT_EQ(loaded->num_terms(), 0u);
+}
+
+TEST(IndexIoTest, RejectsBadMagic) {
+  std::stringstream buffer("NOTANIDX garbage");
+  EXPECT_FALSE(InvertedIndex::Load(buffer).ok());
+}
+
+TEST(IndexIoTest, RejectsTruncation) {
+  InvertedIndex original = BuildSample(50, 2);
+  std::stringstream buffer;
+  ASSERT_TRUE(original.Save(buffer).ok());
+  const std::string full = buffer.str();
+  for (size_t cut : {full.size() / 4, full.size() / 2, full.size() - 3}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_FALSE(InvertedIndex::Load(truncated).ok()) << "cut " << cut;
+  }
+}
+
+TEST(IndexIoTest, RejectsBitFlip) {
+  InvertedIndex original = BuildSample(50, 3);
+  std::stringstream buffer;
+  ASSERT_TRUE(original.Save(buffer).ok());
+  std::string bytes = buffer.str();
+  bytes[bytes.size() / 2] ^= 0x40;  // corrupt the payload
+  std::stringstream corrupted(bytes);
+  EXPECT_FALSE(InvertedIndex::Load(corrupted).ok());
+}
+
+TEST(IndexIoTest, FileRoundTrip) {
+  InvertedIndex original = BuildSample(100, 4);
+  const std::string path = ::testing::TempDir() + "/mqd_index_test.idx";
+  ASSERT_TRUE(original.SaveToFile(path).ok());
+  auto loaded = InvertedIndex::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_documents(), 100u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(InvertedIndex::LoadFromFile(path).ok());
+}
+
+}  // namespace
+}  // namespace mqd

@@ -1,0 +1,100 @@
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/io.h"
+#include "gen/instance_gen.h"
+#include "test_helpers.h"
+
+namespace mqd {
+namespace {
+
+using ::mqd::testing::MakeInstance;
+
+TEST(InstanceIoTest, RoundTripPreservesEverything) {
+  Rng rng(3);
+  auto original = GenerateTinyInstance(25, 4, 3, 1000, &rng);
+  ASSERT_TRUE(original.ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteInstance(*original, buffer).ok());
+  auto loaded = ReadInstance(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->num_posts(), original->num_posts());
+  EXPECT_EQ(loaded->num_labels(), original->num_labels());
+  for (PostId p = 0; p < original->num_posts(); ++p) {
+    EXPECT_EQ(loaded->value(p), original->value(p)) << p;
+    EXPECT_EQ(loaded->labels(p), original->labels(p)) << p;
+    EXPECT_EQ(loaded->post(p).external_id, original->post(p).external_id);
+  }
+}
+
+TEST(InstanceIoTest, RoundTripExactDoubleValues) {
+  InstanceBuilder b(1);
+  b.Add(0.1 + 0.2, MaskOf(0), 7);  // a value with no short decimal form
+  auto inst = b.Build();
+  ASSERT_TRUE(inst.ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteInstance(*inst, buffer).ok());
+  auto loaded = ReadInstance(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->value(0), inst->value(0));  // bit-exact
+}
+
+TEST(InstanceIoTest, CommentsAndBlanksIgnored) {
+  std::stringstream in(
+      "# a comment\n"
+      "\n"
+      "mqdp 1 2\n"
+      "post 1.5 10 0  # trailing comment\n"
+      "post 2.5 11 0 1\n");
+  auto inst = ReadInstance(in);
+  ASSERT_TRUE(inst.ok()) << inst.status();
+  EXPECT_EQ(inst->num_posts(), 2u);
+  EXPECT_EQ(inst->labels(1), MaskOf(0) | MaskOf(1));
+}
+
+TEST(InstanceIoTest, MalformedInputsRejected) {
+  const std::vector<std::string> bad = {
+      "",                                 // no header
+      "post 1 1 0\n",                     // post before header
+      "mqdp 2 2\npost 1 1 0\n",           // wrong version
+      "mqdp 1 0\n",                       // zero labels
+      "mqdp 1 2\npost abc 1 0\n",         // bad value
+      "mqdp 1 2\npost 1 1 5\n",           // label out of range
+      "mqdp 1 2\nwhat 1 1\n",             // unknown record
+      "mqdp 1 2\npost 1 1\n",             // empty label set
+  };
+  for (const std::string& text : bad) {
+    std::stringstream in(text);
+    EXPECT_FALSE(ReadInstance(in).ok()) << text;
+  }
+}
+
+TEST(InstanceIoTest, FileRoundTrip) {
+  Instance inst = MakeInstance(2, {{1.0, MaskOf(0)}, {2.0, MaskOf(1)}});
+  const std::string path = ::testing::TempDir() + "/mqd_io_test.mqdp";
+  ASSERT_TRUE(WriteInstanceToFile(inst, path).ok());
+  auto loaded = ReadInstanceFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_posts(), 2u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadInstanceFromFile(path).ok());
+  EXPECT_FALSE(ReadInstanceFromFile("/no/such/dir/x.mqdp").ok());
+}
+
+TEST(SelectionIoTest, RoundTrip) {
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSelection({3, 1, 7}, buffer).ok());
+  auto loaded = ReadSelection(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, (std::vector<PostId>{3, 1, 7}));
+}
+
+TEST(SelectionIoTest, RejectsGarbage) {
+  std::stringstream in("1\ntwo\n3\n");
+  EXPECT_FALSE(ReadSelection(in).ok());
+}
+
+}  // namespace
+}  // namespace mqd

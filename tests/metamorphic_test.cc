@@ -1,0 +1,163 @@
+// Metamorphic properties of the MQDP solvers: transformations of the
+// input that provably must not change solution sizes. These catch
+// subtle indexing/window bugs that example-based tests miss.
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/greedy_sc.h"
+#include "core/opt_dp.h"
+#include "core/scan.h"
+#include "core/solver.h"
+#include "core/verifier.h"
+#include "gen/instance_gen.h"
+#include "test_helpers.h"
+
+namespace mqd {
+namespace {
+
+Instance Transform(const Instance& inst, double scale, double shift,
+                   const std::vector<LabelId>& label_perm) {
+  InstanceBuilder b(inst.num_labels());
+  for (PostId p = 0; p < inst.num_posts(); ++p) {
+    LabelMask mask = 0;
+    ForEachLabel(inst.labels(p),
+                 [&](LabelId a) { mask |= MaskOf(label_perm[a]); });
+    b.Add(inst.value(p) * scale + shift, mask, inst.post(p).external_id);
+  }
+  auto out = b.Build();
+  MQD_CHECK(out.ok());
+  return std::move(out).value();
+}
+
+std::vector<LabelId> Identity(int n) {
+  std::vector<LabelId> perm(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+  return perm;
+}
+
+class MetamorphicTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Instance MakeBase() {
+    Rng rng(GetParam());
+    auto inst = GenerateTinyInstance(24, 3, 2, 40, &rng);
+    MQD_CHECK(inst.ok());
+    return std::move(inst).value();
+  }
+};
+
+TEST_P(MetamorphicTest, ValueShiftInvariance) {
+  Instance base = MakeBase();
+  Instance shifted = Transform(base, 1.0, 12345.0,
+                               Identity(base.num_labels()));
+  UniformLambda model(4.0);
+  for (SolverKind kind :
+       {SolverKind::kScan, SolverKind::kScanPlus, SolverKind::kGreedySC,
+        SolverKind::kOpt, SolverKind::kBranchAndBound}) {
+    auto solver = CreateSolver(kind);
+    auto a = solver->Solve(base, model);
+    auto b = solver->Solve(shifted, model);
+    ASSERT_TRUE(a.ok() && b.ok()) << solver->name();
+    EXPECT_EQ(a->size(), b->size()) << solver->name();
+  }
+}
+
+TEST_P(MetamorphicTest, JointValueLambdaScaleInvariance) {
+  Instance base = MakeBase();
+  const double scale = 7.5;
+  Instance scaled = Transform(base, scale, 0.0,
+                              Identity(base.num_labels()));
+  UniformLambda model(4.0);
+  UniformLambda scaled_model(4.0 * scale);
+  for (SolverKind kind : {SolverKind::kScan, SolverKind::kGreedySC,
+                          SolverKind::kBranchAndBound}) {
+    auto solver = CreateSolver(kind);
+    auto a = solver->Solve(base, model);
+    auto b = solver->Solve(scaled, scaled_model);
+    ASSERT_TRUE(a.ok() && b.ok()) << solver->name();
+    EXPECT_EQ(a->size(), b->size()) << solver->name();
+  }
+}
+
+TEST_P(MetamorphicTest, LabelPermutationInvariance) {
+  Instance base = MakeBase();
+  std::vector<LabelId> perm{2, 0, 1};
+  Instance permuted = Transform(base, 1.0, 0.0, perm);
+  UniformLambda model(4.0);
+  // Scan and the exact solvers are label-symmetric; Scan+ is not (its
+  // default order is by label id), so only sizes of symmetric solvers
+  // are asserted.
+  for (SolverKind kind : {SolverKind::kScan, SolverKind::kGreedySC,
+                          SolverKind::kOpt, SolverKind::kBranchAndBound}) {
+    auto solver = CreateSolver(kind);
+    auto a = solver->Solve(base, model);
+    auto b = solver->Solve(permuted, model);
+    ASSERT_TRUE(a.ok() && b.ok()) << solver->name();
+    EXPECT_EQ(a->size(), b->size()) << solver->name();
+  }
+}
+
+TEST_P(MetamorphicTest, ExactSizeMonotoneInLambda) {
+  // Growing lambda can only shrink (or keep) the optimal cover.
+  Instance base = MakeBase();
+  BranchAndBoundSolver exact;
+  size_t prev = SIZE_MAX;
+  for (double lambda : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    UniformLambda model(lambda);
+    auto z = exact.Solve(base, model);
+    ASSERT_TRUE(z.ok());
+    EXPECT_LE(z->size(), prev) << "lambda " << lambda;
+    prev = z->size();
+  }
+}
+
+TEST_P(MetamorphicTest, AddingCoveredDuplicateNeverGrowsOptimum) {
+  // Duplicating an existing post (same value, same labels) leaves the
+  // minimum cover size unchanged.
+  Instance base = MakeBase();
+  UniformLambda model(4.0);
+  BranchAndBoundSolver exact;
+  auto before = exact.Solve(base, model);
+  ASSERT_TRUE(before.ok());
+
+  InstanceBuilder b(base.num_labels());
+  for (PostId p = 0; p < base.num_posts(); ++p) {
+    b.Add(base.value(p), base.labels(p), base.post(p).external_id);
+  }
+  b.Add(base.value(0), base.labels(0), 999);
+  auto bigger = b.Build();
+  ASSERT_TRUE(bigger.ok());
+  auto after = exact.Solve(*bigger, model);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), before->size());
+}
+
+TEST_P(MetamorphicTest, MergingLabelsNeverGrowsOptimum) {
+  // Replacing every occurrence of label 2 by label 1 (coarser queries)
+  // cannot make the problem harder: any cover of the original is a
+  // cover of the merged instance.
+  Instance base = MakeBase();
+  UniformLambda model(4.0);
+  BranchAndBoundSolver exact;
+  auto before = exact.Solve(base, model);
+  ASSERT_TRUE(before.ok());
+
+  InstanceBuilder b(base.num_labels());
+  for (PostId p = 0; p < base.num_posts(); ++p) {
+    LabelMask mask = base.labels(p);
+    if (MaskHas(mask, 2)) {
+      mask = (mask & ~MaskOf(2)) | MaskOf(1);
+    }
+    b.Add(base.value(p), mask, base.post(p).external_id);
+  }
+  auto merged = b.Build();
+  ASSERT_TRUE(merged.ok());
+  auto after = exact.Solve(*merged, model);
+  ASSERT_TRUE(after.ok());
+  EXPECT_LE(after->size(), before->size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetamorphicTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace mqd

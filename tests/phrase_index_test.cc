@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "index/phrase_index.h"
+
+namespace mqd {
+namespace {
+
+class PhraseIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        index_.AddDocument(1, 1.0, "tiger woods wins the masters").ok());
+    ASSERT_TRUE(
+        index_.AddDocument(2, 2.0, "woods near the tiger enclosure").ok());
+    ASSERT_TRUE(index_.AddDocument(3, 3.0,
+                                   "the white house press briefing")
+                    .ok());
+    ASSERT_TRUE(index_.AddDocument(4, 4.0,
+                                   "white paint for the house")
+                    .ok());
+  }
+  PhraseIndex index_;
+};
+
+TEST_F(PhraseIndexTest, TermSearch) {
+  EXPECT_EQ(index_.TermSearch("woods"), (std::vector<DocId>{0, 1}));
+  EXPECT_EQ(index_.TermSearch("briefing"), (std::vector<DocId>{2}));
+  EXPECT_TRUE(index_.TermSearch("absent").empty());
+  EXPECT_TRUE(index_.TermSearch("two words").empty());
+}
+
+TEST_F(PhraseIndexTest, PhraseBeatsBagOfWords) {
+  // Both docs 0 and 1 contain {tiger, woods}, but only doc 0 has the
+  // phrase.
+  EXPECT_EQ(index_.PhraseSearch("tiger woods"), (std::vector<DocId>{0}));
+  EXPECT_EQ(index_.PhraseSearch("white house"), (std::vector<DocId>{2}));
+}
+
+TEST_F(PhraseIndexTest, StopwordsSkippedConsistently) {
+  // "the" is dropped at both index and query time, so the phrase
+  // survives an interleaved stopword.
+  EXPECT_EQ(index_.PhraseSearch("wins the masters"),
+            (std::vector<DocId>{0}));
+}
+
+TEST_F(PhraseIndexTest, SingleAndUnknownPhrases) {
+  EXPECT_EQ(index_.PhraseSearch("woods"), (std::vector<DocId>{0, 1}));
+  EXPECT_TRUE(index_.PhraseSearch("purple elephants").empty());
+  EXPECT_TRUE(index_.PhraseSearch("").empty());
+  EXPECT_TRUE(index_.PhraseSearch("tiger briefing").empty());
+}
+
+TEST_F(PhraseIndexTest, RepeatedTokensInDocument) {
+  PhraseIndex index;
+  ASSERT_TRUE(index.AddDocument(1, 1.0, "buffalo buffalo buffalo").ok());
+  EXPECT_EQ(index.PhraseSearch("buffalo buffalo"),
+            (std::vector<DocId>{0}));
+  EXPECT_EQ(index.PhraseSearch("buffalo buffalo buffalo"),
+            (std::vector<DocId>{0}));
+  EXPECT_TRUE(
+      index.PhraseSearch("buffalo buffalo buffalo buffalo").empty());
+}
+
+TEST_F(PhraseIndexTest, RankedSearchTfIdf) {
+  PhraseIndex index;
+  ASSERT_TRUE(index.AddDocument(1, 1.0, "golf golf golf news").ok());
+  ASSERT_TRUE(index.AddDocument(2, 2.0, "golf news news news").ok());
+  ASSERT_TRUE(index.AddDocument(3, 3.0, "weather report").ok());
+  // "golf" is rarer than... both golf and news occur in 2 docs; tf
+  // decides: doc 0 has tf(golf)=3.
+  auto hits = index.RankedSearch("golf", 10);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].doc, 0u);
+  EXPECT_GT(hits[0].score, hits[1].score);
+  // Multi-term query: doc 1 has tf(news)=3 + tf(golf)=1.
+  auto multi = index.RankedSearch("golf news", 10);
+  ASSERT_EQ(multi.size(), 2u);
+  EXPECT_EQ(multi[0].doc, 1u);
+}
+
+TEST_F(PhraseIndexTest, RankedSearchLimitsAndTies) {
+  PhraseIndex index;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        index.AddDocument(static_cast<uint64_t>(i), i, "golf news").ok());
+  }
+  auto hits = index.RankedSearch("golf", 3);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].doc, 4u);  // recency breaks the tie
+  auto all = index.RankedSearch("golf", 0);
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_TRUE(index.RankedSearch("absent", 5).empty());
+}
+
+TEST_F(PhraseIndexTest, MetadataAndOrdering) {
+  EXPECT_EQ(index_.num_documents(), 4u);
+  EXPECT_EQ(index_.external_id(2), 3u);
+  EXPECT_EQ(index_.timestamp(3), 4.0);
+  PhraseIndex index;
+  ASSERT_TRUE(index.AddDocument(1, 5.0, "abc def").ok());
+  EXPECT_FALSE(index.AddDocument(2, 4.0, "ghi").ok());
+}
+
+}  // namespace
+}  // namespace mqd

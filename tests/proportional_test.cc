@@ -1,0 +1,136 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/proportional.h"
+#include "core/scan.h"
+#include "core/verifier.h"
+#include "gen/instance_gen.h"
+#include "test_helpers.h"
+
+namespace mqd {
+namespace {
+
+using ::mqd::testing::MakeInstance;
+
+TEST(ProportionalFormulaTest, BaselineDensityGivesLambda0) {
+  // density_a == density0 => exponent is 0 => lambda = lambda0.
+  EXPECT_DOUBLE_EQ(ProportionalLambda(10.0, 3.0, 3.0), 10.0);
+}
+
+TEST(ProportionalFormulaTest, DenseShrinksSparseGrows) {
+  const double lambda0 = 10.0;
+  EXPECT_LT(ProportionalLambda(lambda0, 6.0, 3.0), lambda0);
+  EXPECT_GT(ProportionalLambda(lambda0, 1.0, 3.0), lambda0);
+  // Bounded by e * lambda0 (density >= 0).
+  EXPECT_LE(ProportionalLambda(lambda0, 0.0, 3.0),
+            std::exp(1.0) * lambda0 + 1e-12);
+}
+
+TEST(ProportionalModelTest, RejectsDegenerateInputs) {
+  InstanceBuilder b(1);
+  auto empty = b.Build();
+  ASSERT_TRUE(empty.ok());
+  ProportionalConfig cfg;
+  EXPECT_FALSE(ComputeProportionalLambdas(*empty, cfg).ok());
+
+  Instance one = MakeInstance(1, {{0.0, MaskOf(0)}});
+  cfg.lambda0 = 0.0;
+  EXPECT_FALSE(ComputeProportionalLambdas(one, cfg).ok());
+  cfg = {};
+  cfg.minute = -1.0;
+  EXPECT_FALSE(ComputeProportionalLambdas(one, cfg).ok());
+}
+
+TEST(ProportionalModelTest, DenseLabelGetsSmallerLambdaThanSparse) {
+  // Label 0: 50 posts clustered per unit time; label 1: 5 posts spread
+  // out. Per Eq. 2 the dense pairs must end up with smaller reach.
+  InstanceBuilder b(2);
+  for (int i = 0; i < 50; ++i) {
+    b.Add(100.0 + i * 0.5, MaskOf(0), static_cast<uint64_t>(i));
+  }
+  for (int i = 0; i < 5; ++i) {
+    b.Add(i * 100.0, MaskOf(1), static_cast<uint64_t>(100 + i));
+  }
+  auto inst = b.Build();
+  ASSERT_TRUE(inst.ok());
+  ProportionalConfig cfg;
+  cfg.lambda0 = 30.0;
+  auto model = ComputeProportionalLambdas(*inst, cfg);
+  ASSERT_TRUE(model.ok()) << model.status();
+
+  // Compare the reach of a mid-cluster dense post vs a sparse post.
+  const PostId dense_post = inst->label_posts(0)[25];
+  const PostId sparse_post = inst->label_posts(1)[0];
+  EXPECT_LT((*model)->Reach(*inst, dense_post, 0),
+            (*model)->Reach(*inst, sparse_post, 1));
+  // All reaches bounded by e*lambda0, and MaxReach dominates.
+  for (PostId p = 0; p < inst->num_posts(); ++p) {
+    ForEachLabel(inst->labels(p), [&](LabelId a) {
+      const DimValue r = (*model)->Reach(*inst, p, a);
+      EXPECT_GT(r, 0.0);
+      EXPECT_LE(r, std::exp(1.0) * cfg.lambda0 + 1e-9);
+      EXPECT_LE(r, (*model)->MaxReach());
+    });
+  }
+}
+
+TEST(ProportionalModelTest, BothBaseDensityModesWork) {
+  Rng rng(5);
+  auto inst = GenerateTinyInstance(40, 3, 2, 200, &rng);
+  ASSERT_TRUE(inst.ok());
+  for (BaseDensity base :
+       {BaseDensity::kPerLabelMean, BaseDensity::kAnyLabel}) {
+    ProportionalConfig cfg;
+    cfg.lambda0 = 20.0;
+    cfg.base = base;
+    auto model = ComputeProportionalLambdas(*inst, cfg);
+    ASSERT_TRUE(model.ok());
+    ScanSolver scan;
+    auto z = scan.Solve(*inst, **model);
+    ASSERT_TRUE(z.ok());
+    EXPECT_TRUE(IsCover(*inst, **model, *z));
+  }
+}
+
+TEST(ProportionalModelTest, ProportionalYieldsMoreDensePicksThanFixed) {
+  // Bimodal stream: label 0 has a hot burst (200 posts in 100s) and a
+  // cold tail (10 posts in 1000s). With fixed lambda the burst
+  // collapses to very few representatives; Eq. 2 shifts picks into the
+  // burst (proportional representation) while still covering the tail.
+  InstanceBuilder b(1);
+  Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    b.Add(rng.UniformDouble(0.0, 100.0), MaskOf(0),
+          static_cast<uint64_t>(i));
+  }
+  for (int i = 0; i < 10; ++i) {
+    b.Add(rng.UniformDouble(100.0, 1100.0), MaskOf(0),
+          static_cast<uint64_t>(1000 + i));
+  }
+  auto inst = b.Build();
+  ASSERT_TRUE(inst.ok());
+
+  ProportionalConfig cfg;
+  cfg.lambda0 = 50.0;
+  auto var_model = ComputeProportionalLambdas(*inst, cfg);
+  ASSERT_TRUE(var_model.ok());
+  UniformLambda fixed(cfg.lambda0);
+
+  ScanSolver scan;
+  auto z_fixed = scan.Solve(*inst, fixed);
+  auto z_var = scan.Solve(*inst, **var_model);
+  ASSERT_TRUE(z_fixed.ok() && z_var.ok());
+  ASSERT_TRUE(IsCover(*inst, fixed, *z_fixed));
+  ASSERT_TRUE(IsCover(*inst, **var_model, *z_var));
+
+  auto burst_picks = [&](const std::vector<PostId>& z) {
+    size_t count = 0;
+    for (PostId p : z) count += inst->value(p) <= 100.0;
+    return count;
+  };
+  EXPECT_GT(burst_picks(*z_var), burst_picks(*z_fixed));
+}
+
+}  // namespace
+}  // namespace mqd

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "index/query_parser.h"
+#include "util/logging.h"
+
+namespace mqd {
+namespace {
+
+class QueryParserTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(index_.AddDocument(1, 1.0, "obama senate economy").ok());
+    ASSERT_TRUE(index_.AddDocument(2, 2.0, "nasdaq rally goog").ok());
+    ASSERT_TRUE(index_.AddDocument(3, 3.0, "obama nasdaq summit").ok());
+    ASSERT_TRUE(index_.AddDocument(4, 4.0, "weather storm flood").ok());
+  }
+  InvertedIndex index_;
+
+  std::vector<DocId> Search(std::string_view q) {
+    auto r = SearchBoolean(index_, q);
+    MQD_CHECK(r.ok()) << r.status();
+    return *r;
+  }
+};
+
+TEST_F(QueryParserTest, SingleTerm) {
+  EXPECT_EQ(Search("obama"), (std::vector<DocId>{0, 2}));
+  EXPECT_TRUE(Search("absent").empty());
+}
+
+TEST_F(QueryParserTest, ExplicitAnd) {
+  EXPECT_EQ(Search("obama AND nasdaq"), (std::vector<DocId>{2}));
+}
+
+TEST_F(QueryParserTest, ImplicitAndByJuxtaposition) {
+  EXPECT_EQ(Search("obama nasdaq"), (std::vector<DocId>{2}));
+}
+
+TEST_F(QueryParserTest, Or) {
+  EXPECT_EQ(Search("senate OR goog"), (std::vector<DocId>{0, 1}));
+}
+
+TEST_F(QueryParserTest, NotAndComplement) {
+  EXPECT_EQ(Search("NOT obama"), (std::vector<DocId>{1, 3}));
+  EXPECT_EQ(Search("nasdaq NOT obama"), (std::vector<DocId>{1}));
+}
+
+TEST_F(QueryParserTest, ParenthesesAndPrecedence) {
+  // AND binds tighter than OR.
+  EXPECT_EQ(Search("senate OR nasdaq AND obama"),
+            (std::vector<DocId>{0, 2}));
+  EXPECT_EQ(Search("(senate OR nasdaq) AND obama"),
+            (std::vector<DocId>{0, 2}));
+  EXPECT_EQ(Search("senate OR (nasdaq AND obama)"),
+            (std::vector<DocId>{0, 2}));
+  EXPECT_EQ(Search("(obama OR storm) AND (economy OR flood)"),
+            (std::vector<DocId>{0, 3}));
+}
+
+TEST_F(QueryParserTest, OperatorsAreCaseInsensitive) {
+  EXPECT_EQ(Search("obama and nasdaq"), (std::vector<DocId>{2}));
+  EXPECT_EQ(Search("senate or goog"), (std::vector<DocId>{0, 1}));
+  EXPECT_EQ(Search("not obama"), (std::vector<DocId>{1, 3}));
+}
+
+TEST_F(QueryParserTest, TermsNormalizedLikeDocuments) {
+  EXPECT_EQ(Search("OBAMA"), (std::vector<DocId>{0, 2}));
+}
+
+TEST_F(QueryParserTest, DoubleNegation) {
+  EXPECT_EQ(Search("NOT NOT obama"), (std::vector<DocId>{0, 2}));
+}
+
+TEST_F(QueryParserTest, ToStringCanonicalForm) {
+  auto q = ParseQuery("a OR b AND NOT c");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)->ToString(), "(a OR (b AND (NOT c)))");
+}
+
+TEST_F(QueryParserTest, SyntaxErrors) {
+  for (std::string_view bad :
+       {"", "   ", "AND", "obama AND", "(obama", "obama)", "OR obama",
+        "obama @ senate", "NOT", "()"}) {
+    EXPECT_FALSE(ParseQuery(bad).ok()) << bad;
+  }
+}
+
+}  // namespace
+}  // namespace mqd

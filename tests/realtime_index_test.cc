@@ -1,0 +1,106 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "index/inverted_index.h"
+#include "index/realtime_index.h"
+#include "util/rng.h"
+
+namespace mqd {
+namespace {
+
+TEST(RealtimeIndexTest, BasicAddAndQuery) {
+  RealtimeIndex index(/*active_budget_docs=*/4);
+  ASSERT_TRUE(index.AddDocument(1, 1.0, "obama senate").ok());
+  ASSERT_TRUE(index.AddDocument(2, 2.0, "nasdaq rally").ok());
+  EXPECT_EQ(index.num_documents(), 2u);
+  EXPECT_EQ(index.MatchAny({"obama"}), (std::vector<DocId>{0}));
+  EXPECT_EQ(index.MatchAny({"obama", "nasdaq"}),
+            (std::vector<DocId>{0, 1}));
+  EXPECT_TRUE(index.MatchAny({"absent"}).empty());
+  EXPECT_EQ(index.timestamp(1), 2.0);
+  EXPECT_EQ(index.external_id(0), 1u);
+}
+
+TEST(RealtimeIndexTest, RejectsOutOfOrderTimestamps) {
+  RealtimeIndex index;
+  ASSERT_TRUE(index.AddDocument(1, 5.0, "abc def").ok());
+  EXPECT_FALSE(index.AddDocument(2, 4.0, "ghi").ok());
+}
+
+TEST(RealtimeIndexTest, QueriesSpanActiveAndSealedSegments) {
+  RealtimeIndex index(/*active_budget_docs=*/3);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        index.AddDocument(static_cast<uint64_t>(i), i, "senate news").ok());
+  }
+  // 10 docs with budget 3: several seals happened, the last doc may
+  // still be active.
+  auto docs = index.MatchAny({"senate"});
+  ASSERT_EQ(docs.size(), 10u);
+  for (DocId d = 0; d < 10; ++d) EXPECT_EQ(docs[d], d);
+}
+
+TEST(RealtimeIndexTest, SegmentCountStaysLogarithmic) {
+  RealtimeIndex index(/*active_budget_docs=*/8);
+  Rng rng(5);
+  const std::vector<std::string> words{"alpha", "beta", "gamma", "delta"};
+  const size_t n = 4000;
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(index
+                    .AddDocument(i, static_cast<double>(i),
+                                 words[rng.Uniform(words.size())])
+                    .ok());
+  }
+  // n/budget = 500 seals; LSM merging must keep the sealed count near
+  // log2(500) ~ 9, not 500.
+  EXPECT_LE(index.num_sealed_segments(),
+            static_cast<size_t>(2.0 * std::log2(n / 8.0) + 4));
+  EXPECT_GT(index.num_merges(), 0u);
+}
+
+TEST(RealtimeIndexTest, EquivalentToMonolithicIndex) {
+  RealtimeIndex realtime(/*active_budget_docs=*/16);
+  InvertedIndex monolithic;
+  Rng rng(7);
+  const std::vector<std::string> words{"obama", "senate",  "nasdaq",
+                                       "goog",  "storm",   "flood",
+                                       "golf",  "masters", "police"};
+  for (int i = 0; i < 3000; ++i) {
+    std::string text;
+    const int len = 2 + static_cast<int>(rng.Uniform(6));
+    for (int w = 0; w < len; ++w) {
+      text += words[rng.Uniform(words.size())] + " ";
+    }
+    ASSERT_TRUE(
+        realtime.AddDocument(static_cast<uint64_t>(i), i, text).ok());
+    ASSERT_TRUE(
+        monolithic.AddDocument(static_cast<uint64_t>(i), i, text).ok());
+  }
+  for (const auto& query :
+       std::vector<std::vector<std::string>>{{"obama"},
+                                             {"nasdaq", "goog"},
+                                             {"storm", "golf", "police"},
+                                             {"absent"},
+                                             {"obama", "senate", "nasdaq",
+                                              "goog", "storm", "flood",
+                                              "golf", "masters",
+                                              "police"}}) {
+    EXPECT_EQ(realtime.MatchAny(query), monolithic.MatchAny(query));
+  }
+}
+
+TEST(RealtimeIndexTest, TinyBudgetStillCorrect) {
+  RealtimeIndex index(/*active_budget_docs=*/1);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(index.AddDocument(static_cast<uint64_t>(i), i,
+                                  i % 2 == 0 ? "even post" : "odd post")
+                    .ok());
+  }
+  EXPECT_EQ(index.MatchAny({"even"}).size(), 25u);
+  EXPECT_EQ(index.MatchAny({"odd"}).size(), 25u);
+  EXPECT_EQ(index.MatchAny({"post"}).size(), 50u);
+}
+
+}  // namespace
+}  // namespace mqd

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "core/scan.h"
+#include "core/verifier.h"
+#include "gen/instance_gen.h"
+#include "test_helpers.h"
+
+namespace mqd {
+namespace {
+
+using ::mqd::testing::MakeInstance;
+
+TEST(ScanTest, SingleLabelPicksLastPostInWindow) {
+  // Posts at 0,1,2,3,4 with lambda=1: optimal picks {1, 3} (or any
+  // 2-cover); Scan must find exactly 2.
+  Instance inst = MakeInstance(1, {{0.0, MaskOf(0)},
+                                   {1.0, MaskOf(0)},
+                                   {2.0, MaskOf(0)},
+                                   {3.0, MaskOf(0)},
+                                   {4.0, MaskOf(0)}});
+  UniformLambda model(1.0);
+  ScanSolver scan;
+  auto z = scan.Solve(inst, model);
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ(z->size(), 2u);
+  EXPECT_TRUE(IsCover(inst, model, *z));
+  // Under the paper's rule the sweep picks P1 (last post within lambda
+  // of P0), then finds every remaining post within reach of the final
+  // post P4 and adds P4 (Algorithm 3 lines 20-22).
+  EXPECT_EQ(*z, (std::vector<PostId>{1, 4}));
+}
+
+TEST(ScanTest, SingleLabelIsOptimal) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto inst = GenerateTinyInstance(14, 1, 1, 30, &rng);
+    ASSERT_TRUE(inst.ok());
+    UniformLambda model(3.0);
+    ScanSolver scan;
+    auto z = scan.Solve(*inst, model);
+    ASSERT_TRUE(z.ok());
+    ASSERT_TRUE(IsCover(*inst, model, *z));
+    EXPECT_EQ(z->size(), testing::EnumerateOptimum(*inst, model))
+        << "trial " << trial;
+  }
+}
+
+TEST(ScanTest, PaperExample2Result) {
+  // Figure 2 posts; Scan on label a picks P2 (covers P1..P3), then the
+  // last post P3 is covered; label c picks P4.
+  Instance inst = MakeInstance(2, {{0.0, MaskOf(0)},
+                                   {1.0, MaskOf(0)},
+                                   {2.0, MaskOf(0) | MaskOf(1)},
+                                   {3.0, MaskOf(1)}});
+  UniformLambda model(1.0);
+  ScanSolver scan;
+  auto z = scan.Solve(inst, model);
+  ASSERT_TRUE(z.ok());
+  EXPECT_TRUE(IsCover(inst, model, *z));
+  EXPECT_EQ(z->size(), 2u);
+}
+
+TEST(ScanTest, IsolatedPostsAllSelected) {
+  Instance inst = MakeInstance(
+      1, {{0.0, MaskOf(0)}, {100.0, MaskOf(0)}, {200.0, MaskOf(0)}});
+  UniformLambda model(1.0);
+  ScanSolver scan;
+  auto z = scan.Solve(inst, model);
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ(z->size(), 3u);
+}
+
+TEST(ScanTest, LastPostHandling) {
+  // Last post outside the reach of the previous pick must be added
+  // (Algorithm 3 lines 20-22).
+  Instance inst = MakeInstance(
+      1, {{0.0, MaskOf(0)}, {1.0, MaskOf(0)}, {2.5, MaskOf(0)}});
+  UniformLambda model(1.0);
+  ScanSolver scan;
+  auto z = scan.Solve(inst, model);
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ(*z, (std::vector<PostId>{1, 2}));
+}
+
+TEST(ScanTest, SharedPostDeduplicated) {
+  // The same post selected for two labels appears once in Z.
+  Instance inst = MakeInstance(2, {{0.0, MaskOf(0) | MaskOf(1)}});
+  UniformLambda model(1.0);
+  ScanSolver scan;
+  auto z = scan.Solve(inst, model);
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ(*z, (std::vector<PostId>{0}));
+}
+
+TEST(ScanTest, EmptyInstance) {
+  InstanceBuilder b(3);
+  auto inst = b.Build();
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(1.0);
+  ScanSolver scan;
+  auto z = scan.Solve(*inst, model);
+  ASSERT_TRUE(z.ok());
+  EXPECT_TRUE(z->empty());
+}
+
+TEST(ScanTest, ZeroLambda) {
+  Instance inst = MakeInstance(
+      1, {{1.0, MaskOf(0)}, {1.0, MaskOf(0)}, {2.0, MaskOf(0)}});
+  UniformLambda model(0.0);
+  ScanSolver scan;
+  auto z = scan.Solve(inst, model);
+  ASSERT_TRUE(z.ok());
+  EXPECT_TRUE(IsCover(inst, model, *z));
+  EXPECT_EQ(z->size(), 2u);  // one per distinct value
+}
+
+TEST(ScanTest, DirectionalReachPrefersLongReachCandidate) {
+  // p0,p1,p2 at 0,1,2. Label 0. p1 reach 0.5 cannot cover p2; p0
+  // reach 2.5 covers everything. Scan should pick p0 alone... p0 must
+  // cover the leftmost uncovered post p0 itself, candidates {p0
+  // (end 2.5), p1 (end 1.5, covers p0 within reach 0.5? no)}.
+  Instance inst = MakeInstance(
+      1, {{0.0, MaskOf(0)}, {1.0, MaskOf(0)}, {2.0, MaskOf(0)}});
+  VariableLambda model({{2.5}, {0.5}, {1.0}}, 2.5);
+  ScanSolver scan;
+  auto z = scan.Solve(inst, model);
+  ASSERT_TRUE(z.ok());
+  EXPECT_TRUE(IsCover(inst, model, *z));
+  EXPECT_EQ(*z, (std::vector<PostId>{0}));
+}
+
+TEST(ScanPlusTest, CrossLabelPruningSavesSelections) {
+  // Label 0 posts at 0..4 and label 1 posts nearby; a shared post lets
+  // Scan+ cover label 1 without extra picks while Scan selects per
+  // label independently.
+  Instance inst = MakeInstance(2, {{0.0, MaskOf(0)},
+                                   {1.0, MaskOf(0) | MaskOf(1)},
+                                   {1.5, MaskOf(1)},
+                                   {2.0, MaskOf(0)}});
+  UniformLambda model(1.0);
+  ScanSolver scan;
+  ScanPlusSolver scan_plus;
+  auto z = scan.Solve(inst, model);
+  auto zp = scan_plus.Solve(inst, model);
+  ASSERT_TRUE(z.ok());
+  ASSERT_TRUE(zp.ok());
+  EXPECT_TRUE(IsCover(inst, model, *z));
+  EXPECT_TRUE(IsCover(inst, model, *zp));
+  EXPECT_LE(zp->size(), z->size());
+  EXPECT_EQ(zp->size(), 1u);  // P1 {a,b} covers everything
+}
+
+TEST(ScanPlusTest, AllOrderingsProduceValidCovers) {
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto inst = GenerateTinyInstance(20, 4, 3, 40, &rng);
+    ASSERT_TRUE(inst.ok());
+    UniformLambda model(4.0);
+    for (LabelOrder order : {LabelOrder::kById, LabelOrder::kSizeAsc,
+                             LabelOrder::kSizeDesc}) {
+      ScanPlusSolver solver(order);
+      auto z = solver.Solve(*inst, model);
+      ASSERT_TRUE(z.ok());
+      EXPECT_TRUE(IsCover(*inst, model, *z)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(ScanPlusTest, MatchesScanWhenNoOverlap) {
+  // With disjoint labels there is nothing to prune: same cover sizes.
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto inst = GenerateTinyInstance(16, 3, 1, 30, &rng);
+    ASSERT_TRUE(inst.ok());
+    UniformLambda model(3.0);
+    ScanSolver scan;
+    ScanPlusSolver scan_plus;
+    auto a = scan.Solve(*inst, model);
+    auto b = scan_plus.Solve(*inst, model);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a->size(), b->size());
+  }
+}
+
+}  // namespace
+}  // namespace mqd

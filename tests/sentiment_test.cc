@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "sentiment/lexicon.h"
+#include "sentiment/scorer.h"
+
+namespace mqd {
+namespace {
+
+TEST(LexiconTest, PolarityLookup) {
+  EXPECT_EQ(WordPolarity("great"), 1);
+  EXPECT_EQ(WordPolarity("terrible"), -1);
+  EXPECT_EQ(WordPolarity("senate"), 0);
+}
+
+TEST(LexiconTest, ListsAreDisjointAndNonEmpty) {
+  EXPECT_GE(PositiveWords().size(), 80u);
+  EXPECT_GE(NegativeWords().size(), 80u);
+  for (std::string_view w : PositiveWords()) {
+    EXPECT_EQ(WordPolarity(w), 1) << w;
+  }
+  for (std::string_view w : NegativeWords()) {
+    EXPECT_EQ(WordPolarity(w), -1) << w;
+  }
+}
+
+TEST(ScorerTest, PositiveNegativeNeutral) {
+  SentimentScorer scorer;
+  EXPECT_GT(scorer.Score("great win, amazing rally, so happy"), 0.5);
+  EXPECT_LT(scorer.Score("terrible crash, awful panic everywhere"), -0.5);
+  EXPECT_DOUBLE_EQ(scorer.Score("the senate met on tuesday"), 0.0);
+}
+
+TEST(ScorerTest, ScoreRangeAndMixed) {
+  SentimentScorer scorer;
+  const double s = scorer.Score("great news but terrible execution");
+  EXPECT_GE(s, -1.0);
+  EXPECT_LE(s, 1.0);
+  EXPECT_DOUBLE_EQ(s, 0.0);  // one positive, one negative
+}
+
+TEST(ScorerTest, NegationFlipsPolarity) {
+  SentimentScorer scorer;
+  EXPECT_GT(scorer.Score("good game"), 0.0);
+  EXPECT_LT(scorer.Score("not good at all"), 0.0);
+  EXPECT_GT(scorer.Score("not terrible actually"), 0.0);
+}
+
+TEST(ScorerTest, CollapsedContractionsNegate) {
+  SentimentScorer scorer;
+  // "don't" tokenizes to "dont", which the scorer treats as a negator.
+  EXPECT_LT(scorer.Score("don't love this"), 0.0);
+}
+
+TEST(ScorerTest, CaseInsensitive) {
+  SentimentScorer scorer;
+  EXPECT_GT(scorer.Score("GREAT WIN"), 0.0);
+}
+
+TEST(ScorerTest, EmptyText) {
+  SentimentScorer scorer;
+  EXPECT_DOUBLE_EQ(scorer.Score(""), 0.0);
+}
+
+}  // namespace
+}  // namespace mqd

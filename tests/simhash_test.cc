@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "simhash/dedup.h"
+#include "simhash/simhash.h"
+#include "text/tokenizer.h"
+#include "util/rng.h"
+
+namespace mqd {
+namespace {
+
+TEST(SimHashTest, DeterministicAndTokenOrderInvariant) {
+  const std::vector<std::string> a{"obama", "senate", "economy"};
+  const std::vector<std::string> b{"economy", "obama", "senate"};
+  EXPECT_EQ(SimHash(a), SimHash(a));
+  EXPECT_EQ(SimHash(a), SimHash(b));  // bag-of-words
+}
+
+TEST(SimHashTest, NearDuplicatesLandClose) {
+  Tokenizer t;
+  const uint64_t original =
+      SimHash(t.Tokenize("breaking obama speaks to the senate about the "
+                         "economy tonight live coverage"));
+  const uint64_t retweet =
+      SimHash(t.Tokenize("RT breaking obama speaks to the senate about "
+                         "the economy tonight live coverage"));
+  const uint64_t unrelated =
+      SimHash(t.Tokenize("tiger woods wins the masters championship at "
+                         "augusta in a playoff"));
+  EXPECT_LE(HammingDistance(original, retweet), 3);
+  EXPECT_GT(HammingDistance(original, unrelated), 10);
+}
+
+TEST(SimHashTest, HammingDistanceBasics) {
+  EXPECT_EQ(HammingDistance(0, 0), 0);
+  EXPECT_EQ(HammingDistance(0, ~uint64_t{0}), 64);
+  EXPECT_EQ(HammingDistance(0b1010, 0b0110), 2);
+}
+
+TEST(SimHashTest, HashTokenSpreadsBits) {
+  // Similar tokens must produce very different hashes (finalizer
+  // avalanche): essential for per-bit vote independence.
+  const uint64_t a = HashToken("aa");
+  const uint64_t b = HashToken("ab");
+  EXPECT_GT(HammingDistance(a, b), 10);
+}
+
+TEST(DedupTest, ExactDuplicateDetected) {
+  NearDuplicateDetector detector;
+  const uint64_t fp = 0xDEADBEEFCAFEBABEULL;
+  EXPECT_FALSE(detector.IsDuplicate(fp));
+  EXPECT_TRUE(detector.IsDuplicate(fp));
+}
+
+TEST(DedupTest, WithinDistanceThreeDetected) {
+  NearDuplicateDetector detector;
+  const uint64_t fp = 0x0123456789ABCDEFULL;
+  EXPECT_FALSE(detector.IsDuplicate(fp));
+  EXPECT_TRUE(detector.IsDuplicate(fp ^ 0x1));          // distance 1
+  EXPECT_TRUE(detector.IsDuplicate(fp ^ 0x8000000001ULL));  // distance 2
+  EXPECT_TRUE(detector.IsDuplicate(fp ^ 0x7));          // distance 3
+}
+
+TEST(DedupTest, BeyondDistanceNotDetected) {
+  NearDuplicateDetector detector(/*max_distance=*/3);
+  const uint64_t fp = 0x0123456789ABCDEFULL;
+  EXPECT_FALSE(detector.IsDuplicate(fp));
+  EXPECT_FALSE(detector.IsDuplicate(fp ^ 0xF000F000F000F000ULL));
+}
+
+TEST(DedupTest, StrictDistanceZeroMode) {
+  NearDuplicateDetector detector(/*max_distance=*/0);
+  const uint64_t fp = 42;
+  EXPECT_FALSE(detector.IsDuplicate(fp));
+  EXPECT_FALSE(detector.IsDuplicate(fp ^ 0x1));
+  EXPECT_TRUE(detector.IsDuplicate(fp));
+}
+
+TEST(DedupTest, WindowEviction) {
+  NearDuplicateDetector detector(/*max_distance=*/3, /*window=*/5);
+  const uint64_t fp = 0xABCDULL;
+  EXPECT_FALSE(detector.IsDuplicate(fp));
+  // Push 5 distinct fingerprints through: fp falls out of the window.
+  Rng rng(3);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(detector.IsDuplicate(rng.Next() | 0x8000000000000000ULL));
+  }
+  EXPECT_FALSE(detector.IsDuplicate(fp));  // forgotten, re-recorded
+  EXPECT_TRUE(detector.IsDuplicate(fp));
+}
+
+TEST(DedupTest, RandomFingerprintsRarelyCollide) {
+  NearDuplicateDetector detector;
+  Rng rng(11);
+  int false_positives = 0;
+  for (int i = 0; i < 5000; ++i) {
+    false_positives += detector.IsDuplicate(rng.Next());
+  }
+  // Distance <= 3 collisions of random 64-bit values are vanishingly
+  // rare.
+  EXPECT_LE(false_positives, 1);
+}
+
+TEST(DedupTest, EndToEndRetweetFiltering) {
+  Tokenizer t;
+  NearDuplicateDetector detector;
+  const std::string original =
+      "obama speaks to the senate about the economy tonight";
+  EXPECT_FALSE(detector.IsDuplicate(SimHash(t.Tokenize(original))));
+  EXPECT_TRUE(detector.IsDuplicate(SimHash(t.Tokenize("RT " + original))));
+  EXPECT_FALSE(detector.IsDuplicate(SimHash(t.Tokenize(
+      "tiger woods wins the masters championship at augusta today"))));
+}
+
+}  // namespace
+}  // namespace mqd

@@ -1,0 +1,57 @@
+#ifndef MQD_TESTS_TEST_HELPERS_H_
+#define MQD_TESTS_TEST_HELPERS_H_
+
+#include <vector>
+
+#include "core/coverage.h"
+#include "core/instance.h"
+#include "core/verifier.h"
+#include "util/logging.h"
+
+namespace mqd::testing {
+
+/// Builds an instance from (value, mask) pairs; aborts on invalid
+/// input (tests construct valid instances).
+inline Instance MakeInstance(int num_labels,
+                             const std::vector<std::pair<DimValue, LabelMask>>&
+                                 posts) {
+  InstanceBuilder builder(num_labels);
+  for (size_t i = 0; i < posts.size(); ++i) {
+    builder.Add(posts[i].first, posts[i].second, i);
+  }
+  auto result = builder.Build();
+  MQD_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// Minimum cover size by exhaustive subset enumeration in increasing
+/// cardinality; only for very small instances (n <= ~16).
+inline size_t EnumerateOptimum(const Instance& inst,
+                               const CoverageModel& model) {
+  const size_t n = inst.num_posts();
+  MQD_CHECK(n <= 20) << "enumeration oracle limited to tiny instances";
+  if (n == 0) return 0;
+  std::vector<PostId> subset;
+  for (size_t k = 1; k <= n; ++k) {
+    // Iterate all subsets of size k via the lexicographic combination
+    // walk.
+    std::vector<size_t> idx(k);
+    for (size_t i = 0; i < k; ++i) idx[i] = i;
+    while (true) {
+      subset.assign(idx.begin(), idx.end());
+      if (IsCover(inst, model, subset)) return k;
+      // next combination
+      size_t i = k;
+      while (i > 0 && idx[i - 1] == n - k + i - 1) --i;
+      if (i == 0) break;
+      ++idx[i - 1];
+      for (size_t j = i; j < k; ++j) idx[j] = idx[j - 1] + 1;
+    }
+  }
+  MQD_CHECK(false) << "full set is always a cover";
+  return n;
+}
+
+}  // namespace mqd::testing
+
+#endif  // MQD_TESTS_TEST_HELPERS_H_

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace mqd {
+namespace {
+
+TEST(StopwordsTest, CommonFunctionWords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_TRUE(IsStopword("rt"));  // retweet marker
+  EXPECT_FALSE(IsStopword("obama"));
+  EXPECT_FALSE(IsStopword("nasdaq"));
+}
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("Obama Meets Senate"),
+            (std::vector<std::string>{"obama", "meets", "senate"}));
+}
+
+TEST(TokenizerTest, RemovesStopwordsByDefault) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("the senate and the house"),
+            (std::vector<std::string>{"senate", "house"}));
+}
+
+TEST(TokenizerTest, KeepsStopwordsWhenAsked) {
+  TokenizerOptions options;
+  options.remove_stopwords = false;
+  Tokenizer t(options);
+  EXPECT_EQ(t.Tokenize("the senate"),
+            (std::vector<std::string>{"the", "senate"}));
+}
+
+TEST(TokenizerTest, HashtagsAndCashtags) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("buy $GOOG now #NASDAQ"),
+            (std::vector<std::string>{"buy", "$goog", "#nasdaq"}));
+}
+
+TEST(TokenizerTest, TagPrefixDisabled) {
+  TokenizerOptions options;
+  options.keep_tag_prefixes = false;
+  Tokenizer t(options);
+  EXPECT_EQ(t.Tokenize("#nasdaq"), (std::vector<std::string>{"nasdaq"}));
+}
+
+TEST(TokenizerTest, DropsUrlsAndShortTokens) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("go http://t.co/xyz a b senate www.example.com"),
+            (std::vector<std::string>{"go", "senate"}));
+}
+
+TEST(TokenizerTest, ContractionsCollapse) {
+  TokenizerOptions options;
+  options.remove_stopwords = false;
+  Tokenizer t(options);
+  EXPECT_EQ(t.Tokenize("don't panic"),
+            (std::vector<std::string>{"dont", "panic"}));
+}
+
+TEST(TokenizerTest, PunctuationBoundaries) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("senate,house;economy!"),
+            (std::vector<std::string>{"senate", "house", "economy"}));
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("!!! ...").empty());
+}
+
+TEST(TokenizerTest, KeepsUnderscoresAndDigits) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("user_name won 42 games"),
+            (std::vector<std::string>{"user_name", "won", "42", "games"}));
+}
+
+TEST(VocabularyTest, InternFindRoundTrip) {
+  Vocabulary v;
+  const TermId a = v.Intern("senate");
+  const TermId b = v.Intern("house");
+  EXPECT_EQ(v.Intern("senate"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(v.Word(a), "senate");
+  EXPECT_EQ(v.Find("house"), b);
+  EXPECT_EQ(v.Find("missing"), kInvalidTerm);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(VocabularyTest, InternAllPreservesOrder) {
+  Vocabulary v;
+  auto ids = v.InternAll({"x", "y", "x"});
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], ids[2]);
+  EXPECT_NE(ids[0], ids[1]);
+}
+
+}  // namespace
+}  // namespace mqd

@@ -1,0 +1,166 @@
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "gen/news_gen.h"
+#include "topics/corpus.h"
+#include "topics/lda.h"
+#include "topics/topic_model.h"
+
+namespace mqd {
+namespace {
+
+Corpus TwoThemeCorpus() {
+  // Two cleanly separated themes; LDA with K=2 must recover them.
+  Corpus corpus;
+  for (int i = 0; i < 40; ++i) {
+    corpus.AddDocument(
+        "golf masters tiger woods championship golf augusta tiger "
+        "masters golf woods pga",
+        /*tag=*/0);
+    corpus.AddDocument(
+        "stocks nasdaq market trading earnings stocks market investor "
+        "nasdaq trading shares",
+        /*tag=*/1);
+  }
+  return corpus;
+}
+
+TEST(CorpusTest, TokenizesAndCounts) {
+  Corpus corpus;
+  const size_t d0 = corpus.AddDocument("Obama speaks to the senate", 3);
+  EXPECT_EQ(d0, 0u);
+  EXPECT_EQ(corpus.num_documents(), 1u);
+  EXPECT_EQ(corpus.document(0).size(), 3u);  // stopwords dropped
+  EXPECT_EQ(corpus.tag(0), 3);
+  EXPECT_GE(corpus.num_terms(), 3u);
+}
+
+TEST(LdaTest, RejectsBadConfigAndEmptyCorpus) {
+  Corpus corpus;
+  LdaConfig config;
+  EXPECT_FALSE(LdaModel::Train(corpus, config).ok());
+  corpus.AddDocument("some words here", 0);
+  config.num_topics = 0;
+  EXPECT_FALSE(LdaModel::Train(corpus, config).ok());
+  config = {};
+  config.alpha = -1;
+  EXPECT_FALSE(LdaModel::Train(corpus, config).ok());
+}
+
+TEST(LdaTest, RecoversTwoCleanThemes) {
+  Corpus corpus = TwoThemeCorpus();
+  LdaConfig config;
+  config.num_topics = 2;
+  config.iterations = 100;
+  config.seed = 5;
+  auto model = LdaModel::Train(corpus, config);
+  ASSERT_TRUE(model.ok()) << model.status();
+
+  // Documents of the same theme share a dominant topic; the two themes
+  // get different ones.
+  const int sports_topic = model->DominantTopic(0);
+  const int finance_topic = model->DominantTopic(1);
+  EXPECT_NE(sports_topic, finance_topic);
+  for (size_t d = 0; d < corpus.num_documents(); ++d) {
+    EXPECT_EQ(model->DominantTopic(d),
+              corpus.tag(d) == 0 ? sports_topic : finance_topic)
+        << "doc " << d;
+  }
+
+  // Top words of the sports topic are sports words.
+  auto top = model->TopWords(sports_topic, 5);
+  ASSERT_EQ(top.size(), 5u);
+  const std::vector<std::string> sports_words{"golf", "masters", "tiger",
+                                              "woods", "championship",
+                                              "augusta", "pga"};
+  for (const auto& [word, weight] : top) {
+    EXPECT_NE(std::find(sports_words.begin(), sports_words.end(), word),
+              sports_words.end())
+        << word << " leaked into the sports topic";
+    EXPECT_GT(weight, 0.0);
+  }
+}
+
+TEST(LdaTest, TopWordWeightsDescendAndProbabilitiesNormalize) {
+  Corpus corpus = TwoThemeCorpus();
+  LdaConfig config;
+  config.num_topics = 2;
+  config.iterations = 50;
+  auto model = LdaModel::Train(corpus, config);
+  ASSERT_TRUE(model.ok());
+  auto top = model->TopWords(0, 10);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].second, top[i].second);
+  }
+  for (int t = 0; t < 2; ++t) {
+    double sum = 0.0;
+    for (TermId w = 0; w < corpus.num_terms(); ++w) {
+      sum += model->TopicWordProbability(t, w);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  // Document-topic proportions normalize too.
+  for (size_t d = 0; d < 3; ++d) {
+    double sum = 0.0;
+    for (int t = 0; t < 2; ++t) {
+      sum += model->DocumentTopicProbability(d, t);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(LdaTest, TrainingImprovesLikelihoodOverUntrained) {
+  Corpus corpus = TwoThemeCorpus();
+  LdaConfig config;
+  config.num_topics = 2;
+  config.seed = 3;
+  config.iterations = 0;  // random assignments
+  auto untrained = LdaModel::Train(corpus, config);
+  config.iterations = 80;
+  auto trained = LdaModel::Train(corpus, config);
+  ASSERT_TRUE(untrained.ok() && trained.ok());
+  EXPECT_GT(trained->TokenLogLikelihood(),
+            untrained->TokenLogLikelihood());
+}
+
+TEST(TopicModelTest, ExtractAndGroupOnSyntheticNews) {
+  NewsGenConfig news_config;
+  news_config.num_articles = 400;
+  news_config.mean_words = 60.0;
+  news_config.seed = 17;
+  auto articles = GenerateNewsCorpus(news_config);
+  ASSERT_TRUE(articles.ok());
+
+  Corpus corpus;
+  for (const NewsArticle& article : *articles) {
+    corpus.AddDocument(article.text, article.broad_topic);
+  }
+  LdaConfig config;
+  config.num_topics = 12;
+  config.iterations = 60;
+  config.seed = 23;
+  auto model = LdaModel::Train(corpus, config);
+  ASSERT_TRUE(model.ok());
+
+  std::vector<Topic> topics = ExtractTopics(*model, /*keywords=*/20);
+  ASSERT_EQ(topics.size(), 12u);
+  for (const Topic& topic : topics) {
+    EXPECT_EQ(topic.keywords.size(), 20u);
+    EXPECT_EQ(topic.group, -1);
+  }
+
+  GroupTopicsByTag(corpus, *model, /*min_purity=*/0.5, &topics);
+  std::vector<Topic> kept = KeepUnambiguous(topics);
+  // Most topics should group cleanly on this well-separated corpus
+  // (the paper kept 215 of 300).
+  EXPECT_GE(kept.size(), 6u);
+  for (const Topic& topic : kept) {
+    EXPECT_GE(topic.group, 0);
+    EXPECT_LT(topic.group, 10);
+    EXPECT_GE(topic.purity, 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace mqd

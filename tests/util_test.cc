@@ -1,0 +1,259 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace mqd {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad lambda");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad lambda");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad lambda");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kUnimplemented); ++c) {
+    EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  auto f = [](bool fail) -> Status {
+    MQD_RETURN_NOT_OK(fail ? Status::Internal("boom") : Status::OK());
+    return Status::OK();
+  };
+  EXPECT_TRUE(f(false).ok());
+  EXPECT_EQ(f(true).code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturn) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::Internal("x");
+    return 5;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    int v = 0;
+    MQD_ASSIGN_OR_RETURN(v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(false), 6);
+  EXPECT_FALSE(outer(true).ok());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(4);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(5);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, PoissonMeanSmallAndLarge) {
+  Rng rng(7);
+  for (double mean : {0.5, 5.0, 200.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      sum += static_cast<double>(rng.Poisson(mean));
+    }
+    EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(8);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(ZipfTest, PmfSumsToOneAndDecreases) {
+  ZipfSampler zipf(100, 1.0);
+  double sum = 0.0;
+  for (size_t i = 0; i < 100; ++i) {
+    sum += zipf.Pmf(i);
+    if (i > 0) {
+      EXPECT_LE(zipf.Pmf(i), zipf.Pmf(i - 1));
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (size_t i = 0; i < 10; ++i) EXPECT_NEAR(zipf.Pmf(i), 0.1, 1e-12);
+}
+
+TEST(ZipfTest, SampleMatchesPmf) {
+  ZipfSampler zipf(5, 1.2);
+  Rng rng(10);
+  std::vector<int> counts(5, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), zipf.Pmf(i), 0.01);
+  }
+}
+
+TEST(StringTest, Split) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,b,,c", ',', /*keep_empty=*/true),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_TRUE(Split("", ',').empty());
+}
+
+TEST(StringTest, Join) {
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringTest, ToLowerTrim) {
+  EXPECT_EQ(ToLower("HeLLo #World"), "hello #world");
+  EXPECT_EQ(Trim("  abc\t\n"), "abc");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("scan+", "scan"));
+  EXPECT_FALSE(StartsWith("sc", "scan"));
+  EXPECT_TRUE(EndsWith("greedy_sc", "_sc"));
+  EXPECT_FALSE(EndsWith("sc", "_sc"));
+}
+
+TEST(StringTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d posts, %.2f rate", 12, 1.5),
+            "12 posts, 1.50 rate");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StringTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.25), "1.25");
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(0.5, 1), "0.5");
+  EXPECT_EQ(FormatDouble(2.0 / 3.0, 2), "0.67");
+}
+
+TEST(StringTest, FormatDurationSeconds) {
+  EXPECT_EQ(FormatDurationSeconds(45.0), "45s");
+  EXPECT_EQ(FormatDurationSeconds(600.0), "10m");
+  EXPECT_EQ(FormatDurationSeconds(7200.0), "2h");
+}
+
+TEST(TimerTest, StopwatchAdvances) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GT(sw.ElapsedSeconds(), 0.0);
+  EXPECT_GT(sw.ElapsedMicros(), 0.0);
+}
+
+TEST(TimerTest, AccumulatorMeans) {
+  TimeAccumulator acc;
+  EXPECT_EQ(acc.mean_seconds(), 0.0);
+  acc.Add(1.0);
+  acc.Add(3.0);
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_DOUBLE_EQ(acc.total_seconds(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.mean_seconds(), 2.0);
+  acc.Reset();
+  EXPECT_EQ(acc.count(), 0u);
+}
+
+}  // namespace
+}  // namespace mqd

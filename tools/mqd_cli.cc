@@ -1,0 +1,253 @@
+// mqd — command-line front end to libmqd.
+//
+// Commands:
+//   generate   synthesize an MQDP instance and write it to a file
+//   solve      run a solver on an instance file, print/save the cover
+//   stream     replay an instance through a StreamMQDP processor
+//   stats      describe an instance / a cover
+//
+// Examples:
+//   mqd generate --labels 3 --minutes 10 --rate 30 --out inst.mqdp
+//   mqd solve inst.mqdp --algorithm greedy --lambda 5 --out cover.txt
+//   mqd stream inst.mqdp --algorithm stream-scan --lambda 10 --tau 5
+//   mqd stats inst.mqdp --cover cover.txt --lambda 5
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cover_stats.h"
+#include "core/io.h"
+#include "core/solver.h"
+#include "core/verifier.h"
+#include "eval/table.h"
+#include "gen/instance_gen.h"
+#include "stream/delay_stats.h"
+#include "stream/factory.h"
+#include "stream/replay.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace mqd {
+namespace {
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+Result<SolverKind> ParseSolverKind(const std::string& name) {
+  if (name == "scan") return SolverKind::kScan;
+  if (name == "scan+") return SolverKind::kScanPlus;
+  if (name == "greedy") return SolverKind::kGreedySC;
+  if (name == "greedy-lazy") return SolverKind::kGreedySCLazy;
+  if (name == "opt") return SolverKind::kOpt;
+  if (name == "bnb") return SolverKind::kBranchAndBound;
+  return Status::InvalidArgument(
+      "unknown algorithm '" + name +
+      "' (scan, scan+, greedy, greedy-lazy, opt, bnb)");
+}
+
+Result<StreamKind> ParseStreamKind(const std::string& name) {
+  if (name == "stream-scan") return StreamKind::kStreamScan;
+  if (name == "stream-scan+") return StreamKind::kStreamScanPlus;
+  if (name == "stream-greedy") return StreamKind::kStreamGreedy;
+  if (name == "stream-greedy+") return StreamKind::kStreamGreedyPlus;
+  if (name == "instant") return StreamKind::kInstant;
+  return Status::InvalidArgument(
+      "unknown algorithm '" + name +
+      "' (stream-scan, stream-scan+, stream-greedy, stream-greedy+, "
+      "instant)");
+}
+
+int CmdGenerate(const std::vector<std::string>& args) {
+  FlagParser flags;
+  flags.Define("labels", "2", "number of query labels |L|");
+  flags.Define("minutes", "10", "interval length in minutes");
+  flags.Define("rate", "30", "matching posts per minute");
+  flags.Define("overlap", "1.3", "target post overlap rate");
+  flags.Define("burst-fraction", "0", "fraction of posts in bursts");
+  flags.Define("seed", "42", "random seed");
+  flags.Define("out", "-", "output file ('-' = stdout)");
+  if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
+
+  InstanceGenConfig config;
+  auto labels = flags.GetInt("labels");
+  auto minutes = flags.GetDouble("minutes");
+  auto rate = flags.GetDouble("rate");
+  auto overlap = flags.GetDouble("overlap");
+  auto burst = flags.GetDouble("burst-fraction");
+  auto seed = flags.GetInt("seed");
+  for (const Status& s :
+       {labels.status(), minutes.status(), rate.status(),
+        overlap.status(), burst.status(), seed.status()}) {
+    if (!s.ok()) return Fail(s);
+  }
+  config.num_labels = static_cast<int>(*labels);
+  config.duration = *minutes * 60.0;
+  config.posts_per_minute = *rate;
+  config.overlap_rate = *overlap;
+  config.burst_fraction = *burst;
+  config.seed = static_cast<uint64_t>(*seed);
+
+  auto instance = GenerateInstance(config);
+  if (!instance.ok()) return Fail(instance.status());
+
+  const std::string out = flags.GetString("out");
+  Status write = out == "-" ? WriteInstance(*instance, std::cout)
+                            : WriteInstanceToFile(*instance, out);
+  if (!write.ok()) return Fail(write);
+  std::cerr << "generated " << instance->num_posts() << " posts, |L|="
+            << instance->num_labels() << ", overlap "
+            << FormatDouble(instance->overlap_rate(), 3) << "\n";
+  return 0;
+}
+
+int CmdSolve(const std::vector<std::string>& args) {
+  FlagParser flags;
+  flags.Define("algorithm", "greedy",
+               "scan | scan+ | greedy | greedy-lazy | opt | bnb");
+  flags.Define("lambda", "60", "coverage threshold (dimension units)");
+  flags.Define("out", "-", "cover output file ('-' = stdout)");
+  if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
+  if (flags.positional().size() != 1) {
+    std::cerr << "usage: mqd solve <instance-file> [flags]\n";
+    return 1;
+  }
+  auto instance = ReadInstanceFromFile(flags.positional()[0]);
+  if (!instance.ok()) return Fail(instance.status());
+  auto lambda = flags.GetDouble("lambda");
+  if (!lambda.ok()) return Fail(lambda.status());
+  auto kind = ParseSolverKind(flags.GetString("algorithm"));
+  if (!kind.ok()) return Fail(kind.status());
+
+  UniformLambda model(*lambda);
+  auto solver = CreateSolver(*kind);
+  auto cover = solver->Solve(*instance, model);
+  if (!cover.ok()) return Fail(cover.status());
+
+  std::cerr << solver->name() << ": " << cover->size()
+            << " representatives for " << instance->num_posts()
+            << " posts; valid cover: "
+            << (IsCover(*instance, model, *cover) ? "yes" : "NO") << "\n";
+  const std::string out = flags.GetString("out");
+  if (out == "-") {
+    if (Status s = WriteSelection(*cover, std::cout); !s.ok()) {
+      return Fail(s);
+    }
+  } else {
+    std::ofstream file(out);
+    if (!file) return Fail(Status::NotFound("cannot open " + out));
+    if (Status s = WriteSelection(*cover, file); !s.ok()) return Fail(s);
+  }
+  return 0;
+}
+
+int CmdStream(const std::vector<std::string>& args) {
+  FlagParser flags;
+  flags.Define("algorithm", "stream-scan",
+               "stream-scan | stream-scan+ | stream-greedy | "
+               "stream-greedy+ | instant");
+  flags.Define("lambda", "60", "coverage threshold");
+  flags.Define("tau", "10", "max reporting delay");
+  if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
+  if (flags.positional().size() != 1) {
+    std::cerr << "usage: mqd stream <instance-file> [flags]\n";
+    return 1;
+  }
+  auto instance = ReadInstanceFromFile(flags.positional()[0]);
+  if (!instance.ok()) return Fail(instance.status());
+  auto lambda = flags.GetDouble("lambda");
+  auto tau = flags.GetDouble("tau");
+  if (!lambda.ok()) return Fail(lambda.status());
+  if (!tau.ok()) return Fail(tau.status());
+  auto kind = ParseStreamKind(flags.GetString("algorithm"));
+  if (!kind.ok()) return Fail(kind.status());
+
+  UniformLambda model(*lambda);
+  auto processor = CreateStreamProcessor(*kind, *instance, model, *tau);
+  auto stats = RunStream(*instance, processor.get());
+  if (!stats.ok()) return Fail(stats.status());
+  const double effective_tau =
+      *kind == StreamKind::kInstant ? 0.0 : *tau;
+  const Status valid = ValidateStreamOutput(
+      *instance, model, processor->emissions(), effective_tau);
+  std::cout << processor->name() << ": emitted " << stats->num_emitted
+            << " of " << stats->num_posts << " posts, max delay "
+            << FormatDouble(stats->max_delay, 3) << ", mean delay "
+            << FormatDouble(stats->mean_delay, 3) << ", contract "
+            << (valid.ok() ? "ok" : valid.ToString()) << "\n";
+  return valid.ok() ? 0 : 1;
+}
+
+int CmdStats(const std::vector<std::string>& args) {
+  FlagParser flags;
+  flags.Define("cover", "", "optional cover file to describe");
+  flags.Define("lambda", "60", "coverage threshold for validity");
+  if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
+  if (flags.positional().size() != 1) {
+    std::cerr << "usage: mqd stats <instance-file> [flags]\n";
+    return 1;
+  }
+  auto instance = ReadInstanceFromFile(flags.positional()[0]);
+  if (!instance.ok()) return Fail(instance.status());
+
+  std::cout << "posts:       " << instance->num_posts() << "\n"
+            << "labels:      " << instance->num_labels() << "\n"
+            << "pairs:       " << instance->num_pairs() << "\n"
+            << "overlap:     "
+            << FormatDouble(instance->overlap_rate(), 3) << "\n"
+            << "value range: [" << FormatDouble(instance->min_value(), 3)
+            << ", " << FormatDouble(instance->max_value(), 3) << "]\n";
+
+  const std::string cover_path = flags.GetString("cover");
+  if (cover_path.empty()) return 0;
+  std::ifstream file(cover_path);
+  if (!file) return Fail(Status::NotFound("cannot open " + cover_path));
+  auto cover = ReadSelection(file);
+  if (!cover.ok()) return Fail(cover.status());
+  auto lambda = flags.GetDouble("lambda");
+  if (!lambda.ok()) return Fail(lambda.status());
+
+  UniformLambda model(*lambda);
+  const CoverStats stats = ComputeCoverStats(*instance, *cover);
+  std::cout << "cover size:  " << stats.selected_posts << " ("
+            << FormatDouble(stats.compression * 100.0, 2) << "% of feed)\n"
+            << "valid:       "
+            << (IsCover(*instance, model, *cover) ? "yes" : "NO") << "\n"
+            << "mean dist to representative: "
+            << FormatDouble(stats.mean_distance_to_representative, 3)
+            << "\n"
+            << "max dist to representative:  "
+            << FormatDouble(stats.max_distance_to_representative, 3)
+            << "\n"
+            << "label distribution L1:       "
+            << FormatDouble(stats.label_distribution_l1, 3) << "\n";
+  return 0;
+}
+
+int Usage() {
+  std::cerr
+      << "mqd — Multi-Query Diversification toolkit (EDBT 2014 repro)\n"
+         "usage: mqd <command> [flags]\n\n"
+         "commands:\n"
+         "  generate  synthesize an MQDP instance\n"
+         "  solve     run a static solver on an instance file\n"
+         "  stream    replay an instance through a streaming solver\n"
+         "  stats     describe an instance and optionally a cover\n";
+  return 2;
+}
+
+}  // namespace
+}  // namespace mqd
+
+int main(int argc, char** argv) {
+  if (argc < 2) return mqd::Usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "generate") return mqd::CmdGenerate(args);
+  if (command == "solve") return mqd::CmdSolve(args);
+  if (command == "stream") return mqd::CmdStream(args);
+  if (command == "stats") return mqd::CmdStats(args);
+  return mqd::Usage();
+}
