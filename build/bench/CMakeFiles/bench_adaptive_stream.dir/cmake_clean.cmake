@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_stream.dir/bench_adaptive_stream.cc.o"
+  "CMakeFiles/bench_adaptive_stream.dir/bench_adaptive_stream.cc.o.d"
+  "bench_adaptive_stream"
+  "bench_adaptive_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_baselines.cc" "bench/CMakeFiles/bench_baselines.dir/bench_baselines.cc.o" "gcc" "bench/CMakeFiles/bench_baselines.dir/bench_baselines.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mqd_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mqd_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mqd_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mqd_simhash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mqd_gentext.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mqd_topics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mqd_sentiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mqd_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mqd_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mqd_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mqd_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mqd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mqd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

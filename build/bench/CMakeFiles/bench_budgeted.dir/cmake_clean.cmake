@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_budgeted.dir/bench_budgeted.cc.o"
+  "CMakeFiles/bench_budgeted.dir/bench_budgeted.cc.o.d"
+  "bench_budgeted"
+  "bench_budgeted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_budgeted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

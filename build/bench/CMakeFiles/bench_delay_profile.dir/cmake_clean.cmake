@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delay_profile.dir/bench_delay_profile.cc.o"
+  "CMakeFiles/bench_delay_profile.dir/bench_delay_profile.cc.o.d"
+  "bench_delay_profile"
+  "bench_delay_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delay_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_lambda_error.dir/bench_fig07_lambda_error.cc.o"
+  "CMakeFiles/bench_fig07_lambda_error.dir/bench_fig07_lambda_error.cc.o.d"
+  "bench_fig07_lambda_error"
+  "bench_fig07_lambda_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_lambda_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_stream_tau.dir/bench_fig10_stream_tau.cc.o"
+  "CMakeFiles/bench_fig10_stream_tau.dir/bench_fig10_stream_tau.cc.o.d"
+  "bench_fig10_stream_tau"
+  "bench_fig10_stream_tau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_stream_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_time_mqdp.dir/bench_fig13_time_mqdp.cc.o"
+  "CMakeFiles/bench_fig13_time_mqdp.dir/bench_fig13_time_mqdp.cc.o.d"
+  "bench_fig13_time_mqdp"
+  "bench_fig13_time_mqdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_time_mqdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

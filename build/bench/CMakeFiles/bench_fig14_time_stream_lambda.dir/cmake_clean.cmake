@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_time_stream_lambda.dir/bench_fig14_time_stream_lambda.cc.o"
+  "CMakeFiles/bench_fig14_time_stream_lambda.dir/bench_fig14_time_stream_lambda.cc.o.d"
+  "bench_fig14_time_stream_lambda"
+  "bench_fig14_time_stream_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_time_stream_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

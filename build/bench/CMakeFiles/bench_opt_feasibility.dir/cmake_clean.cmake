@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_opt_feasibility.dir/bench_opt_feasibility.cc.o"
+  "CMakeFiles/bench_opt_feasibility.dir/bench_opt_feasibility.cc.o.d"
+  "bench_opt_feasibility"
+  "bench_opt_feasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_opt_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop_diversity.dir/bench_prop_diversity.cc.o"
+  "CMakeFiles/bench_prop_diversity.dir/bench_prop_diversity.cc.o.d"
+  "bench_prop_diversity"
+  "bench_prop_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spatial.dir/bench_spatial.cc.o"
+  "CMakeFiles/bench_spatial.dir/bench_spatial.cc.o.d"
+  "bench_spatial"
+  "bench_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_topics.dir/bench_table1_topics.cc.o"
+  "CMakeFiles/bench_table1_topics.dir/bench_table1_topics.cc.o.d"
+  "bench_table1_topics"
+  "bench_table1_topics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_topics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

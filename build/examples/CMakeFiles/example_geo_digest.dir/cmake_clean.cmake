@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_geo_digest.dir/geo_digest.cpp.o"
+  "CMakeFiles/example_geo_digest.dir/geo_digest.cpp.o.d"
+  "example_geo_digest"
+  "example_geo_digest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_geo_digest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pipeline_search.dir/pipeline_search.cpp.o"
+  "CMakeFiles/example_pipeline_search.dir/pipeline_search.cpp.o.d"
+  "example_pipeline_search"
+  "example_pipeline_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pipeline_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_proportional_digest.dir/proportional_digest.cpp.o"
+  "CMakeFiles/example_proportional_digest.dir/proportional_digest.cpp.o.d"
+  "example_proportional_digest"
+  "example_proportional_digest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_proportional_digest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

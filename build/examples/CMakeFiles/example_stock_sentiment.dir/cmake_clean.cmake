@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stock_sentiment.dir/stock_sentiment.cpp.o"
+  "CMakeFiles/example_stock_sentiment.dir/stock_sentiment.cpp.o.d"
+  "example_stock_sentiment"
+  "example_stock_sentiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stock_sentiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/CMakeFiles/mqd_core.dir/core/baselines.cc.o" "gcc" "src/CMakeFiles/mqd_core.dir/core/baselines.cc.o.d"
+  "/root/repo/src/core/brute_force.cc" "src/CMakeFiles/mqd_core.dir/core/brute_force.cc.o" "gcc" "src/CMakeFiles/mqd_core.dir/core/brute_force.cc.o.d"
+  "/root/repo/src/core/budgeted.cc" "src/CMakeFiles/mqd_core.dir/core/budgeted.cc.o" "gcc" "src/CMakeFiles/mqd_core.dir/core/budgeted.cc.o.d"
+  "/root/repo/src/core/cover_stats.cc" "src/CMakeFiles/mqd_core.dir/core/cover_stats.cc.o" "gcc" "src/CMakeFiles/mqd_core.dir/core/cover_stats.cc.o.d"
+  "/root/repo/src/core/coverage.cc" "src/CMakeFiles/mqd_core.dir/core/coverage.cc.o" "gcc" "src/CMakeFiles/mqd_core.dir/core/coverage.cc.o.d"
+  "/root/repo/src/core/greedy_sc.cc" "src/CMakeFiles/mqd_core.dir/core/greedy_sc.cc.o" "gcc" "src/CMakeFiles/mqd_core.dir/core/greedy_sc.cc.o.d"
+  "/root/repo/src/core/instance.cc" "src/CMakeFiles/mqd_core.dir/core/instance.cc.o" "gcc" "src/CMakeFiles/mqd_core.dir/core/instance.cc.o.d"
+  "/root/repo/src/core/io.cc" "src/CMakeFiles/mqd_core.dir/core/io.cc.o" "gcc" "src/CMakeFiles/mqd_core.dir/core/io.cc.o.d"
+  "/root/repo/src/core/label_universe.cc" "src/CMakeFiles/mqd_core.dir/core/label_universe.cc.o" "gcc" "src/CMakeFiles/mqd_core.dir/core/label_universe.cc.o.d"
+  "/root/repo/src/core/opt_dp.cc" "src/CMakeFiles/mqd_core.dir/core/opt_dp.cc.o" "gcc" "src/CMakeFiles/mqd_core.dir/core/opt_dp.cc.o.d"
+  "/root/repo/src/core/proportional.cc" "src/CMakeFiles/mqd_core.dir/core/proportional.cc.o" "gcc" "src/CMakeFiles/mqd_core.dir/core/proportional.cc.o.d"
+  "/root/repo/src/core/reduction.cc" "src/CMakeFiles/mqd_core.dir/core/reduction.cc.o" "gcc" "src/CMakeFiles/mqd_core.dir/core/reduction.cc.o.d"
+  "/root/repo/src/core/scan.cc" "src/CMakeFiles/mqd_core.dir/core/scan.cc.o" "gcc" "src/CMakeFiles/mqd_core.dir/core/scan.cc.o.d"
+  "/root/repo/src/core/solver.cc" "src/CMakeFiles/mqd_core.dir/core/solver.cc.o" "gcc" "src/CMakeFiles/mqd_core.dir/core/solver.cc.o.d"
+  "/root/repo/src/core/verifier.cc" "src/CMakeFiles/mqd_core.dir/core/verifier.cc.o" "gcc" "src/CMakeFiles/mqd_core.dir/core/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mqd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqd_core.dir/core/baselines.cc.o"
+  "CMakeFiles/mqd_core.dir/core/baselines.cc.o.d"
+  "CMakeFiles/mqd_core.dir/core/brute_force.cc.o"
+  "CMakeFiles/mqd_core.dir/core/brute_force.cc.o.d"
+  "CMakeFiles/mqd_core.dir/core/budgeted.cc.o"
+  "CMakeFiles/mqd_core.dir/core/budgeted.cc.o.d"
+  "CMakeFiles/mqd_core.dir/core/cover_stats.cc.o"
+  "CMakeFiles/mqd_core.dir/core/cover_stats.cc.o.d"
+  "CMakeFiles/mqd_core.dir/core/coverage.cc.o"
+  "CMakeFiles/mqd_core.dir/core/coverage.cc.o.d"
+  "CMakeFiles/mqd_core.dir/core/greedy_sc.cc.o"
+  "CMakeFiles/mqd_core.dir/core/greedy_sc.cc.o.d"
+  "CMakeFiles/mqd_core.dir/core/instance.cc.o"
+  "CMakeFiles/mqd_core.dir/core/instance.cc.o.d"
+  "CMakeFiles/mqd_core.dir/core/io.cc.o"
+  "CMakeFiles/mqd_core.dir/core/io.cc.o.d"
+  "CMakeFiles/mqd_core.dir/core/label_universe.cc.o"
+  "CMakeFiles/mqd_core.dir/core/label_universe.cc.o.d"
+  "CMakeFiles/mqd_core.dir/core/opt_dp.cc.o"
+  "CMakeFiles/mqd_core.dir/core/opt_dp.cc.o.d"
+  "CMakeFiles/mqd_core.dir/core/proportional.cc.o"
+  "CMakeFiles/mqd_core.dir/core/proportional.cc.o.d"
+  "CMakeFiles/mqd_core.dir/core/reduction.cc.o"
+  "CMakeFiles/mqd_core.dir/core/reduction.cc.o.d"
+  "CMakeFiles/mqd_core.dir/core/scan.cc.o"
+  "CMakeFiles/mqd_core.dir/core/scan.cc.o.d"
+  "CMakeFiles/mqd_core.dir/core/solver.cc.o"
+  "CMakeFiles/mqd_core.dir/core/solver.cc.o.d"
+  "CMakeFiles/mqd_core.dir/core/verifier.cc.o"
+  "CMakeFiles/mqd_core.dir/core/verifier.cc.o.d"
+  "libmqd_core.a"
+  "libmqd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqd_eval.dir/eval/experiment.cc.o"
+  "CMakeFiles/mqd_eval.dir/eval/experiment.cc.o.d"
+  "CMakeFiles/mqd_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/mqd_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/mqd_eval.dir/eval/table.cc.o"
+  "CMakeFiles/mqd_eval.dir/eval/table.cc.o.d"
+  "libmqd_eval.a"
+  "libmqd_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqd_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqd_gen.dir/gen/instance_gen.cc.o"
+  "CMakeFiles/mqd_gen.dir/gen/instance_gen.cc.o.d"
+  "libmqd_gen.a"
+  "libmqd_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqd_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqd_gentext.dir/gen/news_gen.cc.o"
+  "CMakeFiles/mqd_gentext.dir/gen/news_gen.cc.o.d"
+  "CMakeFiles/mqd_gentext.dir/gen/profile_gen.cc.o"
+  "CMakeFiles/mqd_gentext.dir/gen/profile_gen.cc.o.d"
+  "CMakeFiles/mqd_gentext.dir/gen/tweet_gen.cc.o"
+  "CMakeFiles/mqd_gentext.dir/gen/tweet_gen.cc.o.d"
+  "libmqd_gentext.a"
+  "libmqd_gentext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqd_gentext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/index_io.cc" "src/CMakeFiles/mqd_index.dir/index/index_io.cc.o" "gcc" "src/CMakeFiles/mqd_index.dir/index/index_io.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/CMakeFiles/mqd_index.dir/index/inverted_index.cc.o" "gcc" "src/CMakeFiles/mqd_index.dir/index/inverted_index.cc.o.d"
+  "/root/repo/src/index/phrase_index.cc" "src/CMakeFiles/mqd_index.dir/index/phrase_index.cc.o" "gcc" "src/CMakeFiles/mqd_index.dir/index/phrase_index.cc.o.d"
+  "/root/repo/src/index/postings.cc" "src/CMakeFiles/mqd_index.dir/index/postings.cc.o" "gcc" "src/CMakeFiles/mqd_index.dir/index/postings.cc.o.d"
+  "/root/repo/src/index/query_parser.cc" "src/CMakeFiles/mqd_index.dir/index/query_parser.cc.o" "gcc" "src/CMakeFiles/mqd_index.dir/index/query_parser.cc.o.d"
+  "/root/repo/src/index/realtime_index.cc" "src/CMakeFiles/mqd_index.dir/index/realtime_index.cc.o" "gcc" "src/CMakeFiles/mqd_index.dir/index/realtime_index.cc.o.d"
+  "/root/repo/src/index/searcher.cc" "src/CMakeFiles/mqd_index.dir/index/searcher.cc.o" "gcc" "src/CMakeFiles/mqd_index.dir/index/searcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mqd_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mqd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

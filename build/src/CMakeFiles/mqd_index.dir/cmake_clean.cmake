@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqd_index.dir/index/index_io.cc.o"
+  "CMakeFiles/mqd_index.dir/index/index_io.cc.o.d"
+  "CMakeFiles/mqd_index.dir/index/inverted_index.cc.o"
+  "CMakeFiles/mqd_index.dir/index/inverted_index.cc.o.d"
+  "CMakeFiles/mqd_index.dir/index/phrase_index.cc.o"
+  "CMakeFiles/mqd_index.dir/index/phrase_index.cc.o.d"
+  "CMakeFiles/mqd_index.dir/index/postings.cc.o"
+  "CMakeFiles/mqd_index.dir/index/postings.cc.o.d"
+  "CMakeFiles/mqd_index.dir/index/query_parser.cc.o"
+  "CMakeFiles/mqd_index.dir/index/query_parser.cc.o.d"
+  "CMakeFiles/mqd_index.dir/index/realtime_index.cc.o"
+  "CMakeFiles/mqd_index.dir/index/realtime_index.cc.o.d"
+  "CMakeFiles/mqd_index.dir/index/searcher.cc.o"
+  "CMakeFiles/mqd_index.dir/index/searcher.cc.o.d"
+  "libmqd_index.a"
+  "libmqd_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqd_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

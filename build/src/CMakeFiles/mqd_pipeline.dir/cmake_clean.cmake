@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqd_pipeline.dir/pipeline/digest.cc.o"
+  "CMakeFiles/mqd_pipeline.dir/pipeline/digest.cc.o.d"
+  "CMakeFiles/mqd_pipeline.dir/pipeline/diversifier.cc.o"
+  "CMakeFiles/mqd_pipeline.dir/pipeline/diversifier.cc.o.d"
+  "CMakeFiles/mqd_pipeline.dir/pipeline/matcher.cc.o"
+  "CMakeFiles/mqd_pipeline.dir/pipeline/matcher.cc.o.d"
+  "CMakeFiles/mqd_pipeline.dir/pipeline/online.cc.o"
+  "CMakeFiles/mqd_pipeline.dir/pipeline/online.cc.o.d"
+  "libmqd_pipeline.a"
+  "libmqd_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqd_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqd_sentiment.dir/sentiment/lexicon.cc.o"
+  "CMakeFiles/mqd_sentiment.dir/sentiment/lexicon.cc.o.d"
+  "CMakeFiles/mqd_sentiment.dir/sentiment/scorer.cc.o"
+  "CMakeFiles/mqd_sentiment.dir/sentiment/scorer.cc.o.d"
+  "libmqd_sentiment.a"
+  "libmqd_sentiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqd_sentiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqd_simhash.dir/simhash/dedup.cc.o"
+  "CMakeFiles/mqd_simhash.dir/simhash/dedup.cc.o.d"
+  "CMakeFiles/mqd_simhash.dir/simhash/simhash.cc.o"
+  "CMakeFiles/mqd_simhash.dir/simhash/simhash.cc.o.d"
+  "libmqd_simhash.a"
+  "libmqd_simhash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqd_simhash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spatial/geo.cc" "src/CMakeFiles/mqd_spatial.dir/spatial/geo.cc.o" "gcc" "src/CMakeFiles/mqd_spatial.dir/spatial/geo.cc.o.d"
+  "/root/repo/src/spatial/geo_gen.cc" "src/CMakeFiles/mqd_spatial.dir/spatial/geo_gen.cc.o" "gcc" "src/CMakeFiles/mqd_spatial.dir/spatial/geo_gen.cc.o.d"
+  "/root/repo/src/spatial/geo_instance.cc" "src/CMakeFiles/mqd_spatial.dir/spatial/geo_instance.cc.o" "gcc" "src/CMakeFiles/mqd_spatial.dir/spatial/geo_instance.cc.o.d"
+  "/root/repo/src/spatial/geo_solver.cc" "src/CMakeFiles/mqd_spatial.dir/spatial/geo_solver.cc.o" "gcc" "src/CMakeFiles/mqd_spatial.dir/spatial/geo_solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mqd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mqd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

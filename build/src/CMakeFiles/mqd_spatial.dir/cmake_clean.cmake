@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqd_spatial.dir/spatial/geo.cc.o"
+  "CMakeFiles/mqd_spatial.dir/spatial/geo.cc.o.d"
+  "CMakeFiles/mqd_spatial.dir/spatial/geo_gen.cc.o"
+  "CMakeFiles/mqd_spatial.dir/spatial/geo_gen.cc.o.d"
+  "CMakeFiles/mqd_spatial.dir/spatial/geo_instance.cc.o"
+  "CMakeFiles/mqd_spatial.dir/spatial/geo_instance.cc.o.d"
+  "CMakeFiles/mqd_spatial.dir/spatial/geo_solver.cc.o"
+  "CMakeFiles/mqd_spatial.dir/spatial/geo_solver.cc.o.d"
+  "libmqd_spatial.a"
+  "libmqd_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqd_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/adaptive.cc" "src/CMakeFiles/mqd_stream.dir/stream/adaptive.cc.o" "gcc" "src/CMakeFiles/mqd_stream.dir/stream/adaptive.cc.o.d"
+  "/root/repo/src/stream/delay_stats.cc" "src/CMakeFiles/mqd_stream.dir/stream/delay_stats.cc.o" "gcc" "src/CMakeFiles/mqd_stream.dir/stream/delay_stats.cc.o.d"
+  "/root/repo/src/stream/factory.cc" "src/CMakeFiles/mqd_stream.dir/stream/factory.cc.o" "gcc" "src/CMakeFiles/mqd_stream.dir/stream/factory.cc.o.d"
+  "/root/repo/src/stream/instant.cc" "src/CMakeFiles/mqd_stream.dir/stream/instant.cc.o" "gcc" "src/CMakeFiles/mqd_stream.dir/stream/instant.cc.o.d"
+  "/root/repo/src/stream/replay.cc" "src/CMakeFiles/mqd_stream.dir/stream/replay.cc.o" "gcc" "src/CMakeFiles/mqd_stream.dir/stream/replay.cc.o.d"
+  "/root/repo/src/stream/stream_greedy.cc" "src/CMakeFiles/mqd_stream.dir/stream/stream_greedy.cc.o" "gcc" "src/CMakeFiles/mqd_stream.dir/stream/stream_greedy.cc.o.d"
+  "/root/repo/src/stream/stream_scan.cc" "src/CMakeFiles/mqd_stream.dir/stream/stream_scan.cc.o" "gcc" "src/CMakeFiles/mqd_stream.dir/stream/stream_scan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mqd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mqd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

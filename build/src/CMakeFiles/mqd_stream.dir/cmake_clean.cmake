@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqd_stream.dir/stream/adaptive.cc.o"
+  "CMakeFiles/mqd_stream.dir/stream/adaptive.cc.o.d"
+  "CMakeFiles/mqd_stream.dir/stream/delay_stats.cc.o"
+  "CMakeFiles/mqd_stream.dir/stream/delay_stats.cc.o.d"
+  "CMakeFiles/mqd_stream.dir/stream/factory.cc.o"
+  "CMakeFiles/mqd_stream.dir/stream/factory.cc.o.d"
+  "CMakeFiles/mqd_stream.dir/stream/instant.cc.o"
+  "CMakeFiles/mqd_stream.dir/stream/instant.cc.o.d"
+  "CMakeFiles/mqd_stream.dir/stream/replay.cc.o"
+  "CMakeFiles/mqd_stream.dir/stream/replay.cc.o.d"
+  "CMakeFiles/mqd_stream.dir/stream/stream_greedy.cc.o"
+  "CMakeFiles/mqd_stream.dir/stream/stream_greedy.cc.o.d"
+  "CMakeFiles/mqd_stream.dir/stream/stream_scan.cc.o"
+  "CMakeFiles/mqd_stream.dir/stream/stream_scan.cc.o.d"
+  "libmqd_stream.a"
+  "libmqd_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqd_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqd_text.dir/text/stopwords.cc.o"
+  "CMakeFiles/mqd_text.dir/text/stopwords.cc.o.d"
+  "CMakeFiles/mqd_text.dir/text/tokenizer.cc.o"
+  "CMakeFiles/mqd_text.dir/text/tokenizer.cc.o.d"
+  "CMakeFiles/mqd_text.dir/text/vocabulary.cc.o"
+  "CMakeFiles/mqd_text.dir/text/vocabulary.cc.o.d"
+  "libmqd_text.a"
+  "libmqd_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqd_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqd_topics.dir/topics/corpus.cc.o"
+  "CMakeFiles/mqd_topics.dir/topics/corpus.cc.o.d"
+  "CMakeFiles/mqd_topics.dir/topics/lda.cc.o"
+  "CMakeFiles/mqd_topics.dir/topics/lda.cc.o.d"
+  "CMakeFiles/mqd_topics.dir/topics/topic_model.cc.o"
+  "CMakeFiles/mqd_topics.dir/topics/topic_model.cc.o.d"
+  "libmqd_topics.a"
+  "libmqd_topics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqd_topics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

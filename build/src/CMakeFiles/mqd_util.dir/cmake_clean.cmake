@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqd_util.dir/util/flags.cc.o"
+  "CMakeFiles/mqd_util.dir/util/flags.cc.o.d"
+  "CMakeFiles/mqd_util.dir/util/histogram.cc.o"
+  "CMakeFiles/mqd_util.dir/util/histogram.cc.o.d"
+  "CMakeFiles/mqd_util.dir/util/logging.cc.o"
+  "CMakeFiles/mqd_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/mqd_util.dir/util/rng.cc.o"
+  "CMakeFiles/mqd_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/mqd_util.dir/util/status.cc.o"
+  "CMakeFiles/mqd_util.dir/util/status.cc.o.d"
+  "CMakeFiles/mqd_util.dir/util/string_util.cc.o"
+  "CMakeFiles/mqd_util.dir/util/string_util.cc.o.d"
+  "CMakeFiles/mqd_util.dir/util/timer.cc.o"
+  "CMakeFiles/mqd_util.dir/util/timer.cc.o.d"
+  "libmqd_util.a"
+  "libmqd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

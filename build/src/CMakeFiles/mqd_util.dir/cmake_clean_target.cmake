@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmqd_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/budgeted_test.dir/budgeted_test.cc.o"
+  "CMakeFiles/budgeted_test.dir/budgeted_test.cc.o.d"
+  "budgeted_test"
+  "budgeted_test.pdb"
+  "budgeted_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/budgeted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

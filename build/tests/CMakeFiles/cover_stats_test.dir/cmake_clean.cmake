@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cover_stats_test.dir/cover_stats_test.cc.o"
+  "CMakeFiles/cover_stats_test.dir/cover_stats_test.cc.o.d"
+  "cover_stats_test"
+  "cover_stats_test.pdb"
+  "cover_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cover_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

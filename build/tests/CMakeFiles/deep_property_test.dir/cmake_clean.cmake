@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_property_test.dir/deep_property_test.cc.o"
+  "CMakeFiles/deep_property_test.dir/deep_property_test.cc.o.d"
+  "deep_property_test"
+  "deep_property_test.pdb"
+  "deep_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

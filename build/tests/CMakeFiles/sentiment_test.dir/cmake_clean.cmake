@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentiment_test.dir/sentiment_test.cc.o"
+  "CMakeFiles/sentiment_test.dir/sentiment_test.cc.o.d"
+  "sentiment_test"
+  "sentiment_test.pdb"
+  "sentiment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqd_cli.dir/mqd_cli.cc.o"
+  "CMakeFiles/mqd_cli.dir/mqd_cli.cc.o.d"
+  "mqd"
+  "mqd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
