@@ -4,11 +4,14 @@
 #include <queue>
 #include <vector>
 
+#include "core/greedy_state.h"
 #include "util/logging.h"
 
 namespace mqd {
 
 namespace {
+
+using internal::GreedyState;
 
 struct HeapEntry {
   int64_t gain;
@@ -22,60 +25,6 @@ struct HeapLess {
     if (a.gain != b.gain) return a.gain < b.gain;
     return a.post > b.post;
   }
-};
-
-class GreedyState {
- public:
-  GreedyState(const Instance& inst, const CoverageModel& model)
-      : inst_(inst),
-        model_(model),
-        covered_(inst.num_posts(), 0),
-        gain_(inst.num_posts(), 0),
-        remaining_(inst.num_pairs()) {
-    // Initial gain of post p = |S_p| = number of (q, a) pairs with
-    // a in label(p) and q within Reach(p, a) of p.
-    for (PostId p = 0; p < inst_.num_posts(); ++p) {
-      ForEachLabel(inst_.labels(p), [&](LabelId a) {
-        const DimValue reach = model_.Reach(inst_, p, a);
-        const DimValue v = inst_.value(p);
-        gain_[p] += static_cast<int64_t>(
-            inst_.LabelPostsInRange(a, v - reach, v + reach).size());
-      });
-    }
-  }
-
-  int64_t gain(PostId p) const { return gain_[p]; }
-  size_t remaining() const { return remaining_; }
-
-  /// Marks everything `p` covers and decrements the gains of every
-  /// post whose set loses a pair.
-  void Select(PostId p) {
-    const DimValue max_reach = model_.MaxReach();
-    ForEachLabel(inst_.labels(p), [&](LabelId a) {
-      const LabelMask abit = MaskOf(a);
-      const DimValue reach = model_.Reach(inst_, p, a);
-      const DimValue v = inst_.value(p);
-      for (PostId q : inst_.LabelPostsInRange(a, v - reach, v + reach)) {
-        if ((covered_[q] & abit) != 0) continue;
-        covered_[q] |= abit;
-        --remaining_;
-        // Every post r that covers (q, a) loses this pair.
-        const DimValue vq = inst_.value(q);
-        for (PostId r :
-             inst_.LabelPostsInRange(a, vq - max_reach, vq + max_reach)) {
-          if (model_.Covers(inst_, r, a, q)) --gain_[r];
-        }
-      }
-    });
-    MQD_DCHECK(gain_[p] == 0);
-  }
-
- private:
-  const Instance& inst_;
-  const CoverageModel& model_;
-  std::vector<LabelMask> covered_;
-  std::vector<int64_t> gain_;
-  size_t remaining_;
 };
 
 Result<std::vector<PostId>> SolveLinear(const Instance& inst,

@@ -1,0 +1,89 @@
+#ifndef MQD_CORE_GREEDY_STATE_H_
+#define MQD_CORE_GREEDY_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/coverage.h"
+#include "core/instance.h"
+#include "core/types.h"
+#include "util/logging.h"
+
+namespace mqd::internal {
+
+/// The shared bookkeeping of GreedySC's set-cover loop: per-post
+/// residual gains, the covered-pair bitmap, and the pair counter.
+/// Exposed (internal) so the serial engines in greedy_sc.cc and the
+/// parallel gain-argmax engine run the identical state machine; any
+/// divergence is a bug the differential tests are designed to catch.
+class GreedyState {
+ public:
+  /// When `compute_gains` is false the gains are left at zero and the
+  /// caller must fill them (e.g. via a parallel loop over
+  /// InitialGain + set_gain) before the first argmax.
+  GreedyState(const Instance& inst, const CoverageModel& model,
+              bool compute_gains = true)
+      : inst_(inst),
+        model_(model),
+        covered_(inst.num_posts(), 0),
+        gain_(inst.num_posts(), 0),
+        remaining_(inst.num_pairs()) {
+    if (!compute_gains) return;
+    for (PostId p = 0; p < inst_.num_posts(); ++p) {
+      gain_[p] = InitialGain(p);
+    }
+  }
+
+  /// Initial gain of post p = |S_p| = number of (q, a) pairs with a in
+  /// label(p) and q within Reach(p, a) of p. Pure function of the
+  /// instance; safe to evaluate concurrently for distinct posts.
+  int64_t InitialGain(PostId p) const {
+    int64_t gain = 0;
+    ForEachLabel(inst_.labels(p), [&](LabelId a) {
+      const DimValue reach = model_.Reach(inst_, p, a);
+      const DimValue v = inst_.value(p);
+      gain += static_cast<int64_t>(
+          inst_.LabelPostsInRange(a, v - reach, v + reach).size());
+    });
+    return gain;
+  }
+
+  void set_gain(PostId p, int64_t gain) { gain_[p] = gain; }
+  int64_t gain(PostId p) const { return gain_[p]; }
+  size_t remaining() const { return remaining_; }
+  size_t num_posts() const { return inst_.num_posts(); }
+
+  /// Marks everything `p` covers and decrements the gains of every
+  /// post whose set loses a pair.
+  void Select(PostId p) {
+    const DimValue max_reach = model_.MaxReach();
+    ForEachLabel(inst_.labels(p), [&](LabelId a) {
+      const LabelMask abit = MaskOf(a);
+      const DimValue reach = model_.Reach(inst_, p, a);
+      const DimValue v = inst_.value(p);
+      for (PostId q : inst_.LabelPostsInRange(a, v - reach, v + reach)) {
+        if ((covered_[q] & abit) != 0) continue;
+        covered_[q] |= abit;
+        --remaining_;
+        // Every post r that covers (q, a) loses this pair.
+        const DimValue vq = inst_.value(q);
+        for (PostId r :
+             inst_.LabelPostsInRange(a, vq - max_reach, vq + max_reach)) {
+          if (model_.Covers(inst_, r, a, q)) --gain_[r];
+        }
+      }
+    });
+    MQD_DCHECK(gain_[p] == 0);
+  }
+
+ private:
+  const Instance& inst_;
+  const CoverageModel& model_;
+  std::vector<LabelMask> covered_;
+  std::vector<int64_t> gain_;
+  size_t remaining_;
+};
+
+}  // namespace mqd::internal
+
+#endif  // MQD_CORE_GREEDY_STATE_H_

@@ -7,14 +7,11 @@
 
 namespace mqd {
 
-namespace {
+namespace internal {
 
-/// One per-label sweep: covers every (post, a) pair in `posts`
-/// (skipping pairs already marked in `covered`, when non-null),
-/// appending picks to `out` and marking what each pick covers across
-/// *all* its labels when `covered` is non-null (the Scan+ behaviour).
 void SweepLabel(const Instance& inst, const CoverageModel& model, LabelId a,
-                std::vector<LabelMask>* covered, std::vector<PostId>* out) {
+                std::vector<LabelMask>* covered, std::vector<PostId>* out,
+                const std::function<void(PostId picked)>* mark) {
   const std::span<const PostId> posts = inst.label_posts(a);
   const DimValue max_reach = model.MaxReach();
   const LabelMask abit = MaskOf(a);
@@ -47,7 +44,10 @@ void SweepLabel(const Instance& inst, const CoverageModel& model, LabelId a,
     }
 
     out->push_back(best);
-    if (covered != nullptr) {
+    if (covered != nullptr && mark != nullptr) {
+      (*mark)(best);
+      // The skip loop at the top advances i.
+    } else if (covered != nullptr) {
       // Scan+: everything `best` covers, for every label it carries,
       // is pruned from the remaining sweeps.
       ForEachLabel(inst.labels(best), [&](LabelId b) {
@@ -89,7 +89,10 @@ std::vector<LabelId> OrderedLabels(const Instance& inst, LabelOrder order) {
   return labels;
 }
 
-}  // namespace
+}  // namespace internal
+
+using internal::OrderedLabels;
+using internal::SweepLabel;
 
 Result<std::vector<PostId>> ScanSolver::Solve(
     const Instance& inst, const CoverageModel& model) const {

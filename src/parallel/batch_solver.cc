@@ -1,0 +1,77 @@
+#include "parallel/batch_solver.h"
+
+#include <exception>
+#include <string>
+
+#include "parallel/parallel_solver.h"
+#include "util/timer.h"
+
+namespace mqd {
+
+BatchSolver::BatchSolver(ParallelOptions options) : options_(options) {
+  const int total = ResolveNumThreads(options.num_threads);
+  if (total > 1) {
+    owned_pool_ = std::make_unique<ThreadPool>(total - 1);
+    pool_ = owned_pool_.get();
+  }
+}
+
+BatchSolver::BatchSolver(ThreadPool* pool, ParallelOptions options)
+    : pool_(pool), options_(options) {}
+
+BatchSolver::~BatchSolver() = default;
+
+std::vector<BatchJobResult> BatchSolver::SolveAll(
+    const std::vector<BatchJob>& jobs) const {
+  std::vector<BatchJobResult> results(jobs.size());
+  // Grain 1: jobs are coarse units; the work-stealing pool balances
+  // uneven instance sizes. Slot i of `results` is owned by whichever
+  // thread claimed chunk i -- no cross-slot writes, so submission
+  // order falls out of the indexing with no post-hoc sorting.
+  ParallelFor(pool_, jobs.size(), /*grain=*/1,
+              [&](size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i) {
+                  const BatchJob& job = jobs[i];
+                  BatchJobResult& slot = results[i];
+                  Stopwatch watch;
+                  if (job.instance == nullptr) {
+                    slot.status =
+                        Status::InvalidArgument("job has a null instance");
+                    continue;
+                  }
+                  if (job.model == nullptr && job.lambda < 0.0) {
+                    slot.status = Status::InvalidArgument(
+                        "job lambda must be non-negative");
+                    continue;
+                  }
+                  try {
+                    const UniformLambda uniform(
+                        job.model != nullptr ? 0.0 : job.lambda);
+                    const CoverageModel& model =
+                        job.model != nullptr
+                            ? *job.model
+                            : static_cast<const CoverageModel&>(uniform);
+                    Result<std::vector<PostId>> cover =
+                        job.solver != nullptr
+                            ? job.solver->Solve(*job.instance, model)
+                            : CreateParallelSolver(job.kind, pool_, options_)
+                                  ->Solve(*job.instance, model);
+                    if (cover.ok()) {
+                      slot.cover = std::move(cover).value();
+                    } else {
+                      slot.status = cover.status();
+                    }
+                  } catch (const std::exception& e) {
+                    slot.status = Status::Internal(
+                        std::string("solver threw: ") + e.what());
+                  } catch (...) {
+                    slot.status =
+                        Status::Internal("solver threw a non-std exception");
+                  }
+                  slot.elapsed_seconds = watch.ElapsedSeconds();
+                }
+              });
+  return results;
+}
+
+}  // namespace mqd

@@ -1,0 +1,74 @@
+#include "parallel/parallel_greedy.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/greedy_state.h"
+
+namespace mqd {
+
+namespace {
+
+struct ChunkBest {
+  int64_t gain = 0;
+  PostId post = kInvalidPost;
+};
+
+}  // namespace
+
+Result<std::vector<PostId>> ParallelGreedySCSolver::Solve(
+    const Instance& inst, const CoverageModel& model) const {
+  const size_t n = inst.num_posts();
+  if (pool_ == nullptr || pool_->num_workers() == 0 ||
+      n < options_.min_posts_to_parallelize) {
+    return GreedySCSolver(GreedyEngine::kLinearArgmax).Solve(inst, model);
+  }
+
+  // Chunking depends only on n, so per-chunk results land at fixed
+  // indices no matter which thread computes them.
+  const size_t threads = static_cast<size_t>(pool_->num_workers()) + 1;
+  const size_t grain =
+      std::max<size_t>(512, (n + threads * 4 - 1) / (threads * 4));
+  const size_t num_chunks = (n + grain - 1) / grain;
+
+  internal::GreedyState state(inst, model, /*compute_gains=*/false);
+  ParallelFor(pool_, n, grain, [&](size_t begin, size_t end) {
+    for (size_t p = begin; p < end; ++p) {
+      const PostId id = static_cast<PostId>(p);
+      state.set_gain(id, state.InitialGain(id));
+    }
+  });
+
+  std::vector<PostId> out;
+  std::vector<ChunkBest> chunk_best(num_chunks);
+  while (state.remaining() > 0) {
+    ParallelFor(pool_, n, grain, [&](size_t begin, size_t end) {
+      ChunkBest best;
+      for (size_t p = begin; p < end; ++p) {
+        const PostId id = static_cast<PostId>(p);
+        if (state.gain(id) > best.gain) {
+          best.gain = state.gain(id);
+          best.post = id;
+        }
+      }
+      chunk_best[begin / grain] = best;
+    });
+    ChunkBest best;
+    for (const ChunkBest& cb : chunk_best) {
+      // Strict >, chunks merged in ascending order: on a gain tie the
+      // earlier chunk -- i.e. the smaller PostId -- wins, exactly like
+      // the serial left-to-right scan.
+      if (cb.gain > best.gain) best = cb;
+    }
+    if (best.post == kInvalidPost) {
+      return Status::Internal("GreedySC stalled with uncovered pairs");
+    }
+    out.push_back(best.post);
+    state.Select(best.post);
+  }
+  internal::CanonicalizeSelection(&out);
+  return out;
+}
+
+}  // namespace mqd

@@ -1,0 +1,42 @@
+#ifndef MQD_PARALLEL_PARALLEL_GREEDY_H_
+#define MQD_PARALLEL_PARALLEL_GREEDY_H_
+
+#include "core/greedy_sc.h"
+#include "core/solver.h"
+#include "parallel/parallel_options.h"
+#include "util/thread_pool.h"
+
+namespace mqd {
+
+/// GreedySC with its two embarrassingly parallel pieces fanned across
+/// a thread pool: the initial gain table (independent per post) and
+/// the per-round gain argmax (a chunked parallel reduction). The
+/// submodular update after each pick stays serial -- it is the part
+/// that actually mutates state.
+///
+/// Determinism: the serial linear argmax picks the smallest PostId
+/// among the maximum-gain posts (strict `>` over ascending ids). The
+/// reduction computes per-chunk (gain, post) maxima with the same
+/// rule, then merges chunks in ascending chunk order with the same
+/// rule, which selects the same post regardless of how chunks were
+/// scheduled. Output is therefore bit-identical to
+/// GreedySCSolver(kLinearArgmax) -- and to the lazy-heap engine, which
+/// breaks ties identically -- at every thread count.
+class ParallelGreedySCSolver final : public Solver {
+ public:
+  /// `pool` may be null (serial). The pool is borrowed, not owned.
+  ParallelGreedySCSolver(ThreadPool* pool, ParallelOptions options)
+      : pool_(pool), options_(options) {}
+
+  std::string_view name() const override { return "GreedySC(par)"; }
+  Result<std::vector<PostId>> Solve(const Instance& inst,
+                                    const CoverageModel& model) const override;
+
+ private:
+  ThreadPool* pool_;
+  ParallelOptions options_;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_PARALLEL_PARALLEL_GREEDY_H_

@@ -1,0 +1,28 @@
+#ifndef MQD_PARALLEL_PARALLEL_OPTIONS_H_
+#define MQD_PARALLEL_PARALLEL_OPTIONS_H_
+
+#include <cstddef>
+
+namespace mqd {
+
+/// Knobs of the parallel execution engine. The contract everywhere
+/// these options appear: the parallel path returns **bit-identical**
+/// covers to the serial solvers at every thread count -- parallelism
+/// is a pure performance decision, never a semantic one -- so tuning
+/// these can never change results, only wall-clock time.
+struct ParallelOptions {
+  /// Total threads participating in a solve/batch, counting the
+  /// calling thread. 0 = all hardware threads; 1 = serial.
+  int num_threads = 0;
+
+  /// Intra-instance parallelism (per-label Scan sweeps, GreedySC's
+  /// gain argmax) only engages for instances with at least this many
+  /// posts; smaller instances run the serial code verbatim, since
+  /// fork/join overhead dwarfs the work. Inter-instance (batch)
+  /// parallelism is not gated.
+  size_t min_posts_to_parallelize = 4096;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_PARALLEL_PARALLEL_OPTIONS_H_

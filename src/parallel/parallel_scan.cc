@@ -1,0 +1,81 @@
+#include "parallel/parallel_scan.h"
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+namespace mqd {
+
+namespace {
+
+bool ShouldParallelize(const Instance& inst, ThreadPool* pool,
+                       const ParallelOptions& options) {
+  return pool != nullptr && pool->num_workers() > 0 &&
+         inst.num_posts() >= options.min_posts_to_parallelize &&
+         inst.num_labels() > 1;
+}
+
+}  // namespace
+
+Result<std::vector<PostId>> ParallelScanSolver::Solve(
+    const Instance& inst, const CoverageModel& model) const {
+  if (!ShouldParallelize(inst, pool_, options_)) {
+    return ScanSolver().Solve(inst, model);
+  }
+  const size_t num_labels = static_cast<size_t>(inst.num_labels());
+  std::vector<std::vector<PostId>> per_label(num_labels);
+  ParallelFor(pool_, num_labels, /*grain=*/1,
+              [&](size_t begin, size_t end) {
+                for (size_t a = begin; a < end; ++a) {
+                  internal::SweepLabel(inst, model, static_cast<LabelId>(a),
+                                       /*covered=*/nullptr, &per_label[a]);
+                }
+              });
+  std::vector<PostId> out;
+  for (size_t a = 0; a < num_labels; ++a) {
+    out.insert(out.end(), per_label[a].begin(), per_label[a].end());
+  }
+  internal::CanonicalizeSelection(&out);
+  return out;
+}
+
+Result<std::vector<PostId>> ParallelScanPlusSolver::Solve(
+    const Instance& inst, const CoverageModel& model) const {
+  if (!ShouldParallelize(inst, pool_, options_)) {
+    return ScanPlusSolver(order_).Solve(inst, model);
+  }
+  std::vector<PostId> out;
+  std::vector<LabelMask> covered(inst.num_posts(), 0);
+
+  // Parallel replacement for the serial marking loop: the pick's
+  // labels fan out across the pool, each thread ORing its label's bit
+  // into the covered ranges. Threads for different labels may hit the
+  // same post's mask word, hence the atomic_ref; the resulting bitmap
+  // does not depend on thread interleaving because fetch_or is
+  // commutative, and the ParallelFor join orders all marks before the
+  // sweep resumes reading.
+  const std::function<void(PostId)> mark = [&](PostId picked) {
+    const std::vector<LabelId> labels = MaskToLabels(inst.labels(picked));
+    ParallelFor(pool_, labels.size(), /*grain=*/1,
+                [&](size_t begin, size_t end) {
+                  for (size_t i = begin; i < end; ++i) {
+                    const LabelId b = labels[i];
+                    const DimValue reach = model.Reach(inst, picked, b);
+                    const DimValue vb = inst.value(picked);
+                    for (PostId q :
+                         inst.LabelPostsInRange(b, vb - reach, vb + reach)) {
+                      std::atomic_ref<LabelMask>(covered[q])
+                          .fetch_or(MaskOf(b), std::memory_order_relaxed);
+                    }
+                  }
+                });
+  };
+
+  for (LabelId a : internal::OrderedLabels(inst, order_)) {
+    internal::SweepLabel(inst, model, a, &covered, &out, &mark);
+  }
+  internal::CanonicalizeSelection(&out);
+  return out;
+}
+
+}  // namespace mqd

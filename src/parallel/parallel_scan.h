@@ -1,0 +1,58 @@
+#ifndef MQD_PARALLEL_PARALLEL_SCAN_H_
+#define MQD_PARALLEL_PARALLEL_SCAN_H_
+
+#include "core/scan.h"
+#include "core/solver.h"
+#include "parallel/parallel_options.h"
+#include "util/thread_pool.h"
+
+namespace mqd {
+
+/// Scan with the per-label sweeps fanned across a thread pool. The
+/// sweeps of plain Scan are mutually independent (each touches only
+/// LP(a) and its own output vector), so each label runs the serial
+/// SweepLabel verbatim into a per-label buffer; buffers are merged in
+/// label order and canonicalized. Output is bit-identical to
+/// ScanSolver at every thread count.
+class ParallelScanSolver final : public Solver {
+ public:
+  /// `pool` may be null (serial). The pool is borrowed, not owned.
+  ParallelScanSolver(ThreadPool* pool, ParallelOptions options)
+      : pool_(pool), options_(options) {}
+
+  std::string_view name() const override { return "Scan(par)"; }
+  Result<std::vector<PostId>> Solve(const Instance& inst,
+                                    const CoverageModel& model) const override;
+
+ private:
+  ThreadPool* pool_;
+  ParallelOptions options_;
+};
+
+/// Scan+ with the cross-label pruning step parallelized. The label
+/// sweeps themselves stay in serial label order (each sweep reads the
+/// covered bitmap the previous picks wrote -- that dependency is what
+/// makes Scan+ prune), but the expensive part, marking every (post,
+/// label) pair a pick covers, fans the pick's labels across the pool
+/// with atomic bit-ORs. Set union is commutative, so the bitmap after
+/// each pick -- and therefore every subsequent pick -- is bit-identical
+/// to ScanPlusSolver.
+class ParallelScanPlusSolver final : public Solver {
+ public:
+  ParallelScanPlusSolver(ThreadPool* pool, ParallelOptions options,
+                         LabelOrder order = LabelOrder::kById)
+      : pool_(pool), options_(options), order_(order) {}
+
+  std::string_view name() const override { return "Scan+(par)"; }
+  Result<std::vector<PostId>> Solve(const Instance& inst,
+                                    const CoverageModel& model) const override;
+
+ private:
+  ThreadPool* pool_;
+  ParallelOptions options_;
+  LabelOrder order_;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_PARALLEL_PARALLEL_SCAN_H_

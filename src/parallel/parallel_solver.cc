@@ -1,0 +1,28 @@
+#include "parallel/parallel_solver.h"
+
+#include "parallel/parallel_greedy.h"
+#include "parallel/parallel_scan.h"
+
+namespace mqd {
+
+std::unique_ptr<Solver> CreateParallelSolver(SolverKind kind,
+                                             ThreadPool* pool,
+                                             const ParallelOptions& options) {
+  switch (kind) {
+    case SolverKind::kScan:
+      return std::make_unique<ParallelScanSolver>(pool, options);
+    case SolverKind::kScanPlus:
+      return std::make_unique<ParallelScanPlusSolver>(pool, options);
+    case SolverKind::kGreedySC:
+    case SolverKind::kGreedySCLazy:
+      // Both serial engines produce the same cover (identical
+      // tie-breaking); one parallel engine serves them both.
+      return std::make_unique<ParallelGreedySCSolver>(pool, options);
+    case SolverKind::kOpt:
+    case SolverKind::kBranchAndBound:
+      return CreateSolver(kind);
+  }
+  return CreateSolver(kind);
+}
+
+}  // namespace mqd

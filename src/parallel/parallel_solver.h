@@ -1,0 +1,25 @@
+#ifndef MQD_PARALLEL_PARALLEL_SOLVER_H_
+#define MQD_PARALLEL_PARALLEL_SOLVER_H_
+
+#include <memory>
+
+#include "core/solver.h"
+#include "parallel/parallel_options.h"
+#include "util/thread_pool.h"
+
+namespace mqd {
+
+/// Parallel-aware counterpart of CreateSolver: returns the
+/// intra-instance-parallel implementation of `kind` running on `pool`
+/// (borrowed, may be null) where one exists -- Scan, Scan+, GreedySC,
+/// GreedySC(lazy; executed by the linear-argmax-equivalent parallel
+/// engine, which picks the identical cover) -- and falls back to the
+/// serial solver for the exact references (OPT, BnB). Every returned
+/// solver obeys the determinism contract of ParallelOptions.
+std::unique_ptr<Solver> CreateParallelSolver(SolverKind kind,
+                                             ThreadPool* pool,
+                                             const ParallelOptions& options);
+
+}  // namespace mqd
+
+#endif  // MQD_PARALLEL_PARALLEL_SOLVER_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "parallel/parallel_solver.h"
 #include "sentiment/scorer.h"
 #include "simhash/dedup.h"
 #include "simhash/simhash.h"
@@ -59,6 +60,15 @@ Diversifier::Diversifier(TopicMatcher matcher, PipelineConfig config)
 
 Result<PipelineResult> Diversifier::Run(
     const std::vector<Tweet>& tweets) const {
+  if (config_.parallel.num_threads != 1) {
+    ThreadPool pool(ResolveNumThreads(config_.parallel.num_threads) - 1);
+    return Run(tweets, &pool);
+  }
+  return Run(tweets, /*pool=*/nullptr);
+}
+
+Result<PipelineResult> Diversifier::Run(const std::vector<Tweet>& tweets,
+                                        ThreadPool* pool) const {
   MatchedBatch batch{Instance{}, 0, 0};
   MQD_ASSIGN_OR_RETURN(
       batch, MatchAndBuild(
@@ -81,11 +91,45 @@ Result<PipelineResult> Diversifier::Run(
     model = std::make_unique<UniformLambda>(config_.lambda);
   }
 
-  const std::unique_ptr<Solver> solver = CreateSolver(config_.solver);
+  const std::unique_ptr<Solver> solver =
+      pool != nullptr
+          ? CreateParallelSolver(config_.solver, pool, config_.parallel)
+          : CreateSolver(config_.solver);
   MQD_ASSIGN_OR_RETURN(result.selection,
                        solver->Solve(result.instance, *model));
   result.selected_tweet_ids = ToTweetIds(result.instance, result.selection);
   return result;
+}
+
+BatchDiversifier::BatchDiversifier(std::vector<Diversifier> users,
+                                   ParallelOptions options)
+    : users_(std::move(users)), options_(options) {
+  const int total = ResolveNumThreads(options_.num_threads);
+  if (total > 1) pool_ = std::make_unique<ThreadPool>(total - 1);
+}
+
+BatchDiversifier::~BatchDiversifier() = default;
+
+std::vector<BatchPipelineOutcome> BatchDiversifier::RunAll(
+    const std::vector<Tweet>& tweets) const {
+  std::vector<BatchPipelineOutcome> outcomes(users_.size());
+  // One chunk per user; slot i is written only by the thread that
+  // claimed user i, so outcomes stay in construction order. A user's
+  // own solve may additionally fork intra-instance work onto the same
+  // pool (nested fork/join is deadlock-free: waiters help).
+  ParallelFor(pool_.get(), users_.size(), /*grain=*/1,
+              [&](size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i) {
+                  Result<PipelineResult> r =
+                      users_[i].Run(tweets, pool_.get());
+                  if (r.ok()) {
+                    outcomes[i].result = std::move(r).value();
+                  } else {
+                    outcomes[i].status = r.status();
+                  }
+                }
+              });
+  return outcomes;
 }
 
 StreamingDiversifier::StreamingDiversifier(TopicMatcher matcher,

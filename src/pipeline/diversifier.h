@@ -7,10 +7,13 @@
 #include "core/proportional.h"
 #include "core/solver.h"
 #include "gen/tweet_gen.h"
+#include "parallel/parallel_options.h"
 #include "pipeline/matcher.h"
 #include "stream/factory.h"
 #include "stream/replay.h"
 #include "util/result.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace mqd {
 
@@ -28,6 +31,10 @@ struct PipelineConfig {
   /// Use the Section-6 post-specific lambda instead of the fixed one.
   bool proportional = false;
   ProportionalConfig proportional_config;
+  /// Intra-instance solver parallelism. Default num_threads = 1
+  /// (serial); covers are bit-identical at any setting, so raising it
+  /// is purely a latency decision.
+  ParallelOptions parallel{.num_threads = 1};
 };
 
 /// Result of one offline (static MQDP) pipeline run.
@@ -49,9 +56,47 @@ class Diversifier {
 
   Result<PipelineResult> Run(const std::vector<Tweet>& tweets) const;
 
+  /// Like Run, but the solver fans intra-instance work across `pool`
+  /// (borrowed; null = serial) per config.parallel. Same result,
+  /// bit for bit.
+  Result<PipelineResult> Run(const std::vector<Tweet>& tweets,
+                             ThreadPool* pool) const;
+
  private:
   TopicMatcher matcher_;
   PipelineConfig config_;
+};
+
+/// Outcome of one user's pipeline inside a batch run; `result` is
+/// meaningful iff `status.ok()`.
+struct BatchPipelineOutcome {
+  Status status;
+  PipelineResult result;
+};
+
+/// The digest service's fan-out: each subscribed user brings their own
+/// query set (matcher) and pipeline configuration, and every user's
+/// digest over the same tweet window is computed concurrently on one
+/// work-stealing pool. Outcomes align index-for-index with the users
+/// passed at construction, and each equals what that user's
+/// Diversifier::Run would produce serially.
+class BatchDiversifier {
+ public:
+  BatchDiversifier(std::vector<Diversifier> users, ParallelOptions options);
+  ~BatchDiversifier();
+
+  BatchDiversifier(const BatchDiversifier&) = delete;
+  BatchDiversifier& operator=(const BatchDiversifier&) = delete;
+
+  size_t num_users() const { return users_.size(); }
+
+  std::vector<BatchPipelineOutcome> RunAll(
+      const std::vector<Tweet>& tweets) const;
+
+ private:
+  std::vector<Diversifier> users_;
+  ParallelOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 /// Streaming configuration (Figure 1's second input path).

@@ -1,0 +1,214 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace mqd {
+
+namespace {
+
+/// Which worker queue the current thread owns, or npos on non-pool
+/// threads. Keyed per pool via the thread-local's pool pointer so a
+/// worker of pool A submitting into pool B is treated as an external
+/// producer there.
+struct WorkerIdentity {
+  const ThreadPool* pool = nullptr;
+  size_t index = static_cast<size_t>(-1);
+};
+thread_local WorkerIdentity tls_worker;
+
+}  // namespace
+
+int ResolveNumThreads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_workers) {
+  MQD_CHECK(num_workers >= 0) << "num_workers must be >= 0";
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads_.reserve(workers_.size());
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [this] { return pending_ == 0; });
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  size_t target;
+  if (tls_worker.pool == this) {
+    target = tls_worker.index;
+  } else {
+    target = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+             workers_.size();
+  }
+  {
+    std::lock_guard<std::mutex> qlock(workers_[target]->mu);
+    workers_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::PopTask(size_t preferred, std::function<void()>* task) {
+  const size_t k = workers_.size();
+  // Own queue from the back (LIFO: the task most recently pushed is
+  // the cache-warmest)...
+  if (preferred < k) {
+    WorkerQueue& own = *workers_[preferred];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  // ... then steal from siblings from the front (FIFO: take the
+  // oldest, largest-granularity work first).
+  for (size_t off = 0; off < k; ++off) {
+    const size_t victim = (preferred + 1 + off) % k;
+    if (victim == preferred) continue;
+    WorkerQueue& q = *workers_[victim];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      *task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::TryRunOneTask() {
+  if (workers_.empty()) return false;
+  const size_t preferred = tls_worker.pool == this
+                               ? tls_worker.index
+                               : next_queue_.load(std::memory_order_relaxed) %
+                                     workers_.size();
+  std::function<void()> task;
+  if (!PopTask(preferred, &task)) return false;
+  task();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --pending_;
+    if (pending_ == 0) drain_cv_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  tls_worker = WorkerIdentity{this, index};
+  for (;;) {
+    std::function<void()> task;
+    if (PopTask(index, &task)) {
+      task();
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+      if (pending_ == 0) drain_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_ && pending_ == 0) return;
+    work_cv_.wait(lock, [this] { return stopping_ || pending_ > 0; });
+    if (stopping_ && pending_ == 0) return;
+  }
+}
+
+namespace {
+
+/// Shared state of one ParallelFor call. Chunks are claimed by atomic
+/// counter, so the partition of work across threads is dynamic but the
+/// chunk -> index-range mapping is fixed by (n, grain) alone.
+struct ParallelForState {
+  size_t n = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  const std::function<void(size_t, size_t)>* body = nullptr;
+
+  std::atomic<size_t> next_chunk{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t chunks_done = 0;  // guarded by mu
+  std::exception_ptr error;  // first failure, guarded by mu
+
+  void RunChunks() {
+    for (;;) {
+      const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const size_t begin = c * grain;
+      const size_t end = std::min(n, begin + grain);
+      try {
+        (*body)(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (++chunks_done == num_chunks) done_cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, size_t n, size_t grain,
+                 const std::function<void(size_t begin, size_t end)>& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const size_t num_chunks = (n + grain - 1) / grain;
+  if (pool == nullptr || pool->num_workers() == 0 || num_chunks == 1) {
+    for (size_t c = 0; c < num_chunks; ++c) {
+      body(c * grain, std::min(n, (c + 1) * grain));
+    }
+    return;
+  }
+
+  auto state = std::make_shared<ParallelForState>();
+  state->n = n;
+  state->grain = grain;
+  state->num_chunks = num_chunks;
+  state->body = &body;
+
+  // One helper task per worker (capped by chunk count); the caller is
+  // the final participant. Helpers that wake up late find next_chunk
+  // exhausted and return immediately.
+  const size_t helpers =
+      std::min<size_t>(static_cast<size_t>(pool->num_workers()),
+                       num_chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    pool->Submit([state] { state->RunChunks(); });
+  }
+  state->RunChunks();
+
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(
+        lock, [&] { return state->chunks_done == state->num_chunks; });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace mqd

@@ -1,0 +1,95 @@
+#ifndef MQD_UTIL_THREAD_POOL_H_
+#define MQD_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mqd {
+
+/// Resolves a user-facing thread-count knob: 0 means "all hardware
+/// threads", anything else is clamped to >= 1.
+int ResolveNumThreads(int requested);
+
+/// A work-stealing thread pool. Each worker owns a deque: it pops its
+/// own tasks LIFO (cache-warm) and steals FIFO from siblings when
+/// empty, so bursty submitters cannot starve the other workers.
+///
+/// The pool is deliberately small-surface: fire-and-forget Submit plus
+/// the ParallelFor helper below. Completion tracking, ordering and
+/// error propagation are the caller's concern (see BatchSolver for the
+/// canonical pattern); tasks must not throw -- wrap fallible work and
+/// convert to Status inside the task.
+///
+/// A pool may have zero workers, in which case Submit runs the task
+/// inline on the calling thread; this makes "serial" a configuration
+/// of the same code path rather than a separate branch.
+///
+/// Destruction drains: queued tasks are finished, not dropped, before
+/// the workers join. Submitting from inside a task during teardown is
+/// allowed (the drain loop re-checks the queues).
+class ThreadPool {
+ public:
+  /// `num_workers` background threads (>= 0).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Called from a worker thread, the task lands on
+  /// that worker's own deque (LIFO locality); otherwise queues are fed
+  /// round-robin.
+  void Submit(std::function<void()> task);
+
+  /// Runs one queued task on the calling thread if any is available
+  /// (own queue first when called from a worker, then stealing).
+  /// Returns false when every queue was empty. Lets blocked callers
+  /// help instead of idling.
+  bool TryRunOneTask();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t index);
+  bool PopTask(size_t preferred, std::function<void()>* task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait here for tasks
+  std::condition_variable drain_cv_;  // destructor waits here
+  size_t pending_ = 0;                // queued + running tasks
+  std::atomic<size_t> next_queue_{0};
+  bool stopping_ = false;
+};
+
+/// Splits [0, n) into `grain`-sized chunks and runs `body(begin, end)`
+/// over them on the pool, with the calling thread participating: the
+/// caller claims chunks like any worker, so the call cannot deadlock
+/// even when issued from inside a pool task (nested parallelism), and
+/// a null/zero-worker pool degenerates to a plain serial loop.
+///
+/// Chunk boundaries depend only on (n, grain) -- never on the number
+/// of threads -- so any per-chunk results a caller accumulates by
+/// chunk index are deterministic. Returns after every chunk finished.
+/// The first exception a chunk throws is rethrown on the caller after
+/// the loop completes.
+void ParallelFor(ThreadPool* pool, size_t n, size_t grain,
+                 const std::function<void(size_t begin, size_t end)>& body);
+
+}  // namespace mqd
+
+#endif  // MQD_UTIL_THREAD_POOL_H_

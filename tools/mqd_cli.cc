@@ -1,18 +1,23 @@
 // mqd — command-line front end to libmqd.
 //
 // Commands:
-//   generate   synthesize an MQDP instance and write it to a file
-//   solve      run a solver on an instance file, print/save the cover
-//   stream     replay an instance through a StreamMQDP processor
-//   stats      describe an instance / a cover
+//   generate     synthesize an MQDP instance and write it to a file
+//   solve        run a solver on an instance file, print/save the cover
+//   solve-batch  fan many (instance, lambda) jobs across a thread pool
+//   stream       replay an instance through a StreamMQDP processor
+//   stats        describe an instance / a cover
 //
 // Examples:
 //   mqd generate --labels 3 --minutes 10 --rate 30 --out inst.mqdp
 //   mqd solve inst.mqdp --algorithm greedy --lambda 5 --out cover.txt
+//   mqd solve inst.mqdp --algorithm scan+ --lambda 5 --threads 8
+//   mqd solve-batch a.mqdp b.mqdp --algorithm scan+ --lambdas 5,15,60
 //   mqd stream inst.mqdp --algorithm stream-scan --lambda 10 --tau 5
 //   mqd stats inst.mqdp --cover cover.txt --lambda 5
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,11 +27,14 @@
 #include "core/verifier.h"
 #include "eval/table.h"
 #include "gen/instance_gen.h"
+#include "parallel/batch_solver.h"
+#include "parallel/parallel_solver.h"
 #include "stream/delay_stats.h"
 #include "stream/factory.h"
 #include "stream/replay.h"
 #include "util/flags.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace mqd {
 namespace {
@@ -109,6 +117,9 @@ int CmdSolve(const std::vector<std::string>& args) {
                "scan | scan+ | greedy | greedy-lazy | opt | bnb");
   flags.Define("lambda", "60", "coverage threshold (dimension units)");
   flags.Define("out", "-", "cover output file ('-' = stdout)");
+  flags.Define("threads", "1",
+               "solver threads (0 = all cores; covers are identical "
+               "at any thread count)");
   if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
   if (flags.positional().size() != 1) {
     std::cerr << "usage: mqd solve <instance-file> [flags]\n";
@@ -120,9 +131,20 @@ int CmdSolve(const std::vector<std::string>& args) {
   if (!lambda.ok()) return Fail(lambda.status());
   auto kind = ParseSolverKind(flags.GetString("algorithm"));
   if (!kind.ok()) return Fail(kind.status());
+  auto threads = flags.GetInt("threads");
+  if (!threads.ok()) return Fail(threads.status());
+  if (*threads < 0) {
+    return Fail(Status::InvalidArgument("--threads must be >= 0"));
+  }
 
   UniformLambda model(*lambda);
-  auto solver = CreateSolver(*kind);
+  ParallelOptions parallel{.num_threads = static_cast<int>(*threads)};
+  const int total = ResolveNumThreads(parallel.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (total > 1) pool = std::make_unique<ThreadPool>(total - 1);
+  auto solver = pool != nullptr
+                    ? CreateParallelSolver(*kind, pool.get(), parallel)
+                    : CreateSolver(*kind);
   auto cover = solver->Solve(*instance, model);
   if (!cover.ok()) return Fail(cover.status());
 
@@ -141,6 +163,94 @@ int CmdSolve(const std::vector<std::string>& args) {
     if (Status s = WriteSelection(*cover, file); !s.ok()) return Fail(s);
   }
   return 0;
+}
+
+int CmdSolveBatch(const std::vector<std::string>& args) {
+  FlagParser flags;
+  flags.Define("algorithm", "scan+",
+               "scan | scan+ | greedy | greedy-lazy | opt | bnb");
+  flags.Define("lambdas", "60",
+               "comma-separated coverage thresholds; every instance is "
+               "solved at every lambda");
+  flags.Define("threads", "0",
+               "total threads for the batch (0 = all cores)");
+  if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
+  if (flags.positional().empty()) {
+    std::cerr << "usage: mqd solve-batch <instance-file>... [flags]\n";
+    return 1;
+  }
+  auto kind = ParseSolverKind(flags.GetString("algorithm"));
+  if (!kind.ok()) return Fail(kind.status());
+  auto threads = flags.GetInt("threads");
+  if (!threads.ok()) return Fail(threads.status());
+  if (*threads < 0) {
+    return Fail(Status::InvalidArgument("--threads must be >= 0"));
+  }
+
+  std::vector<double> lambdas;
+  for (const std::string& part : Split(flags.GetString("lambdas"), ',')) {
+    char* end = nullptr;
+    const double v = std::strtod(part.c_str(), &end);
+    if (end == part.c_str() || *end != '\0' || v < 0.0) {
+      return Fail(Status::InvalidArgument("bad lambda '" + part + "'"));
+    }
+    lambdas.push_back(v);
+  }
+  if (lambdas.empty()) {
+    return Fail(Status::InvalidArgument("--lambdas must name at least one"));
+  }
+
+  // Load every instance once; jobs reference them.
+  std::vector<Instance> instances;
+  instances.reserve(flags.positional().size());
+  for (const std::string& path : flags.positional()) {
+    auto instance = ReadInstanceFromFile(path);
+    if (!instance.ok()) return Fail(instance.status());
+    instances.push_back(std::move(instance).value());
+  }
+
+  std::vector<BatchJob> jobs;
+  jobs.reserve(instances.size() * lambdas.size());
+  for (size_t i = 0; i < instances.size(); ++i) {
+    for (double lambda : lambdas) {
+      jobs.push_back(BatchJob{.instance = &instances[i],
+                              .kind = *kind,
+                              .lambda = lambda});
+    }
+  }
+
+  BatchSolver batch(ParallelOptions{
+      .num_threads = static_cast<int>(*threads)});
+  const std::vector<BatchJobResult> results = batch.SolveAll(jobs);
+
+  TablePrinter table(
+      {"instance", "lambda", "posts", "cover", "valid", "ms", "status"});
+  bool all_ok = true;
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    const size_t file_idx = j / lambdas.size();
+    const BatchJobResult& r = results[j];
+    std::string valid = "-";
+    if (r.status.ok()) {
+      UniformLambda model(jobs[j].lambda);
+      valid = IsCover(*jobs[j].instance, model, r.cover) ? "yes" : "NO";
+      if (valid == "NO") all_ok = false;
+    } else {
+      all_ok = false;
+    }
+    table.AddRow({flags.positional()[file_idx],
+                  FormatDouble(jobs[j].lambda, 3),
+                  std::to_string(jobs[j].instance->num_posts()),
+                  r.status.ok() ? std::to_string(r.cover.size()) : "-",
+                  valid, FormatDouble(r.elapsed_seconds * 1e3, 3),
+                  r.status.ok() ? "OK" : r.status.ToString()});
+  }
+  table.Print(std::cout);
+  std::cerr << jobs.size() << " jobs ("
+            << instances.size() << " instances x " << lambdas.size()
+            << " lambdas), algorithm " << SolverKindName(*kind)
+            << ", threads " << ResolveNumThreads(static_cast<int>(*threads))
+            << "\n";
+  return all_ok ? 0 : 1;
 }
 
 int CmdStream(const std::vector<std::string>& args) {
@@ -231,10 +341,11 @@ int Usage() {
       << "mqd — Multi-Query Diversification toolkit (EDBT 2014 repro)\n"
          "usage: mqd <command> [flags]\n\n"
          "commands:\n"
-         "  generate  synthesize an MQDP instance\n"
-         "  solve     run a static solver on an instance file\n"
-         "  stream    replay an instance through a streaming solver\n"
-         "  stats     describe an instance and optionally a cover\n";
+         "  generate     synthesize an MQDP instance\n"
+         "  solve        run a static solver on an instance file\n"
+         "  solve-batch  solve many (instance, lambda) jobs in parallel\n"
+         "  stream       replay an instance through a streaming solver\n"
+         "  stats        describe an instance and optionally a cover\n";
   return 2;
 }
 
@@ -247,6 +358,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 2, argv + argc);
   if (command == "generate") return mqd::CmdGenerate(args);
   if (command == "solve") return mqd::CmdSolve(args);
+  if (command == "solve-batch") return mqd::CmdSolveBatch(args);
   if (command == "stream") return mqd::CmdStream(args);
   if (command == "stats") return mqd::CmdStats(args);
   return mqd::Usage();
