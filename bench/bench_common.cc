@@ -3,6 +3,9 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+
 namespace mqd::bench {
 
 void MaybeWriteCsv(std::string_view artifact, const TablePrinter& table) {
@@ -16,6 +19,20 @@ void MaybeWriteCsv(std::string_view artifact, const TablePrinter& table) {
     return;
   }
   table.PrintCsv(file);
+  std::cerr << "wrote " << path << "\n";
+}
+
+void MaybeWriteMetrics(std::string_view artifact) {
+  const char* dir = std::getenv("MQD_METRICS_JSON_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  const std::string path =
+      std::string(dir) + "/" + std::string(artifact) + ".metrics.json";
+  const Status status =
+      obs::WriteJsonFile(obs::MetricsRegistry::Global().Snapshot(), path);
+  if (!status.ok()) {
+    std::cerr << "warning: " << status << "\n";
+    return;
+  }
   std::cerr << "wrote " << path << "\n";
 }
 

@@ -9,6 +9,7 @@
 #include "eval/experiment.h"
 #include "eval/metrics.h"
 #include "eval/table.h"
+#include "obs/stack_metrics.h"
 #include "util/string_util.h"
 
 namespace mqd::bench {
@@ -18,6 +19,9 @@ namespace mqd::bench {
 /// paper reports, so the console output is self-describing.
 inline void PrintHeader(std::string_view artifact, std::string_view setup,
                         std::string_view paper_expectation) {
+  // Benches report thread-pool activity like the CLI does; the
+  // instrumentation cost is a few relaxed atomics per pool task.
+  obs::InstallThreadPoolMetrics();
   std::cout << "==========================================================\n"
             << "Reproduction of " << artifact << "\n"
             << "  (Cheng, Arvanitis, Chrobak, Hristidis: Multi-Query\n"
@@ -47,6 +51,12 @@ inline double ScaledRate(double base) { return base * BenchScale(); }
 /// env var is set (plot-ready artifacts next to the console output);
 /// silently does nothing otherwise.
 void MaybeWriteCsv(std::string_view artifact, const TablePrinter& table);
+
+/// Writes a metrics-registry snapshot as
+/// `<MQD_METRICS_JSON_DIR>/<artifact>.metrics.json` when the env var
+/// is set; silently does nothing otherwise. Call at the end of a bench
+/// to keep solver/stream/pool metrics next to the CSV artifacts.
+void MaybeWriteMetrics(std::string_view artifact);
 
 }  // namespace mqd::bench
 

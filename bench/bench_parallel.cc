@@ -165,6 +165,7 @@ void Run() {
   }
   intra.Print(std::cout);
   bench::MaybeWriteCsv("bench_parallel_intra", intra);
+  bench::MaybeWriteMetrics("bench_parallel");
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/histogram.h"
+
 namespace mqd {
 
 CoverStats ComputeCoverStats(const Instance& inst,
@@ -78,17 +80,19 @@ double BucketDistributionL1(const Instance& inst,
   if (inst.num_posts() == 0 || selected.empty() || num_buckets <= 0) {
     return 0.0;
   }
+  // The shared linear bucketing scheme (util/histogram), so these
+  // distributions line up bucket-for-bucket with the digest timeline
+  // and any histogram over the same value range.
   const double lo = inst.min_value();
   const double span = std::max(1e-12, inst.max_value() - lo);
+  const LinearBuckets buckets(lo, lo + span,
+                              static_cast<size_t>(num_buckets));
   std::vector<double> all(static_cast<size_t>(num_buckets), 0.0);
   std::vector<double> sel(static_cast<size_t>(num_buckets), 0.0);
-  auto bucket = [&](PostId p) {
-    return std::min<size_t>(
-        static_cast<size_t>(num_buckets) - 1,
-        static_cast<size_t>((inst.value(p) - lo) / span * num_buckets));
-  };
-  for (PostId p = 0; p < inst.num_posts(); ++p) ++all[bucket(p)];
-  for (PostId p : selected) ++sel[bucket(p)];
+  for (PostId p = 0; p < inst.num_posts(); ++p) {
+    ++all[buckets.BucketOf(inst.value(p))];
+  }
+  for (PostId p : selected) ++sel[buckets.BucketOf(inst.value(p))];
   double l1 = 0.0;
   for (int b = 0; b < num_buckets; ++b) {
     l1 += std::fabs(

@@ -43,8 +43,17 @@ enum class SolverKind {
 
 std::string_view SolverKindName(SolverKind kind);
 
-/// Factory for the built-in solvers.
+/// Factory for the built-in solvers. The returned solver is already
+/// wrapped with metrics instrumentation (see WrapSolverWithMetrics).
 std::unique_ptr<Solver> CreateSolver(SolverKind kind);
+
+/// Decorates `inner` so every Solve records into the global metrics
+/// registry (the mqd_solver_* family of obs/stack_metrics, labeled
+/// with the inner solver's name): solve count and latency, instance
+/// size, lambda, cover size, error count. Wrapping an already-wrapped
+/// solver (or nullptr) returns it unchanged. Benchmarks that want the
+/// raw algorithm instantiate the concrete solver classes directly.
+std::unique_ptr<Solver> WrapSolverWithMetrics(std::unique_ptr<Solver> inner);
 
 namespace internal {
 /// Sorts ascending and removes duplicates in place (the Solver output

@@ -1,0 +1,43 @@
+#ifndef MQD_OBS_EXPORTER_H_
+#define MQD_OBS_EXPORTER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/result.h"
+
+namespace mqd::obs {
+
+/// Renders a snapshot as a JSON document:
+///
+///   {"metrics": [
+///     {"name": "...", "type": "counter", "labels": {...}, "value": 3},
+///     {"name": "...", "type": "histogram", "labels": {}, "count": 2,
+///      "sum": 0.5, "min": ..., "max": ..., "mean": ...,
+///      "buckets": {"lo": 0, "hi": 1, "counts": [...]}},
+///     ...
+///   ]}
+///
+/// One sample per line, sorted by (name, labels): stable output for
+/// golden tests and trivially diffable between runs.
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+/// Renders a snapshot in the Prometheus text exposition format
+/// (`# TYPE` headers, `_bucket{le=...}` cumulative buckets, `_sum`,
+/// `_count`).
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// Writes ToJson(snapshot) to `path` ("-" = stdout). The file ends
+/// with a trailing newline.
+Status WriteJsonFile(const MetricsSnapshot& snapshot, std::string_view path);
+
+/// One line per span ("[tid] <indent>name start+duration"), oldest
+/// first, for the CLI's --trace output.
+std::string TraceEventsToText(const std::vector<TraceEvent>& events);
+
+}  // namespace mqd::obs
+
+#endif  // MQD_OBS_EXPORTER_H_

@@ -1,0 +1,340 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace mqd::obs {
+
+namespace {
+
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value < current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value > current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+bool IsValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+  };
+  const auto tail = [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (!head(name.front())) return false;
+  return std::all_of(name.begin() + 1, name.end(), tail);
+}
+
+/// Canonical series key: name plus the sorted label pairs, e.g.
+/// `mqd_solver_solve_total{algorithm="Scan"}`.
+std::string SeriesKey(std::string_view name, const LabelSet& labels) {
+  std::string key(name);
+  if (labels.empty()) return key;
+  key += '{';
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) key += ',';
+    key += labels[i].first;
+    key += "=\"";
+    key += labels[i].second;
+    key += '"';
+  }
+  key += '}';
+  return key;
+}
+
+}  // namespace
+
+size_t Counter::ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot % kShards;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Gauge::Add(double delta) { AtomicAdd(&value_, delta); }
+
+LatencyHistogram::LatencyHistogram(const LinearBuckets& spec)
+    : spec_(spec),
+      bucket_counts_(new std::atomic<uint64_t>[spec.num_buckets()]),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  for (size_t b = 0; b < spec_.num_buckets(); ++b) {
+    bucket_counts_[b].store(0, std::memory_order_relaxed);
+  }
+}
+
+void LatencyHistogram::Observe(double value) {
+  bucket_counts_[spec_.BucketOf(value)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+double LatencyHistogram::Mean() const {
+  const uint64_t n = TotalCount();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+double LatencyHistogram::Min() const {
+  return TotalCount() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::Max() const {
+  return TotalCount() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  MQD_CHECK(q >= 0.0 && q <= 1.0);
+  const uint64_t n = TotalCount();
+  if (n == 0) return 0.0;
+  const double target = q * static_cast<double>(n);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < spec_.num_buckets(); ++b) {
+    seen += BucketCount(b);
+    if (static_cast<double>(seen) >= target) return spec_.midpoint(b);
+  }
+  return spec_.hi();
+}
+
+void LatencyHistogram::Reset() {
+  for (size_t b = 0; b < spec_.num_buckets(); ++b) {
+    bucket_counts_[b].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+std::string_view MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+const MetricSample* MetricsSnapshot::Find(std::string_view name,
+                                          const LabelSet& labels) const {
+  for (const MetricSample& sample : samples) {
+    if (sample.name != name) continue;
+    if (!labels.empty() && sample.labels != labels) continue;
+    return &sample;
+  }
+  return nullptr;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose (reachable from this static, so LeakSanitizer is
+  // content): instrumented destructors running during static teardown
+  // must still find a live registry.
+  static MetricsRegistry* const global = new MetricsRegistry();
+  return *global;
+}
+
+Result<MetricsRegistry::Entry*> MetricsRegistry::GetOrCreate(
+    std::string_view name, LabelSet labels, MetricType type,
+    const LinearBuckets* buckets) {
+  if (!IsValidMetricName(name)) {
+    return Status::InvalidArgument("invalid metric name '" +
+                                   std::string(name) + "'");
+  }
+  std::sort(labels.begin(), labels.end());
+  for (size_t i = 0; i + 1 < labels.size(); ++i) {
+    if (labels[i].first == labels[i + 1].first) {
+      return Status::InvalidArgument("duplicate label key '" +
+                                     labels[i].first + "' on metric '" +
+                                     std::string(name) + "'");
+    }
+  }
+  std::string key = SeriesKey(name, labels);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto nt = name_types_.find(name);
+      nt != name_types_.end() && nt->second != type) {
+    return Status::InvalidArgument(
+        "metric '" + std::string(name) + "' already registered as " +
+        std::string(MetricTypeName(nt->second)) + ", cannot re-register as " +
+        std::string(MetricTypeName(type)));
+  }
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    Entry& entry = it->second;
+    if (type == MetricType::kHistogram &&
+        !(entry.histogram->buckets() == *buckets)) {
+      return Status::InvalidArgument(
+          "histogram '" + key + "' already registered with different "
+          "bucket boundaries");
+    }
+    return &entry;
+  }
+
+  Entry entry;
+  entry.name = std::string(name);
+  entry.labels = std::move(labels);
+  entry.type = type;
+  switch (type) {
+    case MetricType::kCounter:
+      entry.counter.reset(new Counter());
+      break;
+    case MetricType::kGauge:
+      entry.gauge.reset(new Gauge());
+      break;
+    case MetricType::kHistogram:
+      entry.histogram.reset(new LatencyHistogram(*buckets));
+      break;
+  }
+  name_types_.emplace(entry.name, type);
+  auto [pos, inserted] = entries_.emplace(std::move(key), std::move(entry));
+  MQD_CHECK(inserted);
+  return &pos->second;
+}
+
+Result<Counter*> MetricsRegistry::TryCounter(std::string_view name,
+                                             LabelSet labels) {
+  Entry* entry = nullptr;
+  MQD_ASSIGN_OR_RETURN(
+      entry, GetOrCreate(name, std::move(labels), MetricType::kCounter,
+                         nullptr));
+  return entry->counter.get();
+}
+
+Result<Gauge*> MetricsRegistry::TryGauge(std::string_view name,
+                                         LabelSet labels) {
+  Entry* entry = nullptr;
+  MQD_ASSIGN_OR_RETURN(entry, GetOrCreate(name, std::move(labels),
+                                          MetricType::kGauge, nullptr));
+  return entry->gauge.get();
+}
+
+Result<LatencyHistogram*> MetricsRegistry::TryHistogram(
+    std::string_view name, const LinearBuckets& buckets, LabelSet labels) {
+  Entry* entry = nullptr;
+  MQD_ASSIGN_OR_RETURN(entry, GetOrCreate(name, std::move(labels),
+                                          MetricType::kHistogram, &buckets));
+  return entry->histogram.get();
+}
+
+Counter& MetricsRegistry::MustCounter(std::string_view name,
+                                      LabelSet labels) {
+  auto counter = TryCounter(name, std::move(labels));
+  MQD_CHECK(counter.ok()) << counter.status();
+  return **counter;
+}
+
+Gauge& MetricsRegistry::MustGauge(std::string_view name, LabelSet labels) {
+  auto gauge = TryGauge(name, std::move(labels));
+  MQD_CHECK(gauge.ok()) << gauge.status();
+  return **gauge;
+}
+
+LatencyHistogram& MetricsRegistry::MustHistogram(std::string_view name,
+                                                 const LinearBuckets& buckets,
+                                                 LabelSet labels) {
+  auto histogram = TryHistogram(name, buckets, std::move(labels));
+  MQD_CHECK(histogram.ok()) << histogram.status();
+  return **histogram;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.samples.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    MetricSample sample;
+    sample.name = entry.name;
+    sample.labels = entry.labels;
+    sample.type = entry.type;
+    switch (entry.type) {
+      case MetricType::kCounter:
+        sample.value = static_cast<double>(entry.counter->Value());
+        break;
+      case MetricType::kGauge:
+        sample.value = entry.gauge->Value();
+        break;
+      case MetricType::kHistogram: {
+        const LatencyHistogram& h = *entry.histogram;
+        sample.count = h.TotalCount();
+        sample.sum = h.Sum();
+        sample.min = h.Min();
+        sample.max = h.Max();
+        sample.bucket_lo = h.buckets().lo();
+        sample.bucket_hi = h.buckets().hi();
+        sample.bucket_counts.resize(h.buckets().num_buckets());
+        for (size_t b = 0; b < sample.bucket_counts.size(); ++b) {
+          sample.bucket_counts[b] = h.BucketCount(b);
+        }
+        break;
+      }
+    }
+    snapshot.samples.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, entry] : entries_) {
+    switch (entry.type) {
+      case MetricType::kCounter:
+        entry.counter->Reset();
+        break;
+      case MetricType::kGauge:
+        entry.gauge->Reset();
+        break;
+      case MetricType::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+size_t MetricsRegistry::num_metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace mqd::obs

@@ -1,0 +1,210 @@
+#ifndef MQD_OBS_METRICS_H_
+#define MQD_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/histogram.h"
+#include "util/result.h"
+
+namespace mqd::obs {
+
+/// Sorted key=value pairs identifying one time series of a metric
+/// family (e.g. {{"algorithm", "Scan"}}). Keys must be unique.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotone event counter. Increment is one relaxed atomic add on a
+/// thread-local shard (no locks, no cross-core cache-line traffic on
+/// the hot path); Value sums the shards and is exact once every
+/// incrementing thread has finished.
+class Counter {
+ public:
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t n = 1) {
+    shards_[ShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const;
+  void Reset();
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+
+  /// Stable per-thread shard assignment (round-robin at first use).
+  static size_t ShardIndex();
+
+  static constexpr size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Last-written instantaneous value (queue depth, last lambda, ...).
+class Gauge {
+ public:
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+/// Concurrent distribution metric over the LinearBuckets scheme of
+/// util/histogram (same boundaries as the offline Histogram, so the
+/// server path and the evaluation harness bucket identically). Observe
+/// is a handful of relaxed atomic ops; count/sum/min/max are exact,
+/// quantiles are bucket-midpoint approximations.
+class LatencyHistogram {
+ public:
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void Observe(double value);
+
+  uint64_t TotalCount() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  /// 0 when empty.
+  double Min() const;
+  double Max() const;
+  /// Approximate quantile from bucket midpoints; q in [0, 1].
+  double Quantile(double q) const;
+
+  const LinearBuckets& buckets() const { return spec_; }
+  uint64_t BucketCount(size_t bucket) const {
+    return bucket_counts_[bucket].load(std::memory_order_relaxed);
+  }
+
+  void Reset();
+
+ private:
+  friend class MetricsRegistry;
+  explicit LatencyHistogram(const LinearBuckets& spec);
+
+  LinearBuckets spec_;
+  std::unique_ptr<std::atomic<uint64_t>[]> bucket_counts_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+std::string_view MetricTypeName(MetricType type);
+
+/// Point-in-time reading of one time series, as produced by
+/// MetricsRegistry::Snapshot (and consumed by obs/exporter.h).
+struct MetricSample {
+  std::string name;
+  LabelSet labels;
+  MetricType type = MetricType::kCounter;
+  /// Counter (exact) or gauge value.
+  double value = 0.0;
+  /// Histogram-only fields.
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double bucket_lo = 0.0;
+  double bucket_hi = 0.0;
+  std::vector<uint64_t> bucket_counts;
+};
+
+struct MetricsSnapshot {
+  /// Sorted by (name, labels) so exports are deterministic.
+  std::vector<MetricSample> samples;
+
+  /// First sample matching name (and labels, when given); nullptr when
+  /// absent. Convenience for tests and tools.
+  const MetricSample* Find(std::string_view name,
+                           const LabelSet& labels = {}) const;
+};
+
+/// Owner of every metric time series. Registration takes a short
+/// mutex hold and returns a stable handle; call sites cache the handle
+/// (typically in a function-local static) so the hot path never
+/// touches the lock again. Re-registering the same (name, labels) with
+/// the same type (and, for histograms, the same bucket spec) returns
+/// the existing handle; any mismatch -- a different type under an
+/// existing name, malformed names, duplicate label keys, conflicting
+/// bucket specs -- is rejected with InvalidArgument.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry all built-in instrumentation writes to.
+  static MetricsRegistry& Global();
+
+  Result<Counter*> TryCounter(std::string_view name, LabelSet labels = {});
+  Result<Gauge*> TryGauge(std::string_view name, LabelSet labels = {});
+  Result<LatencyHistogram*> TryHistogram(std::string_view name,
+                                         const LinearBuckets& buckets,
+                                         LabelSet labels = {});
+
+  /// CHECK-failing conveniences for call sites with static names.
+  Counter& MustCounter(std::string_view name, LabelSet labels = {});
+  Gauge& MustGauge(std::string_view name, LabelSet labels = {});
+  LatencyHistogram& MustHistogram(std::string_view name,
+                                  const LinearBuckets& buckets,
+                                  LabelSet labels = {});
+
+  /// Reads every metric (relaxed; concurrent updates may or may not be
+  /// visible, each individual series is internally consistent enough
+  /// for monitoring).
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every value but keeps registrations and handles valid.
+  /// Meant for tests that assert exact counts.
+  void Reset();
+
+  size_t num_metrics() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    LabelSet labels;
+    MetricType type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+
+  Result<Entry*> GetOrCreate(std::string_view name, LabelSet labels,
+                             MetricType type, const LinearBuckets* buckets);
+
+  mutable std::mutex mu_;
+  /// Keyed by "name{k=\"v\",...}"; map order = export order.
+  std::map<std::string, Entry> entries_;
+  /// Prometheus-style invariant: one type per metric name, across all
+  /// label sets.
+  std::map<std::string, MetricType, std::less<>> name_types_;
+};
+
+}  // namespace mqd::obs
+
+#endif  // MQD_OBS_METRICS_H_

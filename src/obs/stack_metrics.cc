@@ -1,0 +1,177 @@
+#include "obs/stack_metrics.h"
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/thread_pool.h"
+
+namespace mqd::obs {
+
+namespace {
+
+/// Shared bucket specs. Latency buckets are deliberately coarse-lo /
+/// wide-hi: the edge buckets saturate, so outliers are still counted.
+LinearBuckets SolveSecondsBuckets() { return LinearBuckets(0.0, 1.0, 50); }
+LinearBuckets CoverSizeBuckets() { return LinearBuckets(0.0, 4096.0, 64); }
+LinearBuckets InstancePostsBuckets() {
+  return LinearBuckets(0.0, 65536.0, 64);
+}
+LinearBuckets DelaySecondsBuckets() { return LinearBuckets(0.0, 120.0, 60); }
+LinearBuckets ReplaySecondsBuckets() { return LinearBuckets(0.0, 2.0, 40); }
+LinearBuckets DigestSecondsBuckets() { return LinearBuckets(0.0, 2.0, 40); }
+LinearBuckets RenderSecondsBuckets() { return LinearBuckets(0.0, 0.5, 50); }
+LinearBuckets FanoutBuckets() { return LinearBuckets(0.0, 64.0, 64); }
+LinearBuckets TaskSecondsBuckets() { return LinearBuckets(0.0, 0.25, 50); }
+
+/// Per-algorithm handle cache. The structs (and the cache itself) are
+/// reachable from the static, so LeakSanitizer is content, and handles
+/// stay valid through static teardown.
+template <typename Metrics>
+class LabeledFamily {
+ public:
+  using Factory = Metrics* (*)(const LabelSet& labels);
+
+  explicit LabeledFamily(Factory factory) : factory_(factory) {}
+
+  const Metrics& For(std::string_view algorithm) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(algorithm);
+    if (it != cache_.end()) return *it->second;
+    Metrics* metrics =
+        factory_(LabelSet{{"algorithm", std::string(algorithm)}});
+    cache_.emplace(std::string(algorithm), metrics);
+    return *metrics;
+  }
+
+ private:
+  Factory factory_;
+  std::mutex mu_;
+  std::map<std::string, Metrics*, std::less<>> cache_;
+};
+
+}  // namespace
+
+const SolverMetrics& SolverMetricsFor(std::string_view algorithm) {
+  static LabeledFamily<SolverMetrics>* const family =
+      new LabeledFamily<SolverMetrics>(+[](const LabelSet& labels) {
+        MetricsRegistry& reg = MetricsRegistry::Global();
+        return new SolverMetrics{
+            &reg.MustCounter("mqd_solver_solve_total", labels),
+            &reg.MustCounter("mqd_solver_solve_errors_total", labels),
+            &reg.MustHistogram("mqd_solver_solve_seconds",
+                               SolveSecondsBuckets(), labels),
+            &reg.MustHistogram("mqd_solver_cover_size", CoverSizeBuckets(),
+                               labels),
+            &reg.MustHistogram("mqd_solver_instance_posts",
+                               InstancePostsBuckets(), labels),
+            &reg.MustGauge("mqd_solver_last_lambda", labels),
+        };
+      });
+  return family->For(algorithm);
+}
+
+const StreamMetrics& StreamMetricsFor(std::string_view algorithm) {
+  static LabeledFamily<StreamMetrics>* const family =
+      new LabeledFamily<StreamMetrics>(+[](const LabelSet& labels) {
+        MetricsRegistry& reg = MetricsRegistry::Global();
+        return new StreamMetrics{
+            &reg.MustCounter("mqd_stream_replays_total", labels),
+            &reg.MustCounter("mqd_stream_posts_total", labels),
+            &reg.MustCounter("mqd_stream_emissions_total", labels),
+            &reg.MustCounter("mqd_stream_tau_violations_total", labels),
+            &reg.MustHistogram("mqd_stream_report_delay_seconds",
+                               DelaySecondsBuckets(), labels),
+            &reg.MustHistogram("mqd_stream_replay_seconds",
+                               ReplaySecondsBuckets(), labels),
+        };
+      });
+  return family->For(algorithm);
+}
+
+const PipelineMetrics& GetPipelineMetrics() {
+  static const PipelineMetrics* const metrics = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    return new PipelineMetrics{
+        &reg.MustCounter("mqd_pipeline_posts_checked_total"),
+        &reg.MustCounter("mqd_pipeline_posts_matched_total"),
+        &reg.MustHistogram("mqd_pipeline_match_fanout", FanoutBuckets()),
+        &reg.MustCounter("mqd_pipeline_duplicates_dropped_total"),
+        &reg.MustHistogram("mqd_pipeline_digest_seconds",
+                           DigestSecondsBuckets()),
+        &reg.MustHistogram("mqd_pipeline_stream_digest_seconds",
+                           DigestSecondsBuckets()),
+        &reg.MustHistogram("mqd_pipeline_render_seconds",
+                           RenderSecondsBuckets()),
+        &reg.MustCounter("mqd_pipeline_online_pushes_total"),
+        &reg.MustCounter("mqd_pipeline_online_emissions_total"),
+    };
+  }();
+  return *metrics;
+}
+
+const BatchMetrics& GetBatchMetrics() {
+  static const BatchMetrics* const metrics = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    return new BatchMetrics{
+        &reg.MustCounter("mqd_batch_jobs_total"),
+        &reg.MustCounter("mqd_batch_job_errors_total"),
+        &reg.MustHistogram("mqd_batch_job_seconds", SolveSecondsBuckets()),
+        &reg.MustHistogram("mqd_batch_cover_size", CoverSizeBuckets()),
+        &reg.MustGauge("mqd_batch_last_batch_jobs"),
+    };
+  }();
+  return *metrics;
+}
+
+const ThreadPoolMetrics& GetThreadPoolMetrics() {
+  static const ThreadPoolMetrics* const metrics = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    return new ThreadPoolMetrics{
+        &reg.MustCounter("mqd_threadpool_tasks_submitted_total"),
+        &reg.MustCounter("mqd_threadpool_tasks_completed_total"),
+        &reg.MustCounter("mqd_threadpool_steals_total"),
+        &reg.MustGauge("mqd_threadpool_queue_depth"),
+        &reg.MustHistogram("mqd_threadpool_task_seconds",
+                           TaskSecondsBuckets()),
+    };
+  }();
+  return *metrics;
+}
+
+namespace {
+
+class RegistryThreadPoolObserver : public ThreadPoolObserver {
+ public:
+  explicit RegistryThreadPoolObserver(const ThreadPoolMetrics& metrics)
+      : metrics_(metrics) {}
+
+  void OnTaskSubmitted(size_t queue_depth) override {
+    metrics_.tasks_submitted->Increment();
+    metrics_.queue_depth->Set(static_cast<double>(queue_depth));
+  }
+
+  void OnTaskStolen() override { metrics_.steals->Increment(); }
+
+  void OnTaskDone(size_t queue_depth, double seconds) override {
+    metrics_.tasks_completed->Increment();
+    metrics_.queue_depth->Set(static_cast<double>(queue_depth));
+    metrics_.task_seconds->Observe(seconds);
+  }
+
+ private:
+  const ThreadPoolMetrics& metrics_;
+};
+
+}  // namespace
+
+void InstallThreadPoolMetrics() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    // Reachable via the observer global; intentionally never freed.
+    SetThreadPoolObserver(
+        new RegistryThreadPoolObserver(GetThreadPoolMetrics()));
+  });
+}
+
+}  // namespace mqd::obs

@@ -1,0 +1,92 @@
+#ifndef MQD_OBS_STACK_METRICS_H_
+#define MQD_OBS_STACK_METRICS_H_
+
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace mqd::obs {
+
+/// Pre-registered handles for the built-in instrumentation of libmqd.
+/// Each accessor registers its metrics in MetricsRegistry::Global() on
+/// first use and caches the handles, so instrumented hot paths never
+/// touch the registry lock.
+///
+/// Naming conventions (see DESIGN.md):
+///   mqd_<subsystem>_<what>[_total|_seconds]
+/// Counters end in `_total`, latency histograms in `_seconds`;
+/// per-algorithm families carry an `algorithm` label.
+
+/// Per-solver-algorithm family (label algorithm="Scan", "Scan+(par)",
+/// ...). Recorded by the InstrumentedSolver decorator in core/solver.
+struct SolverMetrics {
+  Counter* solves;               // mqd_solver_solve_total
+  Counter* errors;               // mqd_solver_solve_errors_total
+  LatencyHistogram* solve_seconds;    // mqd_solver_solve_seconds
+  LatencyHistogram* cover_size;       // mqd_solver_cover_size
+  LatencyHistogram* instance_posts;   // mqd_solver_instance_posts
+  Gauge* last_lambda;            // mqd_solver_last_lambda
+};
+
+const SolverMetrics& SolverMetricsFor(std::string_view algorithm);
+
+/// Per-stream-algorithm family (label algorithm="StreamScan", ...).
+/// Recorded by stream/replay during RunStream.
+struct StreamMetrics {
+  Counter* replays;              // mqd_stream_replays_total
+  Counter* posts;                // mqd_stream_posts_total
+  Counter* emissions;            // mqd_stream_emissions_total
+  Counter* tau_violations;       // mqd_stream_tau_violations_total
+  LatencyHistogram* report_delay_seconds;  // mqd_stream_report_delay_seconds
+  LatencyHistogram* replay_seconds;        // mqd_stream_replay_seconds
+};
+
+const StreamMetrics& StreamMetricsFor(std::string_view algorithm);
+
+/// Pipeline-wide metrics (matcher, diversifier, digest, online feed).
+struct PipelineMetrics {
+  Counter* posts_checked;        // mqd_pipeline_posts_checked_total
+  Counter* posts_matched;        // mqd_pipeline_posts_matched_total
+  LatencyHistogram* match_fanout;     // mqd_pipeline_match_fanout
+  Counter* duplicates_dropped;   // mqd_pipeline_duplicates_dropped_total
+  LatencyHistogram* digest_seconds;   // mqd_pipeline_digest_seconds
+  LatencyHistogram* stream_digest_seconds;  // mqd_pipeline_stream_digest_...
+  LatencyHistogram* render_seconds;   // mqd_pipeline_render_seconds
+  Counter* online_pushes;        // mqd_pipeline_online_pushes_total
+  Counter* online_emissions;     // mqd_pipeline_online_emissions_total
+};
+
+const PipelineMetrics& GetPipelineMetrics();
+
+/// Batch-solver metrics (parallel/batch_solver).
+struct BatchMetrics {
+  Counter* jobs;                 // mqd_batch_jobs_total
+  Counter* job_errors;           // mqd_batch_job_errors_total
+  LatencyHistogram* job_seconds;      // mqd_batch_job_seconds
+  LatencyHistogram* cover_size;       // mqd_batch_cover_size
+  Gauge* last_batch_jobs;        // mqd_batch_last_batch_jobs
+};
+
+const BatchMetrics& GetBatchMetrics();
+
+/// Thread-pool metrics, fed through the ThreadPoolObserver hook of
+/// util/thread_pool (the util layer cannot depend on obs, so the pool
+/// publishes through that interface instead of using these directly).
+struct ThreadPoolMetrics {
+  Counter* tasks_submitted;      // mqd_threadpool_tasks_submitted_total
+  Counter* tasks_completed;      // mqd_threadpool_tasks_completed_total
+  Counter* steals;               // mqd_threadpool_steals_total
+  Gauge* queue_depth;            // mqd_threadpool_queue_depth
+  LatencyHistogram* task_seconds;     // mqd_threadpool_task_seconds
+};
+
+const ThreadPoolMetrics& GetThreadPoolMetrics();
+
+/// Installs the registry-backed ThreadPoolObserver so every ThreadPool
+/// reports into GetThreadPoolMetrics(). Idempotent and thread safe;
+/// call once near process start (mqd_cli and bench_common do).
+void InstallThreadPoolMetrics();
+
+}  // namespace mqd::obs
+
+#endif  // MQD_OBS_STACK_METRICS_H_

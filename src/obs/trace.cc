@@ -1,0 +1,89 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mqd::obs {
+
+namespace {
+
+/// Per-thread trace state: a small sequential id (stable across the
+/// thread's lifetime) and the current span nesting depth.
+struct ThreadTraceState {
+  uint64_t id;
+  int depth = 0;
+};
+
+ThreadTraceState& LocalTraceState() {
+  static std::atomic<uint64_t> next_id{0};
+  thread_local ThreadTraceState state{
+      next_id.fetch_add(1, std::memory_order_relaxed)};
+  return state;
+}
+
+Stopwatch& ProcessClock() {
+  // Leaked on purpose (reachable from this static): spans recorded
+  // during static teardown must still find a live clock.
+  static Stopwatch* const clock = new Stopwatch();
+  return *clock;
+}
+
+}  // namespace
+
+double ProcessUptimeSeconds() { return ProcessClock().ElapsedSeconds(); }
+
+Tracer& Tracer::Global() {
+  static Tracer* const global = new Tracer();
+  return *global;
+}
+
+void Tracer::Enable(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  events_.clear();
+  events_.reserve(std::min<size_t>(capacity, 1024));
+  dropped_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::Record(TraceEvent event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.swap(events_);
+  return out;
+}
+
+TraceSpan::TraceSpan(std::string_view name) {
+  if (!Tracer::Global().enabled()) return;
+  active_ = true;
+  name_ = std::string(name);
+  start_ = ProcessUptimeSeconds();
+  ++LocalTraceState().depth;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  ThreadTraceState& state = LocalTraceState();
+  --state.depth;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.start_seconds = start_;
+  event.duration_seconds = ProcessUptimeSeconds() - start_;
+  event.depth = state.depth;
+  event.thread_id = state.id;
+  Tracer::Global().Record(std::move(event));
+}
+
+}  // namespace mqd::obs

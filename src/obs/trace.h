@@ -1,0 +1,101 @@
+#ifndef MQD_OBS_TRACE_H_
+#define MQD_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/timer.h"
+
+namespace mqd::obs {
+
+/// RAII latency recorder: observes the enclosed scope's wall-clock
+/// duration (seconds) into `hist` on destruction. A null histogram
+/// makes it a no-op, so call sites can instrument unconditionally.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram* hist) : hist_(hist) {}
+  ~ScopedTimer() {
+    if (hist_ != nullptr) hist_->Observe(watch_.ElapsedSeconds());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  LatencyHistogram* hist_;
+  Stopwatch watch_;
+};
+
+/// Seconds since the process first touched the tracing clock
+/// (monotonic). The timebase of every TraceEvent.
+double ProcessUptimeSeconds();
+
+/// One finished TraceSpan.
+struct TraceEvent {
+  std::string name;
+  /// Start offset on the ProcessUptimeSeconds clock.
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  /// Nesting depth of the span on its thread (0 = outermost).
+  int depth = 0;
+  /// Small sequential id of the recording thread.
+  uint64_t thread_id = 0;
+};
+
+/// Process-global bounded span log. Disabled by default: an inactive
+/// tracer costs each TraceSpan one relaxed atomic load and nothing
+/// else. When enabled, finished spans are appended under a mutex until
+/// `capacity` is reached; overflow increments `dropped` instead of
+/// growing without bound.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  void Enable(size_t capacity = 1 << 16);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Record(TraceEvent event);
+
+  /// Removes and returns every recorded span, oldest first.
+  std::vector<TraceEvent> Drain();
+
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Tracer() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> dropped_{0};
+  std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  size_t capacity_ = 0;
+};
+
+/// RAII per-stage trace span. Construction snapshots the clock when
+/// the global tracer is enabled; destruction records the finished
+/// span. Spans nest naturally (depth is tracked per thread).
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool active_ = false;
+  std::string name_;
+  double start_ = 0.0;
+};
+
+}  // namespace mqd::obs
+
+#endif  // MQD_OBS_TRACE_H_

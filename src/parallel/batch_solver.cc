@@ -3,6 +3,8 @@
 #include <exception>
 #include <string>
 
+#include "obs/stack_metrics.h"
+#include "obs/trace.h"
 #include "parallel/parallel_solver.h"
 #include "util/timer.h"
 
@@ -23,6 +25,9 @@ BatchSolver::~BatchSolver() = default;
 
 std::vector<BatchJobResult> BatchSolver::SolveAll(
     const std::vector<BatchJob>& jobs) const {
+  obs::TraceSpan span("batch:solve_all");
+  const obs::BatchMetrics& metrics = obs::GetBatchMetrics();
+  metrics.last_batch_jobs->Set(static_cast<double>(jobs.size()));
   std::vector<BatchJobResult> results(jobs.size());
   // Grain 1: jobs are coarse units; the work-stealing pool balances
   // uneven instance sizes. Slot i of `results` is owned by whichever
@@ -37,11 +42,15 @@ std::vector<BatchJobResult> BatchSolver::SolveAll(
                   if (job.instance == nullptr) {
                     slot.status =
                         Status::InvalidArgument("job has a null instance");
+                    metrics.jobs->Increment();
+                    metrics.job_errors->Increment();
                     continue;
                   }
                   if (job.model == nullptr && job.lambda < 0.0) {
                     slot.status = Status::InvalidArgument(
                         "job lambda must be non-negative");
+                    metrics.jobs->Increment();
+                    metrics.job_errors->Increment();
                     continue;
                   }
                   try {
@@ -69,6 +78,14 @@ std::vector<BatchJobResult> BatchSolver::SolveAll(
                         Status::Internal("solver threw a non-std exception");
                   }
                   slot.elapsed_seconds = watch.ElapsedSeconds();
+                  metrics.jobs->Increment();
+                  metrics.job_seconds->Observe(slot.elapsed_seconds);
+                  if (slot.status.ok()) {
+                    metrics.cover_size->Observe(
+                        static_cast<double>(slot.cover.size()));
+                  } else {
+                    metrics.job_errors->Increment();
+                  }
                 }
               });
   return results;

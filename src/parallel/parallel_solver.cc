@@ -8,16 +8,22 @@ namespace mqd {
 std::unique_ptr<Solver> CreateParallelSolver(SolverKind kind,
                                              ThreadPool* pool,
                                              const ParallelOptions& options) {
+  // Only the parallel branches wrap here; the CreateSolver fallbacks
+  // come back already instrumented (WrapSolverWithMetrics is identity
+  // on wrapped solvers, but double-wrapping would double-count).
   switch (kind) {
     case SolverKind::kScan:
-      return std::make_unique<ParallelScanSolver>(pool, options);
+      return WrapSolverWithMetrics(
+          std::make_unique<ParallelScanSolver>(pool, options));
     case SolverKind::kScanPlus:
-      return std::make_unique<ParallelScanPlusSolver>(pool, options);
+      return WrapSolverWithMetrics(
+          std::make_unique<ParallelScanPlusSolver>(pool, options));
     case SolverKind::kGreedySC:
     case SolverKind::kGreedySCLazy:
       // Both serial engines produce the same cover (identical
       // tie-breaking); one parallel engine serves them both.
-      return std::make_unique<ParallelGreedySCSolver>(pool, options);
+      return WrapSolverWithMetrics(
+          std::make_unique<ParallelGreedySCSolver>(pool, options));
     case SolverKind::kOpt:
     case SolverKind::kBranchAndBound:
       return CreateSolver(kind);

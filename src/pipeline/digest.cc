@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/stack_metrics.h"
+#include "obs/trace.h"
+#include "util/histogram.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -34,17 +37,17 @@ std::string DigestRenderer::RenderTimeline(
     const Instance& inst, const std::vector<PostId>& selection) const {
   if (inst.num_posts() == 0) return "(empty feed)\n";
   const int buckets = options_.timeline_buckets;
+  // Same LinearBuckets scheme as core/cover_stats: the timeline rows
+  // and BucketDistributionL1 agree on which bucket a post lands in.
   const double lo = inst.min_value();
   const double span = std::max(1e-12, inst.max_value() - lo);
+  const LinearBuckets spec(lo, lo + span, static_cast<size_t>(buckets));
   std::vector<double> feed(static_cast<size_t>(buckets), 0.0);
   std::vector<double> digest(static_cast<size_t>(buckets), 0.0);
-  auto bucket = [&](PostId p) {
-    return std::min<size_t>(
-        static_cast<size_t>(buckets) - 1,
-        static_cast<size_t>((inst.value(p) - lo) / span * buckets));
-  };
-  for (PostId p = 0; p < inst.num_posts(); ++p) ++feed[bucket(p)];
-  for (PostId p : selection) ++digest[bucket(p)];
+  for (PostId p = 0; p < inst.num_posts(); ++p) {
+    ++feed[spec.BucketOf(inst.value(p))];
+  }
+  for (PostId p : selection) ++digest[spec.BucketOf(inst.value(p))];
   const double feed_peak =
       std::max(1.0, *std::max_element(feed.begin(), feed.end()));
   const double digest_peak =
@@ -66,6 +69,8 @@ std::string DigestRenderer::RenderTimeline(
 
 std::string DigestRenderer::Render(
     const Instance& inst, const std::vector<PostId>& selection) const {
+  obs::ScopedTimer timer(obs::GetPipelineMetrics().render_seconds);
+  obs::TraceSpan span("pipeline:render");
   const CoverStats stats = ComputeCoverStats(inst, selection);
   std::string out;
   out += StrFormat("=== Diversified digest: %zu of %zu posts (%.1f%%) ===\n",

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/stack_metrics.h"
+#include "obs/trace.h"
 #include "parallel/parallel_solver.h"
 #include "sentiment/scorer.h"
 #include "simhash/dedup.h"
@@ -41,6 +43,10 @@ Result<MatchedBatch> MatchAndBuild(const TopicMatcher& matcher,
         use_sentiment ? scorer.Score(tweet.text) : tweet.time;
     builder.Add(value, mask, tweet.id);
   }
+  if (batch.duplicates_removed > 0) {
+    obs::GetPipelineMetrics().duplicates_dropped->Increment(
+        batch.duplicates_removed);
+  }
   MQD_ASSIGN_OR_RETURN(batch.instance, builder.Build());
   return batch;
 }
@@ -69,6 +75,8 @@ Result<PipelineResult> Diversifier::Run(
 
 Result<PipelineResult> Diversifier::Run(const std::vector<Tweet>& tweets,
                                         ThreadPool* pool) const {
+  obs::ScopedTimer timer(obs::GetPipelineMetrics().digest_seconds);
+  obs::TraceSpan span("pipeline:digest");
   MatchedBatch batch{Instance{}, 0, 0};
   MQD_ASSIGN_OR_RETURN(
       batch, MatchAndBuild(
@@ -138,6 +146,8 @@ StreamingDiversifier::StreamingDiversifier(TopicMatcher matcher,
 
 Result<StreamPipelineResult> StreamingDiversifier::Run(
     const std::vector<Tweet>& tweets) const {
+  obs::ScopedTimer timer(obs::GetPipelineMetrics().stream_digest_seconds);
+  obs::TraceSpan span("pipeline:stream_digest");
   MatchedBatch batch{Instance{}, 0, 0};
   MQD_ASSIGN_OR_RETURN(batch,
                        MatchAndBuild(matcher_, tweets, config_.dedup,

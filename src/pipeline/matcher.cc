@@ -1,5 +1,6 @@
 #include "pipeline/matcher.h"
 
+#include "obs/stack_metrics.h"
 #include "util/string_util.h"
 
 namespace mqd {
@@ -52,6 +53,12 @@ LabelMask TopicMatcher::MatchTokens(
       auto bare = keyword_labels_.find(token.substr(1));
       if (bare != keyword_labels_.end()) mask |= bare->second;
     }
+  }
+  const obs::PipelineMetrics& metrics = obs::GetPipelineMetrics();
+  metrics.posts_checked->Increment();
+  if (mask != 0) {
+    metrics.posts_matched->Increment();
+    metrics.match_fanout->Observe(static_cast<double>(MaskCount(mask)));
   }
   return mask;
 }

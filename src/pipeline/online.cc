@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/stack_metrics.h"
 #include "simhash/simhash.h"
 #include "text/tokenizer.h"
 #include "util/logging.h"
@@ -37,6 +38,7 @@ void OnlineFeed::Fire(LabelId a, double when, std::vector<Output>* out) {
   if (!lu.emitted) {
     lu.emitted = true;
     ++emitted_;
+    obs::GetPipelineMetrics().online_emissions->Increment();
     out->push_back(Output{lu.id, lu.time, when});
   }
   state.lc_time = lu.time;
@@ -98,6 +100,7 @@ Result<std::vector<OnlineFeed::Output>> OnlineFeed::Push(
                   last_time_));
   }
   last_time_ = time;
+  obs::GetPipelineMetrics().online_pushes->Increment();
   std::vector<Output> outputs;
   Drain(time, &outputs);
 
@@ -108,6 +111,7 @@ Result<std::vector<OnlineFeed::Output>> OnlineFeed::Push(
   ++matched_;
   if (options_.dedup && dedup_.IsDuplicate(SimHash(tokens))) {
     ++duplicates_dropped_;
+    obs::GetPipelineMetrics().duplicates_dropped->Increment();
     return outputs;
   }
 

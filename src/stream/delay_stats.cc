@@ -3,13 +3,43 @@
 #include <vector>
 
 #include "core/verifier.h"
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace mqd {
 
-Status ValidateStreamOutput(const Instance& inst, const CoverageModel& model,
-                            const std::vector<Emission>& emissions,
-                            double tau) {
+namespace {
+
+/// Contract-check tallies. Unlabeled: failures are exceptional enough
+/// that the Status message, not a per-algorithm series, carries the
+/// detail.
+struct ContractMetrics {
+  obs::Counter* checks;
+  obs::Counter* failures;
+};
+
+const ContractMetrics& GetContractMetrics() {
+  static const ContractMetrics* const metrics = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    return new ContractMetrics{
+        &reg.MustCounter("mqd_stream_contract_checks_total"),
+        &reg.MustCounter("mqd_stream_contract_failures_total"),
+    };
+  }();
+  return *metrics;
+}
+
+Status RecordOutcome(Status status) {
+  const ContractMetrics& metrics = GetContractMetrics();
+  metrics.checks->Increment();
+  if (!status.ok()) metrics.failures->Increment();
+  return status;
+}
+
+Status ValidateStreamOutputImpl(const Instance& inst,
+                                const CoverageModel& model,
+                                const std::vector<Emission>& emissions,
+                                double tau) {
   std::vector<PostId> selected;
   selected.reserve(emissions.size());
   double last_emit = -kNeverDeadline;
@@ -43,6 +73,14 @@ Status ValidateStreamOutput(const Instance& inst, const CoverageModel& model,
                   uncovered.front().label));
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateStreamOutput(const Instance& inst, const CoverageModel& model,
+                            const std::vector<Emission>& emissions,
+                            double tau) {
+  return RecordOutcome(ValidateStreamOutputImpl(inst, model, emissions, tau));
 }
 
 }  // namespace mqd

@@ -20,6 +20,8 @@ class InstantStreamProcessor final : public StreamProcessor {
   void AdvanceTo(double) override {}
   void OnArrival(PostId post) override;
   void Finish() override {}
+  /// Instant output: every emission has zero delay.
+  double tau() const override { return 0.0; }
 
  private:
   std::vector<PostId> cache_;  // latest selected post per label

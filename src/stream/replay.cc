@@ -1,7 +1,10 @@
 #include "stream/replay.h"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/stack_metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace mqd {
@@ -19,6 +22,9 @@ Result<StreamRunStats> RunStream(const Instance& inst,
   if (processor == nullptr) {
     return Status::InvalidArgument("null processor");
   }
+  const obs::StreamMetrics& metrics =
+      obs::StreamMetricsFor(processor->name());
+  obs::TraceSpan span("stream:" + std::string(processor->name()));
   Stopwatch watch;
   for (PostId p = 0; p < inst.num_posts(); ++p) {
     processor->AdvanceTo(inst.value(p));
@@ -30,14 +36,24 @@ Result<StreamRunStats> RunStream(const Instance& inst,
   stats.num_posts = inst.num_posts();
   stats.processing_seconds = watch.ElapsedSeconds();
   stats.num_emitted = processor->emissions().size();
+  // A delay within kTauSlack of tau is on-time (deadline arithmetic on
+  // doubles; mirrors the tolerance of stream/delay_stats).
+  constexpr double kTauSlack = 1e-9;
+  const double tau = processor->tau();
   double total_delay = 0.0;
   for (const Emission& e : processor->emissions()) {
     const double delay = e.emit_time - inst.value(e.post);
     stats.max_delay = std::max(stats.max_delay, delay);
     total_delay += delay;
+    metrics.report_delay_seconds->Observe(delay);
+    if (delay > tau + kTauSlack) metrics.tau_violations->Increment();
   }
   stats.mean_delay =
       stats.num_emitted == 0 ? 0.0 : total_delay / stats.num_emitted;
+  metrics.replays->Increment();
+  metrics.posts->Increment(stats.num_posts);
+  metrics.emissions->Increment(stats.num_emitted);
+  metrics.replay_seconds->Observe(stats.processing_seconds);
   return stats;
 }
 

@@ -30,6 +30,7 @@ class StreamGreedyProcessor final : public StreamProcessor {
   void AdvanceTo(double now) override;
   void OnArrival(PostId post) override;
   void Finish() override;
+  double tau() const override { return tau_; }
 
  private:
   /// True when every label of `post` is covered by an emitted post.

@@ -35,6 +35,7 @@ class StreamScanProcessor final : public StreamProcessor {
   void AdvanceTo(double now) override;
   void OnArrival(PostId post) override;
   void Finish() override;
+  double tau() const override { return tau_; }
 
  private:
   struct LabelState {

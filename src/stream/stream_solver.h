@@ -48,6 +48,11 @@ class StreamProcessor {
   virtual void OnArrival(PostId post) = 0;
   virtual void Finish() = 0;
 
+  /// The algorithm's report-delay bound; emissions later than
+  /// timestamp + tau violate the StreamMQDP contract. Defaults to
+  /// "no deadline" for processors without a tau knob.
+  virtual double tau() const { return kNeverDeadline; }
+
   /// All emissions so far, in emission-time order.
   const std::vector<Emission>& emissions() const { return emissions_; }
 

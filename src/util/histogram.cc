@@ -7,19 +7,23 @@
 
 namespace mqd {
 
-Histogram::Histogram(double lo, double hi, size_t num_buckets)
-    : lo_(lo), hi_(hi), buckets_(num_buckets, 0) {
+LinearBuckets::LinearBuckets(double lo, double hi, size_t num_buckets)
+    : lo_(lo), hi_(hi), num_buckets_(num_buckets) {
   MQD_CHECK(num_buckets >= 1);
   MQD_CHECK(lo < hi);
 }
 
-size_t Histogram::BucketOf(double value) const {
+size_t LinearBuckets::BucketOf(double value) const {
   if (value < lo_) return 0;
-  if (value >= hi_) return buckets_.size() - 1;
+  if (value >= hi_) return num_buckets_ - 1;
   const double fraction = (value - lo_) / (hi_ - lo_);
-  return std::min(buckets_.size() - 1,
-                  static_cast<size_t>(fraction * buckets_.size()));
+  return std::min(num_buckets_ - 1,
+                  static_cast<size_t>(fraction *
+                                      static_cast<double>(num_buckets_)));
 }
+
+Histogram::Histogram(double lo, double hi, size_t num_buckets)
+    : spec_(lo, hi, num_buckets), buckets_(num_buckets, 0) {}
 
 void Histogram::Add(double value) {
   if (count_ == 0) {
@@ -30,7 +34,7 @@ void Histogram::Add(double value) {
   }
   ++count_;
   sum_ += value;
-  ++buckets_[BucketOf(value)];
+  ++buckets_[spec_.BucketOf(value)];
 }
 
 double Histogram::Quantile(double q) const {
@@ -38,29 +42,26 @@ double Histogram::Quantile(double q) const {
   if (count_ == 0) return 0.0;
   const double target = q * static_cast<double>(count_);
   uint64_t seen = 0;
-  const double width = (hi_ - lo_) / static_cast<double>(buckets_.size());
   for (size_t b = 0; b < buckets_.size(); ++b) {
     seen += buckets_[b];
     if (static_cast<double>(seen) >= target) {
-      return lo_ + (static_cast<double>(b) + 0.5) * width;
+      return spec_.midpoint(b);
     }
   }
-  return hi_;
+  return spec_.hi();
 }
 
 std::string Histogram::ToString(size_t bar_width) const {
   std::string out;
-  const double width = (hi_ - lo_) / static_cast<double>(buckets_.size());
   uint64_t peak = 1;
   for (uint64_t b : buckets_) peak = std::max(peak, b);
   for (size_t b = 0; b < buckets_.size(); ++b) {
-    const double begin = lo_ + static_cast<double>(b) * width;
     const size_t bar = static_cast<size_t>(
         static_cast<double>(buckets_[b]) / static_cast<double>(peak) *
         static_cast<double>(bar_width));
     out += StrFormat("[%10s, %10s) %-*s %llu\n",
-                     FormatDouble(begin, 2).c_str(),
-                     FormatDouble(begin + width, 2).c_str(),
+                     FormatDouble(spec_.lower_bound(b), 2).c_str(),
+                     FormatDouble(spec_.upper_bound(b), 2).c_str(),
                      static_cast<int>(bar_width),
                      std::string(bar, '#').c_str(),
                      static_cast<unsigned long long>(buckets_[b]));

@@ -8,9 +8,48 @@
 
 namespace mqd {
 
+/// The one linear bucketing scheme of the codebase: `num_buckets`
+/// equal-width buckets over [lo, hi), values outside the range
+/// saturating into the edge buckets. Histogram, the obs layer's
+/// LatencyHistogram, the cover-stats bucket distributions and the
+/// digest timeline all share these boundaries, so a value lands in the
+/// same bucket no matter which component counted it.
+class LinearBuckets {
+ public:
+  /// `num_buckets` >= 1; `lo < hi`.
+  LinearBuckets(double lo, double hi, size_t num_buckets);
+
+  /// Saturating bucket index of `value`.
+  size_t BucketOf(double value) const;
+
+  size_t num_buckets() const { return num_buckets_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double width() const {
+    return (hi_ - lo_) / static_cast<double>(num_buckets_);
+  }
+  double lower_bound(size_t bucket) const {
+    return lo_ + static_cast<double>(bucket) * width();
+  }
+  double upper_bound(size_t bucket) const {
+    return lo_ + static_cast<double>(bucket + 1) * width();
+  }
+  double midpoint(size_t bucket) const {
+    return lo_ + (static_cast<double>(bucket) + 0.5) * width();
+  }
+
+  bool operator==(const LinearBuckets&) const = default;
+
+ private:
+  double lo_;
+  double hi_;
+  size_t num_buckets_;
+};
+
 /// Fixed-bucket linear histogram over [lo, hi); values outside the
 /// range land in saturated edge buckets. Used for delay and
-/// solution-size distributions in the evaluation harness.
+/// solution-size distributions in the evaluation harness. Not thread
+/// safe; the concurrent counterpart is obs::LatencyHistogram.
 class Histogram {
  public:
   /// `num_buckets` >= 1; `lo < hi`.
@@ -32,11 +71,10 @@ class Histogram {
   /// Multi-line ASCII rendering ("[lo, hi) ####### n").
   std::string ToString(size_t bar_width = 40) const;
 
- private:
-  size_t BucketOf(double value) const;
+  const LinearBuckets& bucket_spec() const { return spec_; }
 
-  double lo_;
-  double hi_;
+ private:
+  LinearBuckets spec_;
   std::vector<uint64_t> buckets_;
   uint64_t count_ = 0;
   double sum_ = 0.0;

@@ -5,10 +5,13 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace mqd {
 
 namespace {
+
+std::atomic<ThreadPoolObserver*> g_pool_observer{nullptr};
 
 /// Which worker queue the current thread owns, or npos on non-pool
 /// threads. Keyed per pool via the thread-local's pool pointer so a
@@ -21,6 +24,14 @@ struct WorkerIdentity {
 thread_local WorkerIdentity tls_worker;
 
 }  // namespace
+
+void SetThreadPoolObserver(ThreadPoolObserver* observer) {
+  g_pool_observer.store(observer, std::memory_order_release);
+}
+
+ThreadPoolObserver* GetThreadPoolObserver() {
+  return g_pool_observer.load(std::memory_order_acquire);
+}
 
 int ResolveNumThreads(int requested) {
   if (requested > 0) return requested;
@@ -51,8 +62,18 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  ThreadPoolObserver* const observer = GetThreadPoolObserver();
   if (workers_.empty()) {
-    task();
+    // Inline execution still reports through the observer: "serial" is
+    // a configuration of the same code path, including its metrics.
+    if (observer != nullptr) {
+      observer->OnTaskSubmitted(0);
+      Stopwatch watch;
+      task();
+      observer->OnTaskDone(0, watch.ElapsedSeconds());
+    } else {
+      task();
+    }
     return;
   }
   size_t target;
@@ -66,10 +87,12 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> qlock(workers_[target]->mu);
     workers_[target]->tasks.push_back(std::move(task));
   }
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++pending_;
+    depth = ++pending_;
   }
+  if (observer != nullptr) observer->OnTaskSubmitted(depth);
   work_cv_.notify_one();
 }
 
@@ -96,6 +119,9 @@ bool ThreadPool::PopTask(size_t preferred, std::function<void()>* task) {
     if (!q.tasks.empty()) {
       *task = std::move(q.tasks.front());
       q.tasks.pop_front();
+      if (ThreadPoolObserver* const observer = GetThreadPoolObserver()) {
+        observer->OnTaskStolen();
+      }
       return true;
     }
   }
@@ -110,12 +136,22 @@ bool ThreadPool::TryRunOneTask() {
                                      workers_.size();
   std::function<void()> task;
   if (!PopTask(preferred, &task)) return false;
-  task();
+  ThreadPoolObserver* const observer = GetThreadPoolObserver();
+  double seconds = 0.0;
+  if (observer != nullptr) {
+    Stopwatch watch;
+    task();
+    seconds = watch.ElapsedSeconds();
+  } else {
+    task();
+  }
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    --pending_;
+    depth = --pending_;
     if (pending_ == 0) drain_cv_.notify_all();
   }
+  if (observer != nullptr) observer->OnTaskDone(depth, seconds);
   return true;
 }
 
@@ -124,10 +160,22 @@ void ThreadPool::WorkerLoop(size_t index) {
   for (;;) {
     std::function<void()> task;
     if (PopTask(index, &task)) {
-      task();
-      std::lock_guard<std::mutex> lock(mu_);
-      --pending_;
-      if (pending_ == 0) drain_cv_.notify_all();
+      ThreadPoolObserver* const observer = GetThreadPoolObserver();
+      double seconds = 0.0;
+      if (observer != nullptr) {
+        Stopwatch watch;
+        task();
+        seconds = watch.ElapsedSeconds();
+      } else {
+        task();
+      }
+      size_t depth;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        depth = --pending_;
+        if (pending_ == 0) drain_cv_.notify_all();
+      }
+      if (observer != nullptr) observer->OnTaskDone(depth, seconds);
       continue;
     }
     std::unique_lock<std::mutex> lock(mu_);

@@ -17,6 +17,34 @@ namespace mqd {
 /// threads", anything else is clamped to >= 1.
 int ResolveNumThreads(int requested);
 
+/// Instrumentation hook for ThreadPool. The util layer cannot depend
+/// on the obs layer, so pools publish their events through this
+/// interface and obs/stack_metrics installs the registry-backed
+/// implementation. Methods are called concurrently from pool and
+/// submitter threads and must be thread safe.
+class ThreadPoolObserver {
+ public:
+  virtual ~ThreadPoolObserver() = default;
+
+  /// A task was enqueued; `queue_depth` is the pool's pending count
+  /// (queued + running) right after the submit.
+  virtual void OnTaskSubmitted(size_t queue_depth) = 0;
+
+  /// A task was taken from another worker's queue.
+  virtual void OnTaskStolen() = 0;
+
+  /// A task finished; `queue_depth` is the pending count right after,
+  /// `seconds` its execution time.
+  virtual void OnTaskDone(size_t queue_depth, double seconds) = 0;
+};
+
+/// Installs (or, with nullptr, detaches) the process-wide observer.
+/// Borrowed pointer: the observer must outlive every pool, so install
+/// a long-lived object near process start. When none is installed the
+/// per-task overhead is a single relaxed atomic load.
+void SetThreadPoolObserver(ThreadPoolObserver* observer);
+ThreadPoolObserver* GetThreadPoolObserver();
+
 /// A work-stealing thread pool. Each worker owns a deque: it pops its
 /// own tasks LIFO (cache-warm) and steals FIFO from siblings when
 /// empty, so bursty submitters cannot starve the other workers.

@@ -1,0 +1,307 @@
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "obs/stack_metrics.h"
+#include "obs/trace.h"
+
+namespace mqd::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CounterRegistrationAndIncrement) {
+  MetricsRegistry registry;
+  auto counter = registry.TryCounter("mqd_test_total");
+  ASSERT_TRUE(counter.ok()) << counter.status();
+  EXPECT_EQ((*counter)->Value(), 0u);
+  (*counter)->Increment();
+  (*counter)->Increment(41);
+  EXPECT_EQ((*counter)->Value(), 42u);
+  (*counter)->Reset();
+  EXPECT_EQ((*counter)->Value(), 0u);
+  EXPECT_EQ(registry.num_metrics(), 1u);
+}
+
+TEST(MetricsRegistryTest, ReRegistrationReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter* first = &registry.MustCounter("mqd_test_total");
+  Counter* second = &registry.MustCounter("mqd_test_total");
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(registry.num_metrics(), 1u);
+
+  const LinearBuckets spec(0.0, 1.0, 4);
+  LatencyHistogram* h1 = &registry.MustHistogram("mqd_test_seconds", spec);
+  LatencyHistogram* h2 = &registry.MustHistogram("mqd_test_seconds", spec);
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(MetricsRegistryTest, CrossTypeNameReuseRejected) {
+  MetricsRegistry registry;
+  ASSERT_TRUE(registry.TryCounter("mqd_test_metric").ok());
+  auto gauge = registry.TryGauge("mqd_test_metric");
+  EXPECT_FALSE(gauge.ok());
+  // The one-type-per-name invariant holds across label sets too.
+  auto labeled = registry.TryGauge("mqd_test_metric", {{"a", "b"}});
+  EXPECT_FALSE(labeled.ok());
+}
+
+TEST(MetricsRegistryTest, HistogramBucketMismatchRejected) {
+  MetricsRegistry registry;
+  ASSERT_TRUE(
+      registry.TryHistogram("mqd_test_seconds", LinearBuckets(0, 1, 4))
+          .ok());
+  auto conflicting =
+      registry.TryHistogram("mqd_test_seconds", LinearBuckets(0, 2, 4));
+  EXPECT_FALSE(conflicting.ok());
+}
+
+TEST(MetricsRegistryTest, InvalidNamesRejected) {
+  MetricsRegistry registry;
+  EXPECT_FALSE(registry.TryCounter("").ok());
+  EXPECT_FALSE(registry.TryCounter("9starts_with_digit").ok());
+  EXPECT_FALSE(registry.TryCounter("has space").ok());
+  EXPECT_FALSE(registry.TryCounter("has-dash").ok());
+  EXPECT_TRUE(registry.TryCounter("ok_name:with_colon_0").ok());
+}
+
+TEST(MetricsRegistryTest, DuplicateLabelKeysRejected) {
+  MetricsRegistry registry;
+  auto counter =
+      registry.TryCounter("mqd_test_total", {{"k", "a"}, {"k", "b"}});
+  EXPECT_FALSE(counter.ok());
+}
+
+TEST(MetricsRegistryTest, LabelsDistinguishSeries) {
+  MetricsRegistry registry;
+  Counter& scan = registry.MustCounter("mqd_test_total",
+                                       {{"algorithm", "Scan"}});
+  Counter& greedy = registry.MustCounter("mqd_test_total",
+                                         {{"algorithm", "GreedySC"}});
+  EXPECT_NE(&scan, &greedy);
+  scan.Increment(2);
+  greedy.Increment(5);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.samples.size(), 2u);
+  const MetricSample* s =
+      snapshot.Find("mqd_test_total", {{"algorithm", "Scan"}});
+  const MetricSample* g =
+      snapshot.Find("mqd_test_total", {{"algorithm", "GreedySC"}});
+  ASSERT_NE(s, nullptr);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(s->value, 2.0);
+  EXPECT_EQ(g->value, 5.0);
+}
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotSplitSeries) {
+  MetricsRegistry registry;
+  Counter& a = registry.MustCounter("mqd_test_total",
+                                    {{"x", "1"}, {"y", "2"}});
+  Counter& b = registry.MustCounter("mqd_test_total",
+                                    {{"y", "2"}, {"x", "1"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistryTest, ConcurrentCounterIncrementsSumExactly) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  MetricsRegistry registry;
+  Counter& counter = registry.MustCounter("mqd_test_total");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, ConcurrentHistogramObservesSumExactly) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  MetricsRegistry registry;
+  // 1.5 * count is exactly representable, so Sum() must match exactly
+  // even though it is accumulated by concurrent CAS adds.
+  LatencyHistogram& hist =
+      registry.MustHistogram("mqd_test_seconds", LinearBuckets(0, 2, 4));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist] {
+      for (uint64_t i = 0; i < kPerThread; ++i) hist.Observe(1.5);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const uint64_t total = kThreads * kPerThread;
+  EXPECT_EQ(hist.TotalCount(), total);
+  EXPECT_EQ(hist.Sum(), 1.5 * static_cast<double>(total));
+  EXPECT_EQ(hist.Min(), 1.5);
+  EXPECT_EQ(hist.Max(), 1.5);
+  // 1.5 lands in bucket 3 of [0, 2) x 4.
+  EXPECT_EQ(hist.BucketCount(3), total);
+}
+
+TEST(MetricsRegistryTest, HistogramStats) {
+  MetricsRegistry registry;
+  LatencyHistogram& hist =
+      registry.MustHistogram("mqd_test_seconds", LinearBuckets(0, 1, 10));
+  EXPECT_EQ(hist.Mean(), 0.0);
+  EXPECT_EQ(hist.Min(), 0.0);
+  EXPECT_EQ(hist.Max(), 0.0);
+  hist.Observe(0.1);
+  hist.Observe(0.3);
+  hist.Observe(5.0);  // saturates into the last bucket
+  EXPECT_EQ(hist.TotalCount(), 3u);
+  EXPECT_DOUBLE_EQ(hist.Sum(), 5.4);
+  EXPECT_DOUBLE_EQ(hist.Min(), 0.1);
+  EXPECT_DOUBLE_EQ(hist.Max(), 5.0);
+  EXPECT_EQ(hist.BucketCount(9), 1u);
+  EXPECT_GT(hist.Quantile(0.5), 0.0);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsHandles) {
+  MetricsRegistry registry;
+  Counter& counter = registry.MustCounter("mqd_test_total");
+  Gauge& gauge = registry.MustGauge("mqd_test_gauge");
+  LatencyHistogram& hist =
+      registry.MustHistogram("mqd_test_seconds", LinearBuckets(0, 1, 4));
+  counter.Increment(7);
+  gauge.Set(3.5);
+  hist.Observe(0.5);
+  registry.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(gauge.Value(), 0.0);
+  EXPECT_EQ(hist.TotalCount(), 0u);
+  EXPECT_EQ(hist.Sum(), 0.0);
+  // Handles stay live and usable after Reset.
+  counter.Increment();
+  EXPECT_EQ(counter.Value(), 1u);
+}
+
+/// One registry with one metric of each type, for the golden exports.
+MetricsRegistry& GoldenRegistry() {
+  static MetricsRegistry* const registry = [] {
+    auto* r = new MetricsRegistry();
+    r->MustGauge("mqd_test_gauge").Set(2.5);
+    LatencyHistogram& h =
+        r->MustHistogram("mqd_test_seconds", LinearBuckets(0, 1, 2));
+    h.Observe(0.25);
+    h.Observe(2.0);
+    r->MustCounter("mqd_test_total", {{"algorithm", "Scan"}}).Increment(3);
+    return r;
+  }();
+  return *registry;
+}
+
+TEST(ExporterTest, JsonGolden) {
+  const std::string json = ToJson(GoldenRegistry().Snapshot());
+  const std::string expected =
+      "{\"metrics\": [\n"
+      "  {\"name\": \"mqd_test_gauge\", \"type\": \"gauge\", "
+      "\"labels\": {}, \"value\": 2.5},\n"
+      "  {\"name\": \"mqd_test_seconds\", \"type\": \"histogram\", "
+      "\"labels\": {}, \"count\": 2, \"sum\": 2.25, \"min\": 0.25, "
+      "\"max\": 2, \"mean\": 1.125, \"buckets\": {\"lo\": 0, \"hi\": 1, "
+      "\"counts\": [1,1]}},\n"
+      "  {\"name\": \"mqd_test_total\", \"type\": \"counter\", "
+      "\"labels\": {\"algorithm\":\"Scan\"}, \"value\": 3}\n"
+      "]}\n";
+  EXPECT_EQ(json, expected);
+}
+
+TEST(ExporterTest, PrometheusGolden) {
+  const std::string text = ToPrometheusText(GoldenRegistry().Snapshot());
+  const std::string expected =
+      "# TYPE mqd_test_gauge gauge\n"
+      "mqd_test_gauge 2.5\n"
+      "# TYPE mqd_test_seconds histogram\n"
+      "mqd_test_seconds_bucket{le=\"0.5\"} 1\n"
+      "mqd_test_seconds_bucket{le=\"+Inf\"} 2\n"
+      "mqd_test_seconds_sum 2.25\n"
+      "mqd_test_seconds_count 2\n"
+      "# TYPE mqd_test_total counter\n"
+      "mqd_test_total{algorithm=\"Scan\"} 3\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(ExporterTest, JsonEscapesStrings) {
+  MetricsRegistry registry;
+  registry.MustCounter("mqd_test_total", {{"q", "say \"hi\"\n"}});
+  const std::string json = ToJson(registry.Snapshot());
+  EXPECT_NE(json.find("\"q\":\"say \\\"hi\\\"\\n\""), std::string::npos);
+}
+
+TEST(ScopedTimerTest, ObservesOnDestruction) {
+  MetricsRegistry registry;
+  LatencyHistogram& hist =
+      registry.MustHistogram("mqd_test_seconds", LinearBuckets(0, 1, 4));
+  {
+    ScopedTimer timer(&hist);
+    EXPECT_EQ(hist.TotalCount(), 0u);
+  }
+  EXPECT_EQ(hist.TotalCount(), 1u);
+  EXPECT_GE(hist.Min(), 0.0);
+  { ScopedTimer noop(nullptr); }
+  EXPECT_EQ(hist.TotalCount(), 1u);
+}
+
+TEST(TraceTest, DisabledTracerRecordsNothing) {
+  Tracer::Global().Disable();
+  { TraceSpan span("noop"); }
+  EXPECT_TRUE(Tracer::Global().Drain().empty());
+}
+
+TEST(TraceTest, NestedSpansRecordDepthAndOrder) {
+  Tracer::Global().Enable(16);
+  {
+    TraceSpan outer("outer");
+    TraceSpan inner("inner");
+  }
+  Tracer::Global().Disable();
+  const std::vector<TraceEvent> events = Tracer::Global().Drain();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner destructs (and is recorded) first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0);
+  EXPECT_EQ(events[0].thread_id, events[1].thread_id);
+  EXPECT_GE(events[0].start_seconds, events[1].start_seconds);
+  EXPECT_GE(events[1].duration_seconds, events[0].duration_seconds);
+}
+
+TEST(TraceTest, CapacityOverflowCountsDropped) {
+  Tracer::Global().Enable(1);
+  { TraceSpan first("first"); }
+  { TraceSpan second("second"); }
+  Tracer::Global().Disable();
+  EXPECT_EQ(Tracer::Global().dropped(), 1u);
+  const std::vector<TraceEvent> events = Tracer::Global().Drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "first");
+}
+
+TEST(StackMetricsTest, FamiliesShareTheGlobalRegistry) {
+  const SolverMetrics& scan = SolverMetricsFor("Scan");
+  const SolverMetrics& scan_again = SolverMetricsFor("Scan");
+  EXPECT_EQ(scan.solves, scan_again.solves);
+  const SolverMetrics& other = SolverMetricsFor("GreedySC");
+  EXPECT_NE(scan.solves, other.solves);
+
+  const uint64_t before = scan.solves->Value();
+  scan.solves->Increment();
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const MetricSample* sample =
+      snapshot.Find("mqd_solver_solve_total", {{"algorithm", "Scan"}});
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->value, static_cast<double>(before + 1));
+}
+
+}  // namespace
+}  // namespace mqd::obs

@@ -16,6 +16,8 @@
 #include "core/solver.h"
 #include "core/verifier.h"
 #include "gen/instance_gen.h"
+#include "obs/metrics.h"
+#include "obs/stack_metrics.h"
 #include "parallel/batch_solver.h"
 #include "parallel/parallel_solver.h"
 #include "test_helpers.h"
@@ -199,6 +201,65 @@ TEST(ParallelDifferentialTest, BatchSolverMatchesSerialPerJob) {
       ASSERT_EQ(results[j].cover, expected[j])
           << "batch job " << j << " diverged at " << threads << " threads";
     }
+  }
+}
+
+TEST(ParallelDifferentialTest, BatchMetricsMatchSerialGroundTruth) {
+  // The observability counters are part of the determinism contract:
+  // whatever the thread count, a batch must report the same job count,
+  // error count, and cover-size distribution as the serial run.
+  Rng rng(1717);
+  std::vector<Instance> instances;
+  for (int i = 0; i < 8; ++i) {
+    auto inst = GenerateTinyInstance(20 + i, 4, 2, 80, &rng);
+    ASSERT_TRUE(inst.ok());
+    instances.push_back(std::move(inst).value());
+  }
+
+  std::vector<BatchJob> jobs;
+  double expected_cover_sum = 0.0;
+  for (size_t i = 0; i < instances.size(); ++i) {
+    const Instance& inst = instances[i];
+    const SolverKind kind = kKinds[i % 4];
+    jobs.push_back(BatchJob{.instance = &inst, .kind = kind, .lambda = 7.0});
+    UniformLambda model(7.0);
+    auto serial = CreateSolver(kind)->Solve(inst, model);
+    ASSERT_TRUE(serial.ok());
+    expected_cover_sum += static_cast<double>(serial->size());
+  }
+  // One broken job: the error path must count it without a cover.
+  jobs.push_back(BatchJob{.instance = nullptr,
+                          .kind = SolverKind::kScan,
+                          .lambda = 7.0});
+  const size_t ok_jobs = jobs.size() - 1;
+
+  for (int threads : kThreadCounts) {
+    obs::MetricsRegistry::Global().Reset();
+    BatchSolver solver(ForcedParallel(threads));
+    const std::vector<BatchJobResult> results = solver.SolveAll(jobs);
+    ASSERT_EQ(results.size(), jobs.size());
+
+    const obs::BatchMetrics& batch = obs::GetBatchMetrics();
+    EXPECT_EQ(batch.jobs->Value(), jobs.size()) << threads << " threads";
+    EXPECT_EQ(batch.job_errors->Value(), 1u) << threads << " threads";
+    EXPECT_EQ(batch.last_batch_jobs->Value(),
+              static_cast<double>(jobs.size()));
+    EXPECT_EQ(batch.cover_size->TotalCount(), ok_jobs)
+        << threads << " threads";
+    EXPECT_EQ(batch.cover_size->Sum(), expected_cover_sum)
+        << threads << " threads";
+    EXPECT_EQ(batch.job_seconds->TotalCount(), ok_jobs);
+
+    // Each successful job solves exactly once; summed across the
+    // per-algorithm labels the solver family must agree with the
+    // batch counter.
+    double solves = 0.0;
+    for (const obs::MetricSample& sample :
+         obs::MetricsRegistry::Global().Snapshot().samples) {
+      if (sample.name == "mqd_solver_solve_total") solves += sample.value;
+    }
+    EXPECT_EQ(solves, static_cast<double>(ok_jobs))
+        << threads << " threads";
   }
 }
 

@@ -3,6 +3,8 @@
 #include "core/scan.h"
 #include "core/verifier.h"
 #include "gen/instance_gen.h"
+#include "obs/metrics.h"
+#include "obs/stack_metrics.h"
 #include "stream/delay_stats.h"
 #include "stream/factory.h"
 #include "stream/instant.h"
@@ -280,6 +282,79 @@ TEST(ValidateStreamOutputTest, CatchesViolations) {
   // Valid.
   EXPECT_TRUE(
       ValidateStreamOutput(inst, model, {{0, 0.5}, {1, 10.5}}, 1.0).ok());
+}
+
+TEST(StreamMetricsTest, RegistryDelayHistogramAgreesWithRunStats) {
+  // The replay's observability hooks must report the same delay
+  // distribution that StreamRunStats computes: one histogram sample
+  // per emission, matching max and mean.
+  InstanceGenConfig cfg;
+  cfg.num_labels = 3;
+  cfg.duration = 240.0;
+  cfg.posts_per_minute = 40.0;
+  cfg.overlap_rate = 1.4;
+  cfg.seed = 77;
+  auto inst = GenerateInstance(cfg);
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(10.0);
+  auto proc = CreateStreamProcessor(StreamKind::kStreamScan, *inst, model,
+                                    5.0);
+  ASSERT_NE(proc, nullptr);
+
+  obs::MetricsRegistry::Global().Reset();
+  auto stats = RunStream(*inst, proc.get());
+  ASSERT_TRUE(stats.ok());
+  ASSERT_GT(stats->num_emitted, 0u);
+
+  const obs::StreamMetrics& metrics = obs::StreamMetricsFor(proc->name());
+  EXPECT_EQ(metrics.replays->Value(), 1u);
+  EXPECT_EQ(metrics.posts->Value(), stats->num_posts);
+  EXPECT_EQ(metrics.emissions->Value(), stats->num_emitted);
+  EXPECT_EQ(metrics.report_delay_seconds->TotalCount(), stats->num_emitted);
+  EXPECT_NEAR(metrics.report_delay_seconds->Max(), stats->max_delay, 1e-9);
+  EXPECT_NEAR(metrics.report_delay_seconds->Sum(),
+              stats->mean_delay * static_cast<double>(stats->num_emitted),
+              1e-6);
+  // stream-scan honors tau = 5, so the replay saw no violations.
+  EXPECT_EQ(metrics.tau_violations->Value(), 0u);
+  EXPECT_EQ(metrics.replay_seconds->TotalCount(), 1u);
+}
+
+/// Deliberately broken processor: claims tau = 0 but reports every
+/// post one second late, so every emission is a contract violation.
+class LateTestProcessor final : public StreamProcessor {
+ public:
+  using StreamProcessor::StreamProcessor;
+  std::string_view name() const override { return "TestLate"; }
+  void AdvanceTo(double) override {}
+  void OnArrival(PostId post) override { pending_.push_back(post); }
+  void Finish() override {
+    for (PostId p : pending_) Emit(p, inst_.value(p) + 1.0);
+  }
+  double tau() const override { return 0.0; }
+
+ private:
+  std::vector<PostId> pending_;
+};
+
+TEST(StreamMetricsTest, TauViolationsCountedForLateEmissions) {
+  Instance inst = MakeInstance(2, {{0.0, MaskOf(0)}, {3.0, MaskOf(1)}});
+  UniformLambda model(10.0);
+
+  // instant honors its tau = 0 (emits at arrival): no violations.
+  obs::MetricsRegistry::Global().Reset();
+  InstantStreamProcessor instant(inst, model);
+  ASSERT_TRUE(RunStream(inst, &instant).ok());
+  EXPECT_EQ(obs::StreamMetricsFor(instant.name()).tau_violations->Value(),
+            0u);
+
+  // The late processor breaks its claimed bound on both posts.
+  LateTestProcessor late(inst, model);
+  ASSERT_TRUE(RunStream(inst, &late).ok());
+  const obs::StreamMetrics& metrics = obs::StreamMetricsFor(late.name());
+  EXPECT_EQ(metrics.emissions->Value(), 2u);
+  EXPECT_EQ(metrics.tau_violations->Value(), 2u);
+  EXPECT_NEAR(metrics.report_delay_seconds->Max(), 1.0, 1e-9);
 }
 
 }  // namespace

@@ -27,6 +27,10 @@
 #include "core/verifier.h"
 #include "eval/table.h"
 #include "gen/instance_gen.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "obs/stack_metrics.h"
+#include "obs/trace.h"
 #include "parallel/batch_solver.h"
 #include "parallel/parallel_solver.h"
 #include "stream/delay_stats.h"
@@ -66,6 +70,44 @@ Result<StreamKind> ParseStreamKind(const std::string& name) {
       "unknown algorithm '" + name +
       "' (stream-scan, stream-scan+, stream-greedy, stream-greedy+, "
       "instant)");
+}
+
+/// Observability flags shared by solve / solve-batch / stream.
+void DefineMetricsFlags(FlagParser* flags) {
+  flags->Define("metrics-json", "",
+                "write a metrics snapshot as JSON to this file "
+                "('-' = stdout)");
+  flags->DefineBool("metrics-dump", false,
+                    "print a Prometheus-text metrics snapshot to stderr");
+  flags->DefineBool("trace", false,
+                    "record per-stage trace spans, printed to stderr");
+}
+
+/// Call right after Parse so spans cover the whole command body.
+void MaybeEnableTrace(const FlagParser& flags) {
+  if (flags.GetBool("trace")) obs::Tracer::Global().Enable();
+}
+
+/// Emits whatever --metrics-json / --metrics-dump / --trace asked for.
+/// Returns non-zero (after printing the error) when the JSON file
+/// cannot be written.
+int EmitObservability(const FlagParser& flags) {
+  const std::string json_path = flags.GetString("metrics-json");
+  const bool dump = flags.GetBool("metrics-dump");
+  if (!json_path.empty() || dump) {
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::Global().Snapshot();
+    if (!json_path.empty()) {
+      if (Status s = obs::WriteJsonFile(snapshot, json_path); !s.ok()) {
+        return Fail(s);
+      }
+    }
+    if (dump) std::cerr << obs::ToPrometheusText(snapshot);
+  }
+  if (flags.GetBool("trace")) {
+    std::cerr << obs::TraceEventsToText(obs::Tracer::Global().Drain());
+  }
+  return 0;
 }
 
 int CmdGenerate(const std::vector<std::string>& args) {
@@ -120,11 +162,13 @@ int CmdSolve(const std::vector<std::string>& args) {
   flags.Define("threads", "1",
                "solver threads (0 = all cores; covers are identical "
                "at any thread count)");
+  DefineMetricsFlags(&flags);
   if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
   if (flags.positional().size() != 1) {
     std::cerr << "usage: mqd solve <instance-file> [flags]\n";
     return 1;
   }
+  MaybeEnableTrace(flags);
   auto instance = ReadInstanceFromFile(flags.positional()[0]);
   if (!instance.ok()) return Fail(instance.status());
   auto lambda = flags.GetDouble("lambda");
@@ -162,7 +206,7 @@ int CmdSolve(const std::vector<std::string>& args) {
     if (!file) return Fail(Status::NotFound("cannot open " + out));
     if (Status s = WriteSelection(*cover, file); !s.ok()) return Fail(s);
   }
-  return 0;
+  return EmitObservability(flags);
 }
 
 int CmdSolveBatch(const std::vector<std::string>& args) {
@@ -174,11 +218,13 @@ int CmdSolveBatch(const std::vector<std::string>& args) {
                "solved at every lambda");
   flags.Define("threads", "0",
                "total threads for the batch (0 = all cores)");
+  DefineMetricsFlags(&flags);
   if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
   if (flags.positional().empty()) {
     std::cerr << "usage: mqd solve-batch <instance-file>... [flags]\n";
     return 1;
   }
+  MaybeEnableTrace(flags);
   auto kind = ParseSolverKind(flags.GetString("algorithm"));
   if (!kind.ok()) return Fail(kind.status());
   auto threads = flags.GetInt("threads");
@@ -250,6 +296,7 @@ int CmdSolveBatch(const std::vector<std::string>& args) {
             << " lambdas), algorithm " << SolverKindName(*kind)
             << ", threads " << ResolveNumThreads(static_cast<int>(*threads))
             << "\n";
+  if (int rc = EmitObservability(flags); rc != 0) return rc;
   return all_ok ? 0 : 1;
 }
 
@@ -260,11 +307,13 @@ int CmdStream(const std::vector<std::string>& args) {
                "stream-greedy+ | instant");
   flags.Define("lambda", "60", "coverage threshold");
   flags.Define("tau", "10", "max reporting delay");
+  DefineMetricsFlags(&flags);
   if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
   if (flags.positional().size() != 1) {
     std::cerr << "usage: mqd stream <instance-file> [flags]\n";
     return 1;
   }
+  MaybeEnableTrace(flags);
   auto instance = ReadInstanceFromFile(flags.positional()[0]);
   if (!instance.ok()) return Fail(instance.status());
   auto lambda = flags.GetDouble("lambda");
@@ -287,6 +336,7 @@ int CmdStream(const std::vector<std::string>& args) {
             << FormatDouble(stats->max_delay, 3) << ", mean delay "
             << FormatDouble(stats->mean_delay, 3) << ", contract "
             << (valid.ok() ? "ok" : valid.ToString()) << "\n";
+  if (int rc = EmitObservability(flags); rc != 0) return rc;
   return valid.ok() ? 0 : 1;
 }
 
@@ -353,6 +403,7 @@ int Usage() {
 }  // namespace mqd
 
 int main(int argc, char** argv) {
+  mqd::obs::InstallThreadPoolMetrics();
   if (argc < 2) return mqd::Usage();
   const std::string command = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
