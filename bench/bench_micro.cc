@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/greedy_sc.h"
+#include "core/greedy_state.h"
 #include "core/scan.h"
 #include "core/verifier.h"
 #include "gen/instance_gen.h"
@@ -25,6 +26,22 @@ Instance MakeBenchInstance(int num_labels, double posts_per_minute,
   cfg.posts_per_minute = posts_per_minute;
   cfg.overlap_rate = 1.3;
   cfg.seed = seed;
+  auto inst = GenerateInstance(cfg);
+  MQD_CHECK(inst.ok());
+  return std::move(inst).value();
+}
+
+/// The Figure 13 regime at |L| = 20, scaled to a microbench-friendly
+/// window: 1h of posts at 0.1x the paper's Table 2 matching rate
+/// (118/min), overlap 1.4. This is the workload the BENCH_core.json
+/// trajectory pins (tools/bench_baseline.py).
+Instance MakePaperScaleInstance() {
+  InstanceGenConfig cfg;
+  cfg.num_labels = 20;
+  cfg.duration = 3600.0;
+  cfg.posts_per_minute = 118.0;
+  cfg.overlap_rate = 1.4;
+  cfg.seed = 13;
   auto inst = GenerateInstance(cfg);
   MQD_CHECK(inst.ok());
   return std::move(inst).value();
@@ -81,6 +98,91 @@ void BM_GreedySolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GreedySolve)->Arg(2)->Arg(8);
+
+// --- GreedySC / Scan select microbenches on the paper-scale workload.
+// These are the entries tools/bench_baseline.py records into
+// BENCH_core.json; keep their names stable.
+
+void BM_GreedySelectPaperScale(benchmark::State& state) {
+  Instance inst = MakePaperScaleInstance();
+  UniformLambda model(60.0);
+  GreedySCSolver greedy(GreedyEngine::kLinearArgmax);
+  for (auto _ : state) {
+    auto z = greedy.Solve(inst, model);
+    benchmark::DoNotOptimize(z);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(inst.num_posts()));
+}
+BENCHMARK(BM_GreedySelectPaperScale)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyLazySelectPaperScale(benchmark::State& state) {
+  Instance inst = MakePaperScaleInstance();
+  UniformLambda model(60.0);
+  GreedySCSolver greedy(GreedyEngine::kLazyHeap);
+  for (auto _ : state) {
+    auto z = greedy.Solve(inst, model);
+    benchmark::DoNotOptimize(z);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(inst.num_posts()));
+}
+BENCHMARK(BM_GreedyLazySelectPaperScale)->Unit(benchmark::kMillisecond);
+
+void BM_ScanSelectPaperScale(benchmark::State& state) {
+  Instance inst = MakePaperScaleInstance();
+  UniformLambda model(60.0);
+  ScanPlusSolver scan_plus;
+  for (auto _ : state) {
+    auto z = scan_plus.Solve(inst, model);
+    benchmark::DoNotOptimize(z);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(inst.num_posts()));
+}
+BENCHMARK(BM_ScanSelectPaperScale)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyGainInit(benchmark::State& state) {
+  Instance inst = MakePaperScaleInstance();
+  UniformLambda model(60.0);
+  for (auto _ : state) {
+    internal::GreedyState gs(inst, model);
+    benchmark::DoNotOptimize(gs.gain(0));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(inst.num_posts()));
+}
+BENCHMARK(BM_GreedyGainInit);
+
+void BM_LabelPostsInRange(benchmark::State& state) {
+  Instance inst = MakePaperScaleInstance();
+  Rng rng(9);
+  const DimValue span = inst.max_value() - inst.min_value();
+  for (auto _ : state) {
+    const LabelId a = static_cast<LabelId>(
+        rng.Uniform(static_cast<size_t>(inst.num_labels())));
+    const DimValue mid = inst.min_value() + rng.NextDouble() * span;
+    benchmark::DoNotOptimize(
+        inst.LabelPostsInRange(a, mid - 60.0, mid + 60.0).size());
+  }
+}
+BENCHMARK(BM_LabelPostsInRange);
+
+void BM_InstanceBuild(benchmark::State& state) {
+  Instance inst = MakePaperScaleInstance();
+  for (auto _ : state) {
+    InstanceBuilder builder(inst.num_labels());
+    for (const Post& p : inst.posts()) {
+      builder.Add(p.value, p.labels, p.external_id);
+    }
+    auto rebuilt = builder.Build();
+    MQD_CHECK(rebuilt.ok());
+    benchmark::DoNotOptimize(rebuilt->num_pairs());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(inst.num_posts()));
+}
+BENCHMARK(BM_InstanceBuild);
 
 void BM_VerifyCover(benchmark::State& state) {
   Instance inst = MakeBenchInstance(4, 120.0, 5);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/greedy_state.h"
+#include "obs/stack_metrics.h"
 #include "util/logging.h"
 
 namespace mqd {
@@ -28,18 +29,32 @@ struct HeapLess {
 };
 
 Result<std::vector<PostId>> SolveLinear(const Instance& inst,
-                                        const CoverageModel& model) {
-  GreedyState state(inst, model);
+                                        GreedyState& state) {
+  // Live-post list: gains never increase, so a post whose gain hit
+  // zero is permanently out of the running and the argmax never needs
+  // to revisit it. The list stays ascending (compaction preserves
+  // order), so the strict `>` below keeps the serial left-to-right
+  // tie-break toward the smallest PostId.
+  std::vector<PostId> live;
+  live.reserve(inst.num_posts());
+  for (PostId p = 0; p < inst.num_posts(); ++p) {
+    if (state.gain(p) > 0) live.push_back(p);
+  }
   std::vector<PostId> out;
   while (state.remaining() > 0) {
     PostId best = kInvalidPost;
     int64_t best_gain = 0;
-    for (PostId p = 0; p < inst.num_posts(); ++p) {
-      if (state.gain(p) > best_gain) {
-        best_gain = state.gain(p);
+    size_t w = 0;
+    for (const PostId p : live) {
+      const int64_t g = state.gain(p);
+      if (g <= 0) continue;  // permanently zero: compact away
+      live[w++] = p;
+      if (g > best_gain) {
+        best_gain = g;
         best = p;
       }
     }
+    live.resize(w);
     if (best == kInvalidPost) {
       return Status::Internal("GreedySC stalled with uncovered pairs");
     }
@@ -50,8 +65,7 @@ Result<std::vector<PostId>> SolveLinear(const Instance& inst,
 }
 
 Result<std::vector<PostId>> SolveLazyHeap(const Instance& inst,
-                                          const CoverageModel& model) {
-  GreedyState state(inst, model);
+                                          GreedyState& state) {
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess> heap;
   for (PostId p = 0; p < inst.num_posts(); ++p) {
     if (state.gain(p) > 0) heap.push(HeapEntry{state.gain(p), p});
@@ -61,16 +75,22 @@ Result<std::vector<PostId>> SolveLazyHeap(const Instance& inst,
     if (heap.empty()) {
       return Status::Internal("GreedySC(lazy) stalled with uncovered pairs");
     }
-    const HeapEntry top = heap.top();
+    HeapEntry top = heap.top();
     heap.pop();
     const int64_t current = state.gain(top.post);
+    if (current == 0) continue;  // dead entry, stale or not: drop it
     if (current != top.gain) {
-      // Stale entry: gains only decrease, so re-push with the current
-      // value and keep popping.
-      if (current > 0) heap.push(HeapEntry{current, top.post});
-      continue;
+      // Stale entry: pop-then-test. Stored gains upper-bound true
+      // gains (gains only decrease), so when the refreshed entry
+      // still beats the stored runner-up it is the exact argmax with
+      // the exact tie-break — select it now instead of pushing it
+      // just to pop it again.
+      top.gain = current;
+      if (!heap.empty() && HeapLess{}(top, heap.top())) {
+        heap.push(top);
+        continue;
+      }
     }
-    if (current == 0) continue;
     out.push_back(top.post);
     state.Select(top.post);
   }
@@ -81,9 +101,14 @@ Result<std::vector<PostId>> SolveLazyHeap(const Instance& inst,
 
 Result<std::vector<PostId>> GreedySCSolver::Solve(
     const Instance& inst, const CoverageModel& model) const {
+  GreedyState state(inst, model);
   Result<std::vector<PostId>> result =
-      engine_ == GreedyEngine::kLinearArgmax ? SolveLinear(inst, model)
-                                             : SolveLazyHeap(inst, model);
+      engine_ == GreedyEngine::kLinearArgmax
+          ? SolveLinear(inst, state)
+          : SolveLazyHeap(inst, state);
+  const obs::SolverMetrics& metrics = obs::SolverMetricsFor(name());
+  metrics.gain_fastpath->Increment(state.fastpath_updates());
+  metrics.gain_exact->Increment(state.exact_updates());
   if (!result.ok()) return result;
   std::vector<PostId> out = std::move(result).value();
   internal::CanonicalizeSelection(&out);

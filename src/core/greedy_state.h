@@ -1,7 +1,9 @@
 #ifndef MQD_CORE_GREEDY_STATE_H_
 #define MQD_CORE_GREEDY_STATE_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/coverage.h"
@@ -16,6 +18,21 @@ namespace mqd::internal {
 /// Exposed (internal) so the serial engines in greedy_sc.cc and the
 /// parallel gain-argmax engine run the identical state machine; any
 /// divergence is a bug the differential tests are designed to catch.
+///
+/// Gain maintenance runs one of two paths per newly covered pair
+/// (q, a):
+///  * Fast path (uniform lambda): every r within MaxReach of q in
+///    LP(a) covers (q, a), so the posts losing this pair form one
+///    contiguous run of LP(a). The decrement is recorded as an O(1)
+///    range-add into a per-label difference array over CSR positions
+///    and lazily materialized into gain_ once per Select, right
+///    before the next argmax needs the values.
+///  * Exact path (variable lambda): coverage is directional — whether
+///    r covers (q, a) depends on r's own reach — so the losers are
+///    not contiguous and each candidate in the MaxReach window is
+///    tested with Covers, exactly as before.
+/// Both paths leave gain_ in the identical state; the fast path is
+/// purely an algebraic regrouping of the same decrements.
 class GreedyState {
  public:
   /// When `compute_gains` is false the gains are left at zero and the
@@ -25,10 +42,44 @@ class GreedyState {
               bool compute_gains = true)
       : inst_(inst),
         model_(model),
+        uniform_(model.IsUniform()),
         covered_(inst.num_posts(), 0),
         gain_(inst.num_posts(), 0),
         remaining_(inst.num_pairs()) {
+    if (uniform_) {
+      // One slot of gutter per label: a range ending at position
+      // |LP(a)| writes its +1 marker at delta_base(a) + |LP(a)|, which
+      // must not alias the next label's first slot.
+      delta_.assign(
+          inst.num_pairs() + static_cast<size_t>(inst.num_labels()) + 1, 0);
+      dirty_lo_.assign(static_cast<size_t>(inst.num_labels()), kClean);
+      dirty_hi_.assign(static_cast<size_t>(inst.num_labels()), 0);
+    }
     if (!compute_gains) return;
+    if (uniform_) {
+      // Bulk init: with one constant reach the per-position window
+      // ends are monotone in the sorted value order, so one
+      // two-pointer sweep per label computes every |S_p| term in
+      // O(num_pairs) total instead of O(num_pairs log) binary
+      // searches. Counts are identical integers to InitialGain's.
+      const DimValue lambda = model.MaxReach();
+      for (LabelId a = 0; a < static_cast<LabelId>(inst.num_labels());
+           ++a) {
+        const std::span<const DimValue> values = inst.label_values(a);
+        const std::span<const PostId> ids = inst.label_posts(a);
+        size_t lo = 0, hi = 0;
+        for (size_t i = 0; i < values.size(); ++i) {
+          while (lo < values.size() && values[lo] < values[i] - lambda) {
+            ++lo;
+          }
+          while (hi < values.size() && values[hi] <= values[i] + lambda) {
+            ++hi;
+          }
+          gain_[ids[i]] += static_cast<int64_t>(hi - lo);
+        }
+      }
+      return;
+    }
     for (PostId p = 0; p < inst_.num_posts(); ++p) {
       gain_[p] = InitialGain(p);
     }
@@ -43,7 +94,7 @@ class GreedyState {
       const DimValue reach = model_.Reach(inst_, p, a);
       const DimValue v = inst_.value(p);
       gain += static_cast<int64_t>(
-          inst_.LabelPostsInRange(a, v - reach, v + reach).size());
+          inst_.LabelRangeBounds(a, v - reach, v + reach).size());
     });
     return gain;
   }
@@ -53,8 +104,16 @@ class GreedyState {
   size_t remaining() const { return remaining_; }
   size_t num_posts() const { return inst_.num_posts(); }
 
+  /// Newly covered pairs whose gain decrements were applied as one
+  /// contiguous range-add (uniform lambda).
+  uint64_t fastpath_updates() const { return fastpath_updates_; }
+  /// Newly covered pairs that took the per-candidate Covers scan
+  /// (variable lambda).
+  uint64_t exact_updates() const { return exact_updates_; }
+
   /// Marks everything `p` covers and decrements the gains of every
-  /// post whose set loses a pair.
+  /// post whose set loses a pair. Gains are fully materialized when
+  /// this returns.
   void Select(PostId p) {
     const DimValue max_reach = model_.MaxReach();
     ForEachLabel(inst_.labels(p), [&](LabelId a) {
@@ -67,21 +126,83 @@ class GreedyState {
         --remaining_;
         // Every post r that covers (q, a) loses this pair.
         const DimValue vq = inst_.value(q);
-        for (PostId r :
-             inst_.LabelPostsInRange(a, vq - max_reach, vq + max_reach)) {
-          if (model_.Covers(inst_, r, a, q)) --gain_[r];
+        if (uniform_) {
+          RangeDecrement(a,
+                         inst_.LabelRangeBounds(a, vq - max_reach,
+                                                vq + max_reach));
+          ++fastpath_updates_;
+        } else {
+          for (PostId r :
+               inst_.LabelPostsInRange(a, vq - max_reach, vq + max_reach)) {
+            if (model_.Covers(inst_, r, a, q)) --gain_[r];
+          }
+          ++exact_updates_;
         }
       }
     });
+    MaterializePending();
     MQD_DCHECK(gain_[p] == 0);
   }
 
  private:
+  static constexpr size_t kClean = std::numeric_limits<size_t>::max();
+
+  /// Start of label a's region in delta_: CSR offset shifted by one
+  /// gutter slot per preceding label (see the constructor note).
+  size_t delta_base(LabelId a) const {
+    return inst_.label_offset(a) + static_cast<size_t>(a);
+  }
+
+  /// Records "-1 over positions [r.begin, r.end) of LP(a)" in the
+  /// difference array and widens the label's dirty window.
+  void RangeDecrement(LabelId a, Instance::IndexRange r) {
+    const size_t base = delta_base(a);
+    --delta_[base + r.begin];
+    ++delta_[base + r.end];
+    if (dirty_lo_[a] == kClean) {
+      dirty_labels_.push_back(a);
+      dirty_lo_[a] = r.begin;
+      dirty_hi_[a] = r.end;
+    } else {
+      dirty_lo_[a] = std::min(dirty_lo_[a], r.begin);
+      dirty_hi_[a] = std::max(dirty_hi_[a], r.end);
+    }
+  }
+
+  /// Flushes the pending range-adds into gain_: one prefix-sum walk
+  /// per dirty label, bounded to the touched position window.
+  void MaterializePending() {
+    for (LabelId a : dirty_labels_) {
+      const size_t base = delta_base(a);
+      const std::span<const PostId> ids = inst_.label_posts(a);
+      const size_t lo = dirty_lo_[a];
+      const size_t hi = dirty_hi_[a];
+      int64_t run = 0;
+      for (size_t i = lo; i < hi; ++i) {
+        run += delta_[base + i];
+        delta_[base + i] = 0;
+        if (run != 0) gain_[ids[i]] += run;
+      }
+      delta_[base + hi] = 0;
+      dirty_lo_[a] = kClean;
+    }
+    dirty_labels_.clear();
+  }
+
   const Instance& inst_;
   const CoverageModel& model_;
+  const bool uniform_;
   std::vector<LabelMask> covered_;
   std::vector<int64_t> gain_;
   size_t remaining_;
+  // Fast-path state (sized only for uniform models): difference array
+  // over global CSR positions plus per-label dirty windows.
+  std::vector<int32_t> delta_;
+  std::vector<size_t> dirty_lo_;
+  std::vector<size_t> dirty_hi_;
+  std::vector<LabelId> dirty_labels_;
+  uint64_t fastpath_updates_ = 0;
+  uint64_t exact_updates_ = 0;
 };
 
 }  // namespace mqd::internal

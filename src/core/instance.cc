@@ -9,7 +9,8 @@ namespace mqd {
 
 double Instance::overlap_rate() const {
   if (posts_.empty()) return 0.0;
-  return static_cast<double>(num_pairs_) / static_cast<double>(posts_.size());
+  return static_cast<double>(num_pairs()) /
+         static_cast<double>(posts_.size());
 }
 
 PostId Instance::LowerBound(DimValue v) const {
@@ -26,17 +27,13 @@ PostId Instance::UpperBound(DimValue v) const {
   return static_cast<PostId>(it - posts_.begin());
 }
 
-std::span<const PostId> Instance::LabelPostsInRange(LabelId a, DimValue lo,
-                                                    DimValue hi) const {
-  const std::vector<PostId>& list = label_lists_[a];
-  auto first = std::lower_bound(
-      list.begin(), list.end(), lo,
-      [this](PostId id, DimValue x) { return posts_[id].value < x; });
-  auto last = std::upper_bound(
-      first, list.end(), hi,
-      [this](DimValue x, PostId id) { return x < posts_[id].value; });
-  return {list.data() + (first - list.begin()),
-          static_cast<size_t>(last - first)};
+Instance::IndexRange Instance::LabelRangeBounds(LabelId a, DimValue lo,
+                                                DimValue hi) const {
+  const std::span<const DimValue> values = label_values(a);
+  auto first = std::lower_bound(values.begin(), values.end(), lo);
+  auto last = std::upper_bound(first, values.end(), hi);
+  return {static_cast<size_t>(first - values.begin()),
+          static_cast<size_t>(last - values.begin())};
 }
 
 InstanceBuilder::InstanceBuilder(int num_labels) : num_labels_(num_labels) {
@@ -52,6 +49,14 @@ InstanceBuilder& InstanceBuilder::Add(DimValue value, LabelMask labels,
 }
 
 Result<Instance> InstanceBuilder::Build() {
+  // Validate the "dense labels, non-empty mask" invariants up front
+  // with proper Statuses (not just debug checks): every mask non-empty
+  // and inside the dense [0, num_labels) universe.
+  if (num_labels_ < 1 || num_labels_ > kMaxLabels) {
+    return Status::InvalidArgument(
+        StrFormat("num_labels must be in [1, %d], got %d", kMaxLabels,
+                  num_labels_));
+  }
   const LabelMask universe =
       num_labels_ == kMaxLabels ? ~LabelMask{0}
                                 : (LabelMask{1} << num_labels_) - 1;
@@ -77,14 +82,35 @@ Result<Instance> InstanceBuilder::Build() {
   Instance inst;
   inst.posts_ = std::move(posts_);
   posts_.clear();
+  inst.posts_.shrink_to_fit();
   inst.num_labels_ = num_labels_;
-  inst.label_lists_.assign(static_cast<size_t>(num_labels_), {});
-  for (PostId i = 0; i < inst.posts_.size(); ++i) {
-    const LabelMask mask = inst.posts_[i].labels;
-    ForEachLabel(mask, [&](LabelId a) { inst.label_lists_[a].push_back(i); });
+
+  // CSR build as a counting sort: one pass to size every LP(a)
+  // exactly, prefix-sum into offsets, one pass to fill. No posting
+  // list ever reallocates.
+  const size_t num_labels = static_cast<size_t>(num_labels_);
+  inst.label_offsets_.assign(num_labels + 1, 0);
+  for (const Post& p : inst.posts_) {
+    ForEachLabel(p.labels,
+                 [&](LabelId a) { ++inst.label_offsets_[a + 1]; });
     inst.max_labels_per_post_ =
-        std::max(inst.max_labels_per_post_, MaskCount(mask));
-    inst.num_pairs_ += static_cast<size_t>(MaskCount(mask));
+        std::max(inst.max_labels_per_post_, MaskCount(p.labels));
+  }
+  for (size_t a = 0; a < num_labels; ++a) {
+    inst.label_offsets_[a + 1] += inst.label_offsets_[a];
+  }
+  const size_t num_pairs = inst.label_offsets_[num_labels];
+  inst.label_ids_.resize(num_pairs);
+  inst.label_values_.resize(num_pairs);
+  std::vector<size_t> cursor(inst.label_offsets_.begin(),
+                             inst.label_offsets_.end() - 1);
+  for (PostId i = 0; i < inst.posts_.size(); ++i) {
+    const Post& p = inst.posts_[i];
+    ForEachLabel(p.labels, [&](LabelId a) {
+      const size_t at = cursor[a]++;
+      inst.label_ids_[at] = i;
+      inst.label_values_[at] = p.value;
+    });
   }
   return inst;
 }

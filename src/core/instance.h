@@ -1,6 +1,7 @@
 #ifndef MQD_CORE_INSTANCE_H_
 #define MQD_CORE_INSTANCE_H_
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
@@ -14,6 +15,15 @@ namespace mqd {
 /// sorted ascending by diversity-dimension value, plus the per-label
 /// posting lists LP(a) the algorithms scan. Build one through
 /// InstanceBuilder.
+///
+/// Storage is CSR (compressed sparse row): all posting lists live in
+/// one flat PostId array indexed by per-label offsets, with a parallel
+/// flat DimValue array mirroring the posts' values, so range queries
+/// binary-search contiguous doubles instead of chasing
+/// posts_[id].value through the id indirection. A position inside
+/// LP(a) — as returned by LabelRangeBounds — is therefore a stable
+/// dense index the solvers can key per-label auxiliary state on (see
+/// GreedyState's incremental gain maintenance).
 ///
 /// Invariants:
 ///  * posts are sorted by (value, insertion order); PostId i is the
@@ -34,8 +44,21 @@ class Instance {
 
   /// LP(a): ids of posts relevant to label a, ascending by value.
   std::span<const PostId> label_posts(LabelId a) const {
-    return label_lists_[a];
+    return {label_ids_.data() + label_offsets_[a],
+            label_offsets_[a + 1] - label_offsets_[a]};
   }
+
+  /// Values of LP(a), parallel to label_posts(a): label_values(a)[i]
+  /// == value(label_posts(a)[i]).
+  std::span<const DimValue> label_values(LabelId a) const {
+    return {label_values_.data() + label_offsets_[a],
+            label_offsets_[a + 1] - label_offsets_[a]};
+  }
+
+  /// Start of LP(a) inside the flat CSR arrays; label_offset(a) +
+  /// (position within LP(a)) is a dense global index in
+  /// [0, num_pairs).
+  size_t label_offset(LabelId a) const { return label_offsets_[a]; }
 
   /// Maximum number of labels any single post carries (the paper's
   /// `s`, which bounds Scan's approximation ratio).
@@ -46,7 +69,7 @@ class Instance {
   double overlap_rate() const;
 
   /// Total number of (post, label) pairs: sum_a |LP(a)|.
-  size_t num_pairs() const { return num_pairs_; }
+  size_t num_pairs() const { return label_ids_.size(); }
 
   /// Value span [min, max] of the posts; {0, 0} when empty.
   DimValue min_value() const {
@@ -62,19 +85,35 @@ class Instance {
   /// First post index with value > v.
   PostId UpperBound(DimValue v) const;
 
+  /// Half-open position range [begin, end) within LP(a) of the posts
+  /// with value in [lo, hi]. O(log |LP(a)|) over the contiguous value
+  /// array.
+  struct IndexRange {
+    size_t begin;
+    size_t end;
+    size_t size() const { return end - begin; }
+  };
+  IndexRange LabelRangeBounds(LabelId a, DimValue lo, DimValue hi) const;
+
   /// Restricts posts of label `a` to those with value in [lo, hi],
   /// returned as a subrange of label_posts(a). O(log |LP(a)|).
   std::span<const PostId> LabelPostsInRange(LabelId a, DimValue lo,
-                                            DimValue hi) const;
+                                            DimValue hi) const {
+    const IndexRange r = LabelRangeBounds(a, lo, hi);
+    return {label_ids_.data() + label_offsets_[a] + r.begin, r.size()};
+  }
 
  private:
   friend class InstanceBuilder;
 
   std::vector<Post> posts_;
-  std::vector<std::vector<PostId>> label_lists_;
+  // CSR posting lists: label_offsets_ has num_labels + 1 entries;
+  // LP(a) = label_ids_[label_offsets_[a] .. label_offsets_[a+1]).
+  std::vector<size_t> label_offsets_ = {0};
+  std::vector<PostId> label_ids_;
+  std::vector<DimValue> label_values_;
   int num_labels_ = 0;
   int max_labels_per_post_ = 0;
-  size_t num_pairs_ = 0;
 };
 
 /// Accumulates posts and produces a canonical Instance.
@@ -90,7 +129,8 @@ class InstanceBuilder {
   /// Number of posts added so far.
   size_t size() const { return posts_.size(); }
 
-  /// Validates, sorts, builds label lists. The builder is left empty.
+  /// Validates, sorts, builds the CSR label lists (exact-sized, no
+  /// incremental growth). The builder is left empty.
   Result<Instance> Build();
 
  private:

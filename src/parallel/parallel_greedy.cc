@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/greedy_state.h"
+#include "obs/stack_metrics.h"
 
 namespace mqd {
 
@@ -40,6 +41,7 @@ Result<std::vector<PostId>> ParallelGreedySCSolver::Solve(
     }
   });
 
+  const obs::SolverMetrics& metrics = obs::SolverMetricsFor(name());
   std::vector<PostId> out;
   std::vector<ChunkBest> chunk_best(num_chunks);
   while (state.remaining() > 0) {
@@ -67,6 +69,8 @@ Result<std::vector<PostId>> ParallelGreedySCSolver::Solve(
     out.push_back(best.post);
     state.Select(best.post);
   }
+  metrics.gain_fastpath->Increment(state.fastpath_updates());
+  metrics.gain_exact->Increment(state.exact_updates());
   internal::CanonicalizeSelection(&out);
   return out;
 }

@@ -9,14 +9,11 @@ namespace mqd {
 
 std::span<const PostId> GeoInstance::LabelPostsInTimeRange(
     LabelId a, double lo, double hi) const {
-  const std::vector<PostId>& list = label_lists_[a];
-  auto first = std::lower_bound(
-      list.begin(), list.end(), lo,
-      [this](PostId id, double x) { return posts_[id].time < x; });
-  auto last = std::upper_bound(
-      first, list.end(), hi,
-      [this](double x, PostId id) { return x < posts_[id].time; });
-  return {list.data() + (first - list.begin()),
+  const std::span<const double> times = label_times(a);
+  auto first = std::lower_bound(times.begin(), times.end(), lo);
+  auto last = std::upper_bound(first, times.end(), hi);
+  return {label_ids_.data() + label_offsets_[a] +
+              static_cast<size_t>(first - times.begin()),
           static_cast<size_t>(last - first)};
 }
 
@@ -59,15 +56,32 @@ Result<GeoInstance> GeoInstanceBuilder::Build() {
   GeoInstance inst;
   inst.posts_ = std::move(posts_);
   posts_.clear();
+  inst.posts_.shrink_to_fit();
   inst.num_labels_ = num_labels_;
-  inst.label_lists_.assign(static_cast<size_t>(num_labels_), {});
+
+  // CSR counting-sort build, mirroring InstanceBuilder::Build.
+  const size_t num_labels = static_cast<size_t>(num_labels_);
+  inst.label_offsets_.assign(num_labels + 1, 0);
+  for (const GeoPost& p : inst.posts_) {
+    ForEachLabel(p.labels,
+                 [&](LabelId a) { ++inst.label_offsets_[a + 1]; });
+    inst.max_labels_per_post_ =
+        std::max(inst.max_labels_per_post_, MaskCount(p.labels));
+  }
+  for (size_t a = 0; a < num_labels; ++a) {
+    inst.label_offsets_[a + 1] += inst.label_offsets_[a];
+  }
+  const size_t num_pairs = inst.label_offsets_[num_labels];
+  inst.label_ids_.resize(num_pairs);
+  inst.label_times_.resize(num_pairs);
+  std::vector<size_t> cursor(inst.label_offsets_.begin(),
+                             inst.label_offsets_.end() - 1);
   for (PostId i = 0; i < inst.posts_.size(); ++i) {
-    ForEachLabel(inst.posts_[i].labels,
-                 [&](LabelId a) { inst.label_lists_[a].push_back(i); });
-    inst.max_labels_per_post_ = std::max(
-        inst.max_labels_per_post_, MaskCount(inst.posts_[i].labels));
-    inst.num_pairs_ +=
-        static_cast<size_t>(MaskCount(inst.posts_[i].labels));
+    ForEachLabel(inst.posts_[i].labels, [&](LabelId a) {
+      const size_t at = cursor[a]++;
+      inst.label_ids_[at] = i;
+      inst.label_times_[at] = inst.posts_[i].time;
+    });
   }
   return inst;
 }

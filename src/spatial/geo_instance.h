@@ -21,7 +21,9 @@ struct GeoPost {
 };
 
 /// Immutable spatiotemporal MQDP instance: posts sorted by time with
-/// per-label lists, mirroring core/Instance for the 2-D setting.
+/// per-label lists, mirroring core/Instance for the 2-D setting —
+/// including its CSR posting-list layout (flat id array + per-label
+/// offsets + parallel flat time array for the range binary searches).
 class GeoInstance {
  public:
   size_t num_posts() const { return posts_.size(); }
@@ -33,10 +35,17 @@ class GeoInstance {
   LabelMask labels(PostId id) const { return posts_[id].labels; }
 
   std::span<const PostId> label_posts(LabelId a) const {
-    return label_lists_[a];
+    return {label_ids_.data() + label_offsets_[a],
+            label_offsets_[a + 1] - label_offsets_[a]};
   }
 
-  size_t num_pairs() const { return num_pairs_; }
+  /// Times of LP(a), parallel to label_posts(a).
+  std::span<const double> label_times(LabelId a) const {
+    return {label_times_.data() + label_offsets_[a],
+            label_offsets_[a + 1] - label_offsets_[a]};
+  }
+
+  size_t num_pairs() const { return label_ids_.size(); }
   int max_labels_per_post() const { return max_labels_per_post_; }
 
   /// Posts of label `a` with time in [lo, hi] (the time window is the
@@ -47,9 +56,10 @@ class GeoInstance {
  private:
   friend class GeoInstanceBuilder;
   std::vector<GeoPost> posts_;
-  std::vector<std::vector<PostId>> label_lists_;
+  std::vector<size_t> label_offsets_ = {0};
+  std::vector<PostId> label_ids_;
+  std::vector<double> label_times_;
   int num_labels_ = 0;
-  size_t num_pairs_ = 0;
   int max_labels_per_post_ = 0;
 };
 

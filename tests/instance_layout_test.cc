@@ -1,0 +1,181 @@
+// Differential coverage of the CSR posting-list layout: the same
+// random instances are rebuilt through the old semantics — a naive
+// per-label list recomputed directly from the sorted post vector —
+// and every accessor the solvers rely on must agree bit-for-bit.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/instance.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace mqd {
+namespace {
+
+struct NaivePost {
+  DimValue value;
+  LabelMask labels;
+};
+
+/// The pre-CSR semantics, recomputed from scratch: LP(a) holds the
+/// ids of posts carrying label a, in the sorted post order.
+std::vector<std::vector<PostId>> NaiveLabelLists(const Instance& inst) {
+  std::vector<std::vector<PostId>> lists(
+      static_cast<size_t>(inst.num_labels()));
+  for (PostId i = 0; i < inst.num_posts(); ++i) {
+    ForEachLabel(inst.labels(i), [&](LabelId a) { lists[a].push_back(i); });
+  }
+  return lists;
+}
+
+std::vector<PostId> NaiveRange(const Instance& inst,
+                               const std::vector<PostId>& list, DimValue lo,
+                               DimValue hi) {
+  std::vector<PostId> out;
+  for (PostId id : list) {
+    if (inst.value(id) >= lo && inst.value(id) <= hi) out.push_back(id);
+  }
+  return out;
+}
+
+Instance BuildRandom(Rng* rng, int num_labels, int n, int value_range,
+                     bool leave_label_empty) {
+  InstanceBuilder builder(num_labels);
+  // Optionally starve the last label so empty posting lists are
+  // exercised (an empty LP(a) is legal; only empty masks are not).
+  const int usable = leave_label_empty ? num_labels - 1 : num_labels;
+  for (int i = 0; i < n; ++i) {
+    LabelMask mask = 0;
+    const int k = 1 + static_cast<int>(rng->Uniform(3));
+    for (int j = 0; j < k; ++j) {
+      mask |= MaskOf(static_cast<LabelId>(
+          rng->Uniform(static_cast<uint64_t>(usable))));
+    }
+    // Integer-valued dimension values force plenty of duplicates.
+    builder.Add(static_cast<DimValue>(
+                    rng->Uniform(static_cast<uint64_t>(value_range))),
+                mask, static_cast<uint64_t>(i));
+  }
+  auto inst = builder.Build();
+  EXPECT_TRUE(inst.ok()) << inst.status().ToString();
+  return std::move(inst).value();
+}
+
+void CheckAgainstNaive(const Instance& inst, Rng* rng) {
+  const auto naive = NaiveLabelLists(inst);
+  size_t pairs = 0;
+  for (LabelId a = 0; a < static_cast<LabelId>(inst.num_labels()); ++a) {
+    const std::span<const PostId> csr = inst.label_posts(a);
+    ASSERT_EQ(csr.size(), naive[a].size()) << "label " << a;
+    EXPECT_TRUE(std::equal(csr.begin(), csr.end(), naive[a].begin()))
+        << "label " << a;
+    // The parallel flat value array mirrors the posts' values exactly.
+    const std::span<const DimValue> values = inst.label_values(a);
+    ASSERT_EQ(values.size(), csr.size());
+    for (size_t i = 0; i < csr.size(); ++i) {
+      EXPECT_EQ(values[i], inst.value(csr[i]));
+    }
+    // CSR offsets are dense and ascending.
+    EXPECT_EQ(inst.label_offset(a) + csr.size(),
+              a + 1 < static_cast<LabelId>(inst.num_labels())
+                  ? inst.label_offset(a + 1)
+                  : inst.num_pairs());
+    pairs += csr.size();
+
+    // Range queries agree with a linear filter, including degenerate,
+    // empty and full-span windows.
+    for (int trial = 0; trial < 20; ++trial) {
+      const DimValue lo = std::floor(rng->UniformDouble(-2.0, 34.0)) - 0.5;
+      const DimValue hi = lo + std::floor(rng->UniformDouble(0.0, 12.0));
+      const std::span<const PostId> got = inst.LabelPostsInRange(a, lo, hi);
+      const std::vector<PostId> want = NaiveRange(inst, naive[a], lo, hi);
+      ASSERT_EQ(got.size(), want.size())
+          << "label " << a << " range [" << lo << ", " << hi << "]";
+      EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin()));
+      // LabelRangeBounds is the positional view of the same subrange.
+      const Instance::IndexRange bounds = inst.LabelRangeBounds(a, lo, hi);
+      EXPECT_EQ(bounds.size(), got.size());
+      if (!got.empty()) {
+        EXPECT_EQ(csr[bounds.begin], got.front());
+        EXPECT_EQ(csr[bounds.end - 1], got.back());
+      }
+    }
+  }
+  EXPECT_EQ(pairs, inst.num_pairs());
+
+  // LowerBound/UpperBound agree with a linear scan of the sorted
+  // posts, including at duplicate values.
+  for (int trial = 0; trial < 50; ++trial) {
+    const DimValue v = std::floor(rng->UniformDouble(-1.0, 33.0));
+    PostId lb = 0, ub = 0;
+    while (lb < inst.num_posts() && inst.value(lb) < v) ++lb;
+    while (ub < inst.num_posts() && inst.value(ub) <= v) ++ub;
+    EXPECT_EQ(inst.LowerBound(v), lb);
+    EXPECT_EQ(inst.UpperBound(v), ub);
+  }
+}
+
+TEST(InstanceLayoutTest, FuzzAgainstNaiveSemantics) {
+  Rng rng(20260807);
+  for (int round = 0; round < 40; ++round) {
+    const int num_labels = 1 + static_cast<int>(rng.Uniform(6));
+    const int n = static_cast<int>(rng.Uniform(120));
+    const bool starve = num_labels > 1 && rng.Uniform(2) == 0;
+    Instance inst = BuildRandom(&rng, num_labels, n, /*value_range=*/32,
+                                starve);
+    CheckAgainstNaive(inst, &rng);
+  }
+}
+
+TEST(InstanceLayoutTest, EmptyLabelHasEmptyList) {
+  InstanceBuilder builder(3);
+  builder.Add(1.0, MaskOf(0));
+  builder.Add(2.0, MaskOf(0) | MaskOf(2));
+  auto inst = builder.Build();
+  ASSERT_TRUE(inst.ok());
+  EXPECT_TRUE(inst->label_posts(1).empty());
+  EXPECT_TRUE(inst->label_values(1).empty());
+  EXPECT_TRUE(inst->LabelPostsInRange(1, -1e9, 1e9).empty());
+  EXPECT_EQ(inst->label_offset(1), inst->label_offset(2));
+  EXPECT_EQ(inst->num_pairs(), 3u);
+}
+
+TEST(InstanceLayoutTest, DuplicateValuesKeepInsertionOrder) {
+  InstanceBuilder builder(2);
+  for (int i = 0; i < 8; ++i) {
+    builder.Add(5.0, MaskOf(static_cast<LabelId>(i % 2)),
+                static_cast<uint64_t>(100 + i));
+  }
+  auto inst = builder.Build();
+  ASSERT_TRUE(inst.ok());
+  // All values equal: the sorted order must be the insertion order,
+  // and every range containing 5.0 returns whole lists.
+  for (PostId i = 0; i < inst->num_posts(); ++i) {
+    EXPECT_EQ(inst->post(i).external_id, 100u + i);
+  }
+  EXPECT_EQ(inst->LabelPostsInRange(0, 5.0, 5.0).size(), 4u);
+  EXPECT_EQ(inst->LabelPostsInRange(1, 4.0, 6.0).size(), 4u);
+  EXPECT_TRUE(inst->LabelPostsInRange(0, 5.1, 9.0).empty());
+  EXPECT_TRUE(inst->LabelPostsInRange(0, 1.0, 4.9).empty());
+  EXPECT_EQ(inst->LowerBound(5.0), 0u);
+  EXPECT_EQ(inst->UpperBound(5.0), 8u);
+}
+
+TEST(InstanceLayoutTest, BuildRejectsInvalidMasksWithStatus) {
+  {
+    InstanceBuilder builder(2);
+    builder.Add(1.0, 0);
+    EXPECT_EQ(builder.Build().status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    InstanceBuilder builder(2);
+    builder.Add(1.0, MaskOf(5));
+    EXPECT_EQ(builder.Build().status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace mqd

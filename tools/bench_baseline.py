@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Records the repo's core-hot-path perf trajectory into BENCH_core.json.
+
+Runs the pinned-seed select microbenches of bench_micro (the
+BM_*PaperScale / BM_GreedyGainInit / BM_LabelPostsInRange /
+BM_InstanceBuild entries) plus the Figure 13 end-to-end timing bench,
+and writes one JSON document so this and future PRs can diff the
+recorded numbers. Pure stdlib; no third-party deps.
+
+Usage:
+  tools/bench_baseline.py [--build-dir build] [--out BENCH_core.json]
+                          [--sanity] [--fig13-scale 0.02]
+
+--sanity is the CI mode: it still runs both binaries end to end and
+validates the JSON it writes, but at the smallest workload scale and
+with no repetitions, and asserts structure only — never timing
+thresholds (CI machines are too noisy for that).
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+
+MICRO_FILTER = (
+    "BM_GreedySelectPaperScale|BM_GreedyLazySelectPaperScale|"
+    "BM_ScanSelectPaperScale|BM_GreedyGainInit|BM_LabelPostsInRange|"
+    "BM_InstanceBuild"
+)
+
+# Required micro-bench entries: the regression trackers future PRs
+# compare against. Keep in sync with bench/bench_micro.cc.
+REQUIRED_MICRO = [
+    "BM_GreedySelectPaperScale",
+    "BM_GreedyLazySelectPaperScale",
+    "BM_ScanSelectPaperScale",
+    "BM_GreedyGainInit",
+    "BM_LabelPostsInRange",
+    "BM_InstanceBuild",
+]
+
+
+def run_micro(build_dir, sanity):
+    binary = os.path.join(build_dir, "bench", "bench_micro")
+    cmd = [
+        binary,
+        "--benchmark_filter=" + MICRO_FILTER,
+        "--benchmark_format=json",
+    ]
+    if sanity:
+        # Keep it a plain seconds value: the "<N>x" iteration syntax
+        # needs a newer google-benchmark than some CI images carry.
+        cmd.append("--benchmark_min_time=0.01")
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    doc = json.loads(out.stdout)
+    entries = {}
+    for bench in doc.get("benchmarks", []):
+        entries[bench["name"]] = {
+            "real_time": bench["real_time"],
+            "cpu_time": bench["cpu_time"],
+            "time_unit": bench["time_unit"],
+            "iterations": bench["iterations"],
+        }
+    missing = [name for name in REQUIRED_MICRO if name not in entries]
+    if missing:
+        raise SystemExit(f"bench_micro output missing entries: {missing}")
+    return entries
+
+
+# One Figure 13 table row: lambda followed by the four per-post
+# timings and the two cover sizes (see bench/bench_fig13_time_mqdp.cc).
+ROW_RE = re.compile(
+    r"^\s*(\d+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s+(\d+)\s+(\d+)\s*$"
+)
+
+
+def run_fig13(build_dir, scale):
+    binary = os.path.join(build_dir, "bench", "bench_fig13_time_mqdp")
+    env = dict(os.environ, MQD_BENCH_SCALE=str(scale))
+    start = time.monotonic()
+    out = subprocess.run([binary], check=True, capture_output=True,
+                         text=True, env=env)
+    elapsed = time.monotonic() - start
+    sections = []
+    current = None
+    for line in out.stdout.splitlines():
+        header = re.match(r"^--- \|L\| = (\d+) ---$", line.strip())
+        if header:
+            current = {"num_labels": int(header.group(1)), "rows": []}
+            sections.append(current)
+            continue
+        row = ROW_RE.match(line)
+        if row and current is not None:
+            current["rows"].append({
+                "lambda_s": int(row.group(1)),
+                "scan_us_per_post": float(row.group(2)),
+                "scan_plus_us_per_post": float(row.group(3)),
+                "greedy_us_per_post": float(row.group(4)),
+                "greedy_lazy_us_per_post": float(row.group(5)),
+                "scan_cover": int(row.group(6)),
+                "greedy_cover": int(row.group(7)),
+            })
+    if not sections or any(not s["rows"] for s in sections):
+        raise SystemExit("could not parse bench_fig13_time_mqdp output")
+    return {"scale": scale, "wall_seconds": round(elapsed, 3),
+            "sections": sections}
+
+
+def git_revision():
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], check=True,
+            capture_output=True, text=True).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--out", default="BENCH_core.json")
+    parser.add_argument("--sanity", action="store_true",
+                        help="CI smoke mode: minimal reps, structure-"
+                             "only validation, no timing thresholds")
+    parser.add_argument("--fig13-scale", type=float, default=None,
+                        help="MQD_BENCH_SCALE for the fig13 leg "
+                             "(default 0.1; 0.02 in --sanity mode)")
+    args = parser.parse_args()
+
+    scale = args.fig13_scale
+    if scale is None:
+        scale = 0.02 if args.sanity else 0.1
+
+    doc = {
+        "schema": "mqd-bench-core/1",
+        "revision": git_revision(),
+        "recorded_unix": int(time.time()),
+        "sanity_mode": args.sanity,
+        "workload": {
+            "micro": "bench_micro paper-scale selects (|L|=20, 1h @ "
+                     "118 posts/min, overlap 1.4, seed 13, lambda 60)",
+            "fig13": f"bench_fig13_time_mqdp at MQD_BENCH_SCALE={scale}",
+        },
+        "bench_micro": run_micro(args.build_dir, args.sanity),
+        "fig13": run_fig13(args.build_dir, scale),
+    }
+
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    # Round-trip validation: the artifact must parse and carry every
+    # required family, in sanity mode and full mode alike.
+    reread = json.load(open(args.out))
+    for name in REQUIRED_MICRO:
+        assert name in reread["bench_micro"], name
+    assert reread["fig13"]["sections"], "fig13 sections empty"
+    print(f"wrote {args.out}: {len(reread['bench_micro'])} microbench "
+          f"entries, {len(reread['fig13']['sections'])} fig13 sections "
+          f"(revision {reread['revision']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
