@@ -86,6 +86,8 @@ const StreamMetrics& StreamMetricsFor(std::string_view algorithm) {
                                DelaySecondsBuckets(), labels),
             &reg.MustHistogram("mqd_stream_replay_seconds",
                                ReplaySecondsBuckets(), labels),
+            &reg.MustCounter("mqd_stream_deadline_heap_ops_total", labels),
+            &reg.MustCounter("mqd_stream_prune_fastpath_total", labels),
         };
       });
   return family->For(algorithm);

@@ -44,6 +44,12 @@ struct StreamMetrics {
   Counter* tau_violations;       // mqd_stream_tau_violations_total
   LatencyHistogram* report_delay_seconds;  // mqd_stream_report_delay_seconds
   LatencyHistogram* replay_seconds;        // mqd_stream_replay_seconds
+  // Hot-path attribution for the streaming overhaul (DESIGN.md §11):
+  // deadline-index heap operations (pushes + lazily discarded stale
+  // pops) and prunes that took a binary-search range erase instead of
+  // a linear scan. Processors tally locally and flush on Finish.
+  Counter* deadline_heap_ops;    // mqd_stream_deadline_heap_ops_total
+  Counter* prune_fastpath;       // mqd_stream_prune_fastpath_total
 };
 
 const StreamMetrics& StreamMetricsFor(std::string_view algorithm);

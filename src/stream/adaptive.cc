@@ -126,10 +126,11 @@ void AdaptiveFeed::TrimRing() {
 }
 
 void AdaptiveFeed::Drain(double now, std::vector<Output>* out) {
+  const LabelId num_labels = static_cast<LabelId>(labels_.size());
   while (true) {
     LabelId best = 0;
     double best_deadline = kNever;
-    for (LabelId a = 0; a < labels_.size(); ++a) {
+    for (LabelId a = 0; a < num_labels; ++a) {
       const double d = Deadline(labels_[a]);
       if (d < best_deadline) {
         best_deadline = d;

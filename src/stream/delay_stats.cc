@@ -49,15 +49,15 @@ Status ValidateStreamOutputImpl(const Instance& inst,
           StrFormat("emission references unknown post %u", e.post));
     }
     const double delay = e.emit_time - inst.value(e.post);
-    if (delay < -1e-9) {
+    if (delay < -kTauSlack) {
       return Status::FailedPrecondition(StrFormat(
           "post %u emitted %.6f before it arrived", e.post, -delay));
     }
-    if (delay > tau + 1e-9) {
+    if (delay > tau + kTauSlack) {
       return Status::FailedPrecondition(StrFormat(
           "post %u emitted with delay %.6f > tau %.6f", e.post, delay, tau));
     }
-    if (e.emit_time + 1e-9 < last_emit) {
+    if (e.emit_time + kTauSlack < last_emit) {
       return Status::FailedPrecondition(
           StrFormat("emission times go backwards at post %u", e.post));
     }

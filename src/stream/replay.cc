@@ -36,9 +36,8 @@ Result<StreamRunStats> RunStream(const Instance& inst,
   stats.num_posts = inst.num_posts();
   stats.processing_seconds = watch.ElapsedSeconds();
   stats.num_emitted = processor->emissions().size();
-  // A delay within kTauSlack of tau is on-time (deadline arithmetic on
-  // doubles; mirrors the tolerance of stream/delay_stats).
-  constexpr double kTauSlack = 1e-9;
+  // A delay within kTauSlack (stream_solver.h) of tau is on-time;
+  // stream/delay_stats applies the identical tolerance.
   const double tau = processor->tau();
   double total_delay = 0.0;
   for (const Emission& e : processor->emissions()) {

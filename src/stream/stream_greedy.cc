@@ -1,10 +1,16 @@
 #include "stream/stream_greedy.h"
 
 #include <algorithm>
+#include <limits>
 
+#include "obs/stack_metrics.h"
 #include "util/logging.h"
 
 namespace mqd {
+
+namespace {
+constexpr size_t kClean = std::numeric_limits<size_t>::max();
+}  // namespace
 
 StreamGreedyProcessor::StreamGreedyProcessor(const Instance& inst,
                                              const CoverageModel& model,
@@ -12,49 +18,174 @@ StreamGreedyProcessor::StreamGreedyProcessor(const Instance& inst,
     : StreamProcessor(inst, model),
       tau_(tau),
       stop_at_anchor_(stop_at_anchor),
-      emitted_per_label_(static_cast<size_t>(inst.num_labels())) {
+      uniform_(model.IsUniform()),
+      emitted_per_label_(static_cast<size_t>(inst.num_labels())),
+      by_label_(static_cast<size_t>(inst.num_labels())),
+      metrics_(&obs::StreamMetricsFor(name())) {
   MQD_CHECK(tau >= 0.0) << "tau must be non-negative";
+  for (LabelList& list : by_label_) {
+    list.delta.assign(1, 0);  // always slots.size() + 1 entries
+    list.dirty_lo = kClean;
+    list.dirty_hi = 0;
+  }
 }
 
-bool StreamGreedyProcessor::IsCoveredByEmitted(PostId post) const {
+bool StreamGreedyProcessor::CoveredByEmitted(PostId post, LabelId a) const {
+  // Identical probe to the reference's batch-time uncovered pass:
+  // binary search the emitted list to the window start, then test
+  // Covers until past the window end. Under a uniform lambda the
+  // Covers test is inlined on the flat value array (same fabs-diff
+  // arithmetic, same doubles — bit-identical outcome).
   const DimValue v = inst_.value(post);
   const DimValue max_reach = model_.MaxReach();
-  bool covered = true;
-  ForEachLabel(inst_.labels(post), [&](LabelId a) {
-    if (!covered) return;
-    const std::vector<PostId>& emitted = emitted_per_label_[a];
-    auto first = std::lower_bound(
-        emitted.begin(), emitted.end(), v - max_reach,
-        [this](PostId id, DimValue x) { return inst_.value(id) < x; });
-    bool found = false;
-    for (auto it = first;
-         it != emitted.end() && inst_.value(*it) <= v + max_reach; ++it) {
-      if (model_.Covers(inst_, *it, a, post)) {
-        found = true;
-        break;
-      }
+  const EmittedList& emitted = emitted_per_label_[a];
+  auto first =
+      std::lower_bound(emitted.values.begin(), emitted.values.end(),
+                       v - max_reach);
+  for (auto it = first;
+       it != emitted.values.end() && *it <= v + max_reach; ++it) {
+    if (uniform_) {
+      if (std::fabs(*it - v) <= max_reach) return true;
+    } else {
+      const size_t i = static_cast<size_t>(it - emitted.values.begin());
+      if (model_.Covers(inst_, emitted.posts[i], a, post)) return true;
     }
-    covered = found;
-  });
-  return covered;
+  }
+  return false;
 }
 
 void StreamGreedyProcessor::RecordEmitted(PostId post) {
+  const DimValue v = inst_.value(post);
   ForEachLabel(inst_.labels(post), [&](LabelId a) {
-    std::vector<PostId>& emitted = emitted_per_label_[a];
-    auto pos = std::upper_bound(
-        emitted.begin(), emitted.end(), inst_.value(post),
-        [this](DimValue x, PostId id) { return x < inst_.value(id); });
-    emitted.insert(pos, post);
+    EmittedList& emitted = emitted_per_label_[a];
+    auto pos =
+        std::upper_bound(emitted.values.begin(), emitted.values.end(), v);
+    const auto off = pos - emitted.values.begin();
+    emitted.values.insert(pos, v);
+    emitted.posts.insert(emitted.posts.begin() + off, post);
+  });
+}
+
+std::pair<size_t, size_t> StreamGreedyProcessor::SlotValueRange(
+    LabelId a, DimValue vlo, DimValue vhi) const {
+  const std::vector<DimValue>& values = by_label_[a].values;
+  auto first = std::lower_bound(values.begin(), values.end(), vlo);
+  auto last = std::upper_bound(first, values.end(), vhi);
+  return {static_cast<size_t>(first - values.begin()),
+          static_cast<size_t>(last - values.begin())};
+}
+
+void StreamGreedyProcessor::RangeAdd(LabelId a, size_t lo, size_t hi,
+                                     int32_t amount) {
+  if (lo >= hi) return;
+  LabelList& list = by_label_[a];
+  list.delta[lo] += amount;
+  list.delta[hi] -= amount;
+  if (list.dirty_lo == kClean) {
+    dirty_labels_.push_back(a);
+    list.dirty_lo = lo;
+    list.dirty_hi = hi;
+  } else {
+    list.dirty_lo = std::min(list.dirty_lo, lo);
+    list.dirty_hi = std::max(list.dirty_hi, hi);
+  }
+}
+
+void StreamGreedyProcessor::MaterializePending() {
+  for (LabelId a : dirty_labels_) {
+    LabelList& list = by_label_[a];
+    int64_t run = 0;
+    for (size_t i = list.dirty_lo; i < list.dirty_hi; ++i) {
+      run += list.delta[i];
+      list.delta[i] = 0;
+      if (run != 0) SlotAt(list.slots[i]).gain += run;
+    }
+    list.delta[list.dirty_hi] = 0;
+    list.dirty_lo = kClean;
+  }
+  dirty_labels_.clear();
+}
+
+void StreamGreedyProcessor::AddPairGain(LabelId a, DimValue v) {
+  const LabelList& list = by_label_[a];
+  if (uniform_) {
+    // Coverers of the new pair under the reference's batch-init rule:
+    // z counts the pair iff v lies in [value(z) - lambda, value(z) +
+    // lambda]. Both interval ends are monotone in value(z), so the
+    // coverers form one contiguous run of the slot list.
+    const DimValue lambda = model_.MaxReach();
+    auto lo = std::partition_point(
+        list.values.begin(), list.values.end(),
+        [&](DimValue vz) { return vz + lambda < v; });
+    auto hi = std::partition_point(
+        lo, list.values.end(), [&](DimValue vz) { return vz - lambda <= v; });
+    if (lo != hi) {
+      RangeAdd(a, static_cast<size_t>(lo - list.values.begin()),
+               static_cast<size_t>(hi - list.values.begin()), +1);
+      ++gain_fastpath_;
+    }
+    return;
+  }
+  // Variable lambda: reach is per-coverer, so the run is not
+  // contiguous; test each candidate in the MaxReach window.
+  const DimValue max_reach = model_.MaxReach();
+  auto [lo, hi] = SlotValueRange(a, v - max_reach, v + max_reach);
+  for (size_t i = lo; i < hi; ++i) {
+    Slot& zs = SlotAt(list.slots[i]);
+    const DimValue vz = list.values[i];
+    const DimValue reach = model_.Reach(inst_, zs.post, a);
+    if (vz - reach <= v && v <= vz + reach) ++zs.gain;
+  }
+}
+
+void StreamGreedyProcessor::AppendSlot(PostId post, LabelMask u) {
+  const uint32_t s = slot_base_ + static_cast<uint32_t>(slots_.size());
+  slots_.push_back(Slot{post, 0, 0});
+  const DimValue v = inst_.value(post);
+  ForEachLabel(inst_.labels(post), [&](LabelId a) {
+    LabelList& list = by_label_[a];
+    list.slots.push_back(s);
+    list.values.push_back(v);
+    list.uncov.push_back(0);
+    list.delta.push_back(0);
+  });
+  // Initial gain: pairs already uncovered within this post's own
+  // reach (the reference's batch-init rule, coverer side). The
+  // post's own uncov entry is still zero here, so its new pairs are
+  // not double counted — AddPairGain below credits them to every
+  // coverer, this post included.
+  int64_t g = 0;
+  ForEachLabel(inst_.labels(post), [&](LabelId a) {
+    const DimValue reach = model_.Reach(inst_, post, a);
+    auto [lo, hi] = SlotValueRange(a, v - reach, v + reach);
+    const std::vector<uint8_t>& uncov = by_label_[a].uncov;
+    for (size_t i = lo; i < hi; ++i) g += uncov[i];
+  });
+  Slot& slot = slots_.back();
+  slot.gain = g;
+  slot.uncovered = u;
+  remaining_ += static_cast<size_t>(MaskCount(u));
+  ForEachLabel(u, [&](LabelId a) {
+    by_label_[a].uncov.back() = 1;
+    AddPairGain(a, v);
   });
 }
 
 void StreamGreedyProcessor::OnArrival(PostId post) {
+  // Probe once at arrival; batches never run between this post's
+  // arrival and the next AdvanceTo, and in-batch emissions keep the
+  // carried masks in sync, so the mask equals what the reference
+  // recomputes at batch time.
+  LabelMask u = 0;
+  ForEachLabel(inst_.labels(post), [&](LabelId a) {
+    if (!CoveredByEmitted(post, a)) u |= MaskOf(a);
+  });
   if (anchor_ == kInvalidPost) {
-    if (IsCoveredByEmitted(post)) return;
+    if (u == 0) return;  // fully covered and no window open: dropped
     anchor_ = post;
+    anchor_slot_ = slot_base_ + static_cast<uint32_t>(slots_.size());
   }
-  buffer_.push_back(post);
+  AppendSlot(post, u);
 }
 
 void StreamGreedyProcessor::AdvanceTo(double now) {
@@ -63,131 +194,125 @@ void StreamGreedyProcessor::AdvanceTo(double now) {
   }
 }
 
-void StreamGreedyProcessor::Finish() { AdvanceTo(kNeverDeadline); }
+void StreamGreedyProcessor::Finish() {
+  AdvanceTo(kNeverDeadline);
+  FlushMetrics();
+}
 
-void StreamGreedyProcessor::RunBatch(double when) {
-  // The window Z: buffered posts, all in [time(anchor), when] by
-  // construction (arrivals are time-ordered and batches fire before
-  // later arrivals are delivered), ascending by value.
-  const std::vector<PostId> window(buffer_.begin(), buffer_.end());
-  const size_t n = window.size();
-  MQD_DCHECK(n > 0);
-
-  // Residual uncovered labels per window post, and per-label lists of
-  // window positions for range scans.
-  std::vector<LabelMask> uncovered(n, 0);
-  std::vector<std::vector<uint32_t>> by_label(
-      static_cast<size_t>(inst_.num_labels()));
-  size_t remaining = 0;
-  size_t anchor_idx = 0;
-  for (size_t i = 0; i < n; ++i) {
-    const PostId p = window[i];
-    if (p == anchor_) anchor_idx = i;
-    ForEachLabel(inst_.labels(p), [&](LabelId a) {
-      by_label[a].push_back(static_cast<uint32_t>(i));
-      // Pairs already covered by prior emissions are passed over.
-      const std::vector<PostId>& emitted = emitted_per_label_[a];
-      const DimValue v = inst_.value(p);
-      const DimValue max_reach = model_.MaxReach();
-      auto first = std::lower_bound(
-          emitted.begin(), emitted.end(), v - max_reach,
-          [this](PostId id, DimValue x) { return inst_.value(id) < x; });
-      bool covered = false;
-      for (auto it = first;
-           it != emitted.end() && inst_.value(*it) <= v + max_reach; ++it) {
-        if (model_.Covers(inst_, *it, a, p)) {
-          covered = true;
-          break;
-        }
-      }
-      if (!covered) {
-        uncovered[i] |= MaskOf(a);
-        ++remaining;
-      }
-    });
-  }
-
-  // Window-position range [lo, hi) of label-a posts within [vlo, vhi].
-  auto label_range = [&](LabelId a, DimValue vlo, DimValue vhi) {
-    const std::vector<uint32_t>& list = by_label[a];
-    auto first = std::lower_bound(
-        list.begin(), list.end(), vlo,
-        [&](uint32_t i, DimValue x) { return inst_.value(window[i]) < x; });
-    auto last = std::upper_bound(
-        first, list.end(), vhi, [&](DimValue x, uint32_t i) {
-          return x < inst_.value(window[i]);
-        });
-    return std::pair(first, last);
-  };
-
-  // Initial gains (number of still-uncovered window pairs each window
-  // post would cover).
-  std::vector<int64_t> gain(n, 0);
-  for (size_t i = 0; i < n; ++i) {
-    const PostId z = window[i];
-    const DimValue v = inst_.value(z);
-    ForEachLabel(inst_.labels(z), [&](LabelId a) {
-      const DimValue reach = model_.Reach(inst_, z, a);
-      auto [first, last] = label_range(a, v - reach, v + reach);
-      for (auto it = first; it != last; ++it) {
-        if (MaskHas(uncovered[*it], a)) ++gain[i];
-      }
-    });
-  }
-
+void StreamGreedyProcessor::SelectSlot(uint32_t s, double when) {
+  const PostId z = SlotAt(s).post;
+  const DimValue v = inst_.value(z);
   const DimValue max_reach = model_.MaxReach();
-  auto select = [&](size_t i) {
-    const PostId z = window[i];
-    const DimValue v = inst_.value(z);
-    ForEachLabel(inst_.labels(z), [&](LabelId a) {
-      const DimValue reach = model_.Reach(inst_, z, a);
-      auto [first, last] = label_range(a, v - reach, v + reach);
-      for (auto it = first; it != last; ++it) {
-        const uint32_t q = *it;
-        if (!MaskHas(uncovered[q], a)) continue;
-        uncovered[q] &= ~MaskOf(a);
-        --remaining;
-        const DimValue vq = inst_.value(window[q]);
-        auto [rf, rl] = label_range(a, vq - max_reach, vq + max_reach);
-        for (auto rit = rf; rit != rl; ++rit) {
-          if (model_.Covers(inst_, window[*rit], a, window[q])) {
-            --gain[*rit];
-          }
+  ForEachLabel(inst_.labels(z), [&](LabelId a) {
+    const DimValue reach = model_.Reach(inst_, z, a);
+    auto [first, last] = SlotValueRange(a, v - reach, v + reach);
+    LabelList& list = by_label_[a];
+    for (size_t i = first; i < last; ++i) {
+      if (!list.uncov[i]) continue;
+      list.uncov[i] = 0;
+      Slot& qs = SlotAt(list.slots[i]);
+      qs.uncovered &= ~MaskOf(a);
+      --remaining_;
+      const DimValue vq = list.values[i];
+      auto [rf, rl] = SlotValueRange(a, vq - max_reach, vq + max_reach);
+      if (uniform_) {
+        // The reference decrements candidates in [vq ± max_reach]
+        // that pass Covers; under a uniform lambda the passing set is
+        // the contiguous run with value(r) - vq in [-lambda, lambda].
+        auto base = list.values.begin();
+        auto cf = std::partition_point(
+            base + static_cast<std::ptrdiff_t>(rf),
+            base + static_cast<std::ptrdiff_t>(rl),
+            [&](DimValue vr) { return vr - vq < -max_reach; });
+        auto cl = std::partition_point(
+            cf, base + static_cast<std::ptrdiff_t>(rl),
+            [&](DimValue vr) { return vr - vq <= max_reach; });
+        RangeAdd(a, static_cast<size_t>(cf - base),
+                 static_cast<size_t>(cl - base), -1);
+        ++gain_fastpath_;
+      } else {
+        for (size_t r = rf; r < rl; ++r) {
+          Slot& rs = SlotAt(list.slots[r]);
+          if (model_.Covers(inst_, rs.post, a, qs.post)) --rs.gain;
         }
-      }
-    });
-    Emit(z, when);
-    RecordEmitted(z);
-  };
-
-  // Greedy loop (linear argmax, as in the paper's implementation).
-  while (remaining > 0) {
-    if (stop_at_anchor_ && uncovered[anchor_idx] == 0) break;
-    size_t best = n;
-    int64_t best_gain = 0;
-    for (size_t i = 0; i < n; ++i) {
-      if (gain[i] > best_gain) {
-        best_gain = gain[i];
-        best = i;
       }
     }
-    MQD_CHECK(best < n) << "window greedy stalled";
-    select(best);
+  });
+  MaterializePending();
+  Emit(z, when);
+  RecordEmitted(z);
+}
+
+void StreamGreedyProcessor::RunBatch(double when) {
+  MQD_DCHECK(!slots_.empty());
+  // Fold arrivals' pending range-adds in before the first argmax.
+  MaterializePending();
+  const uint32_t end_slot =
+      slot_base_ + static_cast<uint32_t>(slots_.size());
+
+  // Greedy loop (linear argmax in window order, as in the paper's
+  // implementation; strict > keeps the first maximum, matching the
+  // reference tie-break).
+  while (remaining_ > 0) {
+    if (stop_at_anchor_ && SlotAt(anchor_slot_).uncovered == 0) break;
+    uint32_t best = end_slot;
+    int64_t best_gain = 0;
+    uint32_t s = slot_base_;
+    for (const Slot& slot : slots_) {
+      if (slot.gain > best_gain) {
+        best_gain = slot.gain;
+        best = s;
+      }
+      ++s;
+    }
+    MQD_CHECK(best < end_slot) << "window greedy stalled";
+    SelectSlot(best, when);
   }
 
   // Re-anchor: the + variant may stop inside the window; the base
   // variant has covered everything and waits for future arrivals.
+  // Retained slots keep their masks and gains — the cross-batch
+  // carry-over replacing the reference's full rebuild.
   anchor_ = kInvalidPost;
-  size_t keep_from = n;
-  for (size_t i = 0; i < n; ++i) {
-    if (uncovered[i] != 0) {
-      anchor_ = window[i];
-      keep_from = i;
+  size_t keep = slots_.size();
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].uncovered != 0) {
+      anchor_ = slots_[i].post;
+      anchor_slot_ = slot_base_ + static_cast<uint32_t>(i);
+      keep = i;
       break;
     }
   }
-  buffer_.erase(buffer_.begin(),
-                buffer_.begin() + static_cast<std::ptrdiff_t>(keep_from));
+  carried_posts_ += slots_.size() - keep;
+  ErasePrefix(keep);
+}
+
+void StreamGreedyProcessor::ErasePrefix(size_t keep) {
+  if (keep == 0) return;
+  MQD_DCHECK(dirty_labels_.empty());  // deltas must be materialized
+  const uint32_t new_base = slot_base_ + static_cast<uint32_t>(keep);
+  for (LabelList& list : by_label_) {
+    auto cut =
+        std::lower_bound(list.slots.begin(), list.slots.end(), new_base);
+    const size_t k = static_cast<size_t>(cut - list.slots.begin());
+    if (k == 0) continue;
+    const auto off = static_cast<std::ptrdiff_t>(k);
+    list.slots.erase(list.slots.begin(), cut);
+    list.values.erase(list.values.begin(), list.values.begin() + off);
+    list.uncov.erase(list.uncov.begin(), list.uncov.begin() + off);
+    // The erased deltas are all zero, so the remaining array still
+    // mirrors positions (and keeps its slots.size() + 1 length).
+    list.delta.erase(list.delta.begin(), list.delta.begin() + off);
+  }
+  slots_.erase(slots_.begin(),
+               slots_.begin() + static_cast<std::ptrdiff_t>(keep));
+  slot_base_ = new_base;
+}
+
+void StreamGreedyProcessor::FlushMetrics() {
+  metrics_->prune_fastpath->Increment(gain_fastpath_ -
+                                      flushed_gain_fastpath_);
+  flushed_gain_fastpath_ = gain_fastpath_;
 }
 
 }  // namespace mqd

@@ -1,10 +1,15 @@
 #ifndef MQD_STREAM_STREAM_GREEDY_H_
 #define MQD_STREAM_STREAM_GREEDY_H_
 
+#include <cstdint>
 #include <deque>
 #include <vector>
 
 #include "stream/stream_solver.h"
+
+namespace mqd::obs {
+struct StreamMetrics;
+}  // namespace mqd::obs
 
 namespace mqd {
 
@@ -19,6 +24,20 @@ namespace mqd {
 /// The base variant greedily picks until *all* of Z is covered; the +
 /// variant stops as soon as P' itself is covered and immediately
 /// re-anchors on the next uncovered post (possibly inside Z).
+///
+/// Hot-path layout (DESIGN.md §11): window state is *carried* across
+/// consecutive batches instead of rebuilt from the retained buffer
+/// suffix. Buffered posts live in a slot ring (monotone slot ids over
+/// a deque, the AdaptiveFeed pattern); per-label slot lists, residual
+/// uncovered masks, emitted-coverage probes and greedy gains are all
+/// maintained incrementally at arrival time, so a batch only pays for
+/// its new posts. Gain maintenance mirrors core/greedy_state.h: with
+/// a uniform lambda every +1/-1 for a pair is one O(1) range-add into
+/// a per-label difference array (lazily materialized before each
+/// argmax); VariableLambda keeps the reference's exact per-candidate
+/// Covers scan. Emission sequences (posts and times) are bit-
+/// identical to StreamGreedyReferenceProcessor (stream/reference.h),
+/// which the differential tests enforce.
 class StreamGreedyProcessor final : public StreamProcessor {
  public:
   StreamGreedyProcessor(const Instance& inst, const CoverageModel& model,
@@ -32,22 +51,101 @@ class StreamGreedyProcessor final : public StreamProcessor {
   void Finish() override;
   double tau() const override { return tau_; }
 
+  /// Gain updates applied as O(1) difference-array range-adds
+  /// (uniform lambda only). Flushed into
+  /// mqd_stream_prune_fastpath_total on Finish: for the greedy
+  /// processors the "prune fastpath" is the covered-pair gain update
+  /// skipping the per-candidate Covers scan.
+  uint64_t gain_fastpath_hits() const { return gain_fastpath_; }
+  /// Posts whose window state survived a batch and was reused instead
+  /// of being rebuilt (the cross-batch carry-over at work).
+  uint64_t carried_posts() const { return carried_posts_; }
+
  private:
-  /// True when every label of `post` is covered by an emitted post.
-  bool IsCoveredByEmitted(PostId post) const;
+  /// One buffered post: its residual uncovered labels and its live
+  /// greedy gain (number of still-uncovered window pairs it covers).
+  struct Slot {
+    PostId post;
+    LabelMask uncovered;
+    int64_t gain;
+  };
+
+  /// Per-label view of the buffer: slot ids ascending (== ascending
+  /// by value), plus the pending-range-add difference array over list
+  /// positions (`delta.size() == slots.size() + 1`) with its dirty
+  /// window, exactly the greedy_state.h machinery scoped to the
+  /// stream window. `values` and `uncov` mirror the slots' post
+  /// values and this label's residual uncovered bit position by
+  /// position, so the hot binary searches and range counts run over
+  /// flat arrays instead of chasing slot ids through the deque.
+  struct LabelList {
+    std::vector<uint32_t> slots;
+    std::vector<DimValue> values;
+    std::vector<uint8_t> uncov;
+    std::vector<int32_t> delta;
+    size_t dirty_lo;
+    size_t dirty_hi;
+  };
+
+  Slot& SlotAt(uint32_t s) { return slots_[s - slot_base_]; }
+  const Slot& SlotAt(uint32_t s) const { return slots_[s - slot_base_]; }
+
+  /// True when label `a` of `post` is covered by an emitted post
+  /// (binary-searched probe of emitted_per_label_[a]).
+  bool CoveredByEmitted(PostId post, LabelId a) const;
+  /// Buffers `post` with residual uncovered mask `u`, registering it
+  /// in the label lists and folding its pairs into the carried gains.
+  void AppendSlot(PostId post, LabelMask u);
+  /// Position range [lo, hi) of label-a slots with value in
+  /// [vlo, vhi] (the reference's label_range, over slot lists).
+  std::pair<size_t, size_t> SlotValueRange(LabelId a, DimValue vlo,
+                                           DimValue vhi) const;
+  /// +1 to every buffered coverer of the new uncovered pair (p-with-
+  /// value-v, a); range-add under uniform lambda, exact scan else.
+  void AddPairGain(LabelId a, DimValue v);
+  void RangeAdd(LabelId a, size_t lo, size_t hi, int32_t amount);
+  /// Flushes pending difference-array range-adds into the slot gains.
+  void MaterializePending();
   /// Runs one window batch anchored at anchor_, emitting at `when`.
   void RunBatch(double when);
+  /// Greedy-selects the post in slot `s`: clears the pairs it covers,
+  /// maintains gains, emits and records it.
+  void SelectSlot(uint32_t s, double when);
+  /// Drops the first `keep` slots (all fully covered) from the ring
+  /// and every label list; pending deltas must be materialized.
+  void ErasePrefix(size_t keep);
   void RecordEmitted(PostId post);
+  void FlushMetrics();
+
+  /// Emitted posts for one label, ascending by value, with the values
+  /// mirrored flat so coverage probes binary-search and scan doubles
+  /// without a post-table indirection per candidate.
+  struct EmittedList {
+    std::vector<PostId> posts;
+    std::vector<DimValue> values;
+  };
 
   double tau_;
   bool stop_at_anchor_;
-  /// Emitted posts per label, ascending by value (binary searched for
-  /// coverage checks).
-  std::vector<std::vector<PostId>> emitted_per_label_;
-  /// Posts with timestamp >= time(anchor_), candidates for the next
-  /// window; pruned whenever the anchor advances.
-  std::deque<PostId> buffer_;
+  bool uniform_;
+  std::vector<EmittedList> emitted_per_label_;
+
+  /// The buffered window: slot id s lives at slots_[s - slot_base_];
+  /// ids grow monotonically and are never reused, so per-label lists
+  /// stay valid across prefix erases.
+  std::deque<Slot> slots_;
+  uint32_t slot_base_ = 0;
+  std::vector<LabelList> by_label_;
+  std::vector<LabelId> dirty_labels_;
+  /// Uncovered (post, label) pairs among the buffered slots.
+  size_t remaining_ = 0;
   PostId anchor_ = kInvalidPost;
+  uint32_t anchor_slot_ = 0;
+
+  uint64_t gain_fastpath_ = 0;
+  uint64_t carried_posts_ = 0;
+  uint64_t flushed_gain_fastpath_ = 0;
+  const obs::StreamMetrics* metrics_;
 };
 
 }  // namespace mqd

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/stack_metrics.h"
 #include "util/logging.h"
 
 namespace mqd {
@@ -13,7 +14,8 @@ StreamScanProcessor::StreamScanProcessor(const Instance& inst,
     : StreamProcessor(inst, model),
       tau_(tau),
       cross_label_pruning_(cross_label_pruning),
-      labels_(static_cast<size_t>(inst.num_labels())) {
+      labels_(static_cast<size_t>(inst.num_labels())),
+      metrics_(&obs::StreamMetricsFor(name())) {
   MQD_CHECK(tau >= 0.0) << "tau must be non-negative";
 }
 
@@ -24,21 +26,38 @@ double StreamScanProcessor::Deadline(const LabelState& state) const {
   return std::min(t_lu + tau_, t_ou + model_.MaxReach());
 }
 
+void StreamScanProcessor::Reindex(LabelId a) {
+  LabelState& state = labels_[a];
+  const double d = Deadline(state);
+  if (d == state.pushed) return;  // live entry already carries d
+  ++state.version;  // invalidates every older entry for this label
+  state.pushed = d;
+  if (d != kNeverDeadline) {
+    heap_.push(HeapEntry{d, a, state.version});
+    ++heap_ops_;
+  }
+}
+
 void StreamScanProcessor::AdvanceTo(double now) {
-  // Fire all deadlines <= now in time order (firing one may change
-  // others under cross-label pruning).
-  while (true) {
-    LabelId best = 0;
-    double best_deadline = kNeverDeadline;
-    for (LabelId a = 0; a < labels_.size(); ++a) {
-      const double d = Deadline(labels_[a]);
-      if (d < best_deadline) {
-        best_deadline = d;
-        best = a;
-      }
+  // Fire all deadlines <= now in (deadline, label) order; firing one
+  // may change others under cross-label pruning, which Reindex folds
+  // into the heap before the next pop.
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    LabelState& state = labels_[top.label];
+    if (top.version != state.version) {
+      heap_.pop();  // stale: superseded by a newer entry
+      ++heap_ops_;
+      continue;
     }
-    if (best_deadline == kNeverDeadline || best_deadline > now) break;
-    Fire(best, best_deadline);
+    if (top.deadline > now) break;
+    heap_.pop();
+    ++heap_ops_;
+    // The live entry is consumed; Fire clears the label, and any
+    // later Reindex must push afresh even if it lands on the same
+    // deadline value again.
+    state.pushed = kNeverDeadline;
+    Fire(top.label, top.deadline);
   }
 }
 
@@ -49,21 +68,36 @@ void StreamScanProcessor::Fire(LabelId a, double when) {
   Emit(lu, when);
   state.lc = lu;
   state.uncovered.clear();
+  Reindex(a);
 
   if (!cross_label_pruning_) return;
   // StreamScan+: the emitted post also covers pending posts of its
-  // other labels.
+  // other labels. Covered(q) <=> |value(lu) - value(q)| <= Reach(lu,
+  // b); IEEE subtraction is monotone over the value-sorted list, so
+  // the covered posts form one contiguous run whose bounds two
+  // partition points find — the same set the reference's linear
+  // remove_if erases, element for element.
+  const DimValue v_lu = inst_.value(lu);
   ForEachLabel(inst_.labels(lu), [&](LabelId b) {
     if (b == a) return;
     LabelState& other = labels_[b];
     if (other.lc == kInvalidPost ||
-        inst_.value(lu) > inst_.value(other.lc)) {
+        v_lu > inst_.value(other.lc)) {
       other.lc = lu;
     }
-    auto covered = [&](PostId q) { return model_.Covers(inst_, lu, b, q); };
-    other.uncovered.erase(std::remove_if(other.uncovered.begin(),
-                                         other.uncovered.end(), covered),
-                          other.uncovered.end());
+    if (other.uncovered.empty()) return;
+    const DimValue reach = model_.Reach(inst_, lu, b);
+    auto first = std::partition_point(
+        other.uncovered.begin(), other.uncovered.end(),
+        [&](PostId q) { return inst_.value(q) - v_lu < -reach; });
+    auto last = std::partition_point(
+        first, other.uncovered.end(),
+        [&](PostId q) { return inst_.value(q) - v_lu <= reach; });
+    if (first != last) {
+      other.uncovered.erase(first, last);
+      ++prune_fastpath_;
+      Reindex(b);
+    }
   });
 }
 
@@ -75,9 +109,21 @@ void StreamScanProcessor::OnArrival(PostId post) {
       return;  // already covered by the latest outputted relevant post
     }
     state.uncovered.push_back(post);
+    Reindex(a);
   });
 }
 
-void StreamScanProcessor::Finish() { AdvanceTo(kNeverDeadline); }
+void StreamScanProcessor::Finish() {
+  AdvanceTo(kNeverDeadline);
+  FlushMetrics();
+}
+
+void StreamScanProcessor::FlushMetrics() {
+  metrics_->deadline_heap_ops->Increment(heap_ops_ - flushed_heap_ops_);
+  metrics_->prune_fastpath->Increment(prune_fastpath_ -
+                                      flushed_prune_fastpath_);
+  flushed_heap_ops_ = heap_ops_;
+  flushed_prune_fastpath_ = prune_fastpath_;
+}
 
 }  // namespace mqd

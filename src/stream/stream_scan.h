@@ -1,10 +1,15 @@
 #ifndef MQD_STREAM_STREAM_SCAN_H_
 #define MQD_STREAM_STREAM_SCAN_H_
 
-#include <deque>
+#include <cstdint>
+#include <queue>
 #include <vector>
 
 #include "stream/stream_solver.h"
+
+namespace mqd::obs {
+struct StreamMetrics;
+}  // namespace mqd::obs
 
 namespace mqd {
 
@@ -22,6 +27,17 @@ namespace mqd {
 /// emission covers are dropped, often cancelling or postponing other
 /// labels' deadlines.
 ///
+/// Hot-path layout (DESIGN.md §11): label deadlines live in a
+/// lazy-invalidation min-heap keyed by (deadline, label), so each
+/// arrival costs O(s log |L|) heap maintenance instead of the
+/// reference implementation's O(|L|) full rescan, and an AdvanceTo
+/// that fires nothing is a single heap peek. Arrivals are value-
+/// ordered, so each label's `uncovered` list stays sorted; the Scan+
+/// cross-label prune therefore erases one contiguous run found by two
+/// binary searches instead of a linear remove_if. Both changes are
+/// emission-sequence-identical to StreamScanReferenceProcessor
+/// (stream/reference.h), which the differential tests enforce.
+///
 /// Approximation: s for tau >= lambda (identical output to Scan), 2s
 /// for 0 <= tau < lambda (Section 5.1).
 class StreamScanProcessor final : public StreamProcessor {
@@ -37,23 +53,65 @@ class StreamScanProcessor final : public StreamProcessor {
   void Finish() override;
   double tau() const override { return tau_; }
 
+  /// Deadline-index heap operations so far (pushes plus pops,
+  /// including lazily discarded stale entries). Flushed into
+  /// mqd_stream_deadline_heap_ops_total on Finish.
+  uint64_t heap_ops() const { return heap_ops_; }
+  /// Cross-label prunes taken as a binary-search range erase. Flushed
+  /// into mqd_stream_prune_fastpath_total on Finish.
+  uint64_t prune_fastpath_hits() const { return prune_fastpath_; }
+
  private:
   struct LabelState {
     /// Uncovered relevant posts since the last emission, ascending by
-    /// time; front = P_ou, back = P_lu. Plain StreamScan only ever
-    /// needs front/back, StreamScan+ erases covered middles.
-    std::deque<PostId> uncovered;
+    /// value; front = P_ou, back = P_lu. Kept sorted by construction
+    /// (arrivals are value-ordered), so the Scan+ prune can erase the
+    /// covered run via partition points.
+    std::vector<PostId> uncovered;
     PostId lc = kInvalidPost;
+    /// Lazy-invalidation bookkeeping: `version` stamps the newest
+    /// heap entry for this label; older entries are discarded on pop.
+    /// `pushed` is the deadline carried by that entry (kNeverDeadline
+    /// when no live entry exists), so an unchanged deadline never
+    /// re-pushes.
+    uint32_t version = 0;
+    double pushed = kNeverDeadline;
+  };
+
+  struct HeapEntry {
+    double deadline;
+    LabelId label;
+    uint32_t version;
+  };
+  /// Min-heap by (deadline, label): equal deadlines pop the lowest
+  /// label id, matching the reference implementation's first-minimum
+  /// scan order.
+  struct EntryAfter {
+    bool operator()(const HeapEntry& x, const HeapEntry& y) const {
+      if (x.deadline != y.deadline) return x.deadline > y.deadline;
+      return x.label > y.label;
+    }
   };
 
   double Deadline(const LabelState& state) const;
+  /// Re-syncs label a's heap entry with its current deadline: no-op
+  /// when unchanged, otherwise invalidates the old entry (version
+  /// bump) and pushes the new deadline if finite.
+  void Reindex(LabelId a);
   /// Emits the P_lu of label `a` at time `when` and applies the
   /// per-label (and, for +, cross-label) state updates.
   void Fire(LabelId a, double when);
+  void FlushMetrics();
 
   double tau_;
   bool cross_label_pruning_;
   std::vector<LabelState> labels_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, EntryAfter> heap_;
+  uint64_t heap_ops_ = 0;
+  uint64_t prune_fastpath_ = 0;
+  uint64_t flushed_heap_ops_ = 0;
+  uint64_t flushed_prune_fastpath_ = 0;
+  const obs::StreamMetrics* metrics_;
 };
 
 }  // namespace mqd

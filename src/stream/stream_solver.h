@@ -24,6 +24,12 @@ struct Emission {
 inline constexpr double kNeverDeadline =
     std::numeric_limits<double>::infinity();
 
+/// Tolerance for deadline arithmetic on doubles: an emission within
+/// kTauSlack of timestamp + tau is on-time. Shared by the replay
+/// driver's violation counter and delay_stats' contract checker so
+/// the two delay accountings cannot drift.
+inline constexpr double kTauSlack = 1e-9;
+
 /// A StreamMQDP algorithm. The replay driver (stream/replay.h) feeds
 /// posts in timestamp order, advancing the simulated clock so that
 /// internal timers (tau/lambda deadlines) fire exactly when they

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/coverage.h"
+#include "core/types.h"
+#include "gen/instance_gen.h"
+#include "stream/reference.h"
+#include "stream/replay.h"
+#include "stream/stream_greedy.h"
+#include "stream/stream_scan.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace mqd {
+namespace {
+
+using ::mqd::testing::MakeInstance;
+
+/// Runs `optimized` and `reference` over the same replay and asserts
+/// the emission sequences are identical: same posts, in the same
+/// order, at bit-identical emit times (== on doubles, no tolerance —
+/// the overhauled hot paths must reproduce the reference arithmetic
+/// exactly, not approximately). Returns the number of compared
+/// emissions.
+size_t ExpectIdenticalEmissions(const Instance& inst,
+                                StreamProcessor* optimized,
+                                StreamProcessor* reference,
+                                const std::string& context) {
+  auto opt_stats = RunStream(inst, optimized);
+  auto ref_stats = RunStream(inst, reference);
+  EXPECT_TRUE(opt_stats.ok()) << context;
+  EXPECT_TRUE(ref_stats.ok()) << context;
+  const auto& opt = optimized->emissions();
+  const auto& ref = reference->emissions();
+  EXPECT_EQ(opt.size(), ref.size()) << context;
+  const size_t n = std::min(opt.size(), ref.size());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(opt[i].post, ref[i].post)
+        << context << " emission " << i << " of " << n;
+    EXPECT_EQ(opt[i].emit_time, ref[i].emit_time)
+        << context << " emission " << i << " (post " << opt[i].post
+        << "): emit times differ by "
+        << (opt[i].emit_time - ref[i].emit_time);
+    if (::testing::Test::HasFailure()) break;  // don't flood the log
+  }
+  return n;
+}
+
+/// A per-post, per-label radius table deterministically derived from
+/// the seed, exercising the VariableLambda (non-fastpath) gain and
+/// prune arithmetic.
+VariableLambda MakeVariableModel(const Instance& inst, double max_reach,
+                                 uint64_t seed) {
+  Rng rng(seed * 0x9e3779b9ULL + 17);
+  std::vector<std::vector<DimValue>> reaches(inst.num_posts());
+  for (PostId p = 0; p < static_cast<PostId>(inst.num_posts()); ++p) {
+    ForEachLabel(inst.labels(p), [&](LabelId) {
+      reaches[p].push_back(rng.UniformDouble(0.3 * max_reach, max_reach));
+    });
+  }
+  return VariableLambda(std::move(reaches), max_reach);
+}
+
+/// The fuzz sweep: random instances over a seed x lambda x tau x
+/// overlap grid, every optimized processor against its verbatim
+/// pre-overhaul reference, under both uniform and variable lambdas.
+/// The grand total of compared emissions must clear 1e5 so ulp-edge
+/// deadline ties and batch boundaries actually get sampled.
+TEST(StreamDifferentialTest, FuzzedEmissionSequencesMatchReference) {
+  size_t compared = 0;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    for (double overlap : {1.2, 1.8}) {
+      InstanceGenConfig cfg;
+      cfg.num_labels = 4;
+      cfg.duration = 900.0;
+      cfg.posts_per_minute = 80.0;
+      cfg.overlap_rate = overlap;
+      cfg.burst_fraction = 0.3;
+      cfg.seed = 5000 + seed;
+      auto inst = GenerateInstance(cfg);
+      ASSERT_TRUE(inst.ok());
+      for (double lambda : {5.0, 12.0}) {
+        UniformLambda uniform(lambda);
+        VariableLambda variable = MakeVariableModel(*inst, lambda, seed);
+        for (const CoverageModel* model :
+             {static_cast<const CoverageModel*>(&uniform),
+              static_cast<const CoverageModel*>(&variable)}) {
+          for (double tau : {0.0, 3.0, 15.0}) {
+            const std::string context =
+                "seed=" + std::to_string(seed) +
+                " overlap=" + std::to_string(overlap) +
+                " lambda=" + std::to_string(lambda) +
+                " tau=" + std::to_string(tau) +
+                (model == &uniform ? " uniform" : " variable");
+            for (bool plus : {false, true}) {
+              StreamScanProcessor scan(*inst, *model, tau, plus);
+              StreamScanReferenceProcessor scan_ref(*inst, *model, tau,
+                                                    plus);
+              compared += ExpectIdenticalEmissions(
+                  *inst, &scan, &scan_ref,
+                  context + " scan+=" + std::to_string(plus));
+              StreamGreedyProcessor greedy(*inst, *model, tau, plus);
+              StreamGreedyReferenceProcessor greedy_ref(*inst, *model, tau,
+                                                        plus);
+              compared += ExpectIdenticalEmissions(
+                  *inst, &greedy, &greedy_ref,
+                  context + " greedy+=" + std::to_string(plus));
+            }
+            if (::testing::Test::HasFailure()) return;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GE(compared, 100000u) << "fuzz sweep under-sampled";
+}
+
+/// The optimized code paths must actually run during the sweep; a
+/// differential test against dead code proves nothing.
+TEST(StreamDifferentialTest, OptimizedFastPathsAreExercised) {
+  InstanceGenConfig cfg;
+  cfg.num_labels = 4;
+  cfg.duration = 600.0;
+  cfg.posts_per_minute = 60.0;
+  cfg.overlap_rate = 1.6;
+  cfg.seed = 31337;
+  auto inst = GenerateInstance(cfg);
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(8.0);
+
+  StreamScanProcessor scan_plus(*inst, model, /*tau=*/4.0, true);
+  ASSERT_TRUE(RunStream(*inst, &scan_plus).ok());
+  EXPECT_GT(scan_plus.heap_ops(), 0u);
+  EXPECT_GT(scan_plus.prune_fastpath_hits(), 0u);
+
+  StreamGreedyProcessor greedy_plus(*inst, model, /*tau=*/4.0, true);
+  ASSERT_TRUE(RunStream(*inst, &greedy_plus).ok());
+  EXPECT_GT(greedy_plus.gain_fastpath_hits(), 0u);
+  // The + variant stops at the anchor, so some batches must leave a
+  // suffix behind whose state is carried instead of rebuilt.
+  EXPECT_GT(greedy_plus.carried_posts(), 0u);
+}
+
+/// Tau-boundary construction: deadlines landing exactly on arrival
+/// times, two labels tying on the same deadline (the heap must pop
+/// the lower label id first, like the reference's first-minimum
+/// scan), and an anchor whose t_ou + lambda deadline equals another
+/// post's t_lu + tau. Values are small dyadic rationals so every
+/// deadline sum is exact in binary floating point and the ties are
+/// genuine, not approximate.
+TEST(StreamDifferentialTest, TauBoundaryDeadlineTiesMatchReference) {
+  const double tau = 0.5;
+  const double lambda = 1.0;
+  UniformLambda model(lambda);
+  // Label 0 and label 1 both hit deadline 0.75; label 2's anchor
+  // deadline t_ou + lambda = 1.25 ties label 0's second round t_lu +
+  // tau = 1.25. Post 6 arrives exactly at a pending deadline.
+  Instance inst = MakeInstance(3, {{0.25, MaskOf(0)},
+                                   {0.25, MaskOf(1)},
+                                   {0.25, MaskOf(2)},
+                                   {0.5, MaskOf(0) | MaskOf(1)},
+                                   {0.75, MaskOf(0) | MaskOf(2)},
+                                   {1.0, MaskOf(1)},
+                                   {1.25, MaskOf(0) | MaskOf(1)}});
+  for (bool plus : {false, true}) {
+    StreamScanProcessor scan(inst, model, tau, plus);
+    StreamScanReferenceProcessor scan_ref(inst, model, tau, plus);
+    size_t n = ExpectIdenticalEmissions(
+        inst, &scan, &scan_ref, "tau-boundary scan+=" + std::to_string(plus));
+    EXPECT_GT(n, 0u);
+    StreamGreedyProcessor greedy(inst, model, tau, plus);
+    StreamGreedyReferenceProcessor greedy_ref(inst, model, tau, plus);
+    n = ExpectIdenticalEmissions(
+        inst, &greedy, &greedy_ref,
+        "tau-boundary greedy+=" + std::to_string(plus));
+    EXPECT_GT(n, 0u);
+  }
+}
+
+/// Non-dyadic values (0.1 steps) push the deadline sums onto ulp
+/// edges where fl(a + tau) comparisons could diverge between two
+/// implementations that associate differently; both sides must still
+/// agree because they compute the same expressions.
+TEST(StreamDifferentialTest, UlpEdgeValuesMatchReference) {
+  const double tau = 0.3;
+  UniformLambda model(0.7);
+  std::vector<std::pair<DimValue, LabelMask>> posts;
+  for (int i = 0; i < 40; ++i) {
+    posts.push_back({0.1 * i, MaskOf(i % 3)});
+    if (i % 4 == 0) {
+      posts.push_back({0.1 * i, MaskOf((i + 1) % 3) | MaskOf(i % 3)});
+    }
+  }
+  Instance inst = MakeInstance(3, posts);
+  for (bool plus : {false, true}) {
+    StreamScanProcessor scan(inst, model, tau, plus);
+    StreamScanReferenceProcessor scan_ref(inst, model, tau, plus);
+    ExpectIdenticalEmissions(inst, &scan, &scan_ref,
+                             "ulp scan+=" + std::to_string(plus));
+    StreamGreedyProcessor greedy(inst, model, tau, plus);
+    StreamGreedyReferenceProcessor greedy_ref(inst, model, tau, plus);
+    ExpectIdenticalEmissions(inst, &greedy, &greedy_ref,
+                             "ulp greedy+=" + std::to_string(plus));
+  }
+}
+
+}  // namespace
+}  // namespace mqd

@@ -1,17 +1,27 @@
 #!/usr/bin/env python3
-"""Records the repo's core-hot-path perf trajectory into BENCH_core.json.
+"""Records the repo's hot-path perf trajectory into BENCH_*.json.
 
-Runs the pinned-seed select microbenches of bench_micro (the
-BM_*PaperScale / BM_GreedyGainInit / BM_LabelPostsInRange /
-BM_InstanceBuild entries) plus the Figure 13 end-to-end timing bench,
-and writes one JSON document so this and future PRs can diff the
-recorded numbers. Pure stdlib; no third-party deps.
+Two suites:
+  core    - the pinned-seed select microbenches of bench_micro (the
+            BM_*PaperScale / BM_GreedyGainInit / BM_LabelPostsInRange /
+            BM_InstanceBuild entries) plus the Figure 13 end-to-end
+            timing bench, written to BENCH_core.json.
+  stream  - the bench_stream_micro per-arrival replay benches at the
+            Figure 14-15 paper scale (optimized processors side by
+            side with their pre-overhaul references, plus the
+            deadline-fire and batch-solve heavy regimes), written to
+            BENCH_stream.json with the opt-vs-ref speedups computed.
+
+Each suite writes one JSON document so this and future PRs can diff
+the recorded numbers. Pure stdlib; no third-party deps.
 
 Usage:
-  tools/bench_baseline.py [--build-dir build] [--out BENCH_core.json]
+  tools/bench_baseline.py [--suite core|stream|all]
+                          [--build-dir build] [--out BENCH_core.json]
+                          [--stream-out BENCH_stream.json]
                           [--sanity] [--fig13-scale 0.02]
 
---sanity is the CI mode: it still runs both binaries end to end and
+--sanity is the CI mode: it still runs every binary end to end and
 validates the JSON it writes, but at the smallest workload scale and
 with no repetitions, and asserts structure only — never timing
 thresholds (CI machines are too noisy for that).
@@ -43,11 +53,28 @@ REQUIRED_MICRO = [
 ]
 
 
-def run_micro(build_dir, sanity):
-    binary = os.path.join(build_dir, "bench", "bench_micro")
+# Stream replay benches: each optimized processor paired with its
+# verbatim pre-overhaul reference. Keep in sync with
+# bench/bench_stream_micro.cc; the pairs drive the speedup table.
+STREAM_PAIRS = [
+    ("BM_StreamScanReplayPaperScale", "BM_StreamScanRefReplayPaperScale"),
+    ("BM_StreamScanPlusReplayPaperScale",
+     "BM_StreamScanPlusRefReplayPaperScale"),
+    ("BM_StreamGreedyReplayPaperScale",
+     "BM_StreamGreedyRefReplayPaperScale"),
+    ("BM_StreamGreedyPlusReplayPaperScale",
+     "BM_StreamGreedyPlusRefReplayPaperScale"),
+    ("BM_StreamScanFireHeavy", "BM_StreamScanRefFireHeavy"),
+    ("BM_StreamGreedyBatchHeavy", "BM_StreamGreedyRefBatchHeavy"),
+]
+
+REQUIRED_STREAM = [name for pair in STREAM_PAIRS for name in pair]
+
+
+def run_benchmark_json(binary, bench_filter, sanity, required):
     cmd = [
         binary,
-        "--benchmark_filter=" + MICRO_FILTER,
+        "--benchmark_filter=" + bench_filter,
         "--benchmark_format=json",
     ]
     if sanity:
@@ -64,10 +91,30 @@ def run_micro(build_dir, sanity):
             "time_unit": bench["time_unit"],
             "iterations": bench["iterations"],
         }
-    missing = [name for name in REQUIRED_MICRO if name not in entries]
+    missing = [name for name in required if name not in entries]
     if missing:
-        raise SystemExit(f"bench_micro output missing entries: {missing}")
+        raise SystemExit(
+            f"{os.path.basename(binary)} output missing entries: {missing}")
     return entries
+
+
+def run_micro(build_dir, sanity):
+    return run_benchmark_json(
+        os.path.join(build_dir, "bench", "bench_micro"), MICRO_FILTER,
+        sanity, REQUIRED_MICRO)
+
+
+def run_stream_micro(build_dir, sanity):
+    entries = run_benchmark_json(
+        os.path.join(build_dir, "bench", "bench_stream_micro"),
+        "|".join(REQUIRED_STREAM), sanity, REQUIRED_STREAM)
+    speedups = {}
+    for optimized, reference in STREAM_PAIRS:
+        opt_time = entries[optimized]["real_time"]
+        ref_time = entries[reference]["real_time"]
+        speedups[optimized] = (
+            round(ref_time / opt_time, 3) if opt_time > 0 else None)
+    return entries, speedups
 
 
 # One Figure 13 table row: lambda followed by the four per-post
@@ -118,22 +165,7 @@ def git_revision():
         return "unknown"
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--build-dir", default="build")
-    parser.add_argument("--out", default="BENCH_core.json")
-    parser.add_argument("--sanity", action="store_true",
-                        help="CI smoke mode: minimal reps, structure-"
-                             "only validation, no timing thresholds")
-    parser.add_argument("--fig13-scale", type=float, default=None,
-                        help="MQD_BENCH_SCALE for the fig13 leg "
-                             "(default 0.1; 0.02 in --sanity mode)")
-    args = parser.parse_args()
-
-    scale = args.fig13_scale
-    if scale is None:
-        scale = 0.02 if args.sanity else 0.1
-
+def write_core(args, scale):
     doc = {
         "schema": "mqd-bench-core/1",
         "revision": git_revision(),
@@ -161,6 +193,67 @@ def main():
     print(f"wrote {args.out}: {len(reread['bench_micro'])} microbench "
           f"entries, {len(reread['fig13']['sections'])} fig13 sections "
           f"(revision {reread['revision']})")
+
+
+def write_stream(args):
+    entries, speedups = run_stream_micro(args.build_dir, args.sanity)
+    doc = {
+        "schema": "mqd-bench-stream/1",
+        "revision": git_revision(),
+        "recorded_unix": int(time.time()),
+        "sanity_mode": args.sanity,
+        "workload": {
+            "stream": "bench_stream_micro per-arrival replays at the "
+                      "Figure 14-15 paper scale (|L|=20, 1h @ 118 "
+                      "posts/min, overlap 1.4, seed 13, lambda 300s, "
+                      "tau 300s; fire-heavy tau=0, batch-heavy "
+                      "tau=600s)",
+        },
+        "bench_stream": entries,
+        # reference real_time / optimized real_time, per opt bench.
+        "speedup_vs_reference": speedups,
+    }
+
+    with open(args.stream_out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    reread = json.load(open(args.stream_out))
+    for name in REQUIRED_STREAM:
+        assert name in reread["bench_stream"], name
+    for optimized, _ in STREAM_PAIRS:
+        assert optimized in reread["speedup_vs_reference"], optimized
+    summary = ", ".join(
+        f"{name.removeprefix('BM_Stream')}={ratio}x"
+        for name, ratio in sorted(speedups.items()))
+    print(f"wrote {args.stream_out}: {len(reread['bench_stream'])} "
+          f"stream bench entries (revision {reread['revision']}); "
+          f"speedups vs reference: {summary}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--suite", choices=["core", "stream", "all"],
+                        default="all")
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--out", default="BENCH_core.json")
+    parser.add_argument("--stream-out", default="BENCH_stream.json")
+    parser.add_argument("--sanity", action="store_true",
+                        help="CI smoke mode: minimal reps, structure-"
+                             "only validation, no timing thresholds")
+    parser.add_argument("--fig13-scale", type=float, default=None,
+                        help="MQD_BENCH_SCALE for the fig13 leg "
+                             "(default 0.1; 0.02 in --sanity mode)")
+    args = parser.parse_args()
+
+    scale = args.fig13_scale
+    if scale is None:
+        scale = 0.02 if args.sanity else 0.1
+
+    if args.suite in ("core", "all"):
+        write_core(args, scale)
+    if args.suite in ("stream", "all"):
+        write_stream(args)
     return 0
 
 
