@@ -13,10 +13,13 @@ namespace {
 
 class BnB {
  public:
-  BnB(const Instance& inst, const CoverageModel& model, uint64_t max_nodes)
+  BnB(const Instance& inst, const CoverageModel& model, uint64_t max_nodes,
+      const Deadline& deadline)
       : inst_(inst),
         model_(model),
         max_nodes_(max_nodes),
+        deadline_(deadline),
+        budget_(deadline_, /*stride=*/4096),
         covered_(inst.num_posts(), 0),
         remaining_(inst.num_pairs()) {
     // Static candidate lists: coverers_[p][k] = posts that cover the
@@ -40,10 +43,12 @@ class BnB {
     if (inst_.num_posts() == 0) return std::vector<PostId>{};
     // Seed the incumbent with GreedySC (always a valid cover).
     GreedySCSolver greedy;
-    MQD_ASSIGN_OR_RETURN(best_, greedy.Solve(inst_, model_));
+    MQD_ASSIGN_OR_RETURN(best_,
+                         greedy.SolveWithBudget(inst_, model_, deadline_));
     nodes_ = 0;
     exhausted_ = false;
     Recurse();
+    if (interrupted_) return deadline_.Check("BnB");
     if (exhausted_) {
       return Status::ResourceExhausted(
           "BranchAndBound exceeded its node budget");
@@ -54,9 +59,13 @@ class BnB {
 
  private:
   void Recurse() {
-    if (exhausted_) return;
+    if (exhausted_ || interrupted_) return;
     if (++nodes_ > max_nodes_) {
       exhausted_ = true;
+      return;
+    }
+    if (budget_.Expired()) {
+      interrupted_ = true;
       return;
     }
     if (remaining_ == 0) {
@@ -89,7 +98,7 @@ class BnB {
       Recurse();
       chosen_.pop_back();
       Unapply(undo_mark);
-      if (exhausted_) return;
+      if (exhausted_ || interrupted_) return;
     }
   }
 
@@ -161,6 +170,8 @@ class BnB {
   const Instance& inst_;
   const CoverageModel& model_;
   uint64_t max_nodes_;
+  Deadline deadline_;
+  DeadlineChecker budget_;
 
   std::vector<LabelMask> covered_;
   size_t remaining_;
@@ -170,13 +181,20 @@ class BnB {
   std::vector<std::pair<PostId, LabelId>> undo_;
   uint64_t nodes_ = 0;
   bool exhausted_ = false;
+  bool interrupted_ = false;
 };
 
 }  // namespace
 
 Result<std::vector<PostId>> BranchAndBoundSolver::Solve(
     const Instance& inst, const CoverageModel& model) const {
-  BnB bnb(inst, model, max_nodes_);
+  return SolveWithBudget(inst, model, Deadline::Unbounded());
+}
+
+Result<std::vector<PostId>> BranchAndBoundSolver::SolveWithBudget(
+    const Instance& inst, const CoverageModel& model,
+    const Deadline& deadline) const {
+  BnB bnb(inst, model, max_nodes_, deadline);
   return bnb.Run();
 }
 

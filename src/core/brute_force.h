@@ -30,6 +30,11 @@ class BranchAndBoundSolver final : public Solver {
   Result<std::vector<PostId>> Solve(const Instance& inst,
                                     const CoverageModel& model) const override;
 
+  /// Deadline is polled every few thousand search nodes.
+  Result<std::vector<PostId>> SolveWithBudget(
+      const Instance& inst, const CoverageModel& model,
+      const Deadline& deadline) const override;
+
  private:
   uint64_t max_nodes_;
 };

@@ -29,7 +29,9 @@ struct HeapLess {
 };
 
 Result<std::vector<PostId>> SolveLinear(const Instance& inst,
-                                        GreedyState& state) {
+                                        GreedyState& state,
+                                        const Deadline& deadline) {
+  DeadlineChecker budget(deadline);
   // Live-post list: gains never increase, so a post whose gain hit
   // zero is permanently out of the running and the argmax never needs
   // to revisit it. The list stays ascending (compaction preserves
@@ -42,6 +44,7 @@ Result<std::vector<PostId>> SolveLinear(const Instance& inst,
   }
   std::vector<PostId> out;
   while (state.remaining() > 0) {
+    MQD_RETURN_NOT_OK(budget.Check("GreedySC"));
     PostId best = kInvalidPost;
     int64_t best_gain = 0;
     size_t w = 0;
@@ -65,13 +68,16 @@ Result<std::vector<PostId>> SolveLinear(const Instance& inst,
 }
 
 Result<std::vector<PostId>> SolveLazyHeap(const Instance& inst,
-                                          GreedyState& state) {
+                                          GreedyState& state,
+                                          const Deadline& deadline) {
+  DeadlineChecker budget(deadline);
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess> heap;
   for (PostId p = 0; p < inst.num_posts(); ++p) {
     if (state.gain(p) > 0) heap.push(HeapEntry{state.gain(p), p});
   }
   std::vector<PostId> out;
   while (state.remaining() > 0) {
+    MQD_RETURN_NOT_OK(budget.Check("GreedySC(lazy)"));
     if (heap.empty()) {
       return Status::Internal("GreedySC(lazy) stalled with uncovered pairs");
     }
@@ -101,11 +107,17 @@ Result<std::vector<PostId>> SolveLazyHeap(const Instance& inst,
 
 Result<std::vector<PostId>> GreedySCSolver::Solve(
     const Instance& inst, const CoverageModel& model) const {
+  return SolveWithBudget(inst, model, Deadline::Unbounded());
+}
+
+Result<std::vector<PostId>> GreedySCSolver::SolveWithBudget(
+    const Instance& inst, const CoverageModel& model,
+    const Deadline& deadline) const {
   GreedyState state(inst, model);
   Result<std::vector<PostId>> result =
       engine_ == GreedyEngine::kLinearArgmax
-          ? SolveLinear(inst, state)
-          : SolveLazyHeap(inst, state);
+          ? SolveLinear(inst, state, deadline)
+          : SolveLazyHeap(inst, state, deadline);
   const obs::SolverMetrics& metrics = obs::SolverMetricsFor(name());
   metrics.gain_fastpath->Increment(state.fastpath_updates());
   metrics.gain_exact->Increment(state.exact_updates());

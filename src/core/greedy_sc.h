@@ -34,6 +34,13 @@ class GreedySCSolver final : public Solver {
   Result<std::vector<PostId>> Solve(const Instance& inst,
                                     const CoverageModel& model) const override;
 
+  /// Deadline is polled once per greedy round (one cover element per
+  /// round), so a budgeted run stops between selections, never inside
+  /// the gain-maintenance hot path.
+  Result<std::vector<PostId>> SolveWithBudget(
+      const Instance& inst, const CoverageModel& model,
+      const Deadline& deadline) const override;
+
  private:
   GreedyEngine engine_;
 };

@@ -1,6 +1,7 @@
 #include "core/instance.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -61,6 +62,12 @@ Result<Instance> InstanceBuilder::Build() {
       num_labels_ == kMaxLabels ? ~LabelMask{0}
                                 : (LabelMask{1} << num_labels_) - 1;
   for (size_t i = 0; i < posts_.size(); ++i) {
+    if (!std::isfinite(posts_[i].value)) {
+      // NaN values would poison the sorted-by-value CSR layout (NaN
+      // breaks strict weak ordering) and every +-reach window query.
+      return Status::InvalidArgument(
+          StrFormat("post %zu has a non-finite value", i));
+    }
     if (posts_[i].labels == 0) {
       return Status::InvalidArgument(
           StrFormat("post %zu has an empty label set", i));

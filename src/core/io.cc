@@ -1,12 +1,15 @@
 #include "core/io.h"
 
 #include <charconv>
+#include <cmath>
 #include <optional>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
+#include "obs/stack_metrics.h"
+#include "util/fault_injection.h"
 #include "util/string_util.h"
 
 namespace mqd {
@@ -44,6 +47,14 @@ Status WriteInstanceToFile(const Instance& inst, const std::string& path) {
 }
 
 Result<Instance> ReadInstance(std::istream& is) {
+  MQD_FAULT_POINT("io.read_instance");
+  // Every rejection of malformed input is counted: a rising
+  // mqd_robust_io_rejects_total is the first sign of an upstream feed
+  // gone bad.
+  const auto reject = [](Status status) -> Status {
+    obs::GetRobustMetrics().io_rejects->Increment();
+    return status;
+  };
   std::string line;
   int num_labels = -1;
   InstanceBuilder* builder = nullptr;
@@ -61,46 +72,54 @@ Result<Instance> ReadInstance(std::istream& is) {
       int version = 0;
       fields >> version >> num_labels;
       if (!fields || version != kFormatVersion) {
-        return Status::InvalidArgument(
-            StrFormat("line %zu: bad header", line_no));
+        return reject(Status::InvalidArgument(
+            StrFormat("line %zu: bad header", line_no)));
       }
       if (num_labels < 1 || num_labels > kMaxLabels) {
-        return Status::InvalidArgument(
-            StrFormat("line %zu: num_labels out of range", line_no));
+        return reject(Status::InvalidArgument(
+            StrFormat("line %zu: num_labels out of range", line_no)));
       }
       storage.emplace(num_labels);
       builder = &*storage;
     } else if (tag == "post") {
       if (builder == nullptr) {
-        return Status::InvalidArgument(
-            StrFormat("line %zu: post before header", line_no));
+        return reject(Status::InvalidArgument(
+            StrFormat("line %zu: post before header", line_no)));
       }
       double value = 0.0;
       uint64_t external_id = 0;
       fields >> value >> external_id;
       if (!fields) {
-        return Status::InvalidArgument(
-            StrFormat("line %zu: malformed post", line_no));
+        return reject(Status::InvalidArgument(
+            StrFormat("line %zu: malformed post", line_no)));
+      }
+      if (!std::isfinite(value)) {
+        return reject(Status::InvalidArgument(StrFormat(
+            "line %zu: post value must be finite", line_no)));
       }
       LabelMask mask = 0;
       int label = 0;
       while (fields >> label) {
         if (label < 0 || label >= num_labels) {
-          return Status::InvalidArgument(
+          return reject(Status::InvalidArgument(
               StrFormat("line %zu: label %d out of range", line_no,
-                        label));
+                        label)));
         }
         mask |= MaskOf(static_cast<LabelId>(label));
       }
+      if (mask == 0) {
+        return reject(Status::InvalidArgument(StrFormat(
+            "line %zu: post carries no labels", line_no)));
+      }
       builder->Add(value, mask, external_id);
     } else {
-      return Status::InvalidArgument(
+      return reject(Status::InvalidArgument(
           StrFormat("line %zu: unknown record '%s'", line_no,
-                    tag.c_str()));
+                    tag.c_str())));
     }
   }
   if (builder == nullptr) {
-    return Status::InvalidArgument("missing mqdp header");
+    return reject(Status::InvalidArgument("missing mqdp header"));
   }
   return builder->Build();
 }

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/deadline.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -81,9 +82,13 @@ class OptDp {
     }
   }
 
-  Result<std::vector<PostId>> Run() {
+  Result<std::vector<PostId>> Run(const Deadline& deadline) {
     if (n_ == 0) return std::vector<PostId>{};
     const size_t num_labels = static_cast<size_t>(inst_.num_labels());
+    // Inner checker shared across Steps: ~one clock read per 8192
+    // candidate patterns keeps the polling cost invisible next to the
+    // per-pattern predecessor loop.
+    DeadlineChecker budget(deadline, /*stride=*/8192);
 
     levels_.clear();
     levels_.reserve(n_ + 1);
@@ -91,7 +96,8 @@ class OptDp {
         {Node{Pattern(num_labels, 0), /*card=*/1, /*parent=*/0}});
 
     for (size_t j = 1; j <= n_; ++j) {
-      MQD_RETURN_NOT_OK(Step(j));
+      MQD_RETURN_NOT_OK(deadline.Check("OPT"));
+      MQD_RETURN_NOT_OK(Step(j, budget));
       if (levels_.back().empty()) {
         return Status::Internal(
             StrFormat("OPT: no feasible end-pattern at position %zu", j));
@@ -123,7 +129,7 @@ class OptDp {
   }
 
  private:
-  Status Step(size_t j) {
+  Status Step(size_t j, DeadlineChecker& budget) {
     const size_t num_labels = static_cast<size_t>(inst_.num_labels());
     const LabelMask lj = labels_[j];
 
@@ -176,6 +182,7 @@ class OptDp {
     // Depth-first enumeration of the candidate product.
     std::vector<size_t> cursor(num_labels, 0);
     while (true) {
+      MQD_RETURN_NOT_OK(budget.Check("OPT"));
       for (size_t a = 0; a < num_labels; ++a) cand[a] = ppl[a][cursor[a]];
 
       for (uint32_t ei = 0; ei < prev.size(); ++ei) {
@@ -274,13 +281,19 @@ class OptDp {
 
 Result<std::vector<PostId>> OptDpSolver::Solve(
     const Instance& inst, const CoverageModel& model) const {
+  return SolveWithBudget(inst, model, Deadline::Unbounded());
+}
+
+Result<std::vector<PostId>> OptDpSolver::SolveWithBudget(
+    const Instance& inst, const CoverageModel& model,
+    const Deadline& deadline) const {
   if (!model.IsUniform()) {
     return Status::Unimplemented(
         "OPT requires a uniform lambda; use BranchAndBound for "
         "variable-lambda exact references");
   }
   OptDp dp(inst, model.MaxReach(), config_);
-  return dp.Run();
+  return dp.Run(deadline);
 }
 
 }  // namespace mqd

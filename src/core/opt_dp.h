@@ -43,6 +43,14 @@ class OptDpSolver final : public Solver {
   Result<std::vector<PostId>> Solve(const Instance& inst,
                                     const CoverageModel& model) const override;
 
+  /// Deadline is polled per DP position and, inside a position, every
+  /// few thousand enumerated candidate patterns (the per-position work
+  /// is unbounded in the worst case, so a per-step check alone could
+  /// overshoot the budget arbitrarily).
+  Result<std::vector<PostId>> SolveWithBudget(
+      const Instance& inst, const CoverageModel& model,
+      const Deadline& deadline) const override;
+
  private:
   OptConfig config_;
 };

@@ -96,8 +96,16 @@ using internal::SweepLabel;
 
 Result<std::vector<PostId>> ScanSolver::Solve(
     const Instance& inst, const CoverageModel& model) const {
+  return SolveWithBudget(inst, model, Deadline::Unbounded());
+}
+
+Result<std::vector<PostId>> ScanSolver::SolveWithBudget(
+    const Instance& inst, const CoverageModel& model,
+    const Deadline& deadline) const {
+  DeadlineChecker budget(deadline);
   std::vector<PostId> out;
   for (LabelId a = 0; a < static_cast<LabelId>(inst.num_labels()); ++a) {
+    MQD_RETURN_NOT_OK(budget.Check("Scan"));
     SweepLabel(inst, model, a, /*covered=*/nullptr, &out);
   }
   internal::CanonicalizeSelection(&out);
@@ -106,9 +114,17 @@ Result<std::vector<PostId>> ScanSolver::Solve(
 
 Result<std::vector<PostId>> ScanPlusSolver::Solve(
     const Instance& inst, const CoverageModel& model) const {
+  return SolveWithBudget(inst, model, Deadline::Unbounded());
+}
+
+Result<std::vector<PostId>> ScanPlusSolver::SolveWithBudget(
+    const Instance& inst, const CoverageModel& model,
+    const Deadline& deadline) const {
+  DeadlineChecker budget(deadline);
   std::vector<PostId> out;
   std::vector<LabelMask> covered(inst.num_posts(), 0);
   for (LabelId a : OrderedLabels(inst, order_)) {
+    MQD_RETURN_NOT_OK(budget.Check("Scan+"));
     SweepLabel(inst, model, a, &covered, &out);
   }
   internal::CanonicalizeSelection(&out);

@@ -24,6 +24,11 @@ class ScanSolver final : public Solver {
   std::string_view name() const override { return "Scan"; }
   Result<std::vector<PostId>> Solve(const Instance& inst,
                                     const CoverageModel& model) const override;
+
+  /// Deadline is polled once per label sweep.
+  Result<std::vector<PostId>> SolveWithBudget(
+      const Instance& inst, const CoverageModel& model,
+      const Deadline& deadline) const override;
 };
 
 /// Label processing order for ScanPlus (the optimization is
@@ -47,6 +52,11 @@ class ScanPlusSolver final : public Solver {
   std::string_view name() const override { return "Scan+"; }
   Result<std::vector<PostId>> Solve(const Instance& inst,
                                     const CoverageModel& model) const override;
+
+  /// Deadline is polled once per label sweep.
+  Result<std::vector<PostId>> SolveWithBudget(
+      const Instance& inst, const CoverageModel& model,
+      const Deadline& deadline) const override;
 
  private:
   LabelOrder order_;

@@ -29,12 +29,19 @@ class InstrumentedSolver : public Solver {
 
   Result<std::vector<PostId>> Solve(
       const Instance& inst, const CoverageModel& model) const override {
+    return SolveWithBudget(inst, model, Deadline::Unbounded());
+  }
+
+  Result<std::vector<PostId>> SolveWithBudget(
+      const Instance& inst, const CoverageModel& model,
+      const Deadline& deadline) const override {
     obs::TraceSpan span(trace_name_);
     metrics_.instance_posts->Observe(
         static_cast<double>(inst.num_posts()));
     metrics_.last_lambda->Set(model.MaxReach());
     Stopwatch watch;
-    Result<std::vector<PostId>> result = inner_->Solve(inst, model);
+    Result<std::vector<PostId>> result =
+        inner_->SolveWithBudget(inst, model, deadline);
     metrics_.solve_seconds->Observe(watch.ElapsedSeconds());
     metrics_.solves->Increment();
     if (result.ok()) {

@@ -8,6 +8,7 @@
 
 #include "core/coverage.h"
 #include "core/instance.h"
+#include "util/deadline.h"
 #include "util/result.h"
 
 namespace mqd {
@@ -28,6 +29,19 @@ class Solver {
   /// ascending and duplicate-free.
   virtual Result<std::vector<PostId>> Solve(
       const Instance& inst, const CoverageModel& model) const = 0;
+
+  /// Budgeted Solve: polls `deadline` at coarse loop boundaries
+  /// (greedy round, label sweep, DP step) and unwinds with
+  /// kDeadlineExceeded / kCancelled once it trips. With an unbounded
+  /// deadline the checks reduce to a dead branch, so the result is
+  /// bit-identical to Solve. The base implementation ignores the
+  /// budget; solvers with long inner loops override it.
+  virtual Result<std::vector<PostId>> SolveWithBudget(
+      const Instance& inst, const CoverageModel& model,
+      const Deadline& deadline) const {
+    (void)deadline;
+    return Solve(inst, model);
+  }
 };
 
 /// The algorithms of Sections 4 (plus exact references used by the

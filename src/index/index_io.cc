@@ -18,6 +18,7 @@
 #include <ostream>
 
 #include "index/inverted_index.h"
+#include "util/fault_injection.h"
 #include "util/string_util.h"
 
 namespace mqd {
@@ -118,6 +119,7 @@ Status InvertedIndex::Save(std::ostream& os) const {
 }
 
 Result<InvertedIndex> InvertedIndex::Load(std::istream& is) {
+  MQD_FAULT_POINT("index.load");
   char magic[8];
   is.read(magic, sizeof(magic));
   if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {

@@ -88,6 +88,7 @@ const StreamMetrics& StreamMetricsFor(std::string_view algorithm) {
                                ReplaySecondsBuckets(), labels),
             &reg.MustCounter("mqd_stream_deadline_heap_ops_total", labels),
             &reg.MustCounter("mqd_stream_prune_fastpath_total", labels),
+            &reg.MustCounter("mqd_stream_nonmonotone_dropped_total", labels),
         };
       });
   return family->For(algorithm);
@@ -141,6 +142,42 @@ const ThreadPoolMetrics& GetThreadPoolMetrics() {
     };
   }();
   return *metrics;
+}
+
+const RobustMetrics& GetRobustMetrics() {
+  static const RobustMetrics* const metrics = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    return new RobustMetrics{
+        &reg.MustCounter("mqd_robust_deadline_expired_total"),
+        &reg.MustCounter("mqd_robust_io_rejects_total"),
+        &reg.MustCounter("mqd_robust_checkpoints_saved_total"),
+        &reg.MustCounter("mqd_robust_checkpoints_restored_total"),
+    };
+  }();
+  return *metrics;
+}
+
+namespace {
+
+/// rung -> Counter cache for mqd_robust_degraded_total{rung}.
+struct DegradedCounter {
+  Counter* counter;
+};
+
+}  // namespace
+
+Counter& DegradedTotalFor(std::string_view rung) {
+  static LabeledFamily<DegradedCounter>* const family =
+      new LabeledFamily<DegradedCounter>(+[](const LabelSet& labels) {
+        // LabeledFamily labels with "algorithm"; rebrand as "rung".
+        LabelSet rung_labels;
+        for (const auto& [key, value] : labels) {
+          rung_labels.emplace_back(key == "algorithm" ? "rung" : key, value);
+        }
+        return new DegradedCounter{&MetricsRegistry::Global().MustCounter(
+            "mqd_robust_degraded_total", rung_labels)};
+      });
+  return *family->For(rung).counter;
 }
 
 namespace {

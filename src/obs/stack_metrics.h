@@ -50,6 +50,9 @@ struct StreamMetrics {
   // a linear scan. Processors tally locally and flush on Finish.
   Counter* deadline_heap_ops;    // mqd_stream_deadline_heap_ops_total
   Counter* prune_fastpath;       // mqd_stream_prune_fastpath_total
+  // Arrivals whose timestamp ran backwards (or was NaN) during replay;
+  // such posts are skipped instead of being emitted past-deadline.
+  Counter* nonmonotone_dropped;  // mqd_stream_nonmonotone_dropped_total
 };
 
 const StreamMetrics& StreamMetricsFor(std::string_view algorithm);
@@ -92,6 +95,23 @@ struct ThreadPoolMetrics {
 };
 
 const ThreadPoolMetrics& GetThreadPoolMetrics();
+
+/// Robustness metrics (core/degrade ladder, hardened ingestion, stream
+/// checkpointing). The `DegradedTotalFor` family is labeled with the
+/// ladder rung that produced the answer ("GreedySC", "Scan+", "Scan",
+/// "trivial"); only non-first-choice rungs count as degraded.
+struct RobustMetrics {
+  Counter* deadline_expired;     // mqd_robust_deadline_expired_total
+  Counter* io_rejects;           // mqd_robust_io_rejects_total
+  Counter* checkpoints_saved;    // mqd_robust_checkpoints_saved_total
+  Counter* checkpoints_restored; // mqd_robust_checkpoints_restored_total
+};
+
+const RobustMetrics& GetRobustMetrics();
+
+/// mqd_robust_degraded_total{rung}: answers produced by a fallback
+/// rung of the degradation ladder.
+Counter& DegradedTotalFor(std::string_view rung);
 
 /// Installs the registry-backed ThreadPoolObserver so every ThreadPool
 /// reports into GetThreadPoolMetrics(). Idempotent and thread safe;

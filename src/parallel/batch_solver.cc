@@ -29,15 +29,28 @@ std::vector<BatchJobResult> BatchSolver::SolveAll(
   const obs::BatchMetrics& metrics = obs::GetBatchMetrics();
   metrics.last_batch_jobs->Set(static_cast<double>(jobs.size()));
   std::vector<BatchJobResult> results(jobs.size());
+  // Pessimistic initialization: a slot whose body never ran (its chunk
+  // aborted before reaching it) must read as a typed error, never as
+  // an OK empty cover -- "no answer" beats "silent partial answer".
+  for (BatchJobResult& slot : results) {
+    slot.status = Status::Internal("job was not executed");
+  }
   // Grain 1: jobs are coarse units; the work-stealing pool balances
   // uneven instance sizes. Slot i of `results` is owned by whichever
   // thread claimed chunk i -- no cross-slot writes, so submission
   // order falls out of the indexing with no post-hoc sorting.
+  // ParallelFor rethrows the first chunk exception after every chunk
+  // finished; the per-job try/catch below makes that unreachable for
+  // solver failures, but the conversion stays (belt and braces): any
+  // escape becomes per-job statuses on the unexecuted slots instead of
+  // an exception out of SolveAll.
+  try {
   ParallelFor(pool_, jobs.size(), /*grain=*/1,
               [&](size_t begin, size_t end) {
                 for (size_t i = begin; i < end; ++i) {
                   const BatchJob& job = jobs[i];
                   BatchJobResult& slot = results[i];
+                  slot.status = Status::OK();
                   Stopwatch watch;
                   if (job.instance == nullptr) {
                     slot.status =
@@ -88,6 +101,22 @@ std::vector<BatchJobResult> BatchSolver::SolveAll(
                   }
                 }
               });
+  } catch (const std::exception& e) {
+    const Status failure =
+        Status::Internal(std::string("batch execution failed: ") + e.what());
+    for (BatchJobResult& slot : results) {
+      if (slot.status.code() == StatusCode::kInternal &&
+          slot.status.message() == "job was not executed") {
+        slot.status = failure;
+      }
+    }
+  }
+  // Helper tasks killed by injected pool.task faults are captured at
+  // pool level; the caller thread still ran every chunk, so the batch
+  // is complete. Drain the pool-level error so it cannot leak into an
+  // unrelated later TakeFirstError call (the per-slot statuses already
+  // carry any real failures).
+  if (pool_ != nullptr) (void)pool_->TakeFirstError();
   return results;
 }
 

@@ -159,8 +159,10 @@ Result<StreamPipelineResult> StreamingDiversifier::Run(
   result.instance = std::move(batch.instance);
 
   UniformLambda model(config_.lambda);
-  const std::unique_ptr<StreamProcessor> processor = CreateStreamProcessor(
-      config_.algorithm, result.instance, model, config_.tau);
+  MQD_ASSIGN_OR_RETURN(
+      const std::unique_ptr<StreamProcessor> processor,
+      CreateStreamProcessorChecked(config_.algorithm, result.instance, model,
+                                   config_.tau));
   MQD_ASSIGN_OR_RETURN(result.stats,
                        RunStream(result.instance, processor.get()));
   result.emissions = processor->emissions();

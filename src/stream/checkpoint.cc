@@ -1,0 +1,207 @@
+#include "stream/checkpoint.h"
+
+#include <istream>
+#include <iterator>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "obs/stack_metrics.h"
+#include "util/string_util.h"
+
+namespace mqd {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'Q', 'D', 'S', 'N', 'A', 'P', '1'};
+constexpr uint32_t kFormatVersion = 1;
+
+uint64_t Fnv1a(std::string_view bytes, uint64_t h = 1469598103934665603ULL) {
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Fingerprint of the instance a snapshot was taken against: the
+/// carried state indexes into the value-sorted post table, so resuming
+/// against a different table would silently emit the wrong posts.
+uint64_t InstanceFingerprint(const Instance& inst) {
+  uint64_t h = 1469598103934665603ULL;
+  for (PostId p = 0; p < inst.num_posts(); ++p) {
+    uint64_t bits;
+    const double v = inst.value(p);
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    const uint64_t mask = inst.labels(p);
+    char buf[16];
+    std::memcpy(buf, &bits, 8);
+    std::memcpy(buf + 8, &mask, 8);
+    h = Fnv1a(std::string_view(buf, sizeof(buf)), h);
+  }
+  return h;
+}
+
+}  // namespace
+
+Status StreamProcessor::RestoreEmissionLog(std::vector<Emission> emissions) {
+  std::vector<bool> flags(emitted_flag_.size(), false);
+  for (const Emission& e : emissions) {
+    if (e.post >= flags.size()) {
+      return Status::InvalidArgument(
+          StrFormat("snapshot emission references post %u of a %zu-post "
+                    "instance",
+                    e.post, flags.size()));
+    }
+    if (flags[e.post]) {
+      return Status::InvalidArgument(
+          StrFormat("snapshot emits post %u twice", e.post));
+    }
+    flags[e.post] = true;
+  }
+  emitted_flag_ = std::move(flags);
+  emissions_ = std::move(emissions);
+  return Status::OK();
+}
+
+Status SaveStreamCheckpoint(const StreamProcessor& processor,
+                            PostId next_post, std::ostream& os) {
+  const auto* checkpointable =
+      dynamic_cast<const CheckpointableStream*>(&processor);
+  if (checkpointable == nullptr) {
+    return Status::Unimplemented(
+        StrFormat("%.*s does not support checkpointing",
+                  static_cast<int>(processor.name().size()),
+                  processor.name().data()));
+  }
+
+  SnapshotWriter body;
+  body.U32(kFormatVersion);
+  body.Str(processor.name());
+  body.F64(processor.tau());
+  body.U64(processor.instance().num_posts());
+  body.U32(processor.instance().num_labels());
+  body.U64(InstanceFingerprint(processor.instance()));
+  body.U64(next_post);
+
+  const std::vector<Emission>& emissions = processor.emissions();
+  body.U64(emissions.size());
+  for (const Emission& e : emissions) {
+    body.U32(e.post);
+    body.F64(e.emit_time);
+  }
+
+  SnapshotWriter payload;
+  checkpointable->SaveStreamState(&payload);
+  body.Str(payload.bytes());
+
+  os.write(kMagic, sizeof(kMagic));
+  os.write(body.bytes().data(),
+           static_cast<std::streamsize>(body.bytes().size()));
+  const uint64_t checksum = Fnv1a(body.bytes());
+  os.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!os.good()) {
+    return Status::Internal("checkpoint write failed");
+  }
+  obs::GetRobustMetrics().checkpoints_saved->Increment();
+  return Status::OK();
+}
+
+Result<PostId> RestoreStreamCheckpoint(StreamProcessor* processor,
+                                       const Instance& inst,
+                                       std::istream& is) {
+  auto* checkpointable = dynamic_cast<CheckpointableStream*>(processor);
+  if (checkpointable == nullptr) {
+    return Status::Unimplemented(
+        StrFormat("%.*s does not support checkpointing",
+                  static_cast<int>(processor->name().size()),
+                  processor->name().data()));
+  }
+
+  std::string blob(std::istreambuf_iterator<char>(is), {});
+  if (blob.size() < sizeof(kMagic) + sizeof(uint64_t)) {
+    return Status::InvalidArgument("snapshot truncated");
+  }
+  if (std::memcmp(blob.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not an MQD stream snapshot");
+  }
+  const std::string_view body(blob.data() + sizeof(kMagic),
+                              blob.size() - sizeof(kMagic) -
+                                  sizeof(uint64_t));
+  uint64_t recorded_checksum;
+  std::memcpy(&recorded_checksum,
+              blob.data() + blob.size() - sizeof(uint64_t),
+              sizeof(uint64_t));
+  if (Fnv1a(body) != recorded_checksum) {
+    return Status::InvalidArgument("snapshot checksum mismatch");
+  }
+
+  SnapshotReader reader(body);
+  const uint32_t version = reader.U32();
+  if (!reader.failed() && version != kFormatVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported snapshot format version %u", version));
+  }
+  const std::string algorithm = reader.Str();
+  const double tau = reader.F64();
+  const uint64_t num_posts = reader.U64();
+  const uint32_t num_labels = reader.U32();
+  const uint64_t fingerprint = reader.U64();
+  const uint64_t next_post = reader.U64();
+  MQD_RETURN_NOT_OK(reader.status());
+
+  if (algorithm != processor->name()) {
+    return Status::FailedPrecondition(
+        StrFormat("snapshot holds %s state, processor is %.*s",
+                  algorithm.c_str(),
+                  static_cast<int>(processor->name().size()),
+                  processor->name().data()));
+  }
+  if (tau != processor->tau()) {
+    return Status::FailedPrecondition(
+        StrFormat("snapshot tau %g != processor tau %g", tau,
+                  processor->tau()));
+  }
+  if (num_posts != inst.num_posts() ||
+      num_labels != static_cast<uint32_t>(inst.num_labels()) ||
+      fingerprint != InstanceFingerprint(inst)) {
+    return Status::FailedPrecondition(
+        "snapshot was taken against a different instance");
+  }
+  if (next_post > inst.num_posts()) {
+    return Status::InvalidArgument(
+        StrFormat("snapshot replay cursor %llu exceeds %zu posts",
+                  static_cast<unsigned long long>(next_post),
+                  static_cast<size_t>(inst.num_posts())));
+  }
+
+  const uint64_t num_emissions = reader.U64();
+  if (num_emissions > num_posts) {
+    return Status::InvalidArgument("snapshot emits more posts than exist");
+  }
+  std::vector<Emission> emissions;
+  emissions.reserve(num_emissions);
+  for (uint64_t i = 0; i < num_emissions && !reader.failed(); ++i) {
+    const PostId post = reader.U32();
+    const double emit_time = reader.F64();
+    emissions.push_back(Emission{post, emit_time});
+  }
+  const std::string payload = reader.Str();
+  MQD_RETURN_NOT_OK(reader.status());
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument("snapshot carries trailing bytes");
+  }
+
+  MQD_RETURN_NOT_OK(processor->RestoreEmissionLog(std::move(emissions)));
+  SnapshotReader payload_reader(payload);
+  MQD_RETURN_NOT_OK(checkpointable->RestoreStreamState(&payload_reader));
+  if (payload_reader.remaining() != 0) {
+    return Status::InvalidArgument(
+        "snapshot payload carries trailing bytes");
+  }
+  obs::GetRobustMetrics().checkpoints_restored->Increment();
+  return static_cast<PostId>(next_post);
+}
+
+}  // namespace mqd

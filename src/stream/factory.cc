@@ -1,9 +1,12 @@
 #include "stream/factory.h"
 
+#include <cmath>
+
 #include "stream/instant.h"
 #include "stream/stream_greedy.h"
 #include "stream/stream_scan.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace mqd {
 
@@ -44,6 +47,20 @@ std::unique_ptr<StreamProcessor> CreateStreamProcessor(
   }
   MQD_LOG(Fatal) << "unknown stream kind";
   return nullptr;
+}
+
+Result<std::unique_ptr<StreamProcessor>> CreateStreamProcessorChecked(
+    StreamKind kind, const Instance& inst, const CoverageModel& model,
+    double tau) {
+  if (std::isnan(tau) || tau < 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("tau must be a non-negative finite delay, got %g", tau));
+  }
+  if (std::isinf(tau)) {
+    return Status::InvalidArgument(
+        "tau must be finite (an unbounded report delay never emits)");
+  }
+  return CreateStreamProcessor(kind, inst, model, tau);
 }
 
 }  // namespace mqd

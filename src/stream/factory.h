@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "stream/stream_solver.h"
+#include "util/result.h"
 
 namespace mqd {
 
@@ -22,6 +23,15 @@ std::string_view StreamKindName(StreamKind kind);
 /// Creates a fresh processor for one replay. `tau` is ignored by
 /// kInstant (it is identically 0 there).
 std::unique_ptr<StreamProcessor> CreateStreamProcessor(
+    StreamKind kind, const Instance& inst, const CoverageModel& model,
+    double tau);
+
+/// CreateStreamProcessor with `tau` validated instead of MQD_CHECKed:
+/// negative, NaN or infinite report-delay budgets come straight from
+/// user input (CLI flags, request parameters) and get an
+/// InvalidArgument rather than a process abort. tau = 0 is legal (the
+/// instant-output regime).
+Result<std::unique_ptr<StreamProcessor>> CreateStreamProcessorChecked(
     StreamKind kind, const Instance& inst, const CoverageModel& model,
     double tau);
 

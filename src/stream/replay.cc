@@ -1,10 +1,13 @@
 #include "stream/replay.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <string>
 
 #include "obs/stack_metrics.h"
 #include "obs/trace.h"
+#include "util/fault_injection.h"
 #include "util/timer.h"
 
 namespace mqd {
@@ -19,21 +22,43 @@ std::vector<PostId> StreamProcessor::SelectedPosts() const {
 
 Result<StreamRunStats> RunStream(const Instance& inst,
                                  StreamProcessor* processor) {
+  return ResumeStream(inst, processor, /*first_post=*/0);
+}
+
+Result<StreamRunStats> ResumeStream(const Instance& inst,
+                                    StreamProcessor* processor,
+                                    PostId first_post) {
   if (processor == nullptr) {
     return Status::InvalidArgument("null processor");
+  }
+  if (first_post > inst.num_posts()) {
+    return Status::OutOfRange("resume position past the end of the stream");
   }
   const obs::StreamMetrics& metrics =
       obs::StreamMetricsFor(processor->name());
   obs::TraceSpan span("stream:" + std::string(processor->name()));
   Stopwatch watch;
-  for (PostId p = 0; p < inst.num_posts(); ++p) {
-    processor->AdvanceTo(inst.value(p));
+  // Instances are value-sorted so replayed timestamps are monotone by
+  // construction, but resumed replays and future live feeds are not
+  // guaranteed that: a backwards (or NaN) clock would make the
+  // processor emit posts that are already past their tau deadline.
+  // Such arrivals are dropped, counted, and the replay carries on.
+  double last_arrival = -std::numeric_limits<double>::infinity();
+  for (PostId p = first_post; p < inst.num_posts(); ++p) {
+    MQD_FAULT_POINT("stream.replay");
+    const double arrival = inst.value(p);
+    if (!(arrival >= last_arrival)) {
+      metrics.nonmonotone_dropped->Increment();
+      continue;
+    }
+    last_arrival = arrival;
+    processor->AdvanceTo(arrival);
     processor->OnArrival(p);
   }
   processor->Finish();
 
   StreamRunStats stats;
-  stats.num_posts = inst.num_posts();
+  stats.num_posts = inst.num_posts() - first_post;
   stats.processing_seconds = watch.ElapsedSeconds();
   stats.num_emitted = processor->emissions().size();
   // A delay within kTauSlack (stream_solver.h) of tau is on-time;

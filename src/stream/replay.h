@@ -22,8 +22,24 @@ struct StreamRunStats {
 
 /// Replays the instance (post value = arrival timestamp) through the
 /// processor and collects delay statistics.
+///
+/// Robustness: arrivals whose timestamp runs backwards (or is NaN) are
+/// skipped with mqd_stream_nonmonotone_dropped_total rather than fed
+/// to the processor (feeding them would emit posts past their
+/// deadline); an armed "stream.replay" fault aborts the replay with
+/// its typed Status.
 Result<StreamRunStats> RunStream(const Instance& inst,
                                  StreamProcessor* processor);
+
+/// RunStream starting mid-stream at `first_post`: the tail of a replay
+/// interrupted after posts [0, first_post) were delivered. Used with
+/// stream/checkpoint to resume a restored processor; the emission
+/// sequence (restored prefix + resumed tail) matches an uninterrupted
+/// RunStream exactly. Stats cover only the resumed tail's posts but
+/// the full emission set.
+Result<StreamRunStats> ResumeStream(const Instance& inst,
+                                    StreamProcessor* processor,
+                                    PostId first_post);
 
 }  // namespace mqd
 

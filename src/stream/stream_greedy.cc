@@ -309,6 +309,110 @@ void StreamGreedyProcessor::ErasePrefix(size_t keep) {
   slot_base_ = new_base;
 }
 
+void StreamGreedyProcessor::SaveStreamState(SnapshotWriter* writer) const {
+  writer->U8(stop_at_anchor_ ? 1 : 0);
+  writer->U8(uniform_ ? 1 : 0);
+  writer->U64(slot_base_);
+  writer->U64(slots_.size());
+  for (const Slot& slot : slots_) {
+    writer->U32(slot.post);
+    writer->U64(slot.uncovered);
+  }
+  writer->U32(anchor_);
+  writer->U32(anchor_slot_);
+  writer->U64(gain_fastpath_);
+  writer->U64(carried_posts_);
+}
+
+Status StreamGreedyProcessor::RestoreStreamState(SnapshotReader* reader) {
+  const bool stop_at_anchor = reader->U8() != 0;
+  const bool uniform = reader->U8() != 0;
+  const uint64_t slot_base = reader->U64();
+  const uint64_t num_slots = reader->U64();
+  if (reader->failed()) return reader->status();
+  if (stop_at_anchor != stop_at_anchor_) {
+    return Status::FailedPrecondition(
+        "snapshot was taken by a different StreamGreedySC variant");
+  }
+  if (uniform != uniform_) {
+    return Status::FailedPrecondition(
+        "snapshot was taken under a different lambda model");
+  }
+  if (num_slots > inst_.num_posts() ||
+      slot_base + num_slots > kInvalidPost) {
+    return Status::InvalidArgument("snapshot slot ring out of range");
+  }
+  std::vector<Slot> ring;
+  ring.reserve(num_slots);
+  for (uint64_t i = 0; i < num_slots && !reader->failed(); ++i) {
+    Slot slot{reader->U32(), reader->U64(), 0};
+    ring.push_back(slot);
+  }
+  const PostId anchor = reader->U32();
+  const uint32_t anchor_slot = reader->U32();
+  const uint64_t gain_fastpath = reader->U64();
+  const uint64_t carried = reader->U64();
+  MQD_RETURN_NOT_OK(reader->status());
+  for (size_t i = 0; i < ring.size(); ++i) {
+    if (ring[i].post >= inst_.num_posts()) {
+      return Status::InvalidArgument("snapshot slot post out of range");
+    }
+    // Slot ids ascend with value; uncovered labels must be labels the
+    // post actually carries; a buffered post with an empty residual
+    // mask before the anchor would have been erased.
+    if (i > 0 && ring[i].post <= ring[i - 1].post) {
+      return Status::InvalidArgument("snapshot slot ring not ascending");
+    }
+    if ((ring[i].uncovered & ~inst_.labels(ring[i].post)) != 0) {
+      return Status::InvalidArgument(
+          "snapshot slot uncovered mask not a subset of its labels");
+    }
+  }
+  if (anchor != kInvalidPost) {
+    const uint64_t offset = static_cast<uint64_t>(anchor_slot) - slot_base;
+    if (offset >= ring.size() || ring[offset].post != anchor) {
+      return Status::InvalidArgument("snapshot anchor out of sync");
+    }
+    if (ring[offset].uncovered == 0) {
+      return Status::InvalidArgument("snapshot anchor already covered");
+    }
+  } else if (num_slots != 0) {
+    return Status::InvalidArgument(
+        "snapshot carries a window without an anchor");
+  }
+
+  // Commit: rebuild every derived structure from the canonical state.
+  // Emitted-coverage probes replay the restored emission log; slot
+  // state replays AppendSlot in ring order, which reproduces the
+  // carried gains exactly (each slot's gain counts the uncovered
+  // buffered pairs it covers — AppendSlot counts the earlier slots'
+  // pairs directly and AddPairGain credits later coverers).
+  for (EmittedList& list : emitted_per_label_) {
+    list.posts.clear();
+    list.values.clear();
+  }
+  for (const Emission& e : emissions()) RecordEmitted(e.post);
+  slots_.clear();
+  slot_base_ = static_cast<uint32_t>(slot_base);
+  for (LabelList& list : by_label_) {
+    list.slots.clear();
+    list.values.clear();
+    list.uncov.clear();
+    list.delta.assign(1, 0);
+    list.dirty_lo = kClean;
+    list.dirty_hi = 0;
+  }
+  dirty_labels_.clear();
+  remaining_ = 0;
+  for (const Slot& slot : ring) AppendSlot(slot.post, slot.uncovered);
+  MaterializePending();
+  anchor_ = anchor;
+  anchor_slot_ = anchor_slot;
+  gain_fastpath_ = gain_fastpath;
+  carried_posts_ = carried;
+  return Status::OK();
+}
+
 void StreamGreedyProcessor::FlushMetrics() {
   metrics_->prune_fastpath->Increment(gain_fastpath_ -
                                       flushed_gain_fastpath_);

@@ -5,6 +5,7 @@
 #include <deque>
 #include <vector>
 
+#include "stream/checkpoint.h"
 #include "stream/stream_solver.h"
 
 namespace mqd::obs {
@@ -38,7 +39,8 @@ namespace mqd {
 /// Covers scan. Emission sequences (posts and times) are bit-
 /// identical to StreamGreedyReferenceProcessor (stream/reference.h),
 /// which the differential tests enforce.
-class StreamGreedyProcessor final : public StreamProcessor {
+class StreamGreedyProcessor final : public StreamProcessor,
+                                    public CheckpointableStream {
  public:
   StreamGreedyProcessor(const Instance& inst, const CoverageModel& model,
                         double tau, bool stop_at_anchor = false);
@@ -60,6 +62,16 @@ class StreamGreedyProcessor final : public StreamProcessor {
   /// Posts whose window state survived a batch and was reused instead
   /// of being rebuilt (the cross-batch carry-over at work).
   uint64_t carried_posts() const { return carried_posts_; }
+
+  /// Checkpointing (stream/checkpoint.h): the canonical window state
+  /// is the slot ring's (post, residual uncovered mask) pairs plus the
+  /// anchor; gains, per-label lists, difference arrays and the
+  /// emitted-coverage probes are all derived, so restore replays
+  /// AppendSlot over the saved ring — the carried gain invariant
+  /// (gain(z) = uncovered buffered pairs z covers) makes the replayed
+  /// gains exactly equal the killed run's.
+  void SaveStreamState(SnapshotWriter* writer) const override;
+  Status RestoreStreamState(SnapshotReader* reader) override;
 
  private:
   /// One buffered post: its residual uncovered labels and its live

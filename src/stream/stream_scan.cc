@@ -118,6 +118,74 @@ void StreamScanProcessor::Finish() {
   FlushMetrics();
 }
 
+void StreamScanProcessor::SaveStreamState(SnapshotWriter* writer) const {
+  writer->U8(cross_label_pruning_ ? 1 : 0);
+  writer->U64(labels_.size());
+  for (const LabelState& state : labels_) {
+    writer->U32(state.lc);
+    writer->U64(state.uncovered.size());
+    for (PostId p : state.uncovered) writer->U32(p);
+  }
+  writer->U64(heap_ops_);
+  writer->U64(prune_fastpath_);
+}
+
+Status StreamScanProcessor::RestoreStreamState(SnapshotReader* reader) {
+  const bool cross = reader->U8() != 0;
+  const uint64_t num_labels = reader->U64();
+  if (reader->failed()) return reader->status();
+  if (cross != cross_label_pruning_ || num_labels != labels_.size()) {
+    return Status::FailedPrecondition(
+        "snapshot was taken by a different StreamScan variant");
+  }
+  std::vector<LabelState> restored(labels_.size());
+  for (LabelState& state : restored) {
+    state.lc = reader->U32();
+    const uint64_t count = reader->U64();
+    if (reader->failed()) return reader->status();
+    if (count > inst_.num_posts()) {
+      return Status::InvalidArgument("snapshot uncovered list too long");
+    }
+    state.uncovered.reserve(count);
+    for (uint64_t i = 0; i < count && !reader->failed(); ++i) {
+      state.uncovered.push_back(reader->U32());
+    }
+    if (state.lc != kInvalidPost && state.lc >= inst_.num_posts()) {
+      return Status::InvalidArgument("snapshot lc out of range");
+    }
+    for (size_t i = 0; i < state.uncovered.size(); ++i) {
+      if (state.uncovered[i] >= inst_.num_posts()) {
+        return Status::InvalidArgument(
+            "snapshot uncovered post out of range");
+      }
+      // The list must stay ascending by value (front = P_ou, back =
+      // P_lu); posts are value-sorted, so ascending ids suffice.
+      if (i > 0 && state.uncovered[i] <= state.uncovered[i - 1]) {
+        return Status::InvalidArgument(
+            "snapshot uncovered list not ascending");
+      }
+    }
+  }
+  const uint64_t heap_ops = reader->U64();
+  const uint64_t prune_fastpath = reader->U64();
+  MQD_RETURN_NOT_OK(reader->status());
+
+  // Commit: install the canonical state, then rebuild the deadline
+  // heap from scratch. Reindexing every label reproduces exactly the
+  // live entries an uninterrupted run would carry — the (deadline,
+  // label) fire order depends only on the uncovered lists.
+  labels_ = std::move(restored);
+  heap_ = {};
+  for (LabelState& state : labels_) {
+    state.version = 0;
+    state.pushed = kNeverDeadline;
+  }
+  for (LabelId a = 0; a < labels_.size(); ++a) Reindex(a);
+  heap_ops_ = heap_ops;
+  prune_fastpath_ = prune_fastpath;
+  return Status::OK();
+}
+
 void StreamScanProcessor::FlushMetrics() {
   metrics_->deadline_heap_ops->Increment(heap_ops_ - flushed_heap_ops_);
   metrics_->prune_fastpath->Increment(prune_fastpath_ -

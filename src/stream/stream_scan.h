@@ -5,6 +5,7 @@
 #include <queue>
 #include <vector>
 
+#include "stream/checkpoint.h"
 #include "stream/stream_solver.h"
 
 namespace mqd::obs {
@@ -40,7 +41,8 @@ namespace mqd {
 ///
 /// Approximation: s for tau >= lambda (identical output to Scan), 2s
 /// for 0 <= tau < lambda (Section 5.1).
-class StreamScanProcessor final : public StreamProcessor {
+class StreamScanProcessor final : public StreamProcessor,
+                                  public CheckpointableStream {
  public:
   StreamScanProcessor(const Instance& inst, const CoverageModel& model,
                       double tau, bool cross_label_pruning = false);
@@ -60,6 +62,13 @@ class StreamScanProcessor final : public StreamProcessor {
   /// Cross-label prunes taken as a binary-search range erase. Flushed
   /// into mqd_stream_prune_fastpath_total on Finish.
   uint64_t prune_fastpath_hits() const { return prune_fastpath_; }
+
+  /// Checkpointing (stream/checkpoint.h): the canonical per-label
+  /// state is (uncovered list, lc); the deadline heap and its lazy
+  /// version/pushed bookkeeping are derived, so restore rebuilds them
+  /// with one Reindex per label.
+  void SaveStreamState(SnapshotWriter* writer) const override;
+  Status RestoreStreamState(SnapshotReader* reader) override;
 
  private:
   struct LabelState {

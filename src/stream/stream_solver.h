@@ -8,6 +8,7 @@
 #include "core/coverage.h"
 #include "core/instance.h"
 #include "core/types.h"
+#include "util/status.h"
 
 namespace mqd {
 
@@ -64,6 +65,16 @@ class StreamProcessor {
 
   /// The output Z as sorted PostIds.
   std::vector<PostId> SelectedPosts() const;
+
+  /// The stream's post table (used by checkpointing to fingerprint
+  /// the instance a snapshot belongs to).
+  const Instance& instance() const { return inst_; }
+
+  /// Replaces the emission log wholesale — the checkpoint-restore
+  /// path, which hands a fresh processor the killed run's emissions
+  /// before the algorithm state is rebuilt. Rejects out-of-range or
+  /// duplicated posts without touching current state.
+  Status RestoreEmissionLog(std::vector<Emission> emissions);
 
  protected:
   /// Records an emission; a post already emitted (e.g. for another

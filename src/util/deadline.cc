@@ -1,0 +1,42 @@
+#include "util/deadline.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace mqd {
+
+Deadline Deadline::AfterSeconds(double seconds) {
+  Deadline d;
+  if (std::isnan(seconds)) return d;  // no budget
+  d.bounded_ = true;
+  if (std::isinf(seconds)) {
+    d.at_ = std::chrono::steady_clock::time_point::max();
+    return d;
+  }
+  d.at_ = std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(seconds));
+  return d;
+}
+
+double Deadline::remaining_seconds() const {
+  if (cancel_ != nullptr && cancel_->cancelled()) return 0.0;
+  if (!bounded_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(at_ -
+                                       std::chrono::steady_clock::now())
+      .count();
+}
+
+Status Deadline::Check(const char* what) const {
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    return Status::Cancelled(StrFormat("%s: cancelled", what));
+  }
+  if (bounded_ && std::chrono::steady_clock::now() >= at_) {
+    return Status::DeadlineExceeded(
+        StrFormat("%s: deadline exceeded", what));
+  }
+  return Status::OK();
+}
+
+}  // namespace mqd

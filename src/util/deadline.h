@@ -1,0 +1,125 @@
+#ifndef MQD_UTIL_DEADLINE_H_
+#define MQD_UTIL_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+
+#include "util/status.h"
+
+namespace mqd {
+
+/// Cooperative cancellation flag. A producer (request handler, watchdog,
+/// test) calls Cancel(); workers poll cancelled() at loop boundaries and
+/// unwind with StatusCode::kCancelled. Thread safe; cancellation is
+/// one-way and sticky.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// A time budget plus optional cancellation, passed by const reference
+/// down the solve/stream call stacks. Copyable and cheap: one
+/// steady-clock time point and two pointers.
+///
+/// The default-constructed Deadline is unbounded: expired() is a single
+/// branch with no clock read, so budget-aware code paths cost nothing
+/// when no budget is set (the PR 3/4 hot paths stay bit-identical).
+class Deadline {
+ public:
+  /// Unbounded, non-cancellable.
+  Deadline() = default;
+
+  static Deadline Unbounded() { return Deadline(); }
+
+  /// Expires `seconds` from now on the steady clock. Negative or zero
+  /// budgets produce an already-expired deadline; NaN is treated as
+  /// unbounded (a NaN budget is "no budget", not "no time").
+  static Deadline AfterSeconds(double seconds);
+
+  /// Attaches a cancellation token (borrowed; must outlive the
+  /// deadline). Composes with the time budget: expired() is true when
+  /// either trips.
+  Deadline WithCancelToken(const CancelToken* token) const {
+    Deadline d = *this;
+    d.cancel_ = token;
+    return d;
+  }
+
+  bool bounded() const { return bounded_; }
+  bool cancellable() const { return cancel_ != nullptr; }
+
+  /// True when nothing can ever expire this deadline.
+  bool unbounded() const { return !bounded_ && cancel_ == nullptr; }
+
+  /// Clock read (when bounded) + cancellation probe.
+  bool expired() const {
+    if (cancel_ != nullptr && cancel_->cancelled()) return true;
+    return bounded_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+  /// Seconds left; +inf when unbounded, <= 0 when expired.
+  double remaining_seconds() const;
+
+  /// OK while live; kCancelled / kDeadlineExceeded once tripped.
+  /// `what` names the interrupted operation in the message.
+  Status Check(const char* what) const;
+
+ private:
+  bool bounded_ = false;
+  std::chrono::steady_clock::time_point at_{};
+  const CancelToken* cancel_ = nullptr;
+};
+
+/// Amortizes Deadline::expired() for tight loops: the clock is only
+/// read every `stride`-th call, and never when the deadline is
+/// unbounded. Once tripped it stays tripped, so callers can hoist the
+/// expensive unwind out of the loop body.
+///
+/// Pick the stride so one stride's worth of work costs well under the
+/// budget's resolution; the solvers use per-outer-iteration checkers
+/// (stride 1, one clock read per greedy round / label sweep) and
+/// strided checkers inside enumeration loops.
+class DeadlineChecker {
+ public:
+  explicit DeadlineChecker(const Deadline& deadline, uint32_t stride = 1)
+      : deadline_(deadline),
+        stride_(stride == 0 ? 1 : stride),
+        active_(!deadline.unbounded()) {}
+
+  /// One poll. Unbounded deadlines cost a single predictable branch.
+  bool Expired() {
+    if (!active_ || tripped_) return tripped_;
+    if (++count_ < stride_) return false;
+    count_ = 0;
+    tripped_ = deadline_.expired();
+    return tripped_;
+  }
+
+  /// Status form of Expired() for MQD_RETURN_NOT_OK-style call sites.
+  Status Check(const char* what) {
+    if (!Expired()) return Status::OK();
+    return deadline_.Check(what);
+  }
+
+ private:
+  const Deadline& deadline_;
+  uint32_t stride_;
+  uint32_t count_ = 0;
+  bool active_;
+  bool tripped_ = false;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_UTIL_DEADLINE_H_

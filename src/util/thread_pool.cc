@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <exception>
+#include <stdexcept>
 #include <utility>
 
+#include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -61,6 +63,44 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : threads_) t.join();
 }
 
+void ThreadPool::ExecuteTask(const std::function<void()>& task) {
+  // Uniform failure semantics across the inline (zero-worker) and
+  // worker paths: the first exception -- from the task itself or from
+  // an armed pool.task fault -- is captured, never propagated into
+  // WorkerLoop (which would std::terminate) or the submitter.
+  try {
+    if (FaultInjector::Global().armed()) {
+      Status injected = FaultInjector::Global().MaybeInject("pool.task");
+      if (!injected.ok()) {
+        throw std::runtime_error(injected.ToString());
+      }
+    }
+    task();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+std::exception_ptr ThreadPool::TakeFirstError() {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  std::exception_ptr error = first_error_;
+  first_error_ = nullptr;
+  return error;
+}
+
+Status ThreadPool::TakeFirstErrorStatus() {
+  std::exception_ptr error = TakeFirstError();
+  if (!error) return Status::OK();
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("pool task failed: ") + e.what());
+  } catch (...) {
+    return Status::Internal("pool task failed with a non-exception");
+  }
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
   ThreadPoolObserver* const observer = GetThreadPoolObserver();
   if (workers_.empty()) {
@@ -69,10 +109,10 @@ void ThreadPool::Submit(std::function<void()> task) {
     if (observer != nullptr) {
       observer->OnTaskSubmitted(0);
       Stopwatch watch;
-      task();
+      ExecuteTask(task);
       observer->OnTaskDone(0, watch.ElapsedSeconds());
     } else {
-      task();
+      ExecuteTask(task);
     }
     return;
   }
@@ -140,10 +180,10 @@ bool ThreadPool::TryRunOneTask() {
   double seconds = 0.0;
   if (observer != nullptr) {
     Stopwatch watch;
-    task();
+    ExecuteTask(task);
     seconds = watch.ElapsedSeconds();
   } else {
-    task();
+    ExecuteTask(task);
   }
   size_t depth;
   {
@@ -164,10 +204,10 @@ void ThreadPool::WorkerLoop(size_t index) {
       double seconds = 0.0;
       if (observer != nullptr) {
         Stopwatch watch;
-        task();
+        ExecuteTask(task);
         seconds = watch.ElapsedSeconds();
       } else {
-        task();
+        ExecuteTask(task);
       }
       size_t depth;
       {

@@ -5,11 +5,14 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/status.h"
 
 namespace mqd {
 
@@ -50,10 +53,13 @@ ThreadPoolObserver* GetThreadPoolObserver();
 /// empty, so bursty submitters cannot starve the other workers.
 ///
 /// The pool is deliberately small-surface: fire-and-forget Submit plus
-/// the ParallelFor helper below. Completion tracking, ordering and
-/// error propagation are the caller's concern (see BatchSolver for the
-/// canonical pattern); tasks must not throw -- wrap fallible work and
-/// convert to Status inside the task.
+/// the ParallelFor helper below. Completion tracking and ordering are
+/// the caller's concern (see BatchSolver for the canonical pattern).
+/// A task that throws does NOT crash the process: the pool captures
+/// the first exception and keeps running; callers that care collect it
+/// with TakeFirstError()/TakeFirstErrorStatus() after draining.
+/// (ParallelFor bodies are caught per chunk by ParallelFor itself and
+/// rethrown on the caller, as before.)
 ///
 /// A pool may have zero workers, in which case Submit runs the task
 /// inline on the calling thread; this makes "serial" a configuration
@@ -84,6 +90,16 @@ class ThreadPool {
   /// help instead of idling.
   bool TryRunOneTask();
 
+  /// Takes (and clears) the first exception thrown by a Submit task
+  /// since the last call; nullptr when none. Tasks submitted through
+  /// ParallelFor are not reported here (ParallelFor rethrows its own
+  /// first chunk error).
+  std::exception_ptr TakeFirstError();
+
+  /// TakeFirstError() converted to Status: OK when no task failed,
+  /// kInternal carrying the exception message otherwise.
+  Status TakeFirstErrorStatus();
+
  private:
   struct WorkerQueue {
     std::mutex mu;
@@ -92,11 +108,16 @@ class ThreadPool {
 
   void WorkerLoop(size_t index);
   bool PopTask(size_t preferred, std::function<void()>* task);
+  /// Runs `task` with observer timing, the pool.task fault-injection
+  /// site, and first-exception capture. Never throws.
+  void ExecuteTask(const std::function<void()>& task);
 
   std::vector<std::unique_ptr<WorkerQueue>> workers_;
   std::vector<std::thread> threads_;
 
   std::mutex mu_;
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;    // guarded by error_mu_
   std::condition_variable work_cv_;   // workers wait here for tasks
   std::condition_variable drain_cv_;  // destructor waits here
   size_t pending_ = 0;                // queued + running tasks

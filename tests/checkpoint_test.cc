@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/coverage.h"
+#include "core/types.h"
+#include "gen/instance_gen.h"
+#include "stream/checkpoint.h"
+#include "stream/factory.h"
+#include "stream/instant.h"
+#include "stream/replay.h"
+#include "stream/stream_solver.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace mqd {
+namespace {
+
+using ::mqd::testing::MakeInstance;
+
+/// Same variable-lambda construction as the stream differential test,
+/// so checkpointing is exercised on the exact-scan (non-fastpath) gain
+/// paths too.
+VariableLambda MakeVariableModel(const Instance& inst, double max_reach,
+                                 uint64_t seed) {
+  Rng rng(seed * 0x9e3779b9ULL + 17);
+  std::vector<std::vector<DimValue>> reaches(inst.num_posts());
+  for (PostId p = 0; p < static_cast<PostId>(inst.num_posts()); ++p) {
+    ForEachLabel(inst.labels(p), [&](LabelId) {
+      reaches[p].push_back(rng.UniformDouble(0.3 * max_reach, max_reach));
+    });
+  }
+  return VariableLambda(std::move(reaches), max_reach);
+}
+
+/// Delivers posts [0, cut) the way ResumeStream would, WITHOUT
+/// Finish: the state a process would hold when killed mid-replay.
+void RunPrefix(const Instance& inst, StreamProcessor* processor,
+               PostId cut) {
+  for (PostId p = 0; p < cut; ++p) {
+    processor->AdvanceTo(inst.value(p));
+    processor->OnArrival(p);
+  }
+}
+
+/// Kills a replay at `cut`, snapshots, restores into a fresh
+/// processor and resumes; the combined emission sequence must equal
+/// the uninterrupted baseline exactly — same posts, same order, same
+/// emit times under ==, no tolerance.
+void ExpectKillRestoreIdentical(const Instance& inst,
+                                const CoverageModel& model,
+                                StreamKind kind, double tau, PostId cut,
+                                const std::vector<Emission>& baseline,
+                                const std::string& context) {
+  auto victim = CreateStreamProcessor(kind, inst, model, tau);
+  RunPrefix(inst, victim.get(), cut);
+  std::stringstream snapshot;
+  ASSERT_TRUE(SaveStreamCheckpoint(*victim, cut, snapshot).ok()) << context;
+
+  auto revived = CreateStreamProcessor(kind, inst, model, tau);
+  auto cursor = RestoreStreamCheckpoint(revived.get(), inst, snapshot);
+  ASSERT_TRUE(cursor.ok()) << context << ": " << cursor.status().ToString();
+  ASSERT_EQ(*cursor, cut) << context;
+  ASSERT_TRUE(ResumeStream(inst, revived.get(), *cursor).ok()) << context;
+
+  const std::vector<Emission>& resumed = revived->emissions();
+  ASSERT_EQ(resumed.size(), baseline.size()) << context;
+  for (size_t i = 0; i < baseline.size(); ++i) {
+    ASSERT_EQ(resumed[i].post, baseline[i].post)
+        << context << " emission " << i;
+    ASSERT_EQ(resumed[i].emit_time, baseline[i].emit_time)
+        << context << " emission " << i << " (post " << resumed[i].post
+        << ")";
+  }
+}
+
+/// The tentpole differential: every streaming algorithm, uniform and
+/// variable lambda, kill/restore at fuzzed cut points (plus the ends)
+/// must reproduce the uninterrupted emission sequence exactly.
+TEST(CheckpointTest, KillRestoreAtFuzzedBoundariesIsExact) {
+  const StreamKind kinds[] = {
+      StreamKind::kStreamScan, StreamKind::kStreamScanPlus,
+      StreamKind::kStreamGreedy, StreamKind::kStreamGreedyPlus};
+  size_t compared = 0;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    InstanceGenConfig cfg;
+    cfg.num_labels = 4;
+    cfg.duration = 600.0;
+    cfg.posts_per_minute = 60.0;
+    cfg.overlap_rate = 1.6;
+    cfg.burst_fraction = 0.3;
+    cfg.seed = 7100 + seed;
+    auto inst = GenerateInstance(cfg);
+    ASSERT_TRUE(inst.ok());
+    const auto n = static_cast<PostId>(inst->num_posts());
+    UniformLambda uniform(8.0);
+    VariableLambda variable = MakeVariableModel(*inst, 8.0, seed);
+    Rng cut_rng(900 + seed);
+    std::vector<PostId> cuts = {0, n / 2, n};
+    for (int i = 0; i < 5; ++i) {
+      cuts.push_back(static_cast<PostId>(cut_rng.UniformInt(0, static_cast<int64_t>(n))));
+    }
+    for (const CoverageModel* model :
+         {static_cast<const CoverageModel*>(&uniform),
+          static_cast<const CoverageModel*>(&variable)}) {
+      for (StreamKind kind : kinds) {
+        for (double tau : {0.0, 4.0}) {
+          auto baseline = CreateStreamProcessor(kind, *inst, *model, tau);
+          ASSERT_TRUE(RunStream(*inst, baseline.get()).ok());
+          for (PostId cut : cuts) {
+            const std::string context =
+                "seed=" + std::to_string(seed) +
+                " kind=" + std::string(StreamKindName(kind)) +
+                " tau=" + std::to_string(tau) +
+                (model == &uniform ? " uniform" : " variable") +
+                " cut=" + std::to_string(cut);
+            ExpectKillRestoreIdentical(*inst, *model, kind, tau, cut,
+                                       baseline->emissions(), context);
+            compared += baseline->emissions().size();
+            if (::testing::Test::HasFailure()) return;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GE(compared, 10000u) << "differential under-sampled";
+}
+
+/// Checkpointing twice — kill the revived processor again later in the
+/// stream — must also land on the baseline (restore composes).
+TEST(CheckpointTest, DoubleKillRestoreComposes) {
+  InstanceGenConfig cfg;
+  cfg.num_labels = 3;
+  cfg.duration = 400.0;
+  cfg.posts_per_minute = 50.0;
+  cfg.overlap_rate = 1.5;
+  cfg.seed = 8311;
+  auto inst = GenerateInstance(cfg);
+  ASSERT_TRUE(inst.ok());
+  const auto n = static_cast<PostId>(inst->num_posts());
+  UniformLambda model(10.0);
+  const double tau = 3.0;
+  for (StreamKind kind :
+       {StreamKind::kStreamScanPlus, StreamKind::kStreamGreedyPlus}) {
+    auto baseline = CreateStreamProcessor(kind, *inst, model, tau);
+    ASSERT_TRUE(RunStream(*inst, baseline.get()).ok());
+
+    const PostId cut1 = n / 3;
+    const PostId cut2 = 2 * n / 3;
+    auto first = CreateStreamProcessor(kind, *inst, model, tau);
+    RunPrefix(*inst, first.get(), cut1);
+    std::stringstream snap1;
+    ASSERT_TRUE(SaveStreamCheckpoint(*first, cut1, snap1).ok());
+
+    auto second = CreateStreamProcessor(kind, *inst, model, tau);
+    ASSERT_TRUE(RestoreStreamCheckpoint(second.get(), *inst, snap1).ok());
+    for (PostId p = cut1; p < cut2; ++p) {
+      second->AdvanceTo(inst->value(p));
+      second->OnArrival(p);
+    }
+    std::stringstream snap2;
+    ASSERT_TRUE(SaveStreamCheckpoint(*second, cut2, snap2).ok());
+
+    auto third = CreateStreamProcessor(kind, *inst, model, tau);
+    auto cursor = RestoreStreamCheckpoint(third.get(), *inst, snap2);
+    ASSERT_TRUE(cursor.ok());
+    ASSERT_TRUE(ResumeStream(*inst, third.get(), *cursor).ok());
+    EXPECT_EQ(third->emissions(), baseline->emissions())
+        << StreamKindName(kind);
+  }
+}
+
+/// Tiny hand-built instance: covers restoring a window whose anchor
+/// sits mid-buffer state and a label with an in-flight deadline.
+TEST(CheckpointTest, HandBuiltWindowRoundTrips) {
+  Instance inst = MakeInstance(3, {{0.25, MaskOf(0)},
+                                   {0.5, MaskOf(0) | MaskOf(1)},
+                                   {0.75, MaskOf(2)},
+                                   {1.0, MaskOf(1) | MaskOf(2)},
+                                   {1.5, MaskOf(0)}});
+  UniformLambda model(1.0);
+  for (StreamKind kind :
+       {StreamKind::kStreamScan, StreamKind::kStreamScanPlus,
+        StreamKind::kStreamGreedy, StreamKind::kStreamGreedyPlus}) {
+    auto baseline = CreateStreamProcessor(kind, inst, model, 0.5);
+    ASSERT_TRUE(RunStream(inst, baseline.get()).ok());
+    for (PostId cut = 0; cut <= inst.num_posts(); ++cut) {
+      ExpectKillRestoreIdentical(
+          inst, model, kind, 0.5, cut, baseline->emissions(),
+          std::string(StreamKindName(kind)) + " cut=" +
+              std::to_string(cut));
+    }
+  }
+}
+
+TEST(CheckpointTest, NonCheckpointableProcessorIsUnimplemented) {
+  Instance inst = MakeInstance(1, {{0.0, MaskOf(0)}});
+  UniformLambda model(1.0);
+  InstantStreamProcessor instant(inst, model);
+  std::stringstream snapshot;
+  Status save = SaveStreamCheckpoint(instant, 0, snapshot);
+  EXPECT_EQ(save.code(), StatusCode::kUnimplemented);
+
+  auto donor = CreateStreamProcessor(StreamKind::kStreamScan, inst, model,
+                                     1.0);
+  std::stringstream valid;
+  ASSERT_TRUE(SaveStreamCheckpoint(*donor, 0, valid).ok());
+  InstantStreamProcessor target(inst, model);
+  auto restore = RestoreStreamCheckpoint(&target, inst, valid);
+  EXPECT_EQ(restore.status().code(), StatusCode::kUnimplemented);
+}
+
+/// Every mismatch between the snapshot and the restoring processor
+/// must be a typed error, never a crash or a silent wrong restore.
+TEST(CheckpointTest, MismatchedRestoreIsRejected) {
+  InstanceGenConfig cfg;
+  cfg.num_labels = 3;
+  cfg.duration = 200.0;
+  cfg.posts_per_minute = 40.0;
+  cfg.seed = 4242;
+  auto inst = GenerateInstance(cfg);
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(8.0);
+  auto victim = CreateStreamProcessor(StreamKind::kStreamScanPlus, *inst,
+                                      model, 2.0);
+  const auto cut = static_cast<PostId>(inst->num_posts() / 2);
+  RunPrefix(*inst, victim.get(), cut);
+  std::stringstream snapshot;
+  ASSERT_TRUE(SaveStreamCheckpoint(*victim, cut, snapshot).ok());
+  const std::string blob = snapshot.str();
+
+  {  // wrong algorithm
+    auto other = CreateStreamProcessor(StreamKind::kStreamGreedy, *inst,
+                                       model, 2.0);
+    std::istringstream is(blob);
+    auto r = RestoreStreamCheckpoint(other.get(), *inst, is);
+    EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  }
+  {  // wrong variant of the same family
+    auto other = CreateStreamProcessor(StreamKind::kStreamScan, *inst,
+                                       model, 2.0);
+    std::istringstream is(blob);
+    auto r = RestoreStreamCheckpoint(other.get(), *inst, is);
+    EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  }
+  {  // wrong tau
+    auto other = CreateStreamProcessor(StreamKind::kStreamScanPlus, *inst,
+                                       model, 3.0);
+    std::istringstream is(blob);
+    auto r = RestoreStreamCheckpoint(other.get(), *inst, is);
+    EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  }
+  {  // different instance
+    cfg.seed = 4243;
+    auto other_inst = GenerateInstance(cfg);
+    ASSERT_TRUE(other_inst.ok());
+    auto other = CreateStreamProcessor(StreamKind::kStreamScanPlus,
+                                       *other_inst, model, 2.0);
+    std::istringstream is(blob);
+    auto r = RestoreStreamCheckpoint(other.get(), *other_inst, is);
+    EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+/// Corruption fuzz: any truncation and any single-byte flip of a valid
+/// snapshot must be rejected with a typed Status (the checksum covers
+/// the whole body), never crash the decoder.
+TEST(CheckpointTest, CorruptSnapshotsAreRejected) {
+  InstanceGenConfig cfg;
+  cfg.num_labels = 3;
+  cfg.duration = 120.0;
+  cfg.posts_per_minute = 40.0;
+  cfg.seed = 555;
+  auto inst = GenerateInstance(cfg);
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(6.0);
+  auto victim = CreateStreamProcessor(StreamKind::kStreamGreedyPlus, *inst,
+                                      model, 2.0);
+  const auto cut = static_cast<PostId>(inst->num_posts() / 2);
+  RunPrefix(*inst, victim.get(), cut);
+  std::stringstream snapshot;
+  ASSERT_TRUE(SaveStreamCheckpoint(*victim, cut, snapshot).ok());
+  const std::string blob = snapshot.str();
+
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    std::string corrupt = blob;
+    if (i % 2 == 0) {
+      corrupt.resize(
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(blob.size()) - 1)));
+    } else {
+      const auto pos =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(blob.size()) - 1));
+      corrupt[pos] = static_cast<char>(
+          corrupt[pos] ^ static_cast<char>(1 + rng.UniformInt(0, 254)));
+    }
+    auto fresh = CreateStreamProcessor(StreamKind::kStreamGreedyPlus,
+                                       *inst, model, 2.0);
+    std::istringstream is(corrupt);
+    auto r = RestoreStreamCheckpoint(fresh.get(), *inst, is);
+    EXPECT_FALSE(r.ok()) << "corruption " << i << " was accepted";
+  }
+}
+
+}  // namespace
+}  // namespace mqd

@@ -5,6 +5,7 @@
 
 #include "core/io.h"
 #include "gen/instance_gen.h"
+#include "obs/stack_metrics.h"
 #include "test_helpers.h"
 
 namespace mqd {
@@ -64,11 +65,24 @@ TEST(InstanceIoTest, MalformedInputsRejected) {
       "mqdp 1 2\npost 1 1 5\n",           // label out of range
       "mqdp 1 2\nwhat 1 1\n",             // unknown record
       "mqdp 1 2\npost 1 1\n",             // empty label set
+      "mqdp 1 2\npost nan 1 0\n",         // NaN value
+      "mqdp 1 2\npost inf 1 0\n",         // +inf value
+      "mqdp 1 2\npost -inf 1 0\n",        // -inf value
+      "mqdp 1 2\npost 1e999 1 0\n",       // overflows to inf
   };
   for (const std::string& text : bad) {
     std::stringstream in(text);
     EXPECT_FALSE(ReadInstance(in).ok()) << text;
   }
+}
+
+/// Every rejection path shares one counter so operators can alarm on
+/// malformed feeds; the paths above must all tick it.
+TEST(InstanceIoTest, RejectionsAreCounted) {
+  const uint64_t before = obs::GetRobustMetrics().io_rejects->Value();
+  std::stringstream in("mqdp 1 2\npost nan 1 0\n");
+  ASSERT_FALSE(ReadInstance(in).ok());
+  EXPECT_EQ(obs::GetRobustMetrics().io_rejects->Value(), before + 1);
 }
 
 TEST(InstanceIoTest, FileRoundTrip) {

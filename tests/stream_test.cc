@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/scan.h"
 #include "core/verifier.h"
 #include "gen/instance_gen.h"
@@ -265,6 +268,44 @@ TEST(StreamFactoryTest, NamesMatch) {
     ASSERT_NE(proc, nullptr);
     EXPECT_EQ(proc->name(), StreamKindName(kind));
   }
+}
+
+/// The checked factory guards user-supplied report-delay budgets:
+/// NaN, negative and infinite taus are InvalidArgument (an unbounded
+/// delay never emits); tau = 0 stays legal — it is the instant-output
+/// regime, not a degenerate input.
+TEST(StreamFactoryTest, CheckedFactoryValidatesTau) {
+  Instance inst = MakeInstance(1, {{0.0, MaskOf(0)}});
+  UniformLambda model(1.0);
+  for (double bad : {-1.0, -0.001, std::nan(""),
+                     std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity()}) {
+    auto r = CreateStreamProcessorChecked(StreamKind::kStreamScan, inst,
+                                          model, bad);
+    ASSERT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+  for (double good : {0.0, 2.5}) {
+    auto r = CreateStreamProcessorChecked(StreamKind::kStreamGreedyPlus,
+                                          inst, model, good);
+    ASSERT_TRUE(r.ok()) << good;
+    EXPECT_NE(*r, nullptr);
+  }
+}
+
+/// The replay guard drops time-travelling arrivals rather than feed
+/// them to the processor. Instances are value-sorted at Build, so a
+/// healthy replay must never tick the drop counter — this pins the
+/// guard's no-false-positive side (the firing side needs an unsorted
+/// feed, which the Instance invariants make unrepresentable).
+TEST(ReplayTest, NonMonotoneArrivalsAreDroppedAndCounted) {
+  Instance inst = MakeInstance(1, {{0.0, MaskOf(0)}, {1.0, MaskOf(0)}});
+  UniformLambda model(10.0);
+  const obs::StreamMetrics& metrics = obs::StreamMetricsFor("StreamScan");
+  const uint64_t before = metrics.nonmonotone_dropped->Value();
+  StreamScanProcessor proc(inst, model, 1.0);
+  ASSERT_TRUE(RunStream(inst, &proc).ok());
+  EXPECT_EQ(metrics.nonmonotone_dropped->Value(), before);
 }
 
 TEST(ValidateStreamOutputTest, CatchesViolations) {

@@ -91,6 +91,37 @@ TEST(ThreadPoolTest, TasksSubmittedFromWorkersComplete) {
   EXPECT_EQ(runs.load(), 50);
 }
 
+/// The hardened task contract: a throwing Submit task must not take
+/// the process down (pre-hardening it escaped WorkerLoop into
+/// std::terminate). The first exception is captured for
+/// TakeFirstError*; the pool keeps running.
+TEST(ThreadPoolTest, ThrowingSubmitTaskIsCapturedNotFatal) {
+  std::atomic<int> runs{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([] { throw std::runtime_error("task blew up"); });
+      pool.Submit([&] { runs.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // Give the workers time to drain by tearing down (dtor drains).
+  }
+  EXPECT_EQ(runs.load(), 8);
+}
+
+TEST(ThreadPoolTest, TakeFirstErrorStatusReportsAndClears) {
+  ThreadPool pool(0);  // inline execution: deterministic capture
+  pool.Submit([] { throw std::runtime_error("first failure"); });
+  pool.Submit([] { throw std::logic_error("second failure"); });
+  const Status status = pool.TakeFirstErrorStatus();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.ToString().find("first failure"), std::string::npos)
+      << status.ToString();
+  // Take drains: the second exception was dropped, the slot is clear.
+  EXPECT_TRUE(pool.TakeFirstErrorStatus().ok());
+  EXPECT_EQ(pool.TakeFirstError(), nullptr);
+}
+
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
   ThreadPool pool(3);
   constexpr size_t kN = 100000;

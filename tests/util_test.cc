@@ -1,8 +1,14 @@
 #include <cmath>
+#include <limits>
 #include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "util/deadline.h"
+#include "util/fault_injection.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -253,6 +259,128 @@ TEST(TimerTest, AccumulatorMeans) {
   EXPECT_DOUBLE_EQ(acc.mean_seconds(), 2.0);
   acc.Reset();
   EXPECT_EQ(acc.count(), 0u);
+}
+
+TEST(DeadlineTest, UnboundedNeverExpires) {
+  const Deadline deadline = Deadline::Unbounded();
+  EXPECT_TRUE(deadline.unbounded());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_TRUE(deadline.Check("op").ok());
+  EXPECT_EQ(deadline.remaining_seconds(),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(DeadlineTest, NonPositiveBudgetIsAlreadyExpired) {
+  for (double budget : {0.0, -1.0}) {
+    const Deadline deadline = Deadline::AfterSeconds(budget);
+    EXPECT_TRUE(deadline.bounded()) << budget;
+    EXPECT_TRUE(deadline.expired()) << budget;
+    const Status status = deadline.Check("solve");
+    EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded) << budget;
+    EXPECT_NE(status.ToString().find("solve"), std::string::npos);
+    EXPECT_LE(deadline.remaining_seconds(), 0.0) << budget;
+  }
+  // NaN budgets mean "no budget", not "no time".
+  EXPECT_TRUE(Deadline::AfterSeconds(std::nan("")).unbounded());
+}
+
+TEST(DeadlineTest, GenerousBudgetIsLive) {
+  const Deadline deadline = Deadline::AfterSeconds(3600.0);
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_TRUE(deadline.Check("op").ok());
+  EXPECT_GT(deadline.remaining_seconds(), 3000.0);
+}
+
+TEST(DeadlineTest, CancelTokenTripsImmediatelyAndSticks) {
+  CancelToken token;
+  const Deadline deadline = Deadline::Unbounded().WithCancelToken(&token);
+  EXPECT_FALSE(deadline.unbounded());
+  EXPECT_FALSE(deadline.expired());
+  token.Cancel();
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.Check("stream").code(), StatusCode::kCancelled);
+}
+
+TEST(DeadlineCheckerTest, StrideAmortizesAndTripsSticky) {
+  const Deadline expired = Deadline::AfterSeconds(-1.0);
+  DeadlineChecker checker(expired, /*stride=*/4);
+  // The first three polls ride the stride without a clock read.
+  EXPECT_FALSE(checker.Expired());
+  EXPECT_FALSE(checker.Expired());
+  EXPECT_FALSE(checker.Expired());
+  EXPECT_TRUE(checker.Expired());   // 4th poll reads the clock
+  EXPECT_TRUE(checker.Expired());   // sticky from now on
+  EXPECT_EQ(checker.Check("loop").code(), StatusCode::kDeadlineExceeded);
+
+  DeadlineChecker unbounded(Deadline::Unbounded(), /*stride=*/1);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(unbounded.Expired());
+}
+
+TEST(FaultInjectionTest, DisarmedSiteIsFree) {
+  FaultInjector& injector = FaultInjector::Global();
+  injector.Disarm();
+  EXPECT_FALSE(injector.armed());
+  EXPECT_TRUE(injector.MaybeInject("io.read_instance").ok());
+}
+
+TEST(FaultInjectionTest, FiringIsDeterministicInSeedSiteAndHit) {
+  FaultInjector& injector = FaultInjector::Global();
+  auto fire_pattern = [&](uint64_t seed) {
+    EXPECT_TRUE(injector.ArmFromSpec("x.site:0.5", seed).ok());
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern += injector.MaybeInject("x.site").ok() ? '.' : 'F';
+    }
+    injector.Disarm();
+    EXPECT_NE(pattern.find('F'), std::string::npos);
+    EXPECT_NE(pattern.find('.'), std::string::npos);
+    return pattern;
+  };
+  const std::string a1 = fire_pattern(1);
+  const std::string a2 = fire_pattern(1);
+  const std::string b = fire_pattern(2);
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+}
+
+TEST(FaultInjectionTest, ProbabilityEdgesAndCounters) {
+  FaultInjector& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.ArmFromSpec("always:1,never:0", 9).ok());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(injector.MaybeInject("always").ok());
+    EXPECT_TRUE(injector.MaybeInject("never").ok());
+    EXPECT_TRUE(injector.MaybeInject("unconfigured").ok());
+  }
+  EXPECT_EQ(injector.Hits("always"), 10u);
+  EXPECT_EQ(injector.Fires("always"), 10u);
+  EXPECT_EQ(injector.Hits("never"), 10u);
+  EXPECT_EQ(injector.Fires("never"), 0u);
+  injector.Disarm();
+}
+
+TEST(FaultInjectionTest, ThrowSpecThrows) {
+  FaultInjector& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.ArmFromSpec("bad.dep:1:0:throw", 3).ok());
+  EXPECT_THROW((void)injector.MaybeInject("bad.dep"), std::runtime_error);
+  injector.Disarm();
+}
+
+TEST(FaultInjectionTest, MalformedSpecsRejected) {
+  FaultInjector& injector = FaultInjector::Global();
+  const std::vector<std::string> bad = {
+      "siteonly",          // missing probability
+      ":0.5",              // empty site
+      "s:nope",            // non-numeric probability
+      "s:1.5",             // probability out of range
+      "s:-0.1",            // probability out of range
+      "s:0.5:xyz",         // bad latency
+      "s:0.5:1:throw:extra",
+      "s:0.5:1:banana",
+  };
+  for (const std::string& spec : bad) {
+    EXPECT_FALSE(injector.ArmFromSpec(spec, 0).ok()) << spec;
+  }
+  injector.Disarm();
 }
 
 }  // namespace

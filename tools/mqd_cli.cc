@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/cover_stats.h"
+#include "core/degrade.h"
 #include "core/io.h"
 #include "core/solver.h"
 #include "core/verifier.h"
@@ -36,6 +37,8 @@
 #include "stream/delay_stats.h"
 #include "stream/factory.h"
 #include "stream/replay.h"
+#include "util/deadline.h"
+#include "util/fault_injection.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -86,6 +89,26 @@ void DefineMetricsFlags(FlagParser* flags) {
 /// Call right after Parse so spans cover the whole command body.
 void MaybeEnableTrace(const FlagParser& flags) {
   if (flags.GetBool("trace")) obs::Tracer::Global().Enable();
+}
+
+/// Fault-injection flags shared by solve / solve-batch / stream: chaos
+/// drills against a real binary, same registry the tests fuzz.
+void DefineFaultFlags(FlagParser* flags) {
+  flags->Define("faults", "",
+                "arm fault injection, comma-separated "
+                "site:prob[:latency_ms][:throw] entries (sites: "
+                "io.read_instance, index.load, pool.task, stream.replay)");
+  flags->Define("fault-seed", "0",
+                "seed of the deterministic fault schedule");
+}
+
+Status MaybeArmFaults(const FlagParser& flags) {
+  const std::string spec = flags.GetString("faults");
+  if (spec.empty()) return Status::OK();
+  auto seed = flags.GetInt("fault-seed");
+  if (!seed.ok()) return seed.status();
+  return FaultInjector::Global().ArmFromSpec(
+      spec, static_cast<uint64_t>(*seed));
 }
 
 /// Emits whatever --metrics-json / --metrics-dump / --trace asked for.
@@ -162,13 +185,19 @@ int CmdSolve(const std::vector<std::string>& args) {
   flags.Define("threads", "1",
                "solver threads (0 = all cores; covers are identical "
                "at any thread count)");
+  flags.Define("budget-ms", "0",
+               "wall-clock budget in milliseconds; > 0 runs the "
+               "degradation ladder (greedy -> scan+ -> scan -> trivial) "
+               "instead of --algorithm and reports the rung taken");
   DefineMetricsFlags(&flags);
+  DefineFaultFlags(&flags);
   if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
   if (flags.positional().size() != 1) {
     std::cerr << "usage: mqd solve <instance-file> [flags]\n";
     return 1;
   }
   MaybeEnableTrace(flags);
+  if (Status s = MaybeArmFaults(flags); !s.ok()) return Fail(s);
   auto instance = ReadInstanceFromFile(flags.positional()[0]);
   if (!instance.ok()) return Fail(instance.status());
   auto lambda = flags.GetDouble("lambda");
@@ -180,31 +209,53 @@ int CmdSolve(const std::vector<std::string>& args) {
   if (*threads < 0) {
     return Fail(Status::InvalidArgument("--threads must be >= 0"));
   }
+  auto budget_ms = flags.GetDouble("budget-ms");
+  if (!budget_ms.ok()) return Fail(budget_ms.status());
 
   UniformLambda model(*lambda);
-  ParallelOptions parallel{.num_threads = static_cast<int>(*threads)};
-  const int total = ResolveNumThreads(parallel.num_threads);
-  std::unique_ptr<ThreadPool> pool;
-  if (total > 1) pool = std::make_unique<ThreadPool>(total - 1);
-  auto solver = pool != nullptr
-                    ? CreateParallelSolver(*kind, pool.get(), parallel)
-                    : CreateSolver(*kind);
-  auto cover = solver->Solve(*instance, model);
-  if (!cover.ok()) return Fail(cover.status());
-
-  std::cerr << solver->name() << ": " << cover->size()
-            << " representatives for " << instance->num_posts()
-            << " posts; valid cover: "
-            << (IsCover(*instance, model, *cover) ? "yes" : "NO") << "\n";
+  std::vector<PostId> cover;
+  if (*budget_ms > 0.0) {
+    const DegradingSolver ladder;
+    const DegradeOutcome outcome = ladder.SolveDegrading(
+        *instance, model, Deadline::AfterSeconds(*budget_ms / 1000.0));
+    for (const Status& failure : outcome.failures) {
+      std::cerr << "rung failed: " << failure << "\n";
+    }
+    std::cerr << "Degrading[" << outcome.rung << "]"
+              << (outcome.degraded ? " (degraded)" : "") << ": "
+              << outcome.cover.size() << " representatives for "
+              << instance->num_posts() << " posts in "
+              << FormatDouble(outcome.elapsed_seconds * 1e3, 3)
+              << " ms; valid cover: "
+              << (IsCover(*instance, model, outcome.cover) ? "yes" : "NO")
+              << "\n";
+    cover = outcome.cover;
+  } else {
+    ParallelOptions parallel{.num_threads = static_cast<int>(*threads)};
+    const int total = ResolveNumThreads(parallel.num_threads);
+    std::unique_ptr<ThreadPool> pool;
+    if (total > 1) pool = std::make_unique<ThreadPool>(total - 1);
+    auto solver = pool != nullptr
+                      ? CreateParallelSolver(*kind, pool.get(), parallel)
+                      : CreateSolver(*kind);
+    auto cover_or = solver->Solve(*instance, model);
+    if (!cover_or.ok()) return Fail(cover_or.status());
+    std::cerr << solver->name() << ": " << cover_or->size()
+              << " representatives for " << instance->num_posts()
+              << " posts; valid cover: "
+              << (IsCover(*instance, model, *cover_or) ? "yes" : "NO")
+              << "\n";
+    cover = std::move(cover_or).value();
+  }
   const std::string out = flags.GetString("out");
   if (out == "-") {
-    if (Status s = WriteSelection(*cover, std::cout); !s.ok()) {
+    if (Status s = WriteSelection(cover, std::cout); !s.ok()) {
       return Fail(s);
     }
   } else {
     std::ofstream file(out);
     if (!file) return Fail(Status::NotFound("cannot open " + out));
-    if (Status s = WriteSelection(*cover, file); !s.ok()) return Fail(s);
+    if (Status s = WriteSelection(cover, file); !s.ok()) return Fail(s);
   }
   return EmitObservability(flags);
 }
@@ -219,12 +270,14 @@ int CmdSolveBatch(const std::vector<std::string>& args) {
   flags.Define("threads", "0",
                "total threads for the batch (0 = all cores)");
   DefineMetricsFlags(&flags);
+  DefineFaultFlags(&flags);
   if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
   if (flags.positional().empty()) {
     std::cerr << "usage: mqd solve-batch <instance-file>... [flags]\n";
     return 1;
   }
   MaybeEnableTrace(flags);
+  if (Status s = MaybeArmFaults(flags); !s.ok()) return Fail(s);
   auto kind = ParseSolverKind(flags.GetString("algorithm"));
   if (!kind.ok()) return Fail(kind.status());
   auto threads = flags.GetInt("threads");
@@ -308,12 +361,14 @@ int CmdStream(const std::vector<std::string>& args) {
   flags.Define("lambda", "60", "coverage threshold");
   flags.Define("tau", "10", "max reporting delay");
   DefineMetricsFlags(&flags);
+  DefineFaultFlags(&flags);
   if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
   if (flags.positional().size() != 1) {
     std::cerr << "usage: mqd stream <instance-file> [flags]\n";
     return 1;
   }
   MaybeEnableTrace(flags);
+  if (Status s = MaybeArmFaults(flags); !s.ok()) return Fail(s);
   auto instance = ReadInstanceFromFile(flags.positional()[0]);
   if (!instance.ok()) return Fail(instance.status());
   auto lambda = flags.GetDouble("lambda");
@@ -324,7 +379,9 @@ int CmdStream(const std::vector<std::string>& args) {
   if (!kind.ok()) return Fail(kind.status());
 
   UniformLambda model(*lambda);
-  auto processor = CreateStreamProcessor(*kind, *instance, model, *tau);
+  auto processor_or = CreateStreamProcessorChecked(*kind, *instance, model, *tau);
+  if (!processor_or.ok()) return Fail(processor_or.status());
+  auto processor = std::move(processor_or).value();
   auto stats = RunStream(*instance, processor.get());
   if (!stats.ok()) return Fail(stats.status());
   const double effective_tau =
@@ -404,6 +461,11 @@ int Usage() {
 
 int main(int argc, char** argv) {
   mqd::obs::InstallThreadPoolMetrics();
+  // MQD_FAULTS / MQD_FAULT_SEED arm the same registry --faults does;
+  // the env form covers subcommands with no fault flags of their own.
+  if (mqd::Status s = mqd::FaultInjector::Global().ArmFromEnv(); !s.ok()) {
+    return mqd::Fail(s);
+  }
   if (argc < 2) return mqd::Usage();
   const std::string command = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
