@@ -7,7 +7,7 @@
 
 #include "bench_common.h"
 #include "core/greedy_sc.h"
-#include "core/brute_force.h"
+#include "core/branch_bound.h"
 #include "core/opt_dp.h"
 #include "core/scan.h"
 #include "core/verifier.h"

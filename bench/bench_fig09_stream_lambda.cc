@@ -7,7 +7,7 @@
 #include <iostream>
 
 #include "bench_common.h"
-#include "core/brute_force.h"
+#include "core/branch_bound.h"
 #include "core/opt_dp.h"
 #include "gen/instance_gen.h"
 #include "stream/factory.h"

@@ -1,0 +1,82 @@
+#ifndef MQD_CORE_BOUNDS_H_
+#define MQD_CORE_BOUNDS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/coverage.h"
+#include "core/instance.h"
+#include "util/deadline.h"
+#include "util/result.h"
+
+namespace mqd {
+
+/// Certified lower bounds on the minimum lambda-cover size.
+///
+/// Every field is a *proven* lower bound on |OPT| for the given
+/// (instance, coverage model): any reported value v guarantees no
+/// lambda-cover with fewer than v posts exists. The bounds are
+/// computed cheapest-first over the CSR posting-list layout so a
+/// deadline can cut the computation off after any method and still
+/// leave `best` valid (just weaker).
+///
+/// Methods, in computation order:
+///
+///  * `nonempty`    — 1 when the instance has any post (0 otherwise).
+///  * `label_flood` — ceil(sum_a stab(a) / s). stab(a) is the minimum
+///    number of a-carrying posts needed to cover LP(a) alone (exact:
+///    interval point-cover greedy per label, valid for directional
+///    reaches too), and s = max labels per post; a selected post can
+///    contribute to at most s of the per-label requirements. This is
+///    the counting argument behind Scan's s-approximation, run in
+///    reverse as a bound.
+///  * `lp_dual`     — a feasible solution to the dual of the
+///    set-cover LP relaxation (universe = (post, label) pairs, one
+///    set per post), built by deterministic dual ascent: each still-
+///    uncovered pair raises its dual price until some candidate
+///    coverer's packing constraint goes tight, and tight posts freeze
+///    the pairs they cover. By weak LP duality the dual objective is
+///    <= LP-OPT <= |OPT|. The raw objective is re-checked against
+///    freshly recomputed per-post loads and scaled down by the
+///    maximum load before rounding, so floating-point drift can only
+///    make the reported integer bound *weaker*, never unsound.
+struct LowerBoundReport {
+  size_t best = 0;         // max over all completed methods
+  size_t nonempty = 0;     // trivial bound
+  size_t label_flood = 0;  // per-label stabbing / s counting bound
+  size_t lp_dual = 0;      // rounded dual-feasible LP value
+  double lp_dual_value = 0.0;  // fractional dual objective (scaled)
+  /// False when the deadline expired before every method finished;
+  /// `best` is still a valid (weaker) bound.
+  bool complete = false;
+};
+
+struct BoundsConfig {
+  /// Skip the dual-ascent LP bound (the label_flood bound is ~10x
+  /// cheaper and often close on low-overlap instances).
+  bool use_lp_dual = true;
+};
+
+/// Computes the report above. Never fails on deadline expiry — the
+/// bounds degrade instead (see LowerBoundReport::complete); the only
+/// errors are invalid-instance conditions, which cannot occur for a
+/// Build()-produced Instance.
+LowerBoundReport ComputeLowerBound(const Instance& inst,
+                                   const CoverageModel& model,
+                                   const Deadline& deadline,
+                                   const BoundsConfig& config = {});
+
+namespace internal {
+
+/// stab(a): minimum number of a-carrying posts covering LP(a)
+/// (optimal 1-D interval point cover, exact under directional
+/// reaches). Exposed for tests and the branch-and-bound residual
+/// bound.
+size_t LabelStabbingCount(const Instance& inst, const CoverageModel& model,
+                          LabelId a);
+
+}  // namespace internal
+
+}  // namespace mqd
+
+#endif  // MQD_CORE_BOUNDS_H_

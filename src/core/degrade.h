@@ -19,6 +19,13 @@ struct DegradeOutcome {
   /// Status of each rung that was tried and failed, in order.
   std::vector<Status> failures;
   double elapsed_seconds = 0.0;
+  /// Set when the answering rung was a CertifyingSolver (the
+  /// WithCertified ladder): a proven optimality certificate
+  /// lower_bound <= |OPT| <= cover.size() with gap = the difference.
+  bool certified = false;
+  size_t lower_bound = 0;
+  size_t certified_gap = 0;
+  bool proven_optimal = false;
 };
 
 /// Policy solver implementing the degradation ladder: try each rung
@@ -46,6 +53,16 @@ class DegradingSolver final : public Solver {
 
   /// OPT -> GreedySC -> Scan+ -> Scan (the exact-first ladder).
   static std::unique_ptr<DegradingSolver> WithOpt();
+
+  /// BnB-certified -> GreedySC -> Scan+ -> Scan: the quality-certified
+  /// serving ladder. The top rung is anytime — under a budget it
+  /// answers with GreedySC's cover plus a proven gap certificate
+  /// rather than failing — so it only falls through when even the
+  /// warm start cannot finish; DegradeOutcome then carries the
+  /// certificate fields. `max_nodes` caps the search (the
+  /// deterministic anytime knob; see BranchBoundConfig).
+  static std::unique_ptr<DegradingSolver> WithCertified(
+      uint64_t max_nodes = 50'000'000);
 
   std::string_view name() const override { return "Degrading"; }
 

@@ -86,8 +86,9 @@ class OptDp {
     if (n_ == 0) return std::vector<PostId>{};
     const size_t num_labels = static_cast<size_t>(inst_.num_labels());
     // Inner checker shared across Steps: ~one clock read per 8192
-    // candidate patterns keeps the polling cost invisible next to the
-    // per-pattern predecessor loop.
+    // examined transitions (candidate x predecessor pairs, the true
+    // unit of work) keeps polling invisible while bounding the budget
+    // overshoot to one stride of transitions.
     DeadlineChecker budget(deadline, /*stride=*/8192);
 
     levels_.clear();
@@ -182,10 +183,13 @@ class OptDp {
     // Depth-first enumeration of the candidate product.
     std::vector<size_t> cursor(num_labels, 0);
     while (true) {
-      MQD_RETURN_NOT_OK(budget.Check("OPT"));
       for (size_t a = 0; a < num_labels; ++a) cand[a] = ppl[a][cursor[a]];
 
       for (uint32_t ei = 0; ei < prev.size(); ++ei) {
+        // Poll per *transition*, not per candidate: with few candidates
+        // but millions of predecessor states a per-candidate poll can
+        // overshoot the budget by a whole position's work (seconds).
+        MQD_RETURN_NOT_OK(budget.Check("OPT"));
         const Node& eta = prev[ei];
         // Resolve inherits and check consistency (eta "agrees with"
         // cand on every concrete entry at or before the boundary).

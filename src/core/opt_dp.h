@@ -44,9 +44,11 @@ class OptDpSolver final : public Solver {
                                     const CoverageModel& model) const override;
 
   /// Deadline is polled per DP position and, inside a position, every
-  /// few thousand enumerated candidate patterns (the per-position work
-  /// is unbounded in the worst case, so a per-step check alone could
-  /// overshoot the budget arbitrarily).
+  /// few thousand examined transitions (candidate x predecessor
+  /// pairs). Polling per transition — not per candidate pattern —
+  /// matters: a position with few candidates but millions of carried
+  /// end-patterns would otherwise run an entire position's worth of
+  /// work (seconds on adversarial label counts) past the budget.
   Result<std::vector<PostId>> SolveWithBudget(
       const Instance& inst, const CoverageModel& model,
       const Deadline& deadline) const override;

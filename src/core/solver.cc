@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "core/brute_force.h"
+#include "core/branch_bound.h"
 #include "core/greedy_sc.h"
 #include "core/opt_dp.h"
 #include "core/scan.h"

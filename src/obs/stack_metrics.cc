@@ -157,6 +157,28 @@ const RobustMetrics& GetRobustMetrics() {
   return *metrics;
 }
 
+const GapMetrics& GetGapMetrics() {
+  static const GapMetrics* const metrics = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    return new GapMetrics{
+        &reg.MustCounter("mqd_gap_certified_solves_total"),
+        &reg.MustCounter("mqd_gap_proven_optimal_total"),
+        &reg.MustCounter("mqd_gap_interrupted_total"),
+        &reg.MustCounter("mqd_gap_certify_errors_total"),
+        &reg.MustCounter("mqd_gap_bb_nodes_total"),
+        &reg.MustCounter("mqd_gap_bb_pruned_total"),
+        &reg.MustCounter("mqd_gap_bb_incumbent_updates_total"),
+        // Gaps are small integers; the fine low buckets matter.
+        &reg.MustHistogram("mqd_gap_certified_gap",
+                           LinearBuckets(0.0, 64.0, 64)),
+        &reg.MustHistogram("mqd_gap_certify_seconds", SolveSecondsBuckets()),
+        &reg.MustGauge("mqd_gap_last_gap"),
+        &reg.MustGauge("mqd_gap_last_lower_bound"),
+    };
+  }();
+  return *metrics;
+}
+
 namespace {
 
 /// rung -> Counter cache for mqd_robust_degraded_total{rung}.

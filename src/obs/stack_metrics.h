@@ -113,6 +113,26 @@ const RobustMetrics& GetRobustMetrics();
 /// rung of the degradation ladder.
 Counter& DegradedTotalFor(std::string_view rung);
 
+/// Optimality-gap engine metrics (core/bounds + core/branch_bound).
+/// Recorded by BranchAndBoundSolver::SolveCertified, so every
+/// quality-certified answer — direct, CLI --certify-gap, or the
+/// certified degrade rung — shows up here.
+struct GapMetrics {
+  Counter* certified_solves;   // mqd_gap_certified_solves_total
+  Counter* proven_optimal;     // mqd_gap_proven_optimal_total
+  Counter* interrupted;        // mqd_gap_interrupted_total
+  Counter* certify_errors;     // mqd_gap_certify_errors_total
+  Counter* nodes;              // mqd_gap_bb_nodes_total
+  Counter* pruned;             // mqd_gap_bb_pruned_total
+  Counter* incumbent_updates;  // mqd_gap_bb_incumbent_updates_total
+  LatencyHistogram* gap;       // mqd_gap_certified_gap
+  LatencyHistogram* certify_seconds;  // mqd_gap_certify_seconds
+  Gauge* last_gap;             // mqd_gap_last_gap
+  Gauge* last_lower_bound;     // mqd_gap_last_lower_bound
+};
+
+const GapMetrics& GetGapMetrics();
+
 /// Installs the registry-backed ThreadPoolObserver so every ThreadPool
 /// reports into GetThreadPoolMetrics(). Idempotent and thread safe;
 /// call once near process start (mqd_cli and bench_common do).

@@ -3,17 +3,21 @@
 // stated constants) by explicit adversarial instances.
 #include <gtest/gtest.h>
 
-#include "core/brute_force.h"
+#include "core/bounds.h"
+#include "core/branch_bound.h"
 #include "core/scan.h"
 #include "core/verifier.h"
+#include "gen/instance_gen.h"
 #include "stream/instant.h"
 #include "stream/replay.h"
 #include "test_helpers.h"
 #include "util/logging.h"
+#include "util/rng.h"
 
 namespace mqd {
 namespace {
 
+using ::mqd::testing::EnumerateOptimum;
 using ::mqd::testing::MakeInstance;
 
 // Scan's s-approximation is tight: s labels; one hub post carrying all
@@ -106,6 +110,142 @@ TEST(BoundTightnessTest, ReflectionInvariance) {
   auto b = exact.Solve(*reflected, model);
   ASSERT_TRUE(a.ok() && b.ok());
   EXPECT_EQ(a->size(), b->size());
+}
+
+// ---- Certified lower bounds (core/bounds.h) -------------------------
+
+// Soundness fuzz: every reported bound must stay at or below the
+// enumerated optimum, on uniform and directional coverage alike.
+TEST(LowerBoundTest, NeverExceedsEnumeratedOptimumOnFuzz) {
+  Rng rng(0x10B5);
+  for (int trial = 0; trial < 600; ++trial) {
+    const int n = static_cast<int>(rng.UniformInt(2, 12));
+    const int labels = static_cast<int>(rng.UniformInt(1, 3));
+    auto inst = GenerateTinyInstance(n, labels, labels, 20, &rng);
+    ASSERT_TRUE(inst.ok());
+    UniformLambda model(rng.UniformDouble(0.5, 6.0));
+    const size_t optimum = EnumerateOptimum(*inst, model);
+    const LowerBoundReport report =
+        ComputeLowerBound(*inst, model, Deadline::Unbounded());
+    ASSERT_TRUE(report.complete);
+    EXPECT_LE(report.best, optimum) << "trial " << trial;
+    EXPECT_LE(report.nonempty, optimum) << "trial " << trial;
+    EXPECT_LE(report.label_flood, optimum) << "trial " << trial;
+    EXPECT_LE(report.lp_dual, optimum) << "trial " << trial;
+    EXPECT_EQ(report.best,
+              std::max({report.nonempty, report.label_flood,
+                        report.lp_dual}));
+  }
+}
+
+TEST(LowerBoundTest, SoundUnderDirectionalReaches) {
+  Rng rng(0x10B6);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int n = static_cast<int>(rng.UniformInt(2, 10));
+    auto inst = GenerateTinyInstance(n, 2, 2, 16, &rng);
+    ASSERT_TRUE(inst.ok());
+    std::vector<std::vector<DimValue>> reaches(inst->num_posts());
+    DimValue max_reach = 0.0;
+    for (PostId p = 0; p < inst->num_posts(); ++p) {
+      for (int k = 0; k < MaskCount(inst->labels(p)); ++k) {
+        const DimValue r = rng.UniformDouble(0.25, 4.0);
+        reaches[p].push_back(r);
+        max_reach = std::max(max_reach, r);
+      }
+    }
+    VariableLambda model(std::move(reaches), max_reach);
+    const size_t optimum = EnumerateOptimum(*inst, model);
+    const LowerBoundReport report =
+        ComputeLowerBound(*inst, model, Deadline::Unbounded());
+    EXPECT_LE(report.best, optimum) << "trial " << trial;
+  }
+}
+
+// On a single-label instance the stabbing count IS the optimum (1-D
+// interval point cover is solved exactly by the furthest-right
+// greedy), so the bound is tight and the exact solver must meet it.
+TEST(LowerBoundTest, TightOnSingleLabelInstances) {
+  Rng rng(0x10B7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = static_cast<int>(rng.UniformInt(2, 14));
+    auto inst = GenerateTinyInstance(n, 1, 1, 30, &rng);
+    ASSERT_TRUE(inst.ok());
+    UniformLambda model(rng.UniformDouble(0.5, 8.0));
+    const LowerBoundReport report =
+        ComputeLowerBound(*inst, model, Deadline::Unbounded());
+    BranchAndBoundSolver exact;
+    auto z = exact.Solve(*inst, model);
+    ASSERT_TRUE(z.ok());
+    EXPECT_EQ(report.label_flood, z->size()) << "trial " << trial;
+    EXPECT_EQ(report.best, z->size()) << "trial " << trial;
+  }
+}
+
+TEST(LowerBoundTest, DualBoundBeatsCountingOnHubFreeOverlap) {
+  // Two labels, posts alternating far apart: stab(0) = stab(1) = k
+  // with s = 1... make s = 2 via one hub so the counting bound halves,
+  // while the LP dual keeps most of its strength. This pins the reason
+  // the dual bound exists: label_flood alone collapses when a single
+  // multi-label post raises s.
+  InstanceBuilder b(2);
+  for (int i = 0; i < 6; ++i) {
+    b.Add(10.0 * i, MaskOf(0), static_cast<uint64_t>(i));
+    b.Add(10.0 * i + 1.0, MaskOf(1), static_cast<uint64_t>(100 + i));
+  }
+  b.Add(100.0, MaskOf(0) | MaskOf(1), 999);  // lone hub, far right
+  auto inst = b.Build();
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(2.0);
+  const LowerBoundReport report =
+      ComputeLowerBound(*inst, model, Deadline::Unbounded());
+  ASSERT_TRUE(report.complete);
+  EXPECT_GT(report.lp_dual, report.label_flood);
+  BranchAndBoundSolver exact;
+  auto z = exact.Solve(*inst, model);
+  ASSERT_TRUE(z.ok());
+  EXPECT_LE(report.best, z->size());
+}
+
+TEST(LowerBoundTest, ExpiredDeadlineDegradesButStaysValid) {
+  Rng rng(0x10B8);
+  auto inst = GenerateTinyInstance(50, 3, 2, 60, &rng);
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(4.0);
+  const LowerBoundReport report =
+      ComputeLowerBound(*inst, model, Deadline::AfterSeconds(0.0));
+  EXPECT_FALSE(report.complete);
+  EXPECT_GE(report.best, 1u);  // nonempty bound always lands
+  BranchAndBoundSolver exact;
+  auto z = exact.Solve(*inst, model);
+  ASSERT_TRUE(z.ok());
+  EXPECT_LE(report.best, z->size());
+}
+
+TEST(LowerBoundTest, EmptyInstanceIsZero) {
+  InstanceBuilder b(2);
+  auto inst = b.Build();
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(1.0);
+  const LowerBoundReport report =
+      ComputeLowerBound(*inst, model, Deadline::Unbounded());
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.best, 0u);
+}
+
+TEST(LowerBoundTest, SkippingLpDualKeepsCountingBound) {
+  Instance inst = MakeInstance(2, {{0.0, MaskOf(0)},
+                                   {5.0, MaskOf(0)},
+                                   {10.0, MaskOf(1)}});
+  UniformLambda model(1.0);
+  const LowerBoundReport with_lp =
+      ComputeLowerBound(inst, model, Deadline::Unbounded());
+  const LowerBoundReport without_lp = ComputeLowerBound(
+      inst, model, Deadline::Unbounded(), {.use_lp_dual = false});
+  EXPECT_EQ(without_lp.lp_dual, 0u);
+  EXPECT_GE(with_lp.best, without_lp.best);
+  EXPECT_EQ(without_lp.label_flood, with_lp.label_flood);
+  // stab(0) = 2, stab(1) = 1, s = 1 -> ceil(3 / 1) = 3 (= |OPT|).
+  EXPECT_EQ(without_lp.best, 3u);
 }
 
 }  // namespace

@@ -1,0 +1,266 @@
+// Oracle battery for the certified branch-and-bound tier.
+//
+//  * Differential fuzz: BnB against the independent exact DP (uniform
+//    lambda) and the subset-enumeration oracle (variable lambda) on
+//    >= 1e4 seeded small instances, including unused-label and
+//    duplicate-value edge shapes.
+//  * Certificate contracts: gap == 0 iff proven optimal, certified
+//    bounds sandwich the true optimum, and the anytime monotone-
+//    certificate property — a longer (deterministic node budget) run
+//    never certifies a worse gap than a shorter one.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/branch_bound.h"
+#include "core/opt_dp.h"
+#include "core/verifier.h"
+#include "gen/instance_gen.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace mqd {
+namespace {
+
+using ::mqd::testing::EnumerateOptimum;
+using ::mqd::testing::MakeInstance;
+
+// Trial counts; the four suites together exceed the 1e4-instance
+// floor of the differential battery.
+constexpr int kUniformTrials = 6500;
+constexpr int kVariableTrials = 2600;
+constexpr int kEdgeTrials = 500;  // per edge-case suite
+
+Instance RandomTiny(Rng& rng, int max_posts, int max_labels,
+                    int value_range) {
+  const int n = static_cast<int>(rng.UniformInt(2, max_posts));
+  const int labels = static_cast<int>(rng.UniformInt(1, max_labels));
+  const int per_post = static_cast<int>(rng.UniformInt(1, labels));
+  auto inst = GenerateTinyInstance(n, labels, per_post, value_range, &rng);
+  MQD_CHECK(inst.ok()) << inst.status();
+  return std::move(inst).value();
+}
+
+TEST(BnBDifferentialTest, AgreesWithOptDpOnUniformFuzz) {
+  Rng rng(0xB0B1);
+  for (int trial = 0; trial < kUniformTrials; ++trial) {
+    Instance inst = RandomTiny(rng, /*max_posts=*/13, /*max_labels=*/3,
+                               /*value_range=*/24);
+    UniformLambda model(rng.UniformDouble(0.5, 6.0));
+    OptDpSolver opt;
+    BranchAndBoundSolver bnb;
+    auto a = opt.Solve(inst, model);
+    auto b = bnb.Solve(inst, model);
+    ASSERT_TRUE(a.ok()) << "trial " << trial << ": " << a.status();
+    ASSERT_TRUE(b.ok()) << "trial " << trial << ": " << b.status();
+    ASSERT_TRUE(IsCover(inst, model, *a)) << "trial " << trial;
+    ASSERT_TRUE(IsCover(inst, model, *b)) << "trial " << trial;
+    ASSERT_EQ(a->size(), b->size()) << "trial " << trial;
+  }
+}
+
+TEST(BnBDifferentialTest, AgreesWithEnumerationOnVariableLambdaFuzz) {
+  Rng rng(0xB0B2);
+  for (int trial = 0; trial < kVariableTrials; ++trial) {
+    Instance inst = RandomTiny(rng, /*max_posts=*/10, /*max_labels=*/3,
+                               /*value_range=*/16);
+    std::vector<std::vector<DimValue>> reaches(inst.num_posts());
+    DimValue max_reach = 0.0;
+    for (PostId p = 0; p < inst.num_posts(); ++p) {
+      for (int k = 0; k < MaskCount(inst.labels(p)); ++k) {
+        const DimValue r = rng.UniformDouble(0.25, 5.0);
+        reaches[p].push_back(r);
+        max_reach = std::max(max_reach, r);
+      }
+    }
+    VariableLambda model(std::move(reaches), max_reach);
+    BranchAndBoundSolver bnb;
+    auto z = bnb.Solve(inst, model);
+    ASSERT_TRUE(z.ok()) << "trial " << trial << ": " << z.status();
+    ASSERT_TRUE(IsCover(inst, model, *z)) << "trial " << trial;
+    ASSERT_EQ(z->size(), EnumerateOptimum(inst, model))
+        << "trial " << trial;
+  }
+}
+
+TEST(BnBDifferentialTest, UnusedLabelEdgeCases) {
+  // Labels declared in the universe but carried by no post: posting
+  // lists LP(a) are empty spans, which every bound and the branching
+  // loop must skip cleanly.
+  Rng rng(0xB0B3);
+  for (int trial = 0; trial < kEdgeTrials; ++trial) {
+    const int n = static_cast<int>(rng.UniformInt(2, 10));
+    InstanceBuilder b(3);  // only labels 0 and 2 ever used
+    for (int i = 0; i < n; ++i) {
+      LabelMask mask = 0;
+      if (rng.UniformInt(0, 1) == 0) mask |= MaskOf(0);
+      if (rng.UniformInt(0, 1) == 0) mask |= MaskOf(2);
+      if (mask == 0) mask = MaskOf(0);
+      b.Add(static_cast<double>(rng.UniformInt(0, 20)), mask,
+            static_cast<uint64_t>(i));
+    }
+    auto inst = b.Build();
+    ASSERT_TRUE(inst.ok());
+    UniformLambda model(rng.UniformDouble(0.5, 5.0));
+    OptDpSolver opt;
+    BranchAndBoundSolver bnb;
+    auto a = opt.Solve(*inst, model);
+    auto z = bnb.SolveCertified(*inst, model, Deadline::Unbounded());
+    ASSERT_TRUE(a.ok()) << "trial " << trial << ": " << a.status();
+    ASSERT_TRUE(z.ok()) << "trial " << trial << ": " << z.status();
+    ASSERT_TRUE(IsCover(*inst, model, z->cover)) << "trial " << trial;
+    ASSERT_EQ(a->size(), z->cover.size()) << "trial " << trial;
+    ASSERT_TRUE(z->proven_optimal) << "trial " << trial;
+    ASSERT_EQ(z->gap, 0u) << "trial " << trial;
+  }
+}
+
+TEST(BnBDifferentialTest, DuplicateValueEdgeCases) {
+  // Values drawn from a tiny integer range, so nearly every post ties
+  // with several others (the CNF-gadget shape that stresses the
+  // stable-sort total order and window boundaries).
+  Rng rng(0xB0B4);
+  for (int trial = 0; trial < kEdgeTrials; ++trial) {
+    Instance inst = RandomTiny(rng, /*max_posts=*/12, /*max_labels=*/3,
+                               /*value_range=*/3);
+    UniformLambda model(rng.UniformDouble(0.0, 2.0));
+    OptDpSolver opt;
+    BranchAndBoundSolver bnb;
+    auto a = opt.Solve(inst, model);
+    auto b = bnb.Solve(inst, model);
+    ASSERT_TRUE(a.ok()) << "trial " << trial << ": " << a.status();
+    ASSERT_TRUE(b.ok()) << "trial " << trial << ": " << b.status();
+    ASSERT_TRUE(IsCover(inst, model, *b)) << "trial " << trial;
+    ASSERT_EQ(a->size(), b->size()) << "trial " << trial;
+  }
+}
+
+TEST(BnBCertificateTest, GapZeroIffProvenOptimalOnFuzz) {
+  Rng rng(0xCE47);
+  for (int trial = 0; trial < 400; ++trial) {
+    Instance inst = RandomTiny(rng, /*max_posts=*/12, /*max_labels=*/3,
+                               /*value_range=*/20);
+    UniformLambda model(rng.UniformDouble(0.5, 5.0));
+    BranchAndBoundSolver bnb;
+    auto z = bnb.SolveCertified(inst, model, Deadline::Unbounded());
+    ASSERT_TRUE(z.ok()) << z.status();
+    // Unbounded run on a tiny instance always completes the search.
+    ASSERT_TRUE(z->proven_optimal) << "trial " << trial;
+    ASSERT_EQ(z->gap, 0u) << "trial " << trial;
+    ASSERT_EQ(z->upper_bound, z->cover.size());
+    ASSERT_EQ(z->lower_bound, z->upper_bound);
+    ASSERT_EQ(z->cover.size(), EnumerateOptimum(inst, model))
+        << "trial " << trial;
+    // Certified bounds sandwich the enumerated optimum by definition,
+    // and the root bound report must never exceed it.
+    ASSERT_LE(z->root_bounds.best, z->cover.size()) << "trial " << trial;
+  }
+}
+
+TEST(BnBCertificateTest, EmptyInstanceIsCertifiedOptimal) {
+  InstanceBuilder b(2);
+  auto inst = b.Build();
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(1.0);
+  BranchAndBoundSolver bnb;
+  auto z = bnb.SolveCertified(*inst, model, Deadline::Unbounded());
+  ASSERT_TRUE(z.ok());
+  EXPECT_TRUE(z->cover.empty());
+  EXPECT_TRUE(z->proven_optimal);
+  EXPECT_EQ(z->gap, 0u);
+  EXPECT_EQ(z->lower_bound, 0u);
+}
+
+TEST(BnBCertificateTest, ExpiredDeadlineFailsOnlyWhenWarmStartDoes) {
+  // An already-expired deadline kills the GreedySC warm start, so
+  // SolveCertified has nothing certifiable to return.
+  Rng rng(77);
+  auto inst = GenerateTinyInstance(200, 3, 2, 100, &rng);
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(3.0);
+  BranchAndBoundSolver bnb;
+  auto z = bnb.SolveCertified(*inst, model, Deadline::AfterSeconds(0.0));
+  EXPECT_FALSE(z.ok());
+  EXPECT_EQ(z.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// The anytime monotone-certificate contract: with the deterministic
+// node-budget knob, a longer run's certificate is never worse (its
+// deterministic DFS visits a superset of the shorter run's nodes in
+// the same order, so the incumbent can only shrink and the completed
+// search can only raise the proven lower bound).
+TEST(BnBCertificateTest, CertificateMonotoneInNodeBudget) {
+  Rng rng(0xA11);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto inst = GenerateTinyInstance(34, 3, 2, 50, &rng);
+    ASSERT_TRUE(inst.ok());
+    UniformLambda model(4.0);
+    size_t prev_gap = SIZE_MAX;
+    size_t prev_upper = SIZE_MAX;
+    size_t prev_lower = 0;
+    for (uint64_t max_nodes : {1ull, 4ull, 16ull, 64ull, 256ull, 4096ull,
+                               1ull << 22}) {
+      BranchAndBoundSolver bnb(
+          BranchBoundConfig{.max_nodes = max_nodes});
+      auto z = bnb.SolveCertified(*inst, model, Deadline::Unbounded());
+      ASSERT_TRUE(z.ok()) << z.status();
+      ASSERT_TRUE(IsCover(*inst, model, z->cover));
+      ASSERT_LE(z->lower_bound, z->upper_bound);
+      EXPECT_LE(z->gap, prev_gap)
+          << "trial " << trial << " max_nodes " << max_nodes;
+      EXPECT_LE(z->upper_bound, prev_upper)
+          << "trial " << trial << " max_nodes " << max_nodes;
+      EXPECT_GE(z->lower_bound, prev_lower)
+          << "trial " << trial << " max_nodes " << max_nodes;
+      prev_gap = z->gap;
+      prev_upper = z->upper_bound;
+      prev_lower = z->lower_bound;
+    }
+    // The final (effectively unbounded) run must prove optimality on
+    // instances of this size.
+    EXPECT_EQ(prev_gap, 0u) << "trial " << trial;
+  }
+}
+
+TEST(BnBCertificateTest, NodeBudgetOneStillReturnsWarmStartWithBound) {
+  // max_nodes = 1 certifies using only the warm start and root bound:
+  // the answer is GreedySC's cover, the gap its distance to the root
+  // lower bound.
+  Rng rng(5150);
+  auto inst = GenerateTinyInstance(40, 3, 2, 60, &rng);
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(5.0);
+  BranchAndBoundSolver bnb(BranchBoundConfig{.max_nodes = 1});
+  auto z = bnb.SolveCertified(*inst, model, Deadline::Unbounded());
+  ASSERT_TRUE(z.ok());
+  EXPECT_TRUE(IsCover(*inst, model, z->cover));
+  EXPECT_GE(z->lower_bound, 1u);
+  EXPECT_EQ(z->upper_bound, z->cover.size());
+  EXPECT_EQ(z->gap, z->upper_bound - z->lower_bound);
+  if (!z->proven_optimal) {
+    EXPECT_TRUE(z->stats.node_budget_exhausted);
+  }
+}
+
+TEST(BnBCertificateTest, StatsAreCoherent) {
+  Rng rng(616);
+  auto inst = GenerateTinyInstance(30, 3, 2, 40, &rng);
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(3.0);
+  BranchAndBoundSolver bnb;
+  auto z = bnb.SolveCertified(*inst, model, Deadline::Unbounded());
+  ASSERT_TRUE(z.ok());
+  EXPECT_TRUE(z->proven_optimal);
+  EXPECT_FALSE(z->stats.interrupted);
+  EXPECT_FALSE(z->stats.node_budget_exhausted);
+  // A completed search either expanded nodes or was closed at the
+  // root by the bound meeting the warm start.
+  if (z->stats.nodes == 0) {
+    EXPECT_EQ(z->root_bounds.best, z->cover.size());
+  }
+  EXPECT_LE(z->stats.max_depth, z->stats.nodes);
+}
+
+}  // namespace
+}  // namespace mqd

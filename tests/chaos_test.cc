@@ -8,16 +8,19 @@
 #include "core/coverage.h"
 #include "core/degrade.h"
 #include "core/io.h"
+#include "core/opt_dp.h"
 #include "core/verifier.h"
 #include "gen/instance_gen.h"
 #include "index/inverted_index.h"
 #include "parallel/batch_solver.h"
 #include "stream/factory.h"
 #include "stream/replay.h"
+#include "util/deadline.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace mqd {
 namespace {
@@ -255,6 +258,28 @@ TEST(ChaosTest, DisarmedSitesAreInert) {
   }
   EXPECT_EQ(injector.Hits("io.read_instance"), 0u);
   EXPECT_EQ(injector.Fires("io.read_instance"), 0u);
+}
+
+/// Regression for the exact DP's budget-overshoot fix: the deadline is
+/// polled per examined *transition* (candidate x predecessor pair),
+/// not per candidate pattern. On label-dense instances a position can
+/// carry few candidates but a huge predecessor level; a per-candidate
+/// poll with the stride-8192 checker would run thousands of positions'
+/// worth of work (far beyond any budget) before its first clock read.
+/// The budgeted run must instead fail promptly with the deadline
+/// status — generous wall bound so sanitizer builds stay green.
+TEST(ChaosTest, OptDpHonorsBudgetOnLabelDenseInstances) {
+  Rng rng(0xD0D0);
+  auto inst = GenerateTinyInstance(120, 3, 3, 30, &rng);
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(10.0);
+  OptDpSolver opt;
+  Stopwatch watch;
+  auto z = opt.SolveWithBudget(*inst, model, Deadline::AfterSeconds(0.05));
+  EXPECT_FALSE(z.ok());
+  EXPECT_EQ(z.status().code(), StatusCode::kDeadlineExceeded)
+      << z.status();
+  EXPECT_LT(watch.ElapsedSeconds(), 5.0);
 }
 
 }  // namespace

@@ -302,5 +302,56 @@ TEST(DegradeTest, SolverInterfaceReturnsCover) {
   EXPECT_EQ(*via_solve, *via_budget);
 }
 
+TEST(DegradeTest, CertifiedLadderCarriesCertificate) {
+  Instance inst = TinyInstance();
+  UniformLambda model(10.0);
+  auto ladder = DegradingSolver::WithCertified();
+  DegradeOutcome out =
+      ladder->SolveDegrading(inst, model, Deadline::Unbounded());
+  EXPECT_EQ(out.rung, "BnB");
+  EXPECT_EQ(out.rung_index, 0u);
+  EXPECT_FALSE(out.degraded);
+  ASSERT_TRUE(out.certified);
+  EXPECT_TRUE(out.proven_optimal);
+  EXPECT_EQ(out.certified_gap, 0u);
+  EXPECT_EQ(out.lower_bound, out.cover.size());
+  EXPECT_TRUE(IsCover(inst, model, out.cover));
+  EXPECT_EQ(out.cover.size(), 1u);  // the {a,b} hub at value 1.0
+}
+
+TEST(DegradeTest, CertifiedLadderStaysAnytimeUnderNodeBudget) {
+  // A starved node budget must not make the certified rung fall
+  // through: SolveCertified degrades to a non-zero gap instead.
+  Rng rng(0xCAFE);
+  auto inst = GenerateTinyInstance(60, 3, 2, 80, &rng);
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(6.0);
+  auto ladder = DegradingSolver::WithCertified(/*max_nodes=*/1);
+  DegradeOutcome out =
+      ladder->SolveDegrading(*inst, model, Deadline::Unbounded());
+  EXPECT_EQ(out.rung, "BnB");
+  ASSERT_TRUE(out.certified);
+  EXPECT_TRUE(IsCover(*inst, model, out.cover));
+  EXPECT_GE(out.lower_bound, 1u);
+  EXPECT_LE(out.lower_bound, out.cover.size());
+  EXPECT_EQ(out.certified_gap, out.cover.size() - out.lower_bound);
+}
+
+TEST(DegradeTest, CertifiedLadderFallsToTrivialOnExpiredBudget) {
+  // With an already-expired deadline even the warm start fails, so the
+  // ladder must land on the trivial rung with no stale certificate.
+  Rng rng(0xCAFF);
+  auto inst = GenerateTinyInstance(40, 3, 2, 50, &rng);
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(4.0);
+  auto ladder = DegradingSolver::WithCertified();
+  DegradeOutcome out =
+      ladder->SolveDegrading(*inst, model, Deadline::AfterSeconds(0.0));
+  EXPECT_EQ(out.rung, "trivial");
+  EXPECT_TRUE(out.degraded);
+  EXPECT_FALSE(out.certified);
+  EXPECT_TRUE(IsCover(*inst, model, out.cover));
+}
+
 }  // namespace
 }  // namespace mqd

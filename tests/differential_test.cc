@@ -8,7 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "core/reduction.h"
-#include "core/brute_force.h"
+#include "core/branch_bound.h"
 #include "core/opt_dp.h"
 #include "core/solver.h"
 #include "core/verifier.h"

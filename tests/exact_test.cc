@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "core/brute_force.h"
+#include "core/branch_bound.h"
 #include "core/opt_dp.h"
 #include "core/verifier.h"
 #include "gen/instance_gen.h"

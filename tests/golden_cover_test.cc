@@ -5,12 +5,15 @@
 // bit-for-bit. (The uniform-lambda fast path is pinned separately by
 // the serial/parallel differential tests.)
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "core/branch_bound.h"
 #include "core/greedy_sc.h"
 #include "core/proportional.h"
 #include "gen/instance_gen.h"
 #include "gtest/gtest.h"
+#include "util/logging.h"
 
 namespace mqd {
 namespace {
@@ -52,6 +55,101 @@ const std::vector<GoldenCase>& GoldenCases() {
             575}},
       };
   return *cases;
+}
+
+/// Rebuilds the pinned-seed instance + proportional model of the
+/// golden cases (shared by the cover and certified-gap fixtures).
+struct GoldenSetup {
+  Instance inst;
+  std::unique_ptr<CoverageModel> model;
+};
+
+GoldenSetup MakeGoldenSetup(uint64_t seed, size_t expect_posts) {
+  InstanceGenConfig cfg;
+  cfg.num_labels = 5;
+  cfg.duration = 1800.0;
+  cfg.posts_per_minute = 20.0;
+  cfg.overlap_rate = 1.4;
+  cfg.seed = seed;
+  auto inst = GenerateInstance(cfg);
+  MQD_CHECK(inst.ok());
+  MQD_CHECK(inst->num_posts() == expect_posts)
+      << "generator drifted at seed " << seed;
+  ProportionalConfig pcfg;
+  pcfg.lambda0 = 45.0;
+  auto model = ComputeProportionalLambdas(*inst, pcfg);
+  MQD_CHECK(model.ok());
+  return GoldenSetup{std::move(inst).value(), std::move(model).value()};
+}
+
+// Certified-gap golden fixtures: at a pinned deterministic node budget
+// the branch-and-bound certificate (lower bound, incumbent size, gap)
+// is a pure function of the seed — any drift means the search order,
+// the bounds, or the warm start changed.
+struct GoldenGapCase {
+  uint64_t seed;
+  size_t num_posts;
+  size_t lower_bound;
+  size_t upper_bound;
+  size_t gap;
+};
+
+constexpr uint64_t kGoldenGapNodeBudget = 20'000;
+
+const std::vector<GoldenGapCase>& GoldenGapCases() {
+  static const std::vector<GoldenGapCase>* const cases =
+      new std::vector<GoldenGapCase>{
+          {11, 598, 58, 75, 17},
+          {12, 586, 59, 71, 12},
+          {13, 583, 53, 73, 20},
+      };
+  return *cases;
+}
+
+TEST(GoldenCoverTest, CertifiedGapFixturesAtPinnedSeeds) {
+  for (const GoldenGapCase& gc : GoldenGapCases()) {
+    GoldenSetup setup = MakeGoldenSetup(gc.seed, gc.num_posts);
+    BranchAndBoundSolver bnb(
+        BranchBoundConfig{.max_nodes = kGoldenGapNodeBudget});
+    auto z = bnb.SolveCertified(setup.inst, *setup.model,
+                                Deadline::Unbounded());
+    ASSERT_TRUE(z.ok()) << z.status();
+    EXPECT_EQ(z->lower_bound, gc.lower_bound) << "seed " << gc.seed;
+    EXPECT_EQ(z->upper_bound, gc.upper_bound) << "seed " << gc.seed;
+    EXPECT_EQ(z->gap, gc.gap) << "seed " << gc.seed;
+    EXPECT_EQ(z->upper_bound, z->cover.size());
+  }
+}
+
+// Anytime monotone-certificate contract at paper scale: shrinking the
+// deterministic budget never yields a *smaller* gap than a longer run
+// of the same configuration.
+TEST(GoldenCoverTest, ShrinkingBudgetNeverImprovesCertificate) {
+  for (uint64_t seed : {11, 12, 13}) {
+    const size_t posts[] = {598, 586, 583};
+    GoldenSetup setup = MakeGoldenSetup(seed, posts[seed - 11]);
+    size_t prev_gap = 0;
+    size_t prev_upper = 0;
+    bool first = true;
+    // Descending budgets: each certificate must be no better (no
+    // smaller gap, no smaller cover) than the run with more nodes.
+    for (uint64_t max_nodes :
+         {kGoldenGapNodeBudget, kGoldenGapNodeBudget / 10, uint64_t{1}}) {
+      BranchAndBoundSolver bnb(BranchBoundConfig{.max_nodes = max_nodes});
+      auto z = bnb.SolveCertified(setup.inst, *setup.model,
+                                  Deadline::Unbounded());
+      ASSERT_TRUE(z.ok()) << z.status();
+      if (!first) {
+        EXPECT_GE(z->gap, prev_gap)
+            << "seed " << seed << " max_nodes " << max_nodes;
+        EXPECT_GE(z->upper_bound, prev_upper)
+            << "seed " << seed << " max_nodes " << max_nodes;
+      }
+      first = false;
+      prev_gap = z->gap;
+      prev_upper = z->upper_bound;
+    }
+  }
 }
 
 TEST(GoldenCoverTest, VariableLambdaCoversMatchPrePrBehavior) {

@@ -3,7 +3,7 @@
 // must hold against the exact optimum.
 #include <gtest/gtest.h>
 
-#include "core/brute_force.h"
+#include "core/branch_bound.h"
 #include "core/greedy_sc.h"
 #include "core/opt_dp.h"
 #include "core/scan.h"

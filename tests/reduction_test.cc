@@ -12,7 +12,7 @@
 // exercised here.
 #include <gtest/gtest.h>
 
-#include "core/brute_force.h"
+#include "core/branch_bound.h"
 #include "core/opt_dp.h"
 #include "core/reduction.h"
 #include "core/verifier.h"

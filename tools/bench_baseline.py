@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Records the repo's hot-path perf trajectory into BENCH_*.json.
 
-Two suites:
+Three suites:
   core    - the pinned-seed select microbenches of bench_micro (the
             BM_*PaperScale / BM_GreedyGainInit / BM_LabelPostsInRange /
             BM_InstanceBuild entries) plus the Figure 13 end-to-end
@@ -11,14 +11,21 @@ Two suites:
             side with their pre-overhaul references, plus the
             deadline-fire and batch-solve heavy regimes), written to
             BENCH_stream.json with the opt-vs-ref speedups computed.
+  gap     - the bench_gap certified-gap sweeps (gap vs lambda at seeds
+            11-13, gap vs |L| at seed 11, fixed 20k-node budget),
+            written to BENCH_gap.json. Unlike the timing suites these
+            numbers are deterministic: the branch-and-bound
+            certificate at a fixed node budget is a pure function of
+            the seed, so the artifact is machine-independent.
 
 Each suite writes one JSON document so this and future PRs can diff
 the recorded numbers. Pure stdlib; no third-party deps.
 
 Usage:
-  tools/bench_baseline.py [--suite core|stream|all]
+  tools/bench_baseline.py [--suite core|stream|gap|all]
                           [--build-dir build] [--out BENCH_core.json]
                           [--stream-out BENCH_stream.json]
+                          [--gap-out BENCH_gap.json]
                           [--sanity] [--fig13-scale 0.02]
 
 --sanity is the CI mode: it still runs every binary end to end and
@@ -156,6 +163,99 @@ def run_fig13(build_dir, scale):
             "sections": sections}
 
 
+# One bench_gap lambda-sweep row: lambda, seed, posts, lower, upper,
+# gap, proven (see bench/bench_gap.cc).
+GAP_LAMBDA_RE = re.compile(
+    r"^\s*(\d+)\s+(\d+)\s+(\d+)\s+(\d+)\s+(\d+)\s+(\d+)\s+([01])\s*$")
+# One |L|-sweep row: labels, posts, lower, upper, gap, proven.
+GAP_LABELS_RE = re.compile(
+    r"^\s*(\d+)\s+(\d+)\s+(\d+)\s+(\d+)\s+(\d+)\s+([01])\s*$")
+
+
+def run_gap(build_dir, sanity):
+    binary = os.path.join(build_dir, "bench", "bench_gap")
+    env = dict(os.environ)
+    if sanity:
+        # Shrink the node budget; structure (row counts, columns) is
+        # identical, only the certified numbers weaken.
+        env["MQD_BENCH_SCALE"] = "0.02"
+    start = time.monotonic()
+    out = subprocess.run([binary], check=True, capture_output=True,
+                         text=True, env=env)
+    elapsed = time.monotonic() - start
+    section = None
+    vs_lambda, vs_labels = [], []
+    for line in out.stdout.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("--- certified gap vs lambda"):
+            section = "lambda"
+            continue
+        if stripped.startswith("--- certified gap vs |L|"):
+            section = "labels"
+            continue
+        if section == "lambda":
+            row = GAP_LAMBDA_RE.match(line)
+            if row:
+                vs_lambda.append({
+                    "lambda_s": int(row.group(1)),
+                    "seed": int(row.group(2)),
+                    "posts": int(row.group(3)),
+                    "lower_bound": int(row.group(4)),
+                    "upper_bound": int(row.group(5)),
+                    "gap": int(row.group(6)),
+                    "proven_optimal": row.group(7) == "1",
+                })
+        elif section == "labels":
+            row = GAP_LABELS_RE.match(line)
+            if row:
+                vs_labels.append({
+                    "num_labels": int(row.group(1)),
+                    "posts": int(row.group(2)),
+                    "lower_bound": int(row.group(3)),
+                    "upper_bound": int(row.group(4)),
+                    "gap": int(row.group(5)),
+                    "proven_optimal": row.group(6) == "1",
+                })
+    if len(vs_lambda) != 15 or len(vs_labels) != 5:
+        raise SystemExit(
+            f"could not parse bench_gap output: {len(vs_lambda)} lambda "
+            f"rows (want 15), {len(vs_labels)} label rows (want 5)")
+    return {"wall_seconds": round(elapsed, 3), "gap_vs_lambda": vs_lambda,
+            "gap_vs_labels": vs_labels}
+
+
+def write_gap(args):
+    gap = run_gap(args.build_dir, args.sanity)
+    doc = {
+        "schema": "mqd-bench-gap/1",
+        "revision": git_revision(),
+        "recorded_unix": int(time.time()),
+        "sanity_mode": args.sanity,
+        "workload": {
+            "gap": "bench_gap certified B&B gaps on the golden "
+                   "generator config (30 min @ 20 posts/min, overlap "
+                   "1.4); 20k-node deterministic budget at scale 1",
+        },
+        "bench_gap": gap,
+    }
+
+    with open(args.gap_out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    reread = json.load(open(args.gap_out))
+    rows = reread["bench_gap"]
+    assert len(rows["gap_vs_lambda"]) == 15
+    assert len(rows["gap_vs_labels"]) == 5
+    for row in rows["gap_vs_lambda"] + rows["gap_vs_labels"]:
+        assert row["lower_bound"] <= row["upper_bound"], row
+        assert row["gap"] == row["upper_bound"] - row["lower_bound"], row
+    mean_gap = sum(r["gap"] for r in rows["gap_vs_lambda"]) / 15.0
+    print(f"wrote {args.gap_out}: 15 lambda rows + 5 label rows, mean "
+          f"lambda-sweep gap {mean_gap:.1f} (revision "
+          f"{reread['revision']})")
+
+
 def git_revision():
     try:
         return subprocess.run(
@@ -233,11 +333,12 @@ def write_stream(args):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--suite", choices=["core", "stream", "all"],
+    parser.add_argument("--suite", choices=["core", "stream", "gap", "all"],
                         default="all")
     parser.add_argument("--build-dir", default="build")
     parser.add_argument("--out", default="BENCH_core.json")
     parser.add_argument("--stream-out", default="BENCH_stream.json")
+    parser.add_argument("--gap-out", default="BENCH_gap.json")
     parser.add_argument("--sanity", action="store_true",
                         help="CI smoke mode: minimal reps, structure-"
                              "only validation, no timing thresholds")
@@ -254,6 +355,8 @@ def main():
         write_core(args, scale)
     if args.suite in ("stream", "all"):
         write_stream(args)
+    if args.suite in ("gap", "all"):
+        write_gap(args)
     return 0
 
 
