@@ -1,0 +1,159 @@
+// Multi-tenant fan-out bench: how the MultiTenantStream engine scales
+// with concurrent label-set profiles at the Figure 14-15 arrival rate
+// (|L| = 20, 118 posts/min, overlap 1.4, lambda = tau = 300 s). The
+// claim under test is per-post cost sublinear in tenant count: the
+// shared scan tier absorbs every arrival once no matter how many
+// tenants subscribe, and the cluster tier's work scales with distinct
+// (mask, join) subscriptions — which the Section 7.1 broad-group
+// profile generator saturates long before the tenant counts swept
+// here — not with tenants. tools/bench_baseline.py records the table
+// into BENCH_tenant.json; keep the columns stable.
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/coverage.h"
+#include "gen/instance_gen.h"
+#include "gen/profile_gen.h"
+#include "stream/factory.h"
+#include "stream/multi_tenant.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace mqd {
+namespace {
+
+/// The Figure 14-15 regime. MQD_BENCH_SCALE shrinks the stream
+/// duration only; tenant counts are the variable under test and stay
+/// fixed so the committed artifact really shows 100k profiles.
+Instance PaperScaleInstance() {
+  InstanceGenConfig cfg;
+  cfg.num_labels = 20;
+  cfg.duration = std::max(60.0, 3600.0 * BenchScale());
+  cfg.posts_per_minute = 118.0;
+  cfg.overlap_rate = 1.4;
+  cfg.seed = 13;
+  auto inst = GenerateInstance(cfg);
+  MQD_CHECK(inst.ok());
+  return std::move(inst).value();
+}
+
+struct RowStats {
+  double per_post_us = 0.0;
+  double derive_us = 0.0;
+  size_t clusters = 0;
+  double amplification = 0.0;
+  double shared_hit_rate = 0.0;
+};
+
+/// One engine run: subscribe `num_tenants` fuzzed 3-label profiles at
+/// epoch 0, replay the full stream, then derive a 200-tenant sample of
+/// emission sequences (the per-query cost a serving layer would pay).
+RowStats RunEngine(const Instance& inst, const CoverageModel& model,
+                   StreamKind kind, double tau, size_t num_tenants) {
+  Rng rng(num_tenants * 2654435761ULL + static_cast<uint64_t>(kind));
+  auto profiles =
+      GenerateLabelMaskProfiles(inst.num_labels(), 3, num_tenants, &rng);
+  MQD_CHECK(profiles.ok());
+  auto engine = MultiTenantStream::Create(inst, model, kind, tau);
+  MQD_CHECK(engine.ok());
+  std::vector<TenantId> ids;
+  ids.reserve(num_tenants);
+  for (LabelMask mask : *profiles) {
+    auto id = (*engine)->Subscribe(mask);
+    MQD_CHECK(id.ok());
+    ids.push_back(*id);
+  }
+
+  Stopwatch replay;
+  MQD_CHECK((*engine)->RunToEnd().ok());
+  const double replay_s = replay.ElapsedSeconds();
+
+  RowStats row;
+  row.per_post_us =
+      replay_s * 1e6 / static_cast<double>(inst.num_posts());
+  row.clusters = (*engine)->num_clusters();
+  row.amplification = (*engine)->fanout_amplification();
+  row.shared_hit_rate = (*engine)->shared_hit_rate();
+
+  const size_t sample = std::min<size_t>(200, ids.size());
+  const size_t stride = std::max<size_t>(1, ids.size() / sample);
+  Stopwatch derive;
+  size_t derived = 0, emissions = 0;
+  for (size_t i = 0; i < ids.size() && derived < sample; i += stride) {
+    auto e = (*engine)->TenantEmissions(ids[i]);
+    MQD_CHECK(e.ok());
+    emissions += e->size();
+    ++derived;
+  }
+  MQD_CHECK(emissions > 0);
+  row.derive_us =
+      derive.ElapsedSeconds() * 1e6 / static_cast<double>(derived);
+  return row;
+}
+
+void Run() {
+  bench::PrintHeader(
+      "multi-tenant stream fan-out scaling (no paper counterpart)",
+      "Figure 14-15 arrival regime (|L|=20, 118 posts/min, overlap "
+      "1.4, lambda=tau=300s), 3-label profiles, tenants subscribed at "
+      "epoch 0",
+      "n/a — the engine's contract: per-post cost sublinear in tenant "
+      "count (shared scan tier absorbs arrivals once; cluster tier "
+      "scales with distinct subscriptions, which saturate)");
+
+  const Instance inst = PaperScaleInstance();
+  UniformLambda model(300.0);
+  const double tau = 300.0;
+  std::cout << "Stream: " << inst.num_posts() << " posts\n";
+
+  const std::vector<size_t> tenant_counts = {1000, 10000, 100000};
+  TablePrinter table({"algo", "tenants", "clusters", "per_post_us",
+                      "amplification", "shared_hit_rate", "derive_us"});
+  // per_post_us at the sweep's endpoints, per algorithm, for the
+  // sublinearity shape check below.
+  std::vector<double> first_cost, last_cost;
+  for (StreamKind kind :
+       {StreamKind::kStreamScan, StreamKind::kStreamGreedyPlus}) {
+    for (size_t i = 0; i < tenant_counts.size(); ++i) {
+      const size_t n = tenant_counts[i];
+      const RowStats row = RunEngine(inst, model, kind, tau, n);
+      table.AddRow({std::string(StreamKindName(kind)), std::to_string(n),
+                    std::to_string(row.clusters),
+                    FormatDouble(row.per_post_us, 3),
+                    FormatDouble(row.amplification, 2),
+                    FormatDouble(row.shared_hit_rate, 3),
+                    FormatDouble(row.derive_us, 3)});
+      if (i == 0) first_cost.push_back(row.per_post_us);
+      if (i + 1 == tenant_counts.size()) last_cost.push_back(row.per_post_us);
+    }
+  }
+  table.Print(std::cout);
+  bench::MaybeWriteCsv("tenant_fanout", table);
+
+  bench::PrintSection("Shape check");
+  const double ratio =
+      static_cast<double>(tenant_counts.back()) /
+      static_cast<double>(tenant_counts.front());
+  for (size_t i = 0; i < first_cost.size(); ++i) {
+    const StreamKind kind = i == 0 ? StreamKind::kStreamScan
+                                   : StreamKind::kStreamGreedyPlus;
+    std::cout << StreamKindName(kind) << ": per-post cost grew "
+              << FormatDouble(last_cost[i] / first_cost[i], 2) << "x over a "
+              << FormatDouble(ratio, 0)
+              << "x tenant increase (sublinear when << tenant ratio)\n";
+  }
+  bench::MaybeWriteMetrics("tenant");
+}
+
+}  // namespace
+}  // namespace mqd
+
+int main() {
+  mqd::Run();
+  return 0;
+}

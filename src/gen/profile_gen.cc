@@ -54,4 +54,49 @@ Result<std::vector<Profile>> GenerateProfiles(
   return profiles;
 }
 
+Result<std::vector<LabelMask>> GenerateLabelMaskProfiles(
+    int num_labels, size_t label_set_size, size_t count, Rng* rng) {
+  if (num_labels < 1 || num_labels > kMaxLabels) {
+    return Status::InvalidArgument(
+        "num_labels must be in [1, kMaxLabels]");
+  }
+  if (label_set_size == 0 ||
+      label_set_size > static_cast<size_t>(num_labels)) {
+    return Status::InvalidArgument(
+        "label_set_size must be in [1, num_labels]");
+  }
+  constexpr int kGroupSize = 4;  // broad topic = 4 consecutive labels
+  const int num_groups = (num_labels + kGroupSize - 1) / kGroupSize;
+
+  std::vector<LabelMask> profiles;
+  profiles.reserve(count);
+  std::vector<LabelId> members;
+  for (size_t c = 0; c < count; ++c) {
+    const int group = static_cast<int>(rng->Uniform(
+        static_cast<size_t>(num_groups)));
+    members.clear();
+    for (int a = group * kGroupSize;
+         a < std::min((group + 1) * kGroupSize, num_labels); ++a) {
+      members.push_back(static_cast<LabelId>(a));
+    }
+    rng->Shuffle(&members);
+    LabelMask mask = 0;
+    size_t picked = 0;
+    for (LabelId a : members) {
+      if (picked == label_set_size) break;
+      mask |= MaskOf(a);
+      ++picked;
+    }
+    while (picked < label_set_size) {
+      const LabelId a = static_cast<LabelId>(
+          rng->Uniform(static_cast<size_t>(num_labels)));
+      if (MaskHas(mask, a)) continue;
+      mask |= MaskOf(a);
+      ++picked;
+    }
+    profiles.push_back(mask);
+  }
+  return profiles;
+}
+
 }  // namespace mqd

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/types.h"
 #include "topics/topic_model.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -23,6 +24,17 @@ using Profile = std::vector<size_t>;
 Result<std::vector<Profile>> GenerateProfiles(
     const std::vector<Topic>& topics, size_t label_set_size, size_t count,
     Rng* rng);
+
+/// Subscription workloads for the multi-tenant stream engine: `count`
+/// label masks of `label_set_size` labels each over the dense label
+/// universe [0, num_labels), following the same Section 7.1 scheme as
+/// GenerateProfiles — labels are partitioned into broad groups of
+/// four consecutive ids, a profile picks one group and draws its
+/// labels there first, topping up from the whole universe when the
+/// group is too small. Duplicate masks are expected and wanted: they
+/// are what profile clustering de-duplicates.
+Result<std::vector<LabelMask>> GenerateLabelMaskProfiles(
+    int num_labels, size_t label_set_size, size_t count, Rng* rng);
 
 }  // namespace mqd
 

@@ -179,6 +179,23 @@ const GapMetrics& GetGapMetrics() {
   return *metrics;
 }
 
+const TenantMetrics& GetTenantMetrics() {
+  static const TenantMetrics* const metrics = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    return new TenantMetrics{
+        &reg.MustGauge("mqd_tenant_active"),
+        &reg.MustGauge("mqd_tenant_clusters"),
+        &reg.MustCounter("mqd_tenant_arrivals_total"),
+        &reg.MustCounter("mqd_tenant_fanout_deliveries_total"),
+        &reg.MustCounter("mqd_tenant_shared_state_hits_total"),
+        &reg.MustCounter("mqd_tenant_evictions_total"),
+        &reg.MustCounter("mqd_tenant_restores_total"),
+        &reg.MustCounter("mqd_tenant_quarantined_total"),
+    };
+  }();
+  return *metrics;
+}
+
 namespace {
 
 /// rung -> Counter cache for mqd_robust_degraded_total{rung}.

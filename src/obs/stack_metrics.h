@@ -133,6 +133,23 @@ struct GapMetrics {
 
 const GapMetrics& GetGapMetrics();
 
+/// Multi-tenant serving metrics (stream/multi_tenant). Gauges track
+/// the engine's current registry shape; counters are flushed by the
+/// engine on Finish (and incremented directly on evict/restore/
+/// quarantine events).
+struct TenantMetrics {
+  Gauge* active_tenants;       // mqd_tenant_active
+  Gauge* clusters;             // mqd_tenant_clusters
+  Counter* arrivals;           // mqd_tenant_arrivals_total
+  Counter* fanout_deliveries;  // mqd_tenant_fanout_deliveries_total
+  Counter* shared_hits;        // mqd_tenant_shared_state_hits_total
+  Counter* evictions;          // mqd_tenant_evictions_total
+  Counter* restores;           // mqd_tenant_restores_total
+  Counter* quarantines;        // mqd_tenant_quarantined_total
+};
+
+const TenantMetrics& GetTenantMetrics();
+
 /// Installs the registry-backed ThreadPoolObserver so every ThreadPool
 /// reports into GetThreadPoolMetrics(). Idempotent and thread safe;
 /// call once near process start (mqd_cli and bench_common do).

@@ -16,7 +16,10 @@ namespace {
 constexpr char kMagic[8] = {'M', 'Q', 'D', 'S', 'N', 'A', 'P', '1'};
 constexpr uint32_t kFormatVersion = 1;
 
-uint64_t Fnv1a(std::string_view bytes, uint64_t h = 1469598103934665603ULL) {
+}  // namespace
+
+uint64_t SnapshotChecksum(std::string_view bytes, uint64_t seed) {
+  uint64_t h = seed;
   for (char c : bytes) {
     h ^= static_cast<unsigned char>(c);
     h *= 1099511628211ULL;
@@ -24,9 +27,6 @@ uint64_t Fnv1a(std::string_view bytes, uint64_t h = 1469598103934665603ULL) {
   return h;
 }
 
-/// Fingerprint of the instance a snapshot was taken against: the
-/// carried state indexes into the value-sorted post table, so resuming
-/// against a different table would silently emit the wrong posts.
 uint64_t InstanceFingerprint(const Instance& inst) {
   uint64_t h = 1469598103934665603ULL;
   for (PostId p = 0; p < inst.num_posts(); ++p) {
@@ -38,12 +38,10 @@ uint64_t InstanceFingerprint(const Instance& inst) {
     char buf[16];
     std::memcpy(buf, &bits, 8);
     std::memcpy(buf + 8, &mask, 8);
-    h = Fnv1a(std::string_view(buf, sizeof(buf)), h);
+    h = SnapshotChecksum(std::string_view(buf, sizeof(buf)), h);
   }
   return h;
 }
-
-}  // namespace
 
 Status StreamProcessor::RestoreEmissionLog(std::vector<Emission> emissions) {
   std::vector<bool> flags(emitted_flag_.size(), false);
@@ -99,7 +97,7 @@ Status SaveStreamCheckpoint(const StreamProcessor& processor,
   os.write(kMagic, sizeof(kMagic));
   os.write(body.bytes().data(),
            static_cast<std::streamsize>(body.bytes().size()));
-  const uint64_t checksum = Fnv1a(body.bytes());
+  const uint64_t checksum = SnapshotChecksum(body.bytes());
   os.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
   if (!os.good()) {
     return Status::Internal("checkpoint write failed");
@@ -133,7 +131,7 @@ Result<PostId> RestoreStreamCheckpoint(StreamProcessor* processor,
   std::memcpy(&recorded_checksum,
               blob.data() + blob.size() - sizeof(uint64_t),
               sizeof(uint64_t));
-  if (Fnv1a(body) != recorded_checksum) {
+  if (SnapshotChecksum(body) != recorded_checksum) {
     return Status::InvalidArgument("snapshot checksum mismatch");
   }
 

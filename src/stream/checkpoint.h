@@ -136,6 +136,18 @@ class CheckpointableStream {
   virtual Status RestoreStreamState(SnapshotReader* reader) = 0;
 };
 
+/// FNV-1a over `bytes`, chainable via `seed`. The checksum every MQD
+/// snapshot format (stream checkpoints, tenant snapshots) appends to
+/// its body.
+uint64_t SnapshotChecksum(std::string_view bytes,
+                          uint64_t seed = 1469598103934665603ULL);
+
+/// Fingerprint of the instance a snapshot was taken against — FNV-1a
+/// over every post's (value bits, label mask). Carried state indexes
+/// into the value-sorted post table, so resuming against a different
+/// table would silently emit the wrong posts.
+uint64_t InstanceFingerprint(const Instance& inst);
+
 /// Serializes `processor`'s full recovery state to `os`. `next_post`
 /// is the replay cursor: the first post NOT yet delivered via
 /// OnArrival. Returns Unimplemented for processors that do not

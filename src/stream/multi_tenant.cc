@@ -1,0 +1,581 @@
+#include "stream/multi_tenant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <iterator>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "obs/stack_metrics.h"
+#include "stream/checkpoint.h"
+#include "util/fault_injection.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace mqd {
+
+namespace {
+
+constexpr char kTenantMagic[8] = {'M', 'Q', 'D', 'T', 'N', 'T', '0', '1'};
+constexpr uint32_t kTenantFormatVersion = 1;
+constexpr uint8_t kTierShared = 0;
+constexpr uint8_t kTierCluster = 1;
+
+/// CoverageModel of a TenantView: every query is answered by the
+/// parent model under the local→global post/label mappings, so the
+/// restricted run computes with the identical doubles (and the same
+/// IsUniform fast-path choice) as a run on the full model.
+class RestrictedCoverage final : public CoverageModel {
+ public:
+  RestrictedCoverage(const Instance& parent_inst, const CoverageModel& parent,
+                     std::vector<LabelId> global_label,
+                     std::vector<PostId> global_post)
+      : parent_inst_(parent_inst),
+        parent_(parent),
+        global_label_(std::move(global_label)),
+        global_post_(std::move(global_post)) {}
+
+  DimValue Reach(const Instance&, PostId coverer, LabelId a) const override {
+    return parent_.Reach(parent_inst_, global_post_[coverer],
+                         global_label_[a]);
+  }
+  DimValue MaxReach() const override { return parent_.MaxReach(); }
+  bool IsUniform() const override { return parent_.IsUniform(); }
+
+ private:
+  const Instance& parent_inst_;
+  const CoverageModel& parent_;
+  std::vector<LabelId> global_label_;
+  std::vector<PostId> global_post_;
+};
+
+/// First local post id of `view` whose global id is >= `global`.
+uint32_t LocalLowerBound(const std::vector<PostId>& global_of_local,
+                         PostId global) {
+  return static_cast<uint32_t>(
+      std::lower_bound(global_of_local.begin(), global_of_local.end(),
+                       global) -
+      global_of_local.begin());
+}
+
+}  // namespace
+
+Result<TenantView> BuildTenantView(const Instance& inst,
+                                   const CoverageModel& model,
+                                   LabelMask mask, PostId from_post) {
+  if (mask == 0) {
+    return Status::InvalidArgument("tenant label mask is empty");
+  }
+  const std::vector<LabelId> global_labels = MaskToLabels(mask);
+  if (!global_labels.empty() &&
+      global_labels.back() >= static_cast<LabelId>(inst.num_labels())) {
+    return Status::InvalidArgument(
+        StrFormat("tenant mask uses label %u outside the %d-label universe",
+                  global_labels.back(), inst.num_labels()));
+  }
+
+  InstanceBuilder builder(static_cast<int>(global_labels.size()));
+  std::vector<PostId> global_of_local;
+  for (PostId p = from_post; p < inst.num_posts(); ++p) {
+    const LabelMask hit = inst.labels(p) & mask;
+    if (hit == 0) continue;
+    // Compress the global mask onto the dense local label ids. The
+    // mapping is monotone (ascending global label -> ascending local
+    // id), which preserves the (deadline, label) heap tie order.
+    LabelMask local = 0;
+    for (size_t i = 0; i < global_labels.size(); ++i) {
+      if (MaskHas(hit, global_labels[i])) {
+        local |= MaskOf(static_cast<LabelId>(i));
+      }
+    }
+    builder.Add(inst.value(p), local, /*external_id=*/p);
+    global_of_local.push_back(p);
+  }
+
+  TenantView view;
+  MQD_ASSIGN_OR_RETURN(view.sub, builder.Build());
+  // Posts enter the builder in global (value, tie) order and values
+  // are non-decreasing, so the stable Build keeps insertion order and
+  // local ids are monotone in global ids.
+  MQD_DCHECK(view.sub.num_posts() == global_of_local.size());
+  view.model = std::make_unique<RestrictedCoverage>(
+      inst, model, global_labels, global_of_local);
+  view.global_of_local = std::move(global_of_local);
+  return view;
+}
+
+MultiTenantStream::MultiTenantStream(const Instance& inst,
+                                     const CoverageModel& model,
+                                     StreamKind kind, double tau)
+    : inst_(inst),
+      model_(model),
+      kind_(kind),
+      tau_(tau),
+      label_clusters_(static_cast<size_t>(inst.num_labels())) {}
+
+Result<std::unique_ptr<MultiTenantStream>> MultiTenantStream::Create(
+    const Instance& inst, const CoverageModel& model, StreamKind kind,
+    double tau) {
+  if (kind == StreamKind::kInstant) {
+    return Status::InvalidArgument(
+        "multi-tenant serving needs a replayable stream algorithm; "
+        "Instant has no carried state to share");
+  }
+  if (!std::isfinite(tau) || tau < 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("tau must be finite and non-negative, got %g", tau));
+  }
+  return std::unique_ptr<MultiTenantStream>(
+      new MultiTenantStream(inst, model, kind, tau));
+}
+
+Status MultiTenantStream::ValidateMask(LabelMask mask) const {
+  if (mask == 0) {
+    return Status::InvalidArgument("tenant label mask is empty");
+  }
+  if (inst_.num_labels() < kMaxLabels &&
+      (mask >> inst_.num_labels()) != 0) {
+    return Status::InvalidArgument(
+        StrFormat("tenant mask uses labels outside the %d-label universe",
+                  inst_.num_labels()));
+  }
+  return Status::OK();
+}
+
+void MultiTenantStream::EnsureSharedScan() {
+  if (shared_scan_) return;
+  shared_scan_ = std::make_unique<StreamScanProcessor>(
+      inst_, model_, tau_, /*cross_label_pruning=*/false);
+  shared_scan_->EnableFireLog();
+}
+
+Result<std::unique_ptr<MultiTenantStream::Cluster>>
+MultiTenantStream::BuildCluster(LabelMask mask, PostId join) const {
+  auto cluster = std::make_unique<Cluster>();
+  cluster->mask = mask;
+  cluster->join_cursor = join;
+  MQD_ASSIGN_OR_RETURN(cluster->view,
+                       BuildTenantView(inst_, model_, mask, join));
+  cluster->processor = CreateStreamProcessor(kind_, cluster->view.sub,
+                                             *cluster->view.model, tau_);
+  return cluster;
+}
+
+uint32_t MultiTenantStream::RegisterCluster(
+    std::unique_ptr<Cluster> cluster) {
+  const uint32_t index = static_cast<uint32_t>(clusters_.size());
+  cluster_index_[{cluster->mask, cluster->join_cursor}] = index;
+  ForEachLabel(cluster->mask, [&](LabelId a) {
+    label_clusters_[a].push_back(index);
+  });
+  clusters_.push_back(std::move(cluster));
+  ++live_clusters_;
+  obs::GetTenantMetrics().clusters->Set(static_cast<double>(live_clusters_));
+  return index;
+}
+
+Result<uint32_t> MultiTenantStream::AttachCluster(LabelMask mask,
+                                                  PostId join) {
+  const auto it = cluster_index_.find({mask, join});
+  if (it != cluster_index_.end()) {
+    Cluster& cluster = *clusters_[it->second];
+    if (!cluster.health.ok()) return cluster.health;
+    ++cluster.refcount;
+    return it->second;
+  }
+  MQD_ASSIGN_OR_RETURN(std::unique_ptr<Cluster> cluster,
+                       BuildCluster(mask, join));
+  cluster->refcount = 1;
+  return RegisterCluster(std::move(cluster));
+}
+
+void MultiTenantStream::DetachCluster(uint32_t index) {
+  Cluster& cluster = *clusters_[index];
+  MQD_DCHECK(cluster.refcount > 0);
+  if (--cluster.refcount > 0) return;
+  cluster_index_.erase({cluster.mask, cluster.join_cursor});
+  // label_clusters_ may keep the tombstoned id; Deliver skips nulls.
+  clusters_[index].reset();
+  --live_clusters_;
+  obs::GetTenantMetrics().clusters->Set(static_cast<double>(live_clusters_));
+}
+
+Result<TenantId> MultiTenantStream::Subscribe(LabelMask labels) {
+  if (finished_) {
+    return Status::FailedPrecondition(
+        "cannot subscribe to a finished stream");
+  }
+  MQD_RETURN_NOT_OK(ValidateMask(labels));
+  TenantRec rec;
+  rec.mask = labels;
+  rec.join_cursor = cursor_;
+  rec.active = true;
+  if (kind_ == StreamKind::kStreamScan && cursor_ == 0) {
+    // Shared per-label tier: plain StreamScan's labels never interact,
+    // so one full-universe engine serves every epoch-0 subscriber.
+    EnsureSharedScan();
+    ++shared_tier_tenants_;
+  } else {
+    MQD_ASSIGN_OR_RETURN(rec.cluster, AttachCluster(labels, cursor_));
+  }
+  tenants_.push_back(rec);
+  ++active_tenants_;
+  obs::GetTenantMetrics().active_tenants->Set(
+      static_cast<double>(active_tenants_));
+  return static_cast<TenantId>(tenants_.size() - 1);
+}
+
+void MultiTenantStream::Deactivate(TenantId tenant) {
+  TenantRec& rec = tenants_[tenant];
+  rec.active = false;
+  --active_tenants_;
+  if (rec.cluster == kNoCluster) {
+    --shared_tier_tenants_;
+  } else {
+    DetachCluster(rec.cluster);
+  }
+  obs::GetTenantMetrics().active_tenants->Set(
+      static_cast<double>(active_tenants_));
+}
+
+Status MultiTenantStream::Unsubscribe(TenantId tenant) {
+  if (tenant >= tenants_.size() || !tenants_[tenant].active) {
+    return Status::NotFound(
+        StrFormat("tenant %u is not subscribed", tenant));
+  }
+  Deactivate(tenant);
+  return Status::OK();
+}
+
+void MultiTenantStream::Deliver(Cluster& cluster, PostId post) {
+  if (!cluster.health.ok()) return;  // quarantined: stops receiving
+  FaultInjector& injector = FaultInjector::Global();
+  if (injector.armed()) {
+    Status fault = injector.MaybeInject("tenant.fanout");
+    if (!fault.ok()) {
+      // Quarantine this cluster only: its tenants' queries return the
+      // fault; every other tenant's state is untouched.
+      cluster.health = std::move(fault);
+      obs::GetTenantMetrics().quarantines->Increment();
+      return;
+    }
+  }
+  const uint32_t local = cluster.next_local++;
+  MQD_DCHECK(local < cluster.view.global_of_local.size() &&
+             cluster.view.global_of_local[local] == post);
+  cluster.processor->AdvanceTo(inst_.value(post));
+  cluster.processor->OnArrival(local);
+  ++fanout_deliveries_;
+}
+
+Status MultiTenantStream::RunUntil(PostId end) {
+  if (end < cursor_ || end > inst_.num_posts()) {
+    return Status::InvalidArgument(
+        StrFormat("RunUntil(%u) outside [%u, %zu]", end, cursor_,
+                  inst_.num_posts()));
+  }
+  if (end == cursor_) return Status::OK();
+  if (finished_) {
+    return Status::FailedPrecondition("stream already finished");
+  }
+  for (PostId p = cursor_; p < end; ++p) {
+    ++arrivals_;
+    if (shared_scan_) {
+      // The whole shared tier absorbs this arrival once, for every
+      // subscribed scan tenant at once.
+      shared_scan_->AdvanceTo(inst_.value(p));
+      shared_scan_->OnArrival(p);
+      ++shared_tier_hits_;
+    }
+    // Cluster fan-out: visit each cluster carrying any of the post's
+    // labels exactly once (stamp dedup across the label lists).
+    ++visit_stamp_;
+    ForEachLabel(inst_.labels(p), [&](LabelId a) {
+      for (const uint32_t c : label_clusters_[a]) {
+        Cluster* cluster = clusters_[c].get();
+        if (cluster == nullptr) continue;  // tombstone
+        if (cluster->visit_stamp == visit_stamp_) continue;
+        cluster->visit_stamp = visit_stamp_;
+        Deliver(*cluster, p);
+      }
+    });
+    cursor_ = p + 1;
+  }
+  return Status::OK();
+}
+
+void MultiTenantStream::Finish() {
+  if (finished_) return;
+  if (shared_scan_) shared_scan_->Finish();
+  for (const std::unique_ptr<Cluster>& cluster : clusters_) {
+    if (cluster && cluster->health.ok()) cluster->processor->Finish();
+  }
+  finished_ = true;
+  const obs::TenantMetrics& metrics = obs::GetTenantMetrics();
+  metrics.arrivals->Increment(arrivals_ - flushed_arrivals_);
+  metrics.fanout_deliveries->Increment(fanout_deliveries_ -
+                                       flushed_fanout_deliveries_);
+  metrics.shared_hits->Increment(shared_tier_hits_ -
+                                 flushed_shared_tier_hits_);
+  flushed_arrivals_ = arrivals_;
+  flushed_fanout_deliveries_ = fanout_deliveries_;
+  flushed_shared_tier_hits_ = shared_tier_hits_;
+}
+
+Status MultiTenantStream::RunToEnd() {
+  MQD_RETURN_NOT_OK(RunUntil(static_cast<PostId>(inst_.num_posts())));
+  Finish();
+  return Status::OK();
+}
+
+std::vector<Emission> MultiTenantStream::DeriveSharedEmissions(
+    LabelMask mask) const {
+  // Filter the engine's per-label fire log to the tenant's labels and
+  // drop repeat posts: exactly the Emit() sequence of a private
+  // StreamScan over the tenant's sub-stream, because per-label state
+  // is independent and fires happen in (deadline, label) order on
+  // both sides.
+  std::vector<Emission> out;
+  std::vector<bool> seen(inst_.num_posts(), false);
+  for (const StreamScanProcessor::LabelFire& fire :
+       shared_scan_->fire_log()) {
+    if (!MaskHas(mask, fire.label) || seen[fire.post]) continue;
+    seen[fire.post] = true;
+    out.push_back(Emission{fire.post, fire.time});
+  }
+  return out;
+}
+
+Result<std::vector<Emission>> MultiTenantStream::TenantEmissions(
+    TenantId tenant) const {
+  if (tenant >= tenants_.size() || !tenants_[tenant].active) {
+    return Status::NotFound(
+        StrFormat("tenant %u is not subscribed", tenant));
+  }
+  const TenantRec& rec = tenants_[tenant];
+  if (rec.cluster == kNoCluster) return DeriveSharedEmissions(rec.mask);
+  const Cluster& cluster = *clusters_[rec.cluster];
+  if (!cluster.health.ok()) return cluster.health;
+  std::vector<Emission> out;
+  out.reserve(cluster.processor->emissions().size());
+  for (const Emission& e : cluster.processor->emissions()) {
+    out.push_back(Emission{cluster.view.global_of_local[e.post],
+                           e.emit_time});
+  }
+  return out;
+}
+
+Result<std::vector<PostId>> MultiTenantStream::TenantCover(
+    TenantId tenant) const {
+  MQD_ASSIGN_OR_RETURN(std::vector<Emission> emissions,
+                       TenantEmissions(tenant));
+  std::vector<PostId> cover;
+  cover.reserve(emissions.size());
+  for (const Emission& e : emissions) cover.push_back(e.post);
+  std::sort(cover.begin(), cover.end());
+  return cover;
+}
+
+Result<LabelMask> MultiTenantStream::TenantLabels(TenantId tenant) const {
+  if (tenant >= tenants_.size() || !tenants_[tenant].active) {
+    return Status::NotFound(
+        StrFormat("tenant %u is not subscribed", tenant));
+  }
+  return tenants_[tenant].mask;
+}
+
+double MultiTenantStream::fanout_amplification() const {
+  if (arrivals_ == 0) return 0.0;
+  return static_cast<double>(shared_tier_hits_ + fanout_deliveries_) /
+         static_cast<double>(arrivals_);
+}
+
+double MultiTenantStream::shared_hit_rate() const {
+  const uint64_t total = shared_tier_hits_ + fanout_deliveries_;
+  if (total == 0) return 0.0;
+  return static_cast<double>(shared_tier_hits_) /
+         static_cast<double>(total);
+}
+
+Status MultiTenantStream::EvictTenant(TenantId tenant, std::ostream& os) {
+  MQD_FAULT_POINT("tenant.evict");
+  if (finished_) {
+    return Status::FailedPrecondition(
+        "cannot evict from a finished stream");
+  }
+  if (tenant >= tenants_.size() || !tenants_[tenant].active) {
+    return Status::NotFound(
+        StrFormat("tenant %u is not subscribed", tenant));
+  }
+  const TenantRec& rec = tenants_[tenant];
+
+  SnapshotWriter body;
+  body.U32(kTenantFormatVersion);
+  body.U8(static_cast<uint8_t>(kind_));
+  body.F64(tau_);
+  body.U64(InstanceFingerprint(inst_));
+  body.U64(rec.mask);
+  body.U32(rec.join_cursor);
+  body.U32(cursor_);
+  if (rec.cluster == kNoCluster) {
+    // Shared tier: derivation from the live fire log is position-
+    // independent, so (mask, join=0) is the whole state.
+    body.U8(kTierShared);
+  } else {
+    const Cluster& cluster = *clusters_[rec.cluster];
+    if (!cluster.health.ok()) return cluster.health;
+    body.U8(kTierCluster);
+    std::ostringstream inner;
+    MQD_RETURN_NOT_OK(SaveStreamCheckpoint(*cluster.processor,
+                                           cluster.next_local, inner));
+    body.Str(inner.str());
+  }
+
+  os.write(kTenantMagic, sizeof(kTenantMagic));
+  os.write(body.bytes().data(),
+           static_cast<std::streamsize>(body.bytes().size()));
+  const uint64_t checksum = SnapshotChecksum(body.bytes());
+  os.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!os.good()) {
+    return Status::Internal("tenant snapshot write failed");
+  }
+  Deactivate(tenant);
+  obs::GetTenantMetrics().evictions->Increment();
+  return Status::OK();
+}
+
+Result<TenantId> MultiTenantStream::RestoreTenant(std::istream& is) {
+  std::string blob(std::istreambuf_iterator<char>(is), {});
+  if (blob.size() < sizeof(kTenantMagic) + sizeof(uint64_t)) {
+    return Status::InvalidArgument("tenant snapshot truncated");
+  }
+  if (std::memcmp(blob.data(), kTenantMagic, sizeof(kTenantMagic)) != 0) {
+    return Status::InvalidArgument("not an MQD tenant snapshot");
+  }
+  const std::string_view body(
+      blob.data() + sizeof(kTenantMagic),
+      blob.size() - sizeof(kTenantMagic) - sizeof(uint64_t));
+  uint64_t recorded_checksum;
+  std::memcpy(&recorded_checksum,
+              blob.data() + blob.size() - sizeof(uint64_t),
+              sizeof(uint64_t));
+  if (SnapshotChecksum(body) != recorded_checksum) {
+    return Status::InvalidArgument("tenant snapshot checksum mismatch");
+  }
+
+  SnapshotReader reader(body);
+  const uint32_t version = reader.U32();
+  if (!reader.failed() && version != kTenantFormatVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported tenant snapshot version %u", version));
+  }
+  const uint8_t kind = reader.U8();
+  const double tau = reader.F64();
+  const uint64_t fingerprint = reader.U64();
+  const LabelMask mask = reader.U64();
+  const PostId join = reader.U32();
+  const PostId evict_cursor = reader.U32();
+  const uint8_t tier = reader.U8();
+  MQD_RETURN_NOT_OK(reader.status());
+
+  if (kind != static_cast<uint8_t>(kind_)) {
+    return Status::FailedPrecondition(
+        "tenant snapshot was taken under a different stream algorithm");
+  }
+  if (tau != tau_) {
+    return Status::FailedPrecondition(
+        StrFormat("tenant snapshot tau %g != engine tau %g", tau, tau_));
+  }
+  if (fingerprint != InstanceFingerprint(inst_)) {
+    return Status::FailedPrecondition(
+        "tenant snapshot was taken against a different instance");
+  }
+  MQD_RETURN_NOT_OK(ValidateMask(mask));
+  if (join > evict_cursor || evict_cursor > cursor_) {
+    return Status::FailedPrecondition(
+        StrFormat("tenant snapshot cursor %u is ahead of the stream "
+                  "(cursor %u)",
+                  evict_cursor, cursor_));
+  }
+
+  TenantRec rec;
+  rec.mask = mask;
+  rec.join_cursor = join;
+  rec.active = true;
+
+  if (tier == kTierShared) {
+    if (reader.remaining() != 0) {
+      return Status::InvalidArgument(
+          "tenant snapshot carries trailing bytes");
+    }
+    if (join != 0) {
+      return Status::InvalidArgument(
+          "shared-tier tenant snapshot with nonzero join cursor");
+    }
+    if (!shared_scan_) {
+      if (cursor_ != 0) {
+        return Status::FailedPrecondition(
+            "engine has no shared scan tier covering the stream start");
+      }
+      EnsureSharedScan();
+    }
+    ++shared_tier_tenants_;
+  } else if (tier == kTierCluster) {
+    const std::string payload = reader.Str();
+    MQD_RETURN_NOT_OK(reader.status());
+    if (reader.remaining() != 0) {
+      return Status::InvalidArgument(
+          "tenant snapshot carries trailing bytes");
+    }
+    const auto it = cluster_index_.find({mask, join});
+    if (it != cluster_index_.end()) {
+      // A live representative with the same (mask, join) has replayed
+      // the identical sub-stream deterministically: re-attach.
+      Cluster& cluster = *clusters_[it->second];
+      if (!cluster.health.ok()) return cluster.health;
+      ++cluster.refcount;
+      rec.cluster = it->second;
+    } else {
+      MQD_ASSIGN_OR_RETURN(std::unique_ptr<Cluster> cluster,
+                           BuildCluster(mask, join));
+      std::istringstream inner(payload);
+      MQD_ASSIGN_OR_RETURN(
+          const PostId restored_local,
+          RestoreStreamCheckpoint(cluster->processor.get(),
+                                  cluster->view.sub, inner));
+      const uint32_t expected_local =
+          LocalLowerBound(cluster->view.global_of_local, evict_cursor);
+      if (restored_local != expected_local) {
+        return Status::InvalidArgument(
+            "tenant snapshot replay cursor inconsistent with evict point");
+      }
+      // Catch up to the engine's cursor: deliver the sub-posts the
+      // tenant missed while evicted, exactly as ResumeStream would.
+      const uint32_t target_local =
+          LocalLowerBound(cluster->view.global_of_local, cursor_);
+      for (uint32_t local = restored_local; local < target_local; ++local) {
+        cluster->processor->AdvanceTo(cluster->view.sub.value(local));
+        cluster->processor->OnArrival(local);
+      }
+      if (finished_) cluster->processor->Finish();
+      cluster->next_local = target_local;
+      cluster->refcount = 1;
+      rec.cluster = RegisterCluster(std::move(cluster));
+    }
+  } else {
+    return Status::InvalidArgument(
+        StrFormat("unknown tenant snapshot tier %u", tier));
+  }
+
+  tenants_.push_back(rec);
+  ++active_tenants_;
+  obs::GetTenantMetrics().active_tenants->Set(
+      static_cast<double>(active_tenants_));
+  obs::GetTenantMetrics().restores->Increment();
+  return static_cast<TenantId>(tenants_.size() - 1);
+}
+
+}  // namespace mqd

@@ -1,0 +1,234 @@
+#ifndef MQD_STREAM_MULTI_TENANT_H_
+#define MQD_STREAM_MULTI_TENANT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/coverage.h"
+#include "core/instance.h"
+#include "core/types.h"
+#include "stream/factory.h"
+#include "stream/stream_scan.h"
+#include "stream/stream_solver.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace mqd {
+
+/// Handle for one subscription in a MultiTenantStream. Ids are dense
+/// and never reused within one engine; an unsubscribed or evicted id
+/// stays invalid forever (restore mints a fresh id).
+using TenantId = uint32_t;
+inline constexpr TenantId kInvalidTenant = static_cast<TenantId>(-1);
+
+/// A tenant's restricted view of the shared stream: the sub-instance
+/// of posts relevant to its label subscription (masks intersected,
+/// labels densely renumbered), arriving from its join point onward.
+/// `external_id` of each sub-post is the global PostId, and
+/// `global_of_local` maps back the other way. Post order — and
+/// therefore tie order among equal values — is inherited from the
+/// global value-sorted table, so local PostIds are monotone in global
+/// ones.
+struct TenantView {
+  Instance sub;
+  std::vector<PostId> global_of_local;
+  /// Coverage restricted to the view: forwards Reach/MaxReach/
+  /// IsUniform to the parent model under the local→global mappings,
+  /// so every radius is the identical double the tenant would see
+  /// running alone on the full model.
+  std::unique_ptr<CoverageModel> model;
+};
+
+/// Builds the restricted view of `mask`-relevant posts with global ids
+/// in [from_post, num_posts). `model` and `inst` must outlive the
+/// returned view (its coverage wrapper references both).
+Result<TenantView> BuildTenantView(const Instance& inst,
+                                   const CoverageModel& model,
+                                   LabelMask mask, PostId from_post);
+
+/// Multi-tenant stream fan-out engine (DESIGN.md §14): one replay of
+/// the shared firehose serves every subscribed label-set profile, and
+/// each tenant's emissions are bit-identical to what a private
+/// single-tenant processor of the same algorithm would produce on the
+/// tenant's sub-stream.
+///
+/// Work sharing has two tiers:
+///
+///  * Shared per-label tier (plain StreamScan, tenants subscribed
+///    before the first arrival). StreamScan's per-label state is
+///    independent across labels, so ONE full-universe scan engine is
+///    the union of every tenant's engine; a tenant's emission sequence
+///    is derived on demand from the engine's per-label fire log by
+///    mask-filtering and first-occurrence dedup. Per-arrival cost is
+///    O(s log |L|) regardless of tenant count.
+///
+///  * Cluster tier (Scan+/Greedy± — whose cross-label coupling makes
+///    label states interact — and any mid-stream joiner). Tenants with
+///    the same (mask, join point) share one representative processor
+///    over the restricted TenantView; arrivals fan out once per
+///    matching *cluster*, found through a label→cluster index, so cost
+///    scales with distinct subscriptions, not tenants. The
+///    representative's clock only advances when a matching post
+///    arrives (or at Finish) — exact, because AdvanceTo fires all
+///    pending deadlines in (deadline, label) order with emission times
+///    taken from the deadlines themselves, not the call instant.
+///
+/// Churn: Subscribe after the first arrival joins at the current
+/// cursor (equal to a fresh tenant whose stream starts there);
+/// Unsubscribe drops the tenant and frees its cluster at refcount 0.
+/// EvictTenant serializes a tenant's state (PR 5's checksummed
+/// snapshot format, tenant envelope + embedded processor checkpoint)
+/// and RestoreTenant readmits it with exact catch-up.
+///
+/// Fault sites: "tenant.fanout" probes each per-cluster delivery —
+/// a fire quarantines that cluster only (its tenants' queries return
+/// the fault; every other tenant stays bit-identical). "tenant.evict"
+/// probes EvictTenant and leaves the tenant intact on fire.
+///
+/// Not thread-safe; one engine per replay thread.
+class MultiTenantStream {
+ public:
+  /// `kind` must be a replayable stream algorithm (kInstant is not
+  /// supported: it has no carried state worth sharing). `inst` and
+  /// `model` must outlive the engine.
+  static Result<std::unique_ptr<MultiTenantStream>> Create(
+      const Instance& inst, const CoverageModel& model, StreamKind kind,
+      double tau);
+
+  /// Registers a tenant subscribed to `labels` (non-empty, within the
+  /// instance's label universe) joining at the current cursor.
+  Result<TenantId> Subscribe(LabelMask labels);
+
+  /// Drops a tenant. Its id becomes permanently invalid; the cluster
+  /// representative is destroyed when its last tenant leaves.
+  Status Unsubscribe(TenantId tenant);
+
+  /// Feeds global posts [cursor, end) through the engine in timestamp
+  /// order. `end` must be in [cursor, num_posts].
+  Status RunUntil(PostId end);
+  /// Fires every remaining deadline (end of stream). Idempotent; no
+  /// Subscribe/RunUntil/EvictTenant afterwards.
+  void Finish();
+  /// RunUntil(num_posts) + Finish.
+  Status RunToEnd();
+
+  /// The tenant's emission sequence so far, in emission order, as
+  /// global PostIds — exactly what its private processor would hold.
+  Result<std::vector<Emission>> TenantEmissions(TenantId tenant) const;
+  /// The tenant's output Z as sorted global PostIds.
+  Result<std::vector<PostId>> TenantCover(TenantId tenant) const;
+  /// The tenant's subscription mask.
+  Result<LabelMask> TenantLabels(TenantId tenant) const;
+
+  /// Serializes the tenant's state to `os` (versioned, checksummed;
+  /// embeds the representative's stream checkpoint for cluster-tier
+  /// tenants) and unsubscribes it. Rejected after Finish and for
+  /// quarantined tenants.
+  Status EvictTenant(TenantId tenant, std::ostream& os);
+  /// Readmits an evicted tenant: validates magic/checksum/version/
+  /// algorithm/tau/instance fingerprint, rebuilds or re-attaches the
+  /// representative, catches it up to the current cursor, and returns
+  /// a fresh id. The snapshot must not be ahead of this engine's
+  /// cursor.
+  Result<TenantId> RestoreTenant(std::istream& is);
+
+  // --- Introspection (also exported as mqd_tenant_* metrics). ---
+  PostId cursor() const { return cursor_; }
+  bool finished() const { return finished_; }
+  StreamKind kind() const { return kind_; }
+  double tau() const { return tau_; }
+  size_t active_tenants() const { return active_tenants_; }
+  size_t shared_tier_tenants() const { return shared_tier_tenants_; }
+  /// Live cluster-tier representatives.
+  size_t num_clusters() const { return live_clusters_; }
+  uint64_t arrivals() const { return arrivals_; }
+  /// Per-cluster deliveries (cluster tier).
+  uint64_t fanout_deliveries() const { return fanout_deliveries_; }
+  /// Arrivals absorbed once by the shared scan tier.
+  uint64_t shared_tier_hits() const { return shared_tier_hits_; }
+  /// Processor deliveries per arrival: (shared hits + cluster
+  /// deliveries) / arrivals. A private-replay deployment would pay
+  /// `active_tenants` here.
+  double fanout_amplification() const;
+  /// Fraction of delivery work absorbed by the shared tier.
+  double shared_hit_rate() const;
+
+ private:
+  struct TenantRec {
+    LabelMask mask = 0;
+    PostId join_cursor = 0;
+    uint32_t cluster = kNoCluster;  // kNoCluster => shared tier
+    bool active = false;
+  };
+
+  struct Cluster {
+    LabelMask mask = 0;
+    PostId join_cursor = 0;
+    TenantView view;
+    std::unique_ptr<StreamProcessor> processor;  // after view: refs it
+    uint32_t next_local = 0;  // local id of the next view post to deliver
+    uint32_t refcount = 0;
+    uint64_t visit_stamp = 0;  // arrival stamp (per-arrival dedup)
+    Status health = Status::OK();  // !ok() => quarantined by tenant.fanout
+  };
+
+  static constexpr uint32_t kNoCluster = static_cast<uint32_t>(-1);
+
+  MultiTenantStream(const Instance& inst, const CoverageModel& model,
+                    StreamKind kind, double tau);
+
+  Status ValidateMask(LabelMask mask) const;
+  /// Finds or creates the representative for (mask, join); bumps its
+  /// refcount.
+  Result<uint32_t> AttachCluster(LabelMask mask, PostId join);
+  /// Builds a cluster shell (view + processor) without registering it.
+  Result<std::unique_ptr<Cluster>> BuildCluster(LabelMask mask,
+                                                PostId join) const;
+  /// Registers a built cluster in the key map and label index.
+  uint32_t RegisterCluster(std::unique_ptr<Cluster> cluster);
+  void DetachCluster(uint32_t index);
+  void Deliver(Cluster& cluster, PostId post);
+  void EnsureSharedScan();
+  std::vector<Emission> DeriveSharedEmissions(LabelMask mask) const;
+  void Deactivate(TenantId tenant);
+
+  const Instance& inst_;
+  const CoverageModel& model_;
+  StreamKind kind_;
+  double tau_;
+
+  PostId cursor_ = 0;
+  bool finished_ = false;
+
+  std::vector<TenantRec> tenants_;
+  size_t active_tenants_ = 0;
+  size_t shared_tier_tenants_ = 0;
+
+  /// Shared per-label tier (kind == kStreamScan only); fire log
+  /// enabled. Created when the first epoch-0 scan tenant subscribes
+  /// and kept running for later restores even if all of them leave.
+  std::unique_ptr<StreamScanProcessor> shared_scan_;
+
+  std::vector<std::unique_ptr<Cluster>> clusters_;  // tombstone = null
+  size_t live_clusters_ = 0;
+  std::map<std::pair<LabelMask, PostId>, uint32_t> cluster_index_;
+  /// label -> cluster ids whose mask carries the label (may hold
+  /// tombstoned ids; Deliver skips them).
+  std::vector<std::vector<uint32_t>> label_clusters_;
+  uint64_t visit_stamp_ = 0;
+
+  uint64_t arrivals_ = 0;
+  uint64_t fanout_deliveries_ = 0;
+  uint64_t shared_tier_hits_ = 0;
+  uint64_t flushed_arrivals_ = 0;
+  uint64_t flushed_fanout_deliveries_ = 0;
+  uint64_t flushed_shared_tier_hits_ = 0;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_STREAM_MULTI_TENANT_H_

@@ -65,6 +65,7 @@ void StreamScanProcessor::Fire(LabelId a, double when) {
   LabelState& state = labels_[a];
   MQD_DCHECK(!state.uncovered.empty());
   const PostId lu = state.uncovered.back();
+  if (fire_log_enabled_) fire_log_.push_back(LabelFire{when, a, lu});
   Emit(lu, when);
   state.lc = lu;
   state.uncovered.clear();

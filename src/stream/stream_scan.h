@@ -55,6 +55,26 @@ class StreamScanProcessor final : public StreamProcessor,
   void Finish() override;
   double tau() const override { return tau_; }
 
+  /// One per-label deadline firing: label `label` reported `post` at
+  /// simulated time `time`. Unlike the emission log — which dedupes a
+  /// post across labels — the fire log keeps every (label, post)
+  /// event, in exactly the (deadline, label) order the heap fired
+  /// them. The multi-tenant fan-out engine (stream/multi_tenant.h)
+  /// derives each tenant's emission sequence from this log: filter to
+  /// the tenant's label mask, then first-occurrence-dedupe posts.
+  struct LabelFire {
+    double time;
+    LabelId label;
+    PostId post;
+    bool operator==(const LabelFire&) const = default;
+  };
+
+  /// Turns on fire-log recording (off by default: single-tenant
+  /// replays never read it, so they don't pay the append). Call
+  /// before the first arrival.
+  void EnableFireLog() { fire_log_enabled_ = true; }
+  const std::vector<LabelFire>& fire_log() const { return fire_log_; }
+
   /// Deadline-index heap operations so far (pushes plus pops,
   /// including lazily discarded stale entries). Flushed into
   /// mqd_stream_deadline_heap_ops_total on Finish.
@@ -116,6 +136,8 @@ class StreamScanProcessor final : public StreamProcessor,
   bool cross_label_pruning_;
   std::vector<LabelState> labels_;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, EntryAfter> heap_;
+  bool fire_log_enabled_ = false;
+  std::vector<LabelFire> fire_log_;
   uint64_t heap_ops_ = 0;
   uint64_t prune_fastpath_ = 0;
   uint64_t flushed_heap_ops_ = 0;

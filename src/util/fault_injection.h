@@ -35,6 +35,12 @@ struct FaultSpec {
 /// branch; nothing else in the process changes, so production binaries
 /// carry the sites for free.
 ///
+/// Built-in sites: io.read_instance, index.load, stream.replay,
+/// pool.task, and the multi-tenant pair tenant.fanout (probed on each
+/// per-cluster delivery; a fire quarantines that cluster only — see
+/// stream/multi_tenant.h) and tenant.evict (probed in EvictTenant; a
+/// fire returns the fault and leaves the tenant subscribed).
+///
 /// Armed, firing is a pure function of (seed, site, hit index): the
 /// k-th pass through a site either always fires or never fires for a
 /// given seed. Replaying a schedule therefore reproduces the exact

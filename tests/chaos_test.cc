@@ -7,13 +7,16 @@
 
 #include "core/coverage.h"
 #include "core/degrade.h"
+#include "core/instance.h"
 #include "core/io.h"
 #include "core/opt_dp.h"
+#include "core/types.h"
 #include "core/verifier.h"
 #include "gen/instance_gen.h"
 #include "index/inverted_index.h"
 #include "parallel/batch_solver.h"
 #include "stream/factory.h"
+#include "stream/multi_tenant.h"
 #include "stream/replay.h"
 #include "util/deadline.h"
 #include "util/fault_injection.h"
@@ -258,6 +261,193 @@ TEST(ChaosTest, DisarmedSitesAreInert) {
   }
   EXPECT_EQ(injector.Hits("io.read_instance"), 0u);
   EXPECT_EQ(injector.Fires("io.read_instance"), 0u);
+}
+
+/// A fired tenant.fanout quarantines exactly the cluster it fired in:
+/// the faulted tenants' queries return the injected Status, every
+/// other tenant's output stays bit-identical to a fault-free engine.
+/// The instance is handmade so the trigger post (label 0 only) matches
+/// exactly one cluster's mask, making the blast radius deterministic.
+TEST(ChaosTest, TenantFanoutFaultQuarantinesOneClusterOnly) {
+  ScopedDisarm disarm_guard;
+  const std::vector<LabelMask> post_masks = {
+      MaskOf(0) | MaskOf(1), MaskOf(2),             //
+      MaskOf(1) | MaskOf(3), MaskOf(2) | MaskOf(3),  //
+      MaskOf(0) | MaskOf(2),
+      MaskOf(0),  // trigger: relevant to the {0,1} cluster alone
+      MaskOf(1),  MaskOf(3),
+      MaskOf(0) | MaskOf(1), MaskOf(2)};
+  InstanceBuilder builder(4);
+  for (size_t i = 0; i < post_masks.size(); ++i) {
+    builder.Add(10.0 * static_cast<double>(i + 1), post_masks[i],
+                static_cast<PostId>(i));
+  }
+  auto inst = builder.Build();
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(25.0);
+  constexpr PostId kTrigger = 5;
+  // Victim cluster twice over (two tenants share the representative),
+  // plus two bystander clusters that never see label 0.
+  const std::vector<LabelMask> profiles = {
+      MaskOf(0) | MaskOf(1), MaskOf(0) | MaskOf(1),
+      MaskOf(2) | MaskOf(3), MaskOf(1) | MaskOf(3)};
+
+  auto subscribe_all = [&](MultiTenantStream& engine) {
+    std::vector<TenantId> ids;
+    for (LabelMask mask : profiles) {
+      auto id = engine.Subscribe(mask);
+      EXPECT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+    return ids;
+  };
+
+  auto clean = MultiTenantStream::Create(*inst, model,
+                                         StreamKind::kStreamGreedyPlus, 5.0);
+  ASSERT_TRUE(clean.ok());
+  const auto clean_ids = subscribe_all(**clean);
+  ASSERT_TRUE((*clean)->RunToEnd().ok());
+
+  auto faulted = MultiTenantStream::Create(*inst, model,
+                                           StreamKind::kStreamGreedyPlus, 5.0);
+  ASSERT_TRUE(faulted.ok());
+  const auto ids = subscribe_all(**faulted);
+  ASSERT_TRUE((*faulted)->RunUntil(kTrigger).ok());
+  ASSERT_TRUE(
+      FaultInjector::Global().ArmFromSpec("tenant.fanout:1", 11).ok());
+  // The trigger arrival fans out to the victim cluster only, so the
+  // armed window probes — and fires — the site exactly once.
+  ASSERT_TRUE((*faulted)->RunUntil(kTrigger + 1).ok());
+  EXPECT_EQ(FaultInjector::Global().Fires("tenant.fanout"), 1u);
+  FaultInjector::Global().Disarm();
+  ASSERT_TRUE((*faulted)->RunToEnd().ok());
+
+  for (TenantId victim : {ids[0], ids[1]}) {
+    auto emissions = (*faulted)->TenantEmissions(victim);
+    ASSERT_FALSE(emissions.ok());
+    EXPECT_EQ(emissions.status().code(), StatusCode::kInternal);
+    EXPECT_FALSE((*faulted)->TenantCover(victim).ok());
+    std::ostringstream snap;
+    EXPECT_FALSE((*faulted)->EvictTenant(victim, snap).ok());
+  }
+  for (size_t i = 2; i < ids.size(); ++i) {
+    auto got = (*faulted)->TenantEmissions(ids[i]);
+    auto want = (*clean)->TenantEmissions(clean_ids[i]);
+    ASSERT_TRUE(got.ok() && want.ok());
+    EXPECT_EQ(*got, *want) << "bystander tenant " << i << " diverged";
+  }
+}
+
+/// tenant.evict fires as a typed Status before a single byte is
+/// written, and the tenant stays subscribed: disarmed, the same evict
+/// succeeds and the snapshot restores to a tenant whose final output
+/// matches a never-evicted baseline.
+TEST(ChaosTest, TenantEvictFaultIsTypedAndHarmless) {
+  ScopedDisarm disarm_guard;
+  const Instance inst = SmallInstance(5);
+  UniformLambda model(8.0);
+  const LabelMask mask = MaskOf(0) | MaskOf(1);
+
+  auto baseline = MultiTenantStream::Create(inst, model,
+                                            StreamKind::kStreamScanPlus, 2.0);
+  ASSERT_TRUE(baseline.ok());
+  auto base_id = (*baseline)->Subscribe(mask);
+  ASSERT_TRUE(base_id.ok());
+  ASSERT_TRUE((*baseline)->RunToEnd().ok());
+
+  auto engine = MultiTenantStream::Create(inst, model,
+                                          StreamKind::kStreamScanPlus, 2.0);
+  ASSERT_TRUE(engine.ok());
+  auto id = (*engine)->Subscribe(mask);
+  ASSERT_TRUE(id.ok());
+  const PostId mid = static_cast<PostId>(inst.num_posts() / 2);
+  ASSERT_TRUE((*engine)->RunUntil(mid).ok());
+
+  ASSERT_TRUE(FaultInjector::Global().ArmFromSpec("tenant.evict:1", 3).ok());
+  std::ostringstream failed_snap;
+  const Status evict = (*engine)->EvictTenant(*id, failed_snap);
+  ASSERT_FALSE(evict.ok());
+  EXPECT_EQ(evict.code(), StatusCode::kInternal);
+  EXPECT_TRUE(failed_snap.str().empty());
+  // The fault left the tenant fully subscribed and queryable.
+  EXPECT_EQ((*engine)->active_tenants(), 1u);
+  ASSERT_TRUE((*engine)->TenantLabels(*id).ok());
+  EXPECT_EQ(*(*engine)->TenantLabels(*id), mask);
+  FaultInjector::Global().Disarm();
+
+  std::ostringstream snap;
+  ASSERT_TRUE((*engine)->EvictTenant(*id, snap).ok());
+  std::istringstream is(snap.str());
+  auto restored = (*engine)->RestoreTenant(is);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_TRUE((*engine)->RunToEnd().ok());
+  auto got = (*engine)->TenantEmissions(*restored);
+  auto want = (*baseline)->TenantEmissions(*base_id);
+  ASSERT_TRUE(got.ok() && want.ok());
+  EXPECT_EQ(*got, *want);
+}
+
+/// Fuzzed tenant.fanout schedules over a full multi-tenant replay:
+/// the engine must always complete (fan-out faults are contained, not
+/// surfaced), every quarantined tenant must fail typed, and every
+/// still-healthy tenant must remain bit-identical to the fault-free
+/// baseline — injected faults degrade tenants, never the shared state.
+TEST(ChaosTest, TenantFaultSweepDegradesOnlyFaultedTenants) {
+  ScopedDisarm disarm_guard;
+  const Instance inst = SmallInstance(4);
+  UniformLambda model(8.0);
+  const std::vector<LabelMask> profiles = {
+      MaskOf(0),           MaskOf(1),           MaskOf(2),
+      MaskOf(0) | MaskOf(1), MaskOf(1) | MaskOf(2), MaskOf(0) | MaskOf(2),
+      MaskOf(0) | MaskOf(1) | MaskOf(2), MaskOf(0) | MaskOf(1)};
+
+  auto clean = MultiTenantStream::Create(inst, model,
+                                         StreamKind::kStreamGreedy, 3.0);
+  ASSERT_TRUE(clean.ok());
+  std::vector<std::vector<Emission>> want;
+  for (LabelMask mask : profiles) {
+    auto id = (*clean)->Subscribe(mask);
+    ASSERT_TRUE(id.ok());
+    want.push_back({});
+    ASSERT_EQ(*id, want.size() - 1);
+  }
+  ASSERT_TRUE((*clean)->RunToEnd().ok());
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    auto e = (*clean)->TenantEmissions(static_cast<TenantId>(i));
+    ASSERT_TRUE(e.ok());
+    want[i] = std::move(*e);
+  }
+
+  size_t quarantined = 0, intact = 0;
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    ASSERT_TRUE(
+        FaultInjector::Global().ArmFromSpec("tenant.fanout:0.02", seed).ok());
+    auto engine = MultiTenantStream::Create(inst, model,
+                                            StreamKind::kStreamGreedy, 3.0);
+    ASSERT_TRUE(engine.ok());
+    std::vector<TenantId> ids;
+    for (LabelMask mask : profiles) {
+      auto id = (*engine)->Subscribe(mask);
+      ASSERT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+    ASSERT_TRUE((*engine)->RunToEnd().ok()) << "seed " << seed;
+    FaultInjector::Global().Disarm();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      auto e = (*engine)->TenantEmissions(ids[i]);
+      if (e.ok()) {
+        ++intact;
+        ASSERT_EQ(*e, want[i]) << "seed " << seed << " tenant " << i;
+      } else {
+        ++quarantined;
+        ASSERT_NE(e.status().code(), StatusCode::kOk);
+      }
+    }
+    if (::testing::Test::HasFailure()) return;
+  }
+  // The sweep must sample both halves of the contract.
+  EXPECT_GT(quarantined, 0u);
+  EXPECT_GT(intact, 0u);
 }
 
 /// Regression for the exact DP's budget-overshoot fix: the deadline is

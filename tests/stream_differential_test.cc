@@ -181,6 +181,75 @@ TEST(StreamDifferentialTest, TauBoundaryDeadlineTiesMatchReference) {
   }
 }
 
+/// Multi-tenant aliasing audit (DESIGN.md §14): two processors
+/// sharing one const Instance + CoverageModel, their replays
+/// interleaved arrival by arrival, must emit exactly what fresh
+/// sequential runs do. Any hidden mutable state reached through the
+/// shared mirrors — a scratch buffer behind a const accessor, a
+/// static, a cache keyed on "the" current replay — would let tenant A
+/// perturb tenant B here. Different taus make the interleaved batch
+/// boundaries genuinely disjoint.
+TEST(StreamDifferentialTest, InterleavedTenantsOverOneMirrorMatchSequential) {
+  InstanceGenConfig cfg;
+  cfg.num_labels = 5;
+  cfg.duration = 600.0;
+  cfg.posts_per_minute = 70.0;
+  cfg.overlap_rate = 1.7;
+  cfg.seed = 20250;
+  auto inst = GenerateInstance(cfg);
+  ASSERT_TRUE(inst.ok());
+  UniformLambda uniform(7.0);
+  VariableLambda variable = MakeVariableModel(*inst, 7.0, 42);
+  for (const CoverageModel* model :
+       {static_cast<const CoverageModel*>(&uniform),
+        static_cast<const CoverageModel*>(&variable)}) {
+    for (bool plus : {false, true}) {
+      const std::string context =
+          std::string(model == &uniform ? "uniform" : "variable") +
+          " plus=" + std::to_string(plus);
+      StreamGreedyProcessor greedy_a(*inst, *model, /*tau=*/2.0, plus);
+      StreamGreedyProcessor greedy_b(*inst, *model, /*tau=*/5.0, plus);
+      StreamScanProcessor scan_a(*inst, *model, /*tau=*/2.0, plus);
+      StreamScanProcessor scan_b(*inst, *model, /*tau=*/5.0, plus);
+      for (PostId p = 0; p < static_cast<PostId>(inst->num_posts()); ++p) {
+        const double v = inst->value(p);
+        for (StreamProcessor* proc :
+             {static_cast<StreamProcessor*>(&greedy_a),
+              static_cast<StreamProcessor*>(&greedy_b),
+              static_cast<StreamProcessor*>(&scan_a),
+              static_cast<StreamProcessor*>(&scan_b)}) {
+          proc->AdvanceTo(v);
+          proc->OnArrival(p);
+        }
+      }
+      greedy_a.Finish();
+      greedy_b.Finish();
+      scan_a.Finish();
+      scan_b.Finish();
+
+      const auto expect_same_as_sequential =
+          [&](const StreamProcessor& interleaved, double tau, bool greedy) {
+            std::unique_ptr<StreamProcessor> fresh;
+            if (greedy) {
+              fresh = std::make_unique<StreamGreedyProcessor>(*inst, *model,
+                                                              tau, plus);
+            } else {
+              fresh = std::make_unique<StreamScanProcessor>(*inst, *model,
+                                                            tau, plus);
+            }
+            ASSERT_TRUE(RunStream(*inst, fresh.get()).ok());
+            EXPECT_EQ(interleaved.emissions(), fresh->emissions())
+                << context << " tau=" << tau
+                << (greedy ? " greedy" : " scan");
+          };
+      expect_same_as_sequential(greedy_a, 2.0, true);
+      expect_same_as_sequential(greedy_b, 5.0, true);
+      expect_same_as_sequential(scan_a, 2.0, false);
+      expect_same_as_sequential(scan_b, 5.0, false);
+    }
+  }
+}
+
 /// Non-dyadic values (0.1 steps) push the deadline sums onto ulp
 /// edges where fl(a + tau) comparisons could diverge between two
 /// implementations that associate differently; both sides must still

@@ -1,0 +1,406 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/coverage.h"
+#include "core/instance.h"
+#include "core/types.h"
+#include "gen/instance_gen.h"
+#include "stream/factory.h"
+#include "stream/multi_tenant.h"
+#include "stream/replay.h"
+#include "util/rng.h"
+
+namespace mqd {
+namespace {
+
+/// Subscription-churn properties of the multi-tenant engine:
+///  * join-equivalence — a tenant subscribing mid-stream equals a
+///    fresh single-tenant run whose stream starts at the join point;
+///  * churn-invisibility — unsubscribing one tenant never perturbs
+///    any other tenant's emissions;
+///  * evict/restore exactness — kill/restore through the tenant
+///    snapshot format reproduces the never-evicted run bit for bit,
+///    and corrupt snapshots are rejected without side effects.
+
+Instance TestInstance(uint64_t seed, int num_labels = 8) {
+  InstanceGenConfig cfg;
+  cfg.num_labels = num_labels;
+  cfg.duration = 600.0;
+  cfg.posts_per_minute = 70.0;
+  cfg.overlap_rate = 1.6;
+  cfg.burst_fraction = 0.3;
+  cfg.seed = 40000 + seed;
+  auto inst = GenerateInstance(cfg);
+  EXPECT_TRUE(inst.ok());
+  return std::move(inst).value();
+}
+
+/// Independent single-tenant reference: replays the tenant's
+/// sub-stream (posts matching `mask`, global ids >= `from`) through a
+/// private processor and returns emissions as global ids.
+std::vector<Emission> RunSolo(const Instance& inst, LabelMask mask,
+                              PostId from, StreamKind kind, double tau,
+                              double lambda) {
+  const std::vector<LabelId> global_labels = MaskToLabels(mask);
+  InstanceBuilder builder(static_cast<int>(global_labels.size()));
+  std::vector<PostId> global_of_local;
+  for (PostId p = from; p < inst.num_posts(); ++p) {
+    const LabelMask hit = inst.labels(p) & mask;
+    if (hit == 0) continue;
+    LabelMask local = 0;
+    for (size_t i = 0; i < global_labels.size(); ++i) {
+      if (MaskHas(hit, global_labels[i])) {
+        local |= MaskOf(static_cast<LabelId>(i));
+      }
+    }
+    builder.Add(inst.value(p), local, p);
+    global_of_local.push_back(p);
+  }
+  auto sub = builder.Build();
+  EXPECT_TRUE(sub.ok());
+  UniformLambda model(lambda);
+  auto proc = CreateStreamProcessor(kind, *sub, model, tau);
+  EXPECT_TRUE(RunStream(*sub, proc.get()).ok());
+  std::vector<Emission> out;
+  for (const Emission& e : proc->emissions()) {
+    out.push_back(Emission{global_of_local[e.post], e.emit_time});
+  }
+  return out;
+}
+
+void ExpectEmissionsEqual(const std::vector<Emission>& got,
+                          const std::vector<Emission>& want,
+                          const std::string& context) {
+  EXPECT_EQ(got.size(), want.size()) << context;
+  const size_t n = std::min(got.size(), want.size());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(got[i].post, want[i].post) << context << " emission " << i;
+    EXPECT_EQ(got[i].emit_time, want[i].emit_time)
+        << context << " emission " << i;
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+const StreamKind kAllKinds[] = {
+    StreamKind::kStreamScan, StreamKind::kStreamScanPlus,
+    StreamKind::kStreamGreedy, StreamKind::kStreamGreedyPlus};
+
+/// Metamorphic join-equivalence: subscribing at cursor c must equal a
+/// fresh tenant whose whole stream starts at c — for every algorithm,
+/// with epoch-0 tenants (shared or cluster tier) checked alongside to
+/// prove the late join didn't disturb them.
+TEST(TenantChurnTest, MidStreamJoinEqualsFreshTenant) {
+  const double tau = 3.0;
+  const double lambda = 7.0;
+  const Instance inst = TestInstance(1);
+  const LabelMask base_masks[] = {MaskOf(0) | MaskOf(1), MaskOf(2),
+                                  MaskOf(3) | MaskOf(5)};
+  const LabelMask late_mask = MaskOf(1) | MaskOf(4);
+  for (StreamKind kind : kAllKinds) {
+    for (PostId cut :
+         {PostId{1}, static_cast<PostId>(inst.num_posts() / 3),
+          static_cast<PostId>(inst.num_posts() - 1)}) {
+      const std::string context = std::string(StreamKindName(kind)) +
+                                  " cut=" + std::to_string(cut);
+      UniformLambda model(lambda);
+      auto engine = MultiTenantStream::Create(inst, model, kind, tau);
+      ASSERT_TRUE(engine.ok());
+      std::vector<TenantId> base_ids;
+      for (LabelMask mask : base_masks) {
+        base_ids.push_back(*(*engine)->Subscribe(mask));
+      }
+      ASSERT_TRUE((*engine)->RunUntil(cut).ok());
+      auto late = (*engine)->Subscribe(late_mask);
+      ASSERT_TRUE(late.ok()) << context;
+      ASSERT_TRUE((*engine)->RunToEnd().ok());
+
+      auto late_emissions = (*engine)->TenantEmissions(*late);
+      ASSERT_TRUE(late_emissions.ok()) << context;
+      ExpectEmissionsEqual(*late_emissions,
+                           RunSolo(inst, late_mask, cut, kind, tau, lambda),
+                           context + " late joiner");
+      for (size_t i = 0; i < base_ids.size(); ++i) {
+        auto base = (*engine)->TenantEmissions(base_ids[i]);
+        ASSERT_TRUE(base.ok()) << context;
+        ExpectEmissionsEqual(
+            *base, RunSolo(inst, base_masks[i], 0, kind, tau, lambda),
+            context + " base tenant " + std::to_string(i));
+      }
+      if (::testing::Test::HasFailure()) return;
+    }
+  }
+}
+
+/// Unsubscribing a tenant mid-stream must be invisible to everyone
+/// else: an engine that saw the churn and one that never had the
+/// churned tenant agree on every surviving tenant.
+TEST(TenantChurnTest, UnsubscribeIsInvisibleToOtherTenants) {
+  const double tau = 2.0;
+  const double lambda = 6.0;
+  const Instance inst = TestInstance(2);
+  const LabelMask keep_a = MaskOf(0) | MaskOf(2);
+  const LabelMask churn = MaskOf(1) | MaskOf(3);
+  const LabelMask keep_b = MaskOf(2) | MaskOf(4);
+  const PostId cut = static_cast<PostId>(inst.num_posts() / 2);
+  for (StreamKind kind : kAllKinds) {
+    const std::string context(StreamKindName(kind));
+    UniformLambda model(lambda);
+    auto churned = MultiTenantStream::Create(inst, model, kind, tau);
+    auto clean = MultiTenantStream::Create(inst, model, kind, tau);
+    ASSERT_TRUE(churned.ok() && clean.ok());
+    const TenantId a1 = *(*churned)->Subscribe(keep_a);
+    const TenantId mid = *(*churned)->Subscribe(churn);
+    const TenantId b1 = *(*churned)->Subscribe(keep_b);
+    const TenantId a2 = *(*clean)->Subscribe(keep_a);
+    const TenantId b2 = *(*clean)->Subscribe(keep_b);
+
+    ASSERT_TRUE((*churned)->RunUntil(cut).ok());
+    ASSERT_TRUE((*churned)->Unsubscribe(mid).ok());
+    EXPECT_FALSE((*churned)->TenantEmissions(mid).ok())
+        << context << ": unsubscribed id must be dead";
+    ASSERT_TRUE((*churned)->RunToEnd().ok());
+    ASSERT_TRUE((*clean)->RunToEnd().ok());
+
+    ExpectEmissionsEqual(*(*churned)->TenantEmissions(a1),
+                         *(*clean)->TenantEmissions(a2),
+                         context + " tenant A");
+    ExpectEmissionsEqual(*(*churned)->TenantEmissions(b1),
+                         *(*clean)->TenantEmissions(b2),
+                         context + " tenant B");
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+/// Unsubscribe + resubscribe of the same mask is a fresh join at the
+/// resubscription point, not a resumption.
+TEST(TenantChurnTest, ResubscribeEqualsFreshJoin) {
+  const double tau = 2.5;
+  const double lambda = 8.0;
+  const Instance inst = TestInstance(3);
+  const LabelMask mask = MaskOf(1) | MaskOf(2);
+  const PostId cut1 = static_cast<PostId>(inst.num_posts() / 4);
+  const PostId cut2 = static_cast<PostId>(inst.num_posts() / 2);
+  for (StreamKind kind : kAllKinds) {
+    const std::string context(StreamKindName(kind));
+    UniformLambda model(lambda);
+    auto engine = MultiTenantStream::Create(inst, model, kind, tau);
+    ASSERT_TRUE(engine.ok());
+    const TenantId first = *(*engine)->Subscribe(mask);
+    ASSERT_TRUE((*engine)->RunUntil(cut1).ok());
+    ASSERT_TRUE((*engine)->Unsubscribe(first).ok());
+    ASSERT_TRUE((*engine)->RunUntil(cut2).ok());
+    auto again = (*engine)->Subscribe(mask);
+    ASSERT_TRUE(again.ok());
+    ASSERT_TRUE((*engine)->RunToEnd().ok());
+    auto emissions = (*engine)->TenantEmissions(*again);
+    ASSERT_TRUE(emissions.ok());
+    ExpectEmissionsEqual(*emissions,
+                         RunSolo(inst, mask, cut2, kind, tau, lambda),
+                         context);
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+/// Kill/restore differential over fuzzed (evict, restore) cut pairs:
+/// the evicted-and-restored tenant and every bystander finish with
+/// exactly the emissions of an engine that never churned. Covers the
+/// shared scan tier, the cluster-rebuild path (sole tenant of its
+/// cluster) and the cluster re-attach path (a twin keeps the
+/// representative alive).
+TEST(TenantChurnTest, EvictRestoreIsExact) {
+  const double tau = 3.0;
+  const double lambda = 6.5;
+  const Instance inst = TestInstance(4);
+  const LabelMask victim_mask = MaskOf(1) | MaskOf(4);
+  const LabelMask bystander_mask = MaskOf(0) | MaskOf(2);
+  Rng rng(777);
+  for (StreamKind kind : kAllKinds) {
+    for (const bool with_twin : {false, true}) {
+      for (int round = 0; round < 4; ++round) {
+        PostId cut1 = static_cast<PostId>(
+            rng.Uniform(inst.num_posts() - 2) + 1);
+        PostId cut2 = static_cast<PostId>(
+            cut1 + rng.Uniform(inst.num_posts() - cut1));
+        const std::string context =
+            std::string(StreamKindName(kind)) +
+            " twin=" + std::to_string(with_twin) +
+            " cut1=" + std::to_string(cut1) +
+            " cut2=" + std::to_string(cut2);
+        UniformLambda model(lambda);
+        auto baseline = MultiTenantStream::Create(inst, model, kind, tau);
+        auto churned = MultiTenantStream::Create(inst, model, kind, tau);
+        ASSERT_TRUE(baseline.ok() && churned.ok());
+        const TenantId v0 = *(*baseline)->Subscribe(victim_mask);
+        const TenantId s0 = *(*baseline)->Subscribe(bystander_mask);
+        const TenantId v1 = *(*churned)->Subscribe(victim_mask);
+        const TenantId s1 = *(*churned)->Subscribe(bystander_mask);
+        if (with_twin) {
+          ASSERT_TRUE((*baseline)->Subscribe(victim_mask).ok());
+          ASSERT_TRUE((*churned)->Subscribe(victim_mask).ok());
+        }
+        ASSERT_TRUE((*baseline)->RunToEnd().ok());
+
+        ASSERT_TRUE((*churned)->RunUntil(cut1).ok());
+        std::ostringstream snapshot;
+        ASSERT_TRUE((*churned)->EvictTenant(v1, snapshot).ok()) << context;
+        EXPECT_FALSE((*churned)->TenantEmissions(v1).ok())
+            << context << ": evicted id must be dead";
+        ASSERT_TRUE((*churned)->RunUntil(cut2).ok());
+        std::istringstream in(snapshot.str());
+        auto restored = (*churned)->RestoreTenant(in);
+        ASSERT_TRUE(restored.ok()) << context << ": "
+                                   << restored.status().ToString();
+        ASSERT_TRUE((*churned)->RunToEnd().ok());
+
+        ExpectEmissionsEqual(*(*churned)->TenantEmissions(*restored),
+                             *(*baseline)->TenantEmissions(v0),
+                             context + " restored tenant");
+        ExpectEmissionsEqual(*(*churned)->TenantEmissions(s1),
+                             *(*baseline)->TenantEmissions(s0),
+                             context + " bystander");
+        if (::testing::Test::HasFailure()) return;
+      }
+    }
+  }
+}
+
+/// Corrupt-snapshot fuzz, riding the PR 5 harness pattern: random
+/// truncations and bit flips must every one be rejected with a typed
+/// error, leave the engine's registry untouched, and not prevent the
+/// intact snapshot from restoring afterwards.
+TEST(TenantChurnTest, CorruptSnapshotsAreRejected) {
+  const double tau = 2.0;
+  const double lambda = 6.0;
+  const Instance inst = TestInstance(5);
+  const LabelMask mask = MaskOf(0) | MaskOf(3);
+  UniformLambda model(lambda);
+  auto engine = MultiTenantStream::Create(
+      inst, model, StreamKind::kStreamGreedyPlus, tau);
+  ASSERT_TRUE(engine.ok());
+  const TenantId tenant = *(*engine)->Subscribe(mask);
+  ASSERT_TRUE((*engine)->RunUntil(inst.num_posts() / 2).ok());
+  std::ostringstream snapshot;
+  ASSERT_TRUE((*engine)->EvictTenant(tenant, snapshot).ok());
+  const std::string good = snapshot.str();
+  const size_t active_before = (*engine)->active_tenants();
+
+  Rng rng(99);
+  for (int round = 0; round < 200; ++round) {
+    std::string bad = good;
+    if (round % 2 == 0) {
+      bad.resize(rng.Uniform(bad.size()));
+    } else {
+      const size_t pos = rng.Uniform(bad.size());
+      bad[pos] = static_cast<char>(bad[pos] ^
+                                   (1 << rng.Uniform(8)));
+    }
+    if (bad == good) continue;
+    std::istringstream in(bad);
+    auto restored = (*engine)->RestoreTenant(in);
+    EXPECT_FALSE(restored.ok()) << "round " << round;
+    EXPECT_EQ((*engine)->active_tenants(), active_before)
+        << "round " << round << ": failed restore mutated the registry";
+  }
+
+  std::istringstream in(good);
+  auto restored = (*engine)->RestoreTenant(in);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_TRUE((*engine)->RunToEnd().ok());
+  auto emissions = (*engine)->TenantEmissions(*restored);
+  ASSERT_TRUE(emissions.ok());
+  ExpectEmissionsEqual(
+      *emissions,
+      RunSolo(inst, mask, 0, StreamKind::kStreamGreedyPlus, tau, lambda),
+      "restore after corrupt fuzz");
+}
+
+/// Mismatched restore targets: wrong algorithm, wrong tau, wrong
+/// instance, and a snapshot ahead of the target engine's cursor are
+/// all refused as precondition failures.
+TEST(TenantChurnTest, MismatchedRestoreTargetsAreRejected) {
+  const double tau = 2.0;
+  const double lambda = 6.0;
+  const Instance inst = TestInstance(6);
+  const LabelMask mask = MaskOf(0) | MaskOf(1);
+  UniformLambda model(lambda);
+  auto engine = MultiTenantStream::Create(
+      inst, model, StreamKind::kStreamGreedy, tau);
+  ASSERT_TRUE(engine.ok());
+  const TenantId tenant = *(*engine)->Subscribe(mask);
+  ASSERT_TRUE((*engine)->RunUntil(inst.num_posts() / 2).ok());
+  std::ostringstream snapshot;
+  ASSERT_TRUE((*engine)->EvictTenant(tenant, snapshot).ok());
+  const std::string blob = snapshot.str();
+
+  const auto expect_rejected = [&](MultiTenantStream* target,
+                                   const std::string& context) {
+    std::istringstream in(blob);
+    auto restored = target->RestoreTenant(in);
+    EXPECT_FALSE(restored.ok()) << context;
+    EXPECT_EQ(restored.status().code(), StatusCode::kFailedPrecondition)
+        << context << ": " << restored.status().ToString();
+  };
+
+  auto wrong_kind = MultiTenantStream::Create(
+      inst, model, StreamKind::kStreamGreedyPlus, tau);
+  expect_rejected(wrong_kind->get(), "wrong algorithm");
+
+  auto wrong_tau = MultiTenantStream::Create(
+      inst, model, StreamKind::kStreamGreedy, tau + 1.0);
+  expect_rejected(wrong_tau->get(), "wrong tau");
+
+  const Instance other = TestInstance(7);
+  auto wrong_inst = MultiTenantStream::Create(
+      other, model, StreamKind::kStreamGreedy, tau);
+  expect_rejected(wrong_inst->get(), "wrong instance");
+
+  // Same configuration but a fresh engine still at cursor 0: the
+  // snapshot's evict cursor is ahead of the stream.
+  auto behind = MultiTenantStream::Create(
+      inst, model, StreamKind::kStreamGreedy, tau);
+  expect_rejected(behind->get(), "snapshot ahead of stream");
+}
+
+/// Registry guard rails: invalid masks, dead ids, out-of-range replay
+/// bounds and post-Finish operations are typed errors.
+TEST(TenantChurnTest, EngineGuards) {
+  const Instance inst = TestInstance(8);
+  UniformLambda model(5.0);
+  auto created = MultiTenantStream::Create(
+      inst, model, StreamKind::kStreamScan, 2.0);
+  ASSERT_TRUE(created.ok());
+  MultiTenantStream& engine = **created;
+
+  EXPECT_FALSE(engine.Subscribe(0).ok());
+  EXPECT_FALSE(engine.Subscribe(MaskOf(60)).ok());  // outside universe
+  EXPECT_FALSE(engine.Unsubscribe(42).ok());
+  EXPECT_FALSE(engine.TenantEmissions(42).ok());
+  EXPECT_FALSE(
+      engine.RunUntil(static_cast<PostId>(inst.num_posts() + 1)).ok());
+
+  auto instant = MultiTenantStream::Create(
+      inst, model, StreamKind::kInstant, 0.0);
+  EXPECT_FALSE(instant.ok());
+  auto bad_tau = MultiTenantStream::Create(
+      inst, model, StreamKind::kStreamScan, -1.0);
+  EXPECT_FALSE(bad_tau.ok());
+
+  const TenantId tenant = *engine.Subscribe(MaskOf(0));
+  ASSERT_TRUE(engine.RunToEnd().ok());
+  EXPECT_FALSE(engine.Subscribe(MaskOf(1)).ok())
+      << "subscribe after Finish must fail";
+  std::ostringstream sink;
+  EXPECT_FALSE(engine.EvictTenant(tenant, sink).ok())
+      << "evict after Finish must fail";
+  EXPECT_TRUE(engine.TenantEmissions(tenant).ok())
+      << "queries stay valid after Finish";
+}
+
+}  // namespace
+}  // namespace mqd

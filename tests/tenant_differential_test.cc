@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/coverage.h"
+#include "core/instance.h"
+#include "core/types.h"
+#include "gen/instance_gen.h"
+#include "gen/profile_gen.h"
+#include "stream/factory.h"
+#include "stream/multi_tenant.h"
+#include "stream/replay.h"
+#include "util/rng.h"
+
+namespace mqd {
+namespace {
+
+/// The tenant-equivalence battery: every tenant served by the
+/// multi-tenant fan-out engine must produce covers and emission times
+/// bit-identical to an independent single-tenant processor replaying
+/// the tenant's own sub-stream. "Independent" is deliberate: the
+/// reference side below rebuilds the sub-instance and the restricted
+/// coverage table with its own code (no BuildTenantView, no
+/// RestrictedCoverage), so agreement is evidence, not tautology.
+
+/// Raw per-(post, label-position) radius table; kept raw so the
+/// reference side can restrict it per tenant.
+std::vector<std::vector<DimValue>> MakeVariableTable(const Instance& inst,
+                                                     double max_reach,
+                                                     uint64_t seed) {
+  Rng rng(seed * 0x9e3779b9ULL + 17);
+  std::vector<std::vector<DimValue>> reaches(inst.num_posts());
+  for (PostId p = 0; p < static_cast<PostId>(inst.num_posts()); ++p) {
+    ForEachLabel(inst.labels(p), [&](LabelId) {
+      reaches[p].push_back(rng.UniformDouble(0.3 * max_reach, max_reach));
+    });
+  }
+  return reaches;
+}
+
+/// An independently-built single-tenant replica: the sub-instance of
+/// `mask`-relevant posts from `from` on, with its own coverage model
+/// (plain UniformLambda, or the VariableLambda rows restricted to the
+/// surviving labels).
+struct SingleTenant {
+  Instance sub;
+  std::vector<PostId> global_of_local;
+  std::unique_ptr<CoverageModel> model;
+};
+
+SingleTenant BuildSingleTenant(
+    const Instance& inst, LabelMask mask, PostId from, double lambda,
+    const std::vector<std::vector<DimValue>>* variable_table,
+    double max_reach) {
+  const std::vector<LabelId> global_labels = MaskToLabels(mask);
+  InstanceBuilder builder(static_cast<int>(global_labels.size()));
+  SingleTenant out;
+  std::vector<std::vector<DimValue>> restricted;
+  for (PostId p = from; p < inst.num_posts(); ++p) {
+    const LabelMask hit = inst.labels(p) & mask;
+    if (hit == 0) continue;
+    LabelMask local = 0;
+    for (size_t i = 0; i < global_labels.size(); ++i) {
+      if (MaskHas(hit, global_labels[i])) {
+        local |= MaskOf(static_cast<LabelId>(i));
+      }
+    }
+    builder.Add(inst.value(p), local, p);
+    out.global_of_local.push_back(p);
+    if (variable_table != nullptr) {
+      // Parent rows are ascending-label within labels(p); keep the
+      // entries whose label survives the mask, in the same order.
+      std::vector<DimValue> row;
+      size_t j = 0;
+      ForEachLabel(inst.labels(p), [&](LabelId a) {
+        if (MaskHas(mask, a)) row.push_back((*variable_table)[p][j]);
+        ++j;
+      });
+      restricted.push_back(std::move(row));
+    }
+  }
+  auto built = builder.Build();
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  out.sub = std::move(built).value();
+  if (variable_table != nullptr) {
+    out.model =
+        std::make_unique<VariableLambda>(std::move(restricted), max_reach);
+  } else {
+    out.model = std::make_unique<UniformLambda>(lambda);
+  }
+  return out;
+}
+
+/// Compares one tenant of `engine` against its independent replica run
+/// from scratch over the same replay. Exact == on posts and times.
+/// Returns the number of compared emissions.
+size_t ExpectTenantMatchesSingleTenant(
+    const MultiTenantStream& engine, TenantId tenant, const Instance& inst,
+    LabelMask mask, PostId join, StreamKind kind, double tau, double lambda,
+    const std::vector<std::vector<DimValue>>* variable_table,
+    double max_reach, const std::string& context) {
+  SingleTenant solo = BuildSingleTenant(inst, mask, join, lambda,
+                                        variable_table, max_reach);
+  auto solo_proc = CreateStreamProcessor(kind, solo.sub, *solo.model, tau);
+  auto stats = RunStream(solo.sub, solo_proc.get());
+  EXPECT_TRUE(stats.ok()) << context;
+
+  auto tenant_emissions = engine.TenantEmissions(tenant);
+  EXPECT_TRUE(tenant_emissions.ok())
+      << context << ": " << tenant_emissions.status().ToString();
+  if (!tenant_emissions.ok()) return 0;
+
+  const auto& got = *tenant_emissions;
+  const auto& solo_emissions = solo_proc->emissions();
+  EXPECT_EQ(got.size(), solo_emissions.size()) << context;
+  const size_t n = std::min(got.size(), solo_emissions.size());
+  for (size_t i = 0; i < n; ++i) {
+    const PostId solo_global = solo.global_of_local[solo_emissions[i].post];
+    EXPECT_EQ(got[i].post, solo_global)
+        << context << " emission " << i << " of " << n;
+    EXPECT_EQ(got[i].emit_time, solo_emissions[i].emit_time)
+        << context << " emission " << i << " (post " << got[i].post
+        << "): emit times differ by "
+        << (got[i].emit_time - solo_emissions[i].emit_time);
+    if (::testing::Test::HasFailure()) break;
+  }
+
+  auto tenant_cover = engine.TenantCover(tenant);
+  EXPECT_TRUE(tenant_cover.ok()) << context;
+  if (tenant_cover.ok()) {
+    std::vector<PostId> solo_cover;
+    for (PostId p : solo_proc->SelectedPosts()) {
+      solo_cover.push_back(solo.global_of_local[p]);
+    }
+    std::sort(solo_cover.begin(), solo_cover.end());
+    EXPECT_EQ(*tenant_cover, solo_cover) << context;
+  }
+  return n;
+}
+
+/// ≥100 fuzzed label-set profiles per engine: a mix of 2- and 3-label
+/// subscriptions from the broad-group generator, duplicates included
+/// (they exercise cluster sharing).
+std::vector<LabelMask> FuzzProfiles(int num_labels, uint64_t seed) {
+  Rng rng(seed * 77 + 5);
+  auto two = GenerateLabelMaskProfiles(num_labels, 2, 70, &rng);
+  auto three = GenerateLabelMaskProfiles(num_labels, 3, 50, &rng);
+  EXPECT_TRUE(two.ok() && three.ok());
+  std::vector<LabelMask> profiles = *two;
+  profiles.insert(profiles.end(), three->begin(), three->end());
+  return profiles;
+}
+
+#define ASSERT_TRUE_OR_RETURN(cond, ret) \
+  do {                                   \
+    EXPECT_TRUE(cond);                   \
+    if (!(cond)) return (ret);           \
+  } while (false)
+
+/// The sweep body shared by the per-algorithm tests below: random
+/// instances x {uniform, variable} lambda x tau grid, 120 profiles
+/// subscribed at epoch 0, every tenant compared exactly.
+size_t RunBattery(StreamKind kind, size_t* engines_with_sharing) {
+  size_t compared = 0;
+  for (uint64_t seed = 1; seed <= 2; ++seed) {
+    InstanceGenConfig cfg;
+    cfg.num_labels = 10;
+    cfg.duration = 900.0;
+    cfg.posts_per_minute = 80.0;
+    cfg.overlap_rate = 1.5;
+    cfg.burst_fraction = 0.3;
+    cfg.seed = 9000 + seed;
+    auto inst = GenerateInstance(cfg);
+    EXPECT_TRUE(inst.ok());
+    const std::vector<LabelMask> profiles =
+        FuzzProfiles(cfg.num_labels, seed);
+    EXPECT_GE(profiles.size(), 100u);
+
+    const double lambda = 6.0;
+    const auto table = MakeVariableTable(*inst, lambda, seed);
+    UniformLambda uniform(lambda);
+    VariableLambda variable(table, lambda);
+    for (const bool use_variable : {false, true}) {
+      const CoverageModel& model =
+          use_variable ? static_cast<const CoverageModel&>(variable)
+                       : static_cast<const CoverageModel&>(uniform);
+      for (double tau : {0.0, 4.0}) {
+        const std::string context =
+            std::string(StreamKindName(kind)) +
+            " seed=" + std::to_string(seed) +
+            " tau=" + std::to_string(tau) +
+            (use_variable ? " variable" : " uniform");
+        auto engine =
+            MultiTenantStream::Create(*inst, model, kind, tau);
+        ASSERT_TRUE_OR_RETURN(engine.ok(), compared);
+        std::vector<TenantId> ids;
+        for (LabelMask mask : profiles) {
+          auto id = (*engine)->Subscribe(mask);
+          EXPECT_TRUE(id.ok()) << context;
+          ids.push_back(*id);
+        }
+        EXPECT_TRUE((*engine)->RunToEnd().ok()) << context;
+
+        // Work sharing must be real, not incidental: the scan tier
+        // absorbs every arrival once for all tenants; the cluster
+        // tier folds duplicate profiles onto representatives.
+        if (kind == StreamKind::kStreamScan) {
+          EXPECT_EQ((*engine)->num_clusters(), 0u) << context;
+          EXPECT_GT((*engine)->shared_tier_hits(), 0u) << context;
+        } else {
+          EXPECT_GT((*engine)->num_clusters(), 0u) << context;
+          EXPECT_LT((*engine)->num_clusters(),
+                    (*engine)->active_tenants())
+              << context << ": clustering found no duplicates";
+        }
+        if ((*engine)->shared_hit_rate() > 0.0 ||
+            (*engine)->num_clusters() < (*engine)->active_tenants()) {
+          ++*engines_with_sharing;
+        }
+
+        for (size_t i = 0; i < profiles.size(); ++i) {
+          compared += ExpectTenantMatchesSingleTenant(
+              **engine, ids[i], *inst, profiles[i], /*join=*/0, kind, tau,
+              lambda, use_variable ? &table : nullptr, lambda,
+              context + " tenant=" + std::to_string(i));
+          if (::testing::Test::HasFailure()) return compared;
+        }
+      }
+    }
+  }
+  return compared;
+}
+
+TEST(TenantDifferentialTest, StreamScanSharedTierMatchesSingleTenant) {
+  size_t sharing = 0;
+  const size_t compared = RunBattery(StreamKind::kStreamScan, &sharing);
+  EXPECT_GE(compared, 25000u) << "battery under-sampled";
+  EXPECT_GT(sharing, 0u);
+}
+
+TEST(TenantDifferentialTest, StreamScanPlusClustersMatchSingleTenant) {
+  size_t sharing = 0;
+  const size_t compared = RunBattery(StreamKind::kStreamScanPlus, &sharing);
+  EXPECT_GE(compared, 25000u) << "battery under-sampled";
+  EXPECT_GT(sharing, 0u);
+}
+
+TEST(TenantDifferentialTest, StreamGreedyClustersMatchSingleTenant) {
+  size_t sharing = 0;
+  const size_t compared = RunBattery(StreamKind::kStreamGreedy, &sharing);
+  EXPECT_GE(compared, 25000u) << "battery under-sampled";
+  EXPECT_GT(sharing, 0u);
+}
+
+TEST(TenantDifferentialTest, StreamGreedyPlusClustersMatchSingleTenant) {
+  size_t sharing = 0;
+  const size_t compared = RunBattery(StreamKind::kStreamGreedyPlus, &sharing);
+  EXPECT_GE(compared, 25000u) << "battery under-sampled";
+  EXPECT_GT(sharing, 0u);
+}
+
+}  // namespace
+}  // namespace mqd

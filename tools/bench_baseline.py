@@ -17,15 +17,21 @@ Three suites:
             numbers are deterministic: the branch-and-bound
             certificate at a fixed node budget is a pure function of
             the seed, so the artifact is machine-independent.
+  tenant  - the bench_tenant multi-tenant fan-out sweep (shared scan
+            tier and cluster tier at 1k/10k/100k concurrent label-set
+            profiles, Figure 14-15 arrival regime), written to
+            BENCH_tenant.json with the per-post cost growth ratio —
+            the sublinearity evidence — computed per algorithm.
 
 Each suite writes one JSON document so this and future PRs can diff
 the recorded numbers. Pure stdlib; no third-party deps.
 
 Usage:
-  tools/bench_baseline.py [--suite core|stream|gap|all]
+  tools/bench_baseline.py [--suite core|stream|gap|tenant|all]
                           [--build-dir build] [--out BENCH_core.json]
                           [--stream-out BENCH_stream.json]
                           [--gap-out BENCH_gap.json]
+                          [--tenant-out BENCH_tenant.json]
                           [--sanity] [--fig13-scale 0.02]
 
 --sanity is the CI mode: it still runs every binary end to end and
@@ -256,6 +262,102 @@ def write_gap(args):
           f"{reread['revision']})")
 
 
+# One bench_tenant table row: algo, tenants, clusters, per-post and
+# per-derive microseconds, fan-out amplification, shared-tier hit rate
+# (see bench/bench_tenant.cc).
+TENANT_ROW_RE = re.compile(
+    r"^\s*([\w+]+)\s+(\d+)\s+(\d+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s+"
+    r"([\d.]+)\s*$")
+
+
+def run_tenant(build_dir, sanity):
+    binary = os.path.join(build_dir, "bench", "bench_tenant")
+    env = dict(os.environ)
+    if sanity:
+        # Shrink the replayed stream; the tenant counts — the variable
+        # under test — stay at the full 1k/10k/100k sweep.
+        env["MQD_BENCH_SCALE"] = "0.02"
+    start = time.monotonic()
+    out = subprocess.run([binary], check=True, capture_output=True,
+                         text=True, env=env)
+    elapsed = time.monotonic() - start
+    rows = []
+    for line in out.stdout.splitlines():
+        row = TENANT_ROW_RE.match(line)
+        if row:
+            rows.append({
+                "algo": row.group(1),
+                "tenants": int(row.group(2)),
+                "clusters": int(row.group(3)),
+                "per_post_us": float(row.group(4)),
+                "amplification": float(row.group(5)),
+                "shared_hit_rate": float(row.group(6)),
+                "derive_us": float(row.group(7)),
+            })
+    if len(rows) != 6:
+        raise SystemExit(
+            f"could not parse bench_tenant output: {len(rows)} rows "
+            f"(want 6)\n{out.stdout}")
+    return {"wall_seconds": round(elapsed, 3), "rows": rows}
+
+
+def write_tenant(args):
+    tenant = run_tenant(args.build_dir, args.sanity)
+    rows = tenant["rows"]
+    # Per-post cost growth over the tenant sweep, per algorithm: the
+    # headline sublinearity number (tenants grow 100x).
+    growth = {}
+    for algo in sorted({r["algo"] for r in rows}):
+        sweep = sorted((r for r in rows if r["algo"] == algo),
+                       key=lambda r: r["tenants"])
+        growth[algo] = {
+            "tenant_ratio": round(sweep[-1]["tenants"] / sweep[0]["tenants"]),
+            "per_post_cost_ratio": round(
+                sweep[-1]["per_post_us"] / sweep[0]["per_post_us"], 3)
+            if sweep[0]["per_post_us"] > 0 else None,
+        }
+    doc = {
+        "schema": "mqd-bench-tenant/1",
+        "revision": git_revision(),
+        "recorded_unix": int(time.time()),
+        "sanity_mode": args.sanity,
+        "workload": {
+            "tenant": "bench_tenant fan-out sweep at the Figure 14-15 "
+                      "arrival regime (|L|=20, 118 posts/min, overlap "
+                      "1.4, seed 13, lambda=tau=300s); 3-label "
+                      "broad-group profiles at 1k/10k/100k tenants, "
+                      "shared scan tier + StreamGreedySC+ cluster tier",
+        },
+        "bench_tenant": tenant,
+        "per_post_cost_growth": growth,
+    }
+
+    with open(args.tenant_out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    reread = json.load(open(args.tenant_out))
+    rows = reread["bench_tenant"]["rows"]
+    assert len(rows) == 6
+    assert max(r["tenants"] for r in rows) >= 100_000, \
+        "sweep must reach 100k concurrent profiles"
+    for algo, g in reread["per_post_cost_growth"].items():
+        # Structure always; the sublinearity threshold only outside
+        # --sanity (CI timing is too noisy to gate on). A generous 10x
+        # margin against the 100x tenant ratio: sublinear scaling sits
+        # near 1x, a per-tenant cost would sit at 100x.
+        assert g["per_post_cost_ratio"] is not None, algo
+        if not args.sanity:
+            assert g["per_post_cost_ratio"] < g["tenant_ratio"] / 10.0, (
+                algo, g)
+    summary = ", ".join(
+        f"{algo}={g['per_post_cost_ratio']}x" for algo, g in
+        sorted(reread["per_post_cost_growth"].items()))
+    print(f"wrote {args.tenant_out}: {len(rows)} rows; per-post cost "
+          f"growth over a 100x tenant increase: {summary} (revision "
+          f"{reread['revision']})")
+
+
 def git_revision():
     try:
         return subprocess.run(
@@ -333,12 +435,14 @@ def write_stream(args):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--suite", choices=["core", "stream", "gap", "all"],
+    parser.add_argument("--suite",
+                        choices=["core", "stream", "gap", "tenant", "all"],
                         default="all")
     parser.add_argument("--build-dir", default="build")
     parser.add_argument("--out", default="BENCH_core.json")
     parser.add_argument("--stream-out", default="BENCH_stream.json")
     parser.add_argument("--gap-out", default="BENCH_gap.json")
+    parser.add_argument("--tenant-out", default="BENCH_tenant.json")
     parser.add_argument("--sanity", action="store_true",
                         help="CI smoke mode: minimal reps, structure-"
                              "only validation, no timing thresholds")
@@ -357,6 +461,8 @@ def main():
         write_stream(args)
     if args.suite in ("gap", "all"):
         write_gap(args)
+    if args.suite in ("tenant", "all"):
+        write_tenant(args)
     return 0
 
 

@@ -5,6 +5,7 @@
 //   solve        run a solver on an instance file, print/save the cover
 //   solve-batch  fan many (instance, lambda) jobs across a thread pool
 //   stream       replay an instance through a StreamMQDP processor
+//   serve-stream replay once for many tenant label-set profiles
 //   stats        describe an instance / a cover
 //
 // Examples:
@@ -13,6 +14,7 @@
 //   mqd solve inst.mqdp --algorithm scan+ --lambda 5 --threads 8
 //   mqd solve-batch a.mqdp b.mqdp --algorithm scan+ --lambdas 5,15,60
 //   mqd stream inst.mqdp --algorithm stream-scan --lambda 10 --tau 5
+//   mqd serve-stream inst.mqdp --profiles 1000 --algorithm stream-scan
 //   mqd stats inst.mqdp --cover cover.txt --lambda 5
 #include <cstdlib>
 #include <fstream>
@@ -29,6 +31,7 @@
 #include "core/verifier.h"
 #include "eval/table.h"
 #include "gen/instance_gen.h"
+#include "gen/profile_gen.h"
 #include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "obs/stack_metrics.h"
@@ -37,10 +40,12 @@
 #include "parallel/parallel_solver.h"
 #include "stream/delay_stats.h"
 #include "stream/factory.h"
+#include "stream/multi_tenant.h"
 #include "stream/replay.h"
 #include "util/deadline.h"
 #include "util/fault_injection.h"
 #include "util/flags.h"
+#include "util/rng.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -99,7 +104,8 @@ void DefineFaultFlags(FlagParser* flags) {
   flags->Define("faults", "",
                 "arm fault injection, comma-separated "
                 "site:prob[:latency_ms][:throw] entries (sites: "
-                "io.read_instance, index.load, pool.task, stream.replay)");
+                "io.read_instance, index.load, pool.task, stream.replay, "
+                "tenant.fanout, tenant.evict)");
   flags->Define("fault-seed", "0",
                 "seed of the deterministic fault schedule");
 }
@@ -440,6 +446,99 @@ int CmdStream(const std::vector<std::string>& args) {
   return valid.ok() ? 0 : 1;
 }
 
+/// serve-stream: one replay of the instance fanned out to many tenant
+/// label-set profiles through the MultiTenantStream engine — the
+/// multi-tenant counterpart of `stream` (DESIGN.md §14).
+int CmdServeStream(const std::vector<std::string>& args) {
+  FlagParser flags;
+  flags.Define("profiles", "100",
+               "number of tenant label-set profiles to subscribe");
+  flags.Define("profile-labels", "3", "labels per profile");
+  flags.Define("algorithm", "stream-scan",
+               "stream-scan | stream-scan+ | stream-greedy | "
+               "stream-greedy+");
+  flags.Define("lambda", "60", "coverage threshold");
+  flags.Define("tau", "10", "max reporting delay");
+  flags.Define("seed", "1", "profile-generator seed");
+  DefineMetricsFlags(&flags);
+  DefineFaultFlags(&flags);
+  if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
+  if (flags.positional().size() != 1) {
+    std::cerr << "usage: mqd serve-stream <instance-file> [flags]\n";
+    return 1;
+  }
+  MaybeEnableTrace(flags);
+  if (Status s = MaybeArmFaults(flags); !s.ok()) return Fail(s);
+  auto instance = ReadInstanceFromFile(flags.positional()[0]);
+  if (!instance.ok()) return Fail(instance.status());
+  auto num_profiles = flags.GetInt("profiles");
+  auto profile_labels = flags.GetInt("profile-labels");
+  auto lambda = flags.GetDouble("lambda");
+  auto tau = flags.GetDouble("tau");
+  auto seed = flags.GetInt("seed");
+  for (const Status& s :
+       {num_profiles.status(), profile_labels.status(), lambda.status(),
+        tau.status(), seed.status()}) {
+    if (!s.ok()) return Fail(s);
+  }
+  auto kind = ParseStreamKind(flags.GetString("algorithm"));
+  if (!kind.ok()) return Fail(kind.status());
+  if (*num_profiles <= 0) {
+    return Fail(Status::InvalidArgument("--profiles must be positive"));
+  }
+
+  Rng rng(static_cast<uint64_t>(*seed));
+  auto profiles = GenerateLabelMaskProfiles(
+      instance->num_labels(), static_cast<size_t>(*profile_labels),
+      static_cast<size_t>(*num_profiles), &rng);
+  if (!profiles.ok()) return Fail(profiles.status());
+
+  UniformLambda model(*lambda);
+  auto engine_or =
+      MultiTenantStream::Create(*instance, model, *kind, *tau);
+  if (!engine_or.ok()) return Fail(engine_or.status());
+  auto engine = std::move(engine_or).value();
+  std::vector<TenantId> ids;
+  ids.reserve(profiles->size());
+  for (LabelMask mask : *profiles) {
+    auto id = engine->Subscribe(mask);
+    if (!id.ok()) return Fail(id.status());
+    ids.push_back(*id);
+  }
+  Stopwatch replay;
+  if (Status s = engine->RunToEnd(); !s.ok()) return Fail(s);
+  const double replay_s = replay.ElapsedSeconds();
+
+  // Per-tenant derived output: a fanout-quarantined tenant's query
+  // returns its fault; report the degradation instead of failing the
+  // run (the contract is per-tenant blast radius).
+  size_t emitted = 0, degraded = 0;
+  for (TenantId id : ids) {
+    auto emissions = engine->TenantEmissions(id);
+    if (emissions.ok()) {
+      emitted += emissions->size();
+    } else {
+      ++degraded;
+    }
+  }
+  std::cout << StreamKindName(*kind) << ": " << engine->active_tenants()
+            << " tenants over " << instance->num_posts() << " posts in "
+            << FormatDouble(replay_s * 1e3, 3) << " ms ("
+            << FormatDouble(replay_s * 1e6 /
+                                static_cast<double>(instance->num_posts()),
+                            3)
+            << " us/post), " << engine->num_clusters()
+            << " clusters, fan-out amplification "
+            << FormatDouble(engine->fanout_amplification(), 2)
+            << ", shared-tier hit rate "
+            << FormatDouble(engine->shared_hit_rate(), 3) << "\n"
+            << "tenant emissions: " << emitted << " total across "
+            << (ids.size() - degraded) << " healthy tenants, " << degraded
+            << " degraded\n";
+  if (int rc = EmitObservability(flags); rc != 0) return rc;
+  return 0;
+}
+
 int CmdStats(const std::vector<std::string>& args) {
   FlagParser flags;
   flags.Define("cover", "", "optional cover file to describe");
@@ -495,6 +594,7 @@ int Usage() {
          "  solve        run a static solver on an instance file\n"
          "  solve-batch  solve many (instance, lambda) jobs in parallel\n"
          "  stream       replay an instance through a streaming solver\n"
+         "  serve-stream replay once for many tenant label-set profiles\n"
          "  stats        describe an instance and optionally a cover\n";
   return 2;
 }
@@ -516,6 +616,7 @@ int main(int argc, char** argv) {
   if (command == "solve") return mqd::CmdSolve(args);
   if (command == "solve-batch") return mqd::CmdSolveBatch(args);
   if (command == "stream") return mqd::CmdStream(args);
+  if (command == "serve-stream") return mqd::CmdServeStream(args);
   if (command == "stats") return mqd::CmdStats(args);
   return mqd::Usage();
 }
