@@ -22,6 +22,7 @@ inline void PrintHeader(std::string_view artifact, std::string_view setup,
   // Benches report thread-pool activity like the CLI does; the
   // instrumentation cost is a few relaxed atomics per pool task.
   obs::InstallThreadPoolMetrics();
+  obs::InstallArenaMetrics();
   std::cout << "==========================================================\n"
             << "Reproduction of " << artifact << "\n"
             << "  (Cheng, Arvanitis, Chrobak, Hristidis: Multi-Query\n"

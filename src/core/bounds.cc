@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "core/kernels.h"
 #include "core/types.h"
 
 namespace mqd {
@@ -14,7 +15,10 @@ namespace internal {
 size_t LabelStabbingCount(const Instance& inst, const CoverageModel& model,
                           LabelId a) {
   const std::span<const PostId> posts = inst.label_posts(a);
+  const std::span<const DimValue> values = inst.label_values(a);
   const DimValue max_reach = model.MaxReach();
+  const bool uniform = model.IsUniform();
+  const kern::KernelTable& kt = kern::Active();
   size_t count = 0;
   DimValue covered_until = -std::numeric_limits<DimValue>::infinity();
   for (size_t i = 0; i < posts.size(); ++i) {
@@ -25,9 +29,21 @@ size_t LabelStabbingCount(const Instance& inst, const CoverageModel& model,
     // within the max-reach window. Take the candidate whose coverage
     // interval extends furthest right (optimal 1-D point cover).
     DimValue best_end = vx + model.Reach(inst, px, a);
-    for (PostId z : inst.LabelPostsInRange(a, vx - max_reach, vx + max_reach)) {
-      if (!model.Covers(inst, z, a, px)) continue;
-      best_end = std::max(best_end, inst.value(z) + model.Reach(inst, z, a));
+    if (uniform) {
+      // Constant reach turns the fold into the masked-max kernel over
+      // the window's flat value run (same Covers expression, same
+      // max fold — max is order-insensitive on these NaN-free values).
+      const Instance::IndexRange r =
+          inst.LabelRangeBounds(a, vx - max_reach, vx + max_reach);
+      best_end = kt.max_cover_end(values.data() + r.begin, r.size(), vx,
+                                  max_reach, best_end);
+    } else {
+      for (PostId z :
+           inst.LabelPostsInRange(a, vx - max_reach, vx + max_reach)) {
+        if (!model.Covers(inst, z, a, px)) continue;
+        best_end =
+            std::max(best_end, inst.value(z) + model.Reach(inst, z, a));
+      }
     }
     ++count;
     covered_until = best_end;

@@ -4,11 +4,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
-#include <vector>
+#include <span>
 
 #include "core/coverage.h"
 #include "core/instance.h"
+#include "core/kernels.h"
 #include "core/types.h"
+#include "util/arena.h"
 #include "util/logging.h"
 
 namespace mqd::internal {
@@ -19,6 +21,11 @@ namespace mqd::internal {
 /// parallel gain-argmax engine run the identical state machine; any
 /// divergence is a bug the differential tests are designed to catch.
 ///
+/// Every array lives on the caller's Arena (normally the thread's
+/// SolveScratch, rewound per solve): all sizes are known up front, so
+/// construction is a handful of pointer bumps and repeated solves
+/// allocate nothing once the arena is warm.
+///
 /// Gain maintenance runs one of two paths per newly covered pair
 /// (q, a):
 ///  * Fast path (uniform lambda): every r within MaxReach of q in
@@ -26,7 +33,8 @@ namespace mqd::internal {
 ///    contiguous run of LP(a). The decrement is recorded as an O(1)
 ///    range-add into a per-label difference array over CSR positions
 ///    and lazily materialized into gain_ once per Select, right
-///    before the next argmax needs the values.
+///    before the next argmax needs the values (the prefix-sum walk is
+///    the kern::materialize kernel, SIMD-dispatched).
 ///  * Exact path (variable lambda): coverage is directional — whether
 ///    r covers (q, a) depends on r's own reach — so the losers are
 ///    not contiguous and each candidate in the MaxReach window is
@@ -39,21 +47,23 @@ class GreedyState {
   /// caller must fill them (e.g. via a parallel loop over
   /// InitialGain + set_gain) before the first argmax.
   GreedyState(const Instance& inst, const CoverageModel& model,
-              bool compute_gains = true)
+              Arena& arena, bool compute_gains = true)
       : inst_(inst),
         model_(model),
         uniform_(model.IsUniform()),
-        covered_(inst.num_posts(), 0),
-        gain_(inst.num_posts(), 0),
+        covered_(arena.AllocZeroedSpan<LabelMask>(inst.num_posts())),
+        gain_(arena.AllocZeroedSpan<int64_t>(inst.num_posts())),
         remaining_(inst.num_pairs()) {
+    const size_t num_labels = static_cast<size_t>(inst.num_labels());
     if (uniform_) {
       // One slot of gutter per label: a range ending at position
       // |LP(a)| writes its +1 marker at delta_base(a) + |LP(a)|, which
       // must not alias the next label's first slot.
-      delta_.assign(
-          inst.num_pairs() + static_cast<size_t>(inst.num_labels()) + 1, 0);
-      dirty_lo_.assign(static_cast<size_t>(inst.num_labels()), kClean);
-      dirty_hi_.assign(static_cast<size_t>(inst.num_labels()), 0);
+      delta_ = arena.AllocZeroedSpan<int32_t>(inst.num_pairs() + num_labels + 1);
+      dirty_lo_ = arena.AllocSpan<size_t>(num_labels);
+      dirty_hi_ = arena.AllocZeroedSpan<size_t>(num_labels);
+      dirty_labels_ = arena.AllocSpan<LabelId>(num_labels);
+      for (size_t a = 0; a < num_labels; ++a) dirty_lo_[a] = kClean;
     }
     if (!compute_gains) return;
     if (uniform_) {
@@ -101,6 +111,8 @@ class GreedyState {
 
   void set_gain(PostId p, int64_t gain) { gain_[p] = gain; }
   int64_t gain(PostId p) const { return gain_[p]; }
+  /// Raw gain array (indexed by PostId) for the argmax kernels.
+  const int64_t* gains_data() const { return gain_.data(); }
   size_t remaining() const { return remaining_; }
   size_t num_posts() const { return inst_.num_posts(); }
 
@@ -160,7 +172,7 @@ class GreedyState {
     --delta_[base + r.begin];
     ++delta_[base + r.end];
     if (dirty_lo_[a] == kClean) {
-      dirty_labels_.push_back(a);
+      dirty_labels_[num_dirty_++] = a;
       dirty_lo_[a] = r.begin;
       dirty_hi_[a] = r.end;
     } else {
@@ -170,37 +182,38 @@ class GreedyState {
   }
 
   /// Flushes the pending range-adds into gain_: one prefix-sum walk
-  /// per dirty label, bounded to the touched position window.
+  /// per dirty label (the SIMD-dispatched materialize kernel), bounded
+  /// to the touched position window.
   void MaterializePending() {
-    for (LabelId a : dirty_labels_) {
+    const kern::KernelTable& kt = kern::Active();
+    for (size_t d = 0; d < num_dirty_; ++d) {
+      const LabelId a = dirty_labels_[d];
       const size_t base = delta_base(a);
       const std::span<const PostId> ids = inst_.label_posts(a);
       const size_t lo = dirty_lo_[a];
       const size_t hi = dirty_hi_[a];
-      int64_t run = 0;
-      for (size_t i = lo; i < hi; ++i) {
-        run += delta_[base + i];
-        delta_[base + i] = 0;
-        if (run != 0) gain_[ids[i]] += run;
-      }
+      kt.materialize(delta_.data() + base + lo, hi - lo, ids.data() + lo,
+                     gain_.data());
       delta_[base + hi] = 0;
       dirty_lo_[a] = kClean;
     }
-    dirty_labels_.clear();
+    num_dirty_ = 0;
   }
 
   const Instance& inst_;
   const CoverageModel& model_;
   const bool uniform_;
-  std::vector<LabelMask> covered_;
-  std::vector<int64_t> gain_;
+  std::span<LabelMask> covered_;
+  std::span<int64_t> gain_;
   size_t remaining_;
   // Fast-path state (sized only for uniform models): difference array
-  // over global CSR positions plus per-label dirty windows.
-  std::vector<int32_t> delta_;
-  std::vector<size_t> dirty_lo_;
-  std::vector<size_t> dirty_hi_;
-  std::vector<LabelId> dirty_labels_;
+  // over global CSR positions plus per-label dirty windows. The dirty
+  // label list has capacity num_labels; num_dirty_ is its fill.
+  std::span<int32_t> delta_;
+  std::span<size_t> dirty_lo_;
+  std::span<size_t> dirty_hi_;
+  std::span<LabelId> dirty_labels_;
+  size_t num_dirty_ = 0;
   uint64_t fastpath_updates_ = 0;
   uint64_t exact_updates_ = 0;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/kernels.h"
 #include "util/logging.h"
 
 namespace mqd {
@@ -13,8 +14,11 @@ void SweepLabel(const Instance& inst, const CoverageModel& model, LabelId a,
                 std::vector<LabelMask>* covered, std::vector<PostId>* out,
                 const std::function<void(PostId picked)>* mark) {
   const std::span<const PostId> posts = inst.label_posts(a);
+  const std::span<const DimValue> values = inst.label_values(a);
   const DimValue max_reach = model.MaxReach();
   const LabelMask abit = MaskOf(a);
+  const bool uniform = model.IsUniform();
+  const kern::KernelTable& kt = kern::Active();
 
   size_t i = 0;
   while (true) {
@@ -32,14 +36,28 @@ void SweepLabel(const Instance& inst, const CoverageModel& model, LabelId a,
     // lambda.
     PostId best = px;
     DimValue best_end = vx + model.Reach(inst, px, a);
-    for (size_t j = i + 1; j < posts.size(); ++j) {
-      const PostId z = posts[j];
-      if (inst.value(z) > vx + max_reach) break;
-      if (!model.Covers(inst, z, a, px)) continue;
-      const DimValue end = inst.value(z) + model.Reach(inst, z, a);
-      if (end >= best_end) {
-        best = z;
-        best_end = end;
+    if (uniform) {
+      // Constant reach makes every candidate's end value(z) + lambda,
+      // weakly ascending over the sorted list, so the >=-fold below
+      // reduces to "last candidate passing Covers before the window
+      // break" — exactly the SIMD last-cover kernel.
+      const size_t j = kt.last_cover(values.data() + i + 1,
+                                     values.size() - i - 1, vx, max_reach,
+                                     vx + max_reach);
+      if (j != kern::kNoIndex) {
+        best = posts[i + 1 + j];
+        best_end = inst.value(best) + max_reach;
+      }
+    } else {
+      for (size_t j = i + 1; j < posts.size(); ++j) {
+        const PostId z = posts[j];
+        if (inst.value(z) > vx + max_reach) break;
+        if (!model.Covers(inst, z, a, px)) continue;
+        const DimValue end = inst.value(z) + model.Reach(inst, z, a);
+        if (end >= best_end) {
+          best = z;
+          best_end = end;
+        }
       }
     }
 

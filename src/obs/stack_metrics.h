@@ -155,6 +155,24 @@ const TenantMetrics& GetTenantMetrics();
 /// call once near process start (mqd_cli and bench_common do).
 void InstallThreadPoolMetrics();
 
+/// Solve-arena metrics, fed through the ArenaObserver hook of
+/// util/arena (same layering as the thread pool: util cannot depend
+/// on obs). bytes_peak tracks the largest high-water mark any arena
+/// has reported; the counters let the zero-allocation regression test
+/// assert that steady-state solves stop growing the arenas
+/// (block_allocs flat while resets climb).
+struct ArenaMetrics {
+  Gauge* bytes_peak;             // mqd_arena_bytes_peak
+  Counter* resets;               // mqd_arena_resets_total
+  Counter* block_allocs;         // mqd_arena_block_allocs_total
+};
+
+const ArenaMetrics& GetArenaMetrics();
+
+/// Installs the registry-backed ArenaObserver so every Arena reports
+/// into GetArenaMetrics(). Idempotent and thread safe.
+void InstallArenaMetrics();
+
 }  // namespace mqd::obs
 
 #endif  // MQD_OBS_STACK_METRICS_H_

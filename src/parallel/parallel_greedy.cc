@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "core/greedy_state.h"
+#include "core/kernels.h"
+#include "core/solve_scratch.h"
 #include "obs/stack_metrics.h"
 
 namespace mqd {
@@ -33,7 +35,9 @@ Result<std::vector<PostId>> ParallelGreedySCSolver::Solve(
       std::max<size_t>(512, (n + threads * 4 - 1) / (threads * 4));
   const size_t num_chunks = (n + grain - 1) / grain;
 
-  internal::GreedyState state(inst, model, /*compute_gains=*/false);
+  SolveScratch::Session session(SolveScratch::ThreadLocal());
+  internal::GreedyState state(inst, model, session.arena(),
+                              /*compute_gains=*/false);
   ParallelFor(pool_, n, grain, [&](size_t begin, size_t end) {
     for (size_t p = begin; p < end; ++p) {
       const PostId id = static_cast<PostId>(p);
@@ -42,17 +46,19 @@ Result<std::vector<PostId>> ParallelGreedySCSolver::Solve(
   });
 
   const obs::SolverMetrics& metrics = obs::SolverMetricsFor(name());
+  const kern::KernelTable& kt = kern::Active();
   std::vector<PostId> out;
   std::vector<ChunkBest> chunk_best(num_chunks);
   while (state.remaining() > 0) {
     ParallelFor(pool_, n, grain, [&](size_t begin, size_t end) {
+      // Dense argmax kernel per chunk: first maximum if positive —
+      // identical to the serial strict-> scan over [begin, end).
       ChunkBest best;
-      for (size_t p = begin; p < end; ++p) {
-        const PostId id = static_cast<PostId>(p);
-        if (state.gain(id) > best.gain) {
-          best.gain = state.gain(id);
-          best.post = id;
-        }
+      const size_t at = kt.argmax_dense(state.gains_data() + begin,
+                                        end - begin);
+      if (at < end - begin) {
+        best.gain = state.gain(static_cast<PostId>(begin + at));
+        best.post = static_cast<PostId>(begin + at);
       }
       chunk_best[begin / grain] = best;
     });

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/kernels.h"
 #include "obs/stack_metrics.h"
 #include "util/logging.h"
 
@@ -14,15 +15,29 @@ constexpr size_t kClean = std::numeric_limits<size_t>::max();
 
 StreamGreedyProcessor::StreamGreedyProcessor(const Instance& inst,
                                              const CoverageModel& model,
-                                             double tau, bool stop_at_anchor)
+                                             double tau, bool stop_at_anchor,
+                                             Arena* arena)
     : StreamProcessor(inst, model),
+      owned_arena_(arena == nullptr ? std::make_unique<Arena>() : nullptr),
+      arena_(arena == nullptr ? owned_arena_.get() : arena),
+      resource_(arena_),
       tau_(tau),
       stop_at_anchor_(stop_at_anchor),
       uniform_(model.IsUniform()),
-      emitted_per_label_(static_cast<size_t>(inst.num_labels())),
-      by_label_(static_cast<size_t>(inst.num_labels())),
+      slot_posts_(&resource_),
+      slot_uncovered_(&resource_),
+      slot_gains_(&resource_),
+      dirty_labels_(&resource_),
+      runs_(&resource_),
       metrics_(&obs::StreamMetricsFor(name())) {
   MQD_CHECK(tau >= 0.0) << "tau must be non-negative";
+  const size_t num_labels = static_cast<size_t>(inst.num_labels());
+  emitted_per_label_.reserve(num_labels);
+  by_label_.reserve(num_labels);
+  for (size_t a = 0; a < num_labels; ++a) {
+    emitted_per_label_.emplace_back(&resource_);
+    by_label_.emplace_back(&resource_);
+  }
   for (LabelList& list : by_label_) {
     list.delta.assign(1, 0);  // always slots.size() + 1 entries
     list.dirty_lo = kClean;
@@ -68,7 +83,7 @@ void StreamGreedyProcessor::RecordEmitted(PostId post) {
 
 std::pair<size_t, size_t> StreamGreedyProcessor::SlotValueRange(
     LabelId a, DimValue vlo, DimValue vhi) const {
-  const std::vector<DimValue>& values = by_label_[a].values;
+  const std::pmr::vector<DimValue>& values = by_label_[a].values;
   auto first = std::lower_bound(values.begin(), values.end(), vlo);
   auto last = std::upper_bound(first, values.end(), vhi);
   return {static_cast<size_t>(first - values.begin()),
@@ -92,15 +107,23 @@ void StreamGreedyProcessor::RangeAdd(LabelId a, size_t lo, size_t hi,
 }
 
 void StreamGreedyProcessor::MaterializePending() {
+  const kern::KernelTable& kt = kern::Active();
   for (LabelId a : dirty_labels_) {
     LabelList& list = by_label_[a];
-    int64_t run = 0;
-    for (size_t i = list.dirty_lo; i < list.dirty_hi; ++i) {
-      run += list.delta[i];
-      list.delta[i] = 0;
-      if (run != 0) SlotAt(list.slots[i]).gain += run;
-    }
+    const size_t lo = list.dirty_lo;
+    const size_t len = list.dirty_hi - lo;
+    // Prefix-run kernel over the dirty delta window (zeroing it), then
+    // a scalar scatter through the slot-id indirection: slot ids are
+    // ring-relative, so the fused materialize kernel's direct
+    // gains[id] scatter does not apply here.
+    if (runs_.size() < len) runs_.resize(len);
+    kt.prefix_runs(list.delta.data() + lo, len, runs_.data());
     list.delta[list.dirty_hi] = 0;
+    for (size_t i = 0; i < len; ++i) {
+      if (runs_[i] != 0) {
+        slot_gains_[list.slots[lo + i] - slot_base_] += runs_[i];
+      }
+    }
     list.dirty_lo = kClean;
   }
   dirty_labels_.clear();
@@ -112,16 +135,12 @@ void StreamGreedyProcessor::AddPairGain(LabelId a, DimValue v) {
     // Coverers of the new pair under the reference's batch-init rule:
     // z counts the pair iff v lies in [value(z) - lambda, value(z) +
     // lambda]. Both interval ends are monotone in value(z), so the
-    // coverers form one contiguous run of the slot list.
-    const DimValue lambda = model_.MaxReach();
-    auto lo = std::partition_point(
-        list.values.begin(), list.values.end(),
-        [&](DimValue vz) { return vz + lambda < v; });
-    auto hi = std::partition_point(
-        lo, list.values.end(), [&](DimValue vz) { return vz - lambda <= v; });
-    if (lo != hi) {
-      RangeAdd(a, static_cast<size_t>(lo - list.values.begin()),
-               static_cast<size_t>(hi - list.values.begin()), +1);
+    // coverers form one contiguous run of the slot list — the
+    // coverer-side membership kernel.
+    const kern::RunBounds run = kern::Active().coverer_run(
+        list.values.data(), list.values.size(), v, model_.MaxReach());
+    if (run.lo != run.hi) {
+      RangeAdd(a, run.lo, run.hi, +1);
       ++gain_fastpath_;
     }
     return;
@@ -131,16 +150,18 @@ void StreamGreedyProcessor::AddPairGain(LabelId a, DimValue v) {
   const DimValue max_reach = model_.MaxReach();
   auto [lo, hi] = SlotValueRange(a, v - max_reach, v + max_reach);
   for (size_t i = lo; i < hi; ++i) {
-    Slot& zs = SlotAt(list.slots[i]);
+    const size_t zi = list.slots[i] - slot_base_;
     const DimValue vz = list.values[i];
-    const DimValue reach = model_.Reach(inst_, zs.post, a);
-    if (vz - reach <= v && v <= vz + reach) ++zs.gain;
+    const DimValue reach = model_.Reach(inst_, slot_posts_[zi], a);
+    if (vz - reach <= v && v <= vz + reach) ++slot_gains_[zi];
   }
 }
 
 void StreamGreedyProcessor::AppendSlot(PostId post, LabelMask u) {
-  const uint32_t s = slot_base_ + static_cast<uint32_t>(slots_.size());
-  slots_.push_back(Slot{post, 0, 0});
+  const uint32_t s = slot_base_ + static_cast<uint32_t>(slot_posts_.size());
+  slot_posts_.push_back(post);
+  slot_uncovered_.push_back(0);
+  slot_gains_.push_back(0);
   const DimValue v = inst_.value(post);
   ForEachLabel(inst_.labels(post), [&](LabelId a) {
     LabelList& list = by_label_[a];
@@ -154,16 +175,16 @@ void StreamGreedyProcessor::AppendSlot(PostId post, LabelMask u) {
   // post's own uncov entry is still zero here, so its new pairs are
   // not double counted — AddPairGain below credits them to every
   // coverer, this post included.
+  const kern::KernelTable& kt = kern::Active();
   int64_t g = 0;
   ForEachLabel(inst_.labels(post), [&](LabelId a) {
     const DimValue reach = model_.Reach(inst_, post, a);
     auto [lo, hi] = SlotValueRange(a, v - reach, v + reach);
-    const std::vector<uint8_t>& uncov = by_label_[a].uncov;
-    for (size_t i = lo; i < hi; ++i) g += uncov[i];
+    g += static_cast<int64_t>(
+        kt.sum_u8(by_label_[a].uncov.data() + lo, hi - lo));
   });
-  Slot& slot = slots_.back();
-  slot.gain = g;
-  slot.uncovered = u;
+  slot_gains_.back() = g;
+  slot_uncovered_.back() = u;
   remaining_ += static_cast<size_t>(MaskCount(u));
   ForEachLabel(u, [&](LabelId a) {
     by_label_[a].uncov.back() = 1;
@@ -183,7 +204,7 @@ void StreamGreedyProcessor::OnArrival(PostId post) {
   if (anchor_ == kInvalidPost) {
     if (u == 0) return;  // fully covered and no window open: dropped
     anchor_ = post;
-    anchor_slot_ = slot_base_ + static_cast<uint32_t>(slots_.size());
+    anchor_slot_ = slot_base_ + static_cast<uint32_t>(slot_posts_.size());
   }
   AppendSlot(post, u);
 }
@@ -200,9 +221,10 @@ void StreamGreedyProcessor::Finish() {
 }
 
 void StreamGreedyProcessor::SelectSlot(uint32_t s, double when) {
-  const PostId z = SlotAt(s).post;
+  const PostId z = slot_posts_[SlotIndex(s)];
   const DimValue v = inst_.value(z);
   const DimValue max_reach = model_.MaxReach();
+  const kern::KernelTable& kt = kern::Active();
   ForEachLabel(inst_.labels(z), [&](LabelId a) {
     const DimValue reach = model_.Reach(inst_, z, a);
     auto [first, last] = SlotValueRange(a, v - reach, v + reach);
@@ -210,30 +232,26 @@ void StreamGreedyProcessor::SelectSlot(uint32_t s, double when) {
     for (size_t i = first; i < last; ++i) {
       if (!list.uncov[i]) continue;
       list.uncov[i] = 0;
-      Slot& qs = SlotAt(list.slots[i]);
-      qs.uncovered &= ~MaskOf(a);
+      const size_t qi = list.slots[i] - slot_base_;
+      slot_uncovered_[qi] &= ~MaskOf(a);
       --remaining_;
       const DimValue vq = list.values[i];
       auto [rf, rl] = SlotValueRange(a, vq - max_reach, vq + max_reach);
       if (uniform_) {
         // The reference decrements candidates in [vq ± max_reach]
         // that pass Covers; under a uniform lambda the passing set is
-        // the contiguous run with value(r) - vq in [-lambda, lambda].
-        auto base = list.values.begin();
-        auto cf = std::partition_point(
-            base + static_cast<std::ptrdiff_t>(rf),
-            base + static_cast<std::ptrdiff_t>(rl),
-            [&](DimValue vr) { return vr - vq < -max_reach; });
-        auto cl = std::partition_point(
-            cf, base + static_cast<std::ptrdiff_t>(rl),
-            [&](DimValue vr) { return vr - vq <= max_reach; });
-        RangeAdd(a, static_cast<size_t>(cf - base),
-                 static_cast<size_t>(cl - base), -1);
+        // the contiguous run with value(r) - vq in [-lambda, lambda]
+        // — the coveree-side membership kernel over the window.
+        const kern::RunBounds run =
+            kt.cover_run(list.values.data() + rf, rl - rf, vq, max_reach);
+        RangeAdd(a, rf + run.lo, rf + run.hi, -1);
         ++gain_fastpath_;
       } else {
         for (size_t r = rf; r < rl; ++r) {
-          Slot& rs = SlotAt(list.slots[r]);
-          if (model_.Covers(inst_, rs.post, a, qs.post)) --rs.gain;
+          const size_t ri = list.slots[r] - slot_base_;
+          if (model_.Covers(inst_, slot_posts_[ri], a, slot_posts_[qi])) {
+            --slot_gains_[ri];
+          }
         }
       }
     }
@@ -244,29 +262,23 @@ void StreamGreedyProcessor::SelectSlot(uint32_t s, double when) {
 }
 
 void StreamGreedyProcessor::RunBatch(double when) {
-  MQD_DCHECK(!slots_.empty());
+  MQD_DCHECK(!slot_posts_.empty());
   // Fold arrivals' pending range-adds in before the first argmax.
   MaterializePending();
-  const uint32_t end_slot =
-      slot_base_ + static_cast<uint32_t>(slots_.size());
+  const kern::KernelTable& kt = kern::Active();
 
   // Greedy loop (linear argmax in window order, as in the paper's
-  // implementation; strict > keeps the first maximum, matching the
-  // reference tie-break).
+  // implementation): the dense argmax kernel returns the first
+  // maximum when it is positive — the reference tie-break.
   while (remaining_ > 0) {
-    if (stop_at_anchor_ && SlotAt(anchor_slot_).uncovered == 0) break;
-    uint32_t best = end_slot;
-    int64_t best_gain = 0;
-    uint32_t s = slot_base_;
-    for (const Slot& slot : slots_) {
-      if (slot.gain > best_gain) {
-        best_gain = slot.gain;
-        best = s;
-      }
-      ++s;
+    if (stop_at_anchor_ &&
+        slot_uncovered_[SlotIndex(anchor_slot_)] == 0) {
+      break;
     }
-    MQD_CHECK(best < end_slot) << "window greedy stalled";
-    SelectSlot(best, when);
+    const size_t at = kt.argmax_dense(slot_gains_.data(),
+                                      slot_gains_.size());
+    MQD_CHECK(at < slot_gains_.size()) << "window greedy stalled";
+    SelectSlot(slot_base_ + static_cast<uint32_t>(at), when);
   }
 
   // Re-anchor: the + variant may stop inside the window; the base
@@ -274,16 +286,16 @@ void StreamGreedyProcessor::RunBatch(double when) {
   // Retained slots keep their masks and gains — the cross-batch
   // carry-over replacing the reference's full rebuild.
   anchor_ = kInvalidPost;
-  size_t keep = slots_.size();
-  for (size_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i].uncovered != 0) {
-      anchor_ = slots_[i].post;
+  size_t keep = slot_posts_.size();
+  for (size_t i = 0; i < slot_posts_.size(); ++i) {
+    if (slot_uncovered_[i] != 0) {
+      anchor_ = slot_posts_[i];
       anchor_slot_ = slot_base_ + static_cast<uint32_t>(i);
       keep = i;
       break;
     }
   }
-  carried_posts_ += slots_.size() - keep;
+  carried_posts_ += slot_posts_.size() - keep;
   ErasePrefix(keep);
 }
 
@@ -304,8 +316,11 @@ void StreamGreedyProcessor::ErasePrefix(size_t keep) {
     // mirrors positions (and keeps its slots.size() + 1 length).
     list.delta.erase(list.delta.begin(), list.delta.begin() + off);
   }
-  slots_.erase(slots_.begin(),
-               slots_.begin() + static_cast<std::ptrdiff_t>(keep));
+  const auto off = static_cast<std::ptrdiff_t>(keep);
+  slot_posts_.erase(slot_posts_.begin(), slot_posts_.begin() + off);
+  slot_uncovered_.erase(slot_uncovered_.begin(),
+                        slot_uncovered_.begin() + off);
+  slot_gains_.erase(slot_gains_.begin(), slot_gains_.begin() + off);
   slot_base_ = new_base;
 }
 
@@ -313,10 +328,10 @@ void StreamGreedyProcessor::SaveStreamState(SnapshotWriter* writer) const {
   writer->U8(stop_at_anchor_ ? 1 : 0);
   writer->U8(uniform_ ? 1 : 0);
   writer->U64(slot_base_);
-  writer->U64(slots_.size());
-  for (const Slot& slot : slots_) {
-    writer->U32(slot.post);
-    writer->U64(slot.uncovered);
+  writer->U64(slot_posts_.size());
+  for (size_t i = 0; i < slot_posts_.size(); ++i) {
+    writer->U32(slot_posts_[i]);
+    writer->U64(slot_uncovered_[i]);
   }
   writer->U32(anchor_);
   writer->U32(anchor_slot_);
@@ -342,10 +357,14 @@ Status StreamGreedyProcessor::RestoreStreamState(SnapshotReader* reader) {
       slot_base + num_slots > kInvalidPost) {
     return Status::InvalidArgument("snapshot slot ring out of range");
   }
-  std::vector<Slot> ring;
+  struct SavedSlot {
+    PostId post;
+    LabelMask uncovered;
+  };
+  std::vector<SavedSlot> ring;
   ring.reserve(num_slots);
   for (uint64_t i = 0; i < num_slots && !reader->failed(); ++i) {
-    Slot slot{reader->U32(), reader->U64(), 0};
+    SavedSlot slot{reader->U32(), reader->U64()};
     ring.push_back(slot);
   }
   const PostId anchor = reader->U32();
@@ -392,7 +411,9 @@ Status StreamGreedyProcessor::RestoreStreamState(SnapshotReader* reader) {
     list.values.clear();
   }
   for (const Emission& e : emissions()) RecordEmitted(e.post);
-  slots_.clear();
+  slot_posts_.clear();
+  slot_uncovered_.clear();
+  slot_gains_.clear();
   slot_base_ = static_cast<uint32_t>(slot_base);
   for (LabelList& list : by_label_) {
     list.slots.clear();
@@ -404,7 +425,7 @@ Status StreamGreedyProcessor::RestoreStreamState(SnapshotReader* reader) {
   }
   dirty_labels_.clear();
   remaining_ = 0;
-  for (const Slot& slot : ring) AppendSlot(slot.post, slot.uncovered);
+  for (const SavedSlot& slot : ring) AppendSlot(slot.post, slot.uncovered);
   MaterializePending();
   anchor_ = anchor;
   anchor_slot_ = anchor_slot;

@@ -2,11 +2,13 @@
 #define MQD_STREAM_STREAM_GREEDY_H_
 
 #include <cstdint>
-#include <deque>
+#include <memory>
+#include <memory_resource>
 #include <vector>
 
 #include "stream/checkpoint.h"
 #include "stream/stream_solver.h"
+#include "util/arena.h"
 
 namespace mqd::obs {
 struct StreamMetrics;
@@ -26,24 +28,33 @@ namespace mqd {
 /// variant stops as soon as P' itself is covered and immediately
 /// re-anchors on the next uncovered post (possibly inside Z).
 ///
-/// Hot-path layout (DESIGN.md §11): window state is *carried* across
-/// consecutive batches instead of rebuilt from the retained buffer
-/// suffix. Buffered posts live in a slot ring (monotone slot ids over
-/// a deque, the AdaptiveFeed pattern); per-label slot lists, residual
-/// uncovered masks, emitted-coverage probes and greedy gains are all
-/// maintained incrementally at arrival time, so a batch only pays for
-/// its new posts. Gain maintenance mirrors core/greedy_state.h: with
-/// a uniform lambda every +1/-1 for a pair is one O(1) range-add into
-/// a per-label difference array (lazily materialized before each
-/// argmax); VariableLambda keeps the reference's exact per-candidate
-/// Covers scan. Emission sequences (posts and times) are bit-
-/// identical to StreamGreedyReferenceProcessor (stream/reference.h),
-/// which the differential tests enforce.
+/// Hot-path layout (DESIGN.md §11, §15): window state is *carried*
+/// across consecutive batches instead of rebuilt from the retained
+/// buffer suffix. Buffered posts live in a structure-of-arrays slot
+/// ring (monotone slot ids, parallel post/mask/gain arrays) so the
+/// batch argmax and gain materialization run the SIMD-dispatched
+/// kernels of core/kernels.h over flat memory. Per-label slot lists,
+/// residual uncovered masks, emitted-coverage probes and greedy gains
+/// are all maintained incrementally at arrival time, so a batch only
+/// pays for its new posts. Gain maintenance mirrors
+/// core/greedy_state.h: with a uniform lambda every +1/-1 for a pair
+/// is one O(1) range-add into a per-label difference array (lazily
+/// materialized before each argmax); VariableLambda keeps the
+/// reference's exact per-candidate Covers scan. Emission sequences
+/// (posts and times) are bit-identical to
+/// StreamGreedyReferenceProcessor (stream/reference.h), which the
+/// differential tests enforce under both dispatch tiers.
+///
+/// Every window container draws from one bump Arena through the pmr
+/// adapter. Replay harnesses pass a shared Arena and Reset() it
+/// between runs, making repeated replays allocation-free at steady
+/// state; standalone processors own a private arena.
 class StreamGreedyProcessor final : public StreamProcessor,
                                     public CheckpointableStream {
  public:
   StreamGreedyProcessor(const Instance& inst, const CoverageModel& model,
-                        double tau, bool stop_at_anchor = false);
+                        double tau, bool stop_at_anchor = false,
+                        Arena* arena = nullptr);
 
   std::string_view name() const override {
     return stop_at_anchor_ ? "StreamGreedySC+" : "StreamGreedySC";
@@ -74,36 +85,43 @@ class StreamGreedyProcessor final : public StreamProcessor,
   Status RestoreStreamState(SnapshotReader* reader) override;
 
  private:
-  /// One buffered post: its residual uncovered labels and its live
-  /// greedy gain (number of still-uncovered window pairs it covers).
-  struct Slot {
-    PostId post;
-    LabelMask uncovered;
-    int64_t gain;
-  };
-
   /// Per-label view of the buffer: slot ids ascending (== ascending
   /// by value), plus the pending-range-add difference array over list
-  /// positions (`delta.size() == slots.size() + 1`) with its dirty
-  /// window, exactly the greedy_state.h machinery scoped to the
+  /// positions (`delta.size() == slots.size() + 1` entries) with its
+  /// dirty window, exactly the greedy_state.h machinery scoped to the
   /// stream window. `values` and `uncov` mirror the slots' post
   /// values and this label's residual uncovered bit position by
-  /// position, so the hot binary searches and range counts run over
-  /// flat arrays instead of chasing slot ids through the deque.
+  /// position, so the hot membership runs and uncovered counts are
+  /// kernel calls over flat arrays instead of chasing slot ids.
   struct LabelList {
-    std::vector<uint32_t> slots;
-    std::vector<DimValue> values;
-    std::vector<uint8_t> uncov;
-    std::vector<int32_t> delta;
-    size_t dirty_lo;
-    size_t dirty_hi;
+    explicit LabelList(std::pmr::memory_resource* mr)
+        : slots(mr), values(mr), uncov(mr), delta(mr) {}
+    std::pmr::vector<uint32_t> slots;
+    std::pmr::vector<DimValue> values;
+    std::pmr::vector<uint8_t> uncov;
+    std::pmr::vector<int32_t> delta;
+    size_t dirty_lo = 0;
+    size_t dirty_hi = 0;
   };
 
-  Slot& SlotAt(uint32_t s) { return slots_[s - slot_base_]; }
-  const Slot& SlotAt(uint32_t s) const { return slots_[s - slot_base_]; }
+  /// Emitted posts for one label, ascending by value, with the values
+  /// mirrored flat so coverage probes binary-search and scan doubles
+  /// without a post-table indirection per candidate.
+  struct EmittedList {
+    explicit EmittedList(std::pmr::memory_resource* mr)
+        : posts(mr), values(mr) {}
+    std::pmr::vector<PostId> posts;
+    std::pmr::vector<DimValue> values;
+  };
+
+  /// Ring index of slot id `s` in the parallel slot arrays.
+  size_t SlotIndex(uint32_t s) const { return s - slot_base_; }
 
   /// True when label `a` of `post` is covered by an emitted post
-  /// (binary-searched probe of emitted_per_label_[a]).
+  /// (binary-searched probe of emitted_per_label_[a]). Deliberately
+  /// scalar: the probe only examines the [v - reach, v + reach]
+  /// window, and a whole-list kernel pass could find a rounding-edge
+  /// element outside that window — a bit-identity hazard.
   bool CoveredByEmitted(PostId post, LabelId a) const;
   /// Buffers `post` with residual uncovered mask `u`, registering it
   /// in the label lists and folding its pairs into the carried gains.
@@ -129,26 +147,30 @@ class StreamGreedyProcessor final : public StreamProcessor,
   void RecordEmitted(PostId post);
   void FlushMetrics();
 
-  /// Emitted posts for one label, ascending by value, with the values
-  /// mirrored flat so coverage probes binary-search and scan doubles
-  /// without a post-table indirection per candidate.
-  struct EmittedList {
-    std::vector<PostId> posts;
-    std::vector<DimValue> values;
-  };
+  /// Allocation backing for every window container. Declared before
+  /// the containers so the resource outlives them; `arena_` points at
+  /// either the caller-shared arena or the owned fallback.
+  std::unique_ptr<Arena> owned_arena_;
+  Arena* arena_;
+  ArenaResource resource_;
 
   double tau_;
   bool stop_at_anchor_;
   bool uniform_;
   std::vector<EmittedList> emitted_per_label_;
 
-  /// The buffered window: slot id s lives at slots_[s - slot_base_];
-  /// ids grow monotonically and are never reused, so per-label lists
-  /// stay valid across prefix erases.
-  std::deque<Slot> slots_;
+  /// The buffered window as parallel arrays: slot id s lives at ring
+  /// index s - slot_base_; ids grow monotonically and are never
+  /// reused, so per-label lists stay valid across prefix erases.
+  /// slot_gains_ is flat so the batch argmax is one dense kernel call.
+  std::pmr::vector<PostId> slot_posts_;
+  std::pmr::vector<LabelMask> slot_uncovered_;
+  std::pmr::vector<int64_t> slot_gains_;
   uint32_t slot_base_ = 0;
   std::vector<LabelList> by_label_;
-  std::vector<LabelId> dirty_labels_;
+  std::pmr::vector<LabelId> dirty_labels_;
+  /// Scratch for MaterializePending's prefix-run kernel output.
+  std::pmr::vector<int64_t> runs_;
   /// Uncovered (post, label) pairs among the buffered slots.
   size_t remaining_ = 0;
   PostId anchor_ = kInvalidPost;

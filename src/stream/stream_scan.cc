@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/kernels.h"
 #include "obs/stack_metrics.h"
 #include "util/logging.h"
 
@@ -21,8 +22,8 @@ StreamScanProcessor::StreamScanProcessor(const Instance& inst,
 
 double StreamScanProcessor::Deadline(const LabelState& state) const {
   if (state.uncovered.empty()) return kNeverDeadline;
-  const double t_lu = inst_.value(state.uncovered.back());
-  const double t_ou = inst_.value(state.uncovered.front());
+  const double t_lu = state.values.back();
+  const double t_ou = state.values.front();
   return std::min(t_lu + tau_, t_ou + model_.MaxReach());
 }
 
@@ -69,16 +70,20 @@ void StreamScanProcessor::Fire(LabelId a, double when) {
   Emit(lu, when);
   state.lc = lu;
   state.uncovered.clear();
+  state.values.clear();
   Reindex(a);
 
   if (!cross_label_pruning_) return;
   // StreamScan+: the emitted post also covers pending posts of its
   // other labels. Covered(q) <=> |value(lu) - value(q)| <= Reach(lu,
   // b); IEEE subtraction is monotone over the value-sorted list, so
-  // the covered posts form one contiguous run whose bounds two
-  // partition points find — the same set the reference's linear
-  // remove_if erases, element for element.
+  // the covered posts form one contiguous run — the cover_run
+  // membership kernel over the flat value mirror, erasing the same
+  // set the reference's linear remove_if drops, element for element.
+  // (Reach is the emitted post's, constant across the probe, so this
+  // holds for variable models too.)
   const DimValue v_lu = inst_.value(lu);
+  const kern::KernelTable& kt = kern::Active();
   ForEachLabel(inst_.labels(lu), [&](LabelId b) {
     if (b == a) return;
     LabelState& other = labels_[b];
@@ -88,14 +93,15 @@ void StreamScanProcessor::Fire(LabelId a, double when) {
     }
     if (other.uncovered.empty()) return;
     const DimValue reach = model_.Reach(inst_, lu, b);
-    auto first = std::partition_point(
-        other.uncovered.begin(), other.uncovered.end(),
-        [&](PostId q) { return inst_.value(q) - v_lu < -reach; });
-    auto last = std::partition_point(
-        first, other.uncovered.end(),
-        [&](PostId q) { return inst_.value(q) - v_lu <= reach; });
-    if (first != last) {
-      other.uncovered.erase(first, last);
+    const kern::RunBounds run = kt.cover_run(
+        other.values.data(), other.values.size(), v_lu, reach);
+    if (run.lo != run.hi) {
+      const auto first = static_cast<std::ptrdiff_t>(run.lo);
+      const auto last = static_cast<std::ptrdiff_t>(run.hi);
+      other.uncovered.erase(other.uncovered.begin() + first,
+                            other.uncovered.begin() + last);
+      other.values.erase(other.values.begin() + first,
+                         other.values.begin() + last);
       ++prune_fastpath_;
       Reindex(b);
     }
@@ -110,6 +116,7 @@ void StreamScanProcessor::OnArrival(PostId post) {
       return;  // already covered by the latest outputted relevant post
     }
     state.uncovered.push_back(post);
+    state.values.push_back(inst_.value(post));
     Reindex(a);
   });
 }
@@ -180,6 +187,9 @@ Status StreamScanProcessor::RestoreStreamState(SnapshotReader* reader) {
   for (LabelState& state : labels_) {
     state.version = 0;
     state.pushed = kNeverDeadline;
+    state.values.clear();
+    state.values.reserve(state.uncovered.size());
+    for (PostId p : state.uncovered) state.values.push_back(inst_.value(p));
   }
   for (LabelId a = 0; a < labels_.size(); ++a) Reindex(a);
   heap_ops_ = heap_ops;

@@ -95,8 +95,12 @@ class StreamScanProcessor final : public StreamProcessor,
     /// Uncovered relevant posts since the last emission, ascending by
     /// value; front = P_ou, back = P_lu. Kept sorted by construction
     /// (arrivals are value-ordered), so the Scan+ prune can erase the
-    /// covered run via partition points.
+    /// covered run via partition points. `values` mirrors the posts'
+    /// dimension values flat, so deadline reads and the prune's
+    /// membership run (core/kernels.h cover_run) skip the post-table
+    /// indirection.
     std::vector<PostId> uncovered;
+    std::vector<DimValue> values;
     PostId lc = kInvalidPost;
     /// Lazy-invalidation bookkeeping: `version` stamps the newest
     /// heap entry for this label; older entries are discarded on pop.

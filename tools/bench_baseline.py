@@ -51,7 +51,7 @@ import time
 MICRO_FILTER = (
     "BM_GreedySelectPaperScale|BM_GreedyLazySelectPaperScale|"
     "BM_ScanSelectPaperScale|BM_GreedyGainInit|BM_LabelPostsInRange|"
-    "BM_InstanceBuild"
+    "BM_InstanceBuild|BM_Kernel"
 )
 
 # Required micro-bench entries: the regression trackers future PRs
@@ -64,6 +64,16 @@ REQUIRED_MICRO = [
     "BM_LabelPostsInRange",
     "BM_InstanceBuild",
 ]
+
+# The per-kernel dispatch benches (core/kernels.h). Scalar variants
+# run everywhere and are required; the /avx2 variants are recorded
+# when the host can run them and silently absent otherwise (the
+# binary reports them as errored skips on non-AVX2 hardware).
+KERNELS = [
+    "ArgmaxCompact", "ArgmaxDense", "Materialize", "PrefixRuns",
+    "CoverRun", "CovererRun", "SumU8", "MaxCoverEnd", "LastCover",
+]
+REQUIRED_MICRO += [f"BM_Kernel{k}/scalar" for k in KERNELS]
 
 
 # Stream replay benches: each optimized processor paired with its
@@ -83,6 +93,14 @@ STREAM_PAIRS = [
 
 REQUIRED_STREAM = [name for pair in STREAM_PAIRS for name in pair]
 
+# Dispatch-tier replays: the paper-scale replay pinned to each kernel
+# tier. Scalar is required; /avx2 is recorded when runnable.
+STREAM_TIER_BENCHES = [
+    "BM_StreamGreedyReplayTier",
+    "BM_StreamScanPlusReplayTier",
+]
+REQUIRED_STREAM += [f"{name}/scalar" for name in STREAM_TIER_BENCHES]
+
 
 def run_benchmark_json(binary, bench_filter, sanity, required):
     cmd = [
@@ -98,6 +116,8 @@ def run_benchmark_json(binary, bench_filter, sanity, required):
     doc = json.loads(out.stdout)
     entries = {}
     for bench in doc.get("benchmarks", []):
+        if bench.get("error_occurred"):
+            continue  # e.g. the /avx2 tier skipped on non-AVX2 hosts
         entries[bench["name"]] = {
             "real_time": bench["real_time"],
             "cpu_time": bench["cpu_time"],
@@ -118,9 +138,12 @@ def run_micro(build_dir, sanity):
 
 
 def run_stream_micro(build_dir, sanity):
+    stream_filter = "|".join(
+        [name for pair in STREAM_PAIRS for name in pair]
+        + STREAM_TIER_BENCHES)
     entries = run_benchmark_json(
         os.path.join(build_dir, "bench", "bench_stream_micro"),
-        "|".join(REQUIRED_STREAM), sanity, REQUIRED_STREAM)
+        stream_filter, sanity, REQUIRED_STREAM)
     speedups = {}
     for optimized, reference in STREAM_PAIRS:
         opt_time = entries[optimized]["real_time"]

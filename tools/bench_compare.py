@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Diffs freshly recorded BENCH_*.json timings against the committed
+baselines and fails on regressions past a threshold.
+
+Compares every benchmark entry present in both documents by cpu_time
+(normalized to nanoseconds), prints the full ratio table, and exits
+non-zero when any entry regressed by more than --threshold (a ratio:
+2.0 means "twice as slow as the committed baseline"). Entries that
+exist on only one side — new benches, or /avx2 tiers absent on the
+current host — are reported but never fail the run.
+
+The default threshold is deliberately loose: CI runners are noisy and
+the sanity-mode recordings use minimal repetitions, so this gate is a
+catastrophic-regression tripwire (an accidentally disabled kernel
+tier, a quadratic slip), not a micro-regression detector. Tighten it
+for local runs on a quiet machine:
+
+  tools/bench_baseline.py --suite core --out /tmp/core.json
+  tools/bench_compare.py BENCH_core.json /tmp/core.json --threshold 1.3
+
+Pure stdlib; no third-party deps.
+"""
+
+import argparse
+import json
+import sys
+
+# cpu_time multipliers into nanoseconds.
+UNITS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_entries(path):
+    """Flattens one BENCH_*.json into {bench_name: cpu_time_ns}."""
+    with open(path) as f:
+        doc = json.load(f)
+    entries = {}
+    for family in ("bench_micro", "bench_stream"):
+        for name, row in doc.get(family, {}).items():
+            unit = row.get("time_unit", "ns")
+            if unit not in UNITS:
+                raise SystemExit(f"{path}: {name}: unknown time unit "
+                                 f"'{unit}'")
+            entries[name] = row["cpu_time"] * UNITS[unit]
+    if not entries:
+        raise SystemExit(f"{path}: no bench_micro/bench_stream entries")
+    return entries, doc.get("sanity_mode", False)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("current", help="freshly recorded BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=3.0,
+                        help="max allowed cpu_time ratio current/baseline "
+                             "(default 3.0: a catastrophic-regression "
+                             "tripwire for noisy CI runners)")
+    args = parser.parse_args()
+
+    base, _ = load_entries(args.baseline)
+    cur, cur_sanity = load_entries(args.current)
+    if cur_sanity:
+        print("note: current recording is --sanity mode (minimal reps); "
+              "ratios are noisy by construction")
+
+    regressed = []
+    width = max(len(n) for n in sorted(set(base) | set(cur)))
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  "
+          f"ratio")
+    for name in sorted(set(base) | set(cur)):
+        if name not in cur:
+            print(f"{name:<{width}}  {base[name]:>10.0f}ns  "
+                  f"{'absent':>12}  (skipped here; ok)")
+            continue
+        if name not in base:
+            print(f"{name:<{width}}  {'absent':>12}  {cur[name]:>10.0f}ns  "
+                  f"(new; ok)")
+            continue
+        ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
+        flag = ""
+        if ratio > args.threshold:
+            regressed.append((name, ratio))
+            flag = f"  REGRESSED (> {args.threshold}x)"
+        print(f"{name:<{width}}  {base[name]:>10.0f}ns  "
+              f"{cur[name]:>10.0f}ns  {ratio:5.2f}x{flag}")
+
+    if regressed:
+        print(f"\n{len(regressed)} benchmark(s) regressed past "
+              f"{args.threshold}x:", file=sys.stderr)
+        for name, ratio in regressed:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"\nall shared entries within {args.threshold}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

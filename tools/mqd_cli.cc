@@ -604,6 +604,7 @@ int Usage() {
 
 int main(int argc, char** argv) {
   mqd::obs::InstallThreadPoolMetrics();
+  mqd::obs::InstallArenaMetrics();
   // MQD_FAULTS / MQD_FAULT_SEED arm the same registry --faults does;
   // the env form covers subcommands with no fault flags of their own.
   if (mqd::Status s = mqd::FaultInjector::Global().ArmFromEnv(); !s.ok()) {
