@@ -400,6 +400,32 @@ void BM_KernelLastCover(benchmark::State& state, simd::Level level) {
 BENCHMARK_CAPTURE(BM_KernelLastCover, scalar, simd::Level::kScalar);
 BENCHMARK_CAPTURE(BM_KernelLastCover, avx2, simd::Level::kAvx2);
 
+void BM_KernelVarCover(benchmark::State& state, simd::Level level) {
+  const kern::KernelTable* kt = KernelTableFor(state, level);
+  if (kt == nullptr) return;
+  Rng rng(28);
+  const std::vector<double> values = KernelValues();
+  const std::vector<double> centers = KernelCenters(values);
+  // Per-element radii like a VariableLambda reach row: same order of
+  // magnitude as the membership kernels' fixed 60.0 so the pass rate
+  // is comparable.
+  std::vector<double> reaches(kKernelN);
+  for (double& r : reaches) r = 20.0 + rng.NextDouble() * 40.0;
+  std::vector<PostId> ids(kKernelN);
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<PostId>(i);
+  std::vector<int64_t> gains(kKernelN, int64_t{1} << 40);
+  size_t i = 0;
+  for (auto _ : state) {
+    kt->cover_decrement(values.data(), reaches.data(), values.size(),
+                        centers[i++ & 255], ids.data(), gains.data());
+    benchmark::DoNotOptimize(gains.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kKernelN));
+}
+BENCHMARK_CAPTURE(BM_KernelVarCover, scalar, simd::Level::kScalar);
+BENCHMARK_CAPTURE(BM_KernelVarCover, avx2, simd::Level::kAvx2);
+
 void BM_VerifyCover(benchmark::State& state) {
   Instance inst = MakeBenchInstance(4, 120.0, 5);
   UniformLambda model(60.0);

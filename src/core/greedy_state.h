@@ -38,7 +38,11 @@ namespace mqd::internal {
 ///  * Exact path (variable lambda): coverage is directional — whether
 ///    r covers (q, a) depends on r's own reach — so the losers are
 ///    not contiguous and each candidate in the MaxReach window is
-///    tested with Covers, exactly as before.
+///    tested with Covers. The per-candidate test is the
+///    kern::cover_decrement kernel over a flat per-label reach row
+///    (Reach(r, a) materialized once per label on first touch): the
+///    same fabs compare, the same integer decrements, so the state is
+///    bit-identical to the virtual-call loop it replaces.
 /// Both paths leave gain_ in the identical state; the fast path is
 /// purely an algebraic regrouping of the same decrements.
 class GreedyState {
@@ -64,6 +68,11 @@ class GreedyState {
       dirty_hi_ = arena.AllocZeroedSpan<size_t>(num_labels);
       dirty_labels_ = arena.AllocSpan<LabelId>(num_labels);
       for (size_t a = 0; a < num_labels; ++a) dirty_lo_[a] = kClean;
+    } else {
+      // Exact-path reach rows, one double per CSR pair position,
+      // filled lazily per label (most Selects touch few labels).
+      reach_flat_ = arena.AllocSpan<double>(inst.num_pairs());
+      reach_ready_ = arena.AllocZeroedSpan<uint8_t>(num_labels);
     }
     if (!compute_gains) return;
     if (uniform_) {
@@ -128,10 +137,12 @@ class GreedyState {
   /// this returns.
   void Select(PostId p) {
     const DimValue max_reach = model_.MaxReach();
+    const kern::KernelTable& kt = kern::Active();
     ForEachLabel(inst_.labels(p), [&](LabelId a) {
       const LabelMask abit = MaskOf(a);
       const DimValue reach = model_.Reach(inst_, p, a);
       const DimValue v = inst_.value(p);
+      if (!uniform_) EnsureReachRow(a);
       for (PostId q : inst_.LabelPostsInRange(a, v - reach, v + reach)) {
         if ((covered_[q] & abit) != 0) continue;
         covered_[q] |= abit;
@@ -144,10 +155,14 @@ class GreedyState {
                                                 vq + max_reach));
           ++fastpath_updates_;
         } else {
-          for (PostId r :
-               inst_.LabelPostsInRange(a, vq - max_reach, vq + max_reach)) {
-            if (model_.Covers(inst_, r, a, q)) --gain_[r];
-          }
+          const Instance::IndexRange r =
+              inst_.LabelRangeBounds(a, vq - max_reach, vq + max_reach);
+          const size_t base = inst_.label_offset(a);
+          kt.cover_decrement(inst_.label_values(a).data() + r.begin,
+                             reach_flat_.data() + base + r.begin,
+                             r.size(), vq,
+                             inst_.label_posts(a).data() + r.begin,
+                             gain_.data());
           ++exact_updates_;
         }
       }
@@ -163,6 +178,19 @@ class GreedyState {
   /// gutter slot per preceding label (see the constructor note).
   size_t delta_base(LabelId a) const {
     return inst_.label_offset(a) + static_cast<size_t>(a);
+  }
+
+  /// Materializes Reach(r, a) for every post of LP(a) into the flat
+  /// reach row, position-aligned with label_values(a)/label_posts(a)
+  /// so the cover_decrement kernel streams three parallel arrays.
+  void EnsureReachRow(LabelId a) {
+    if (reach_ready_[a]) return;
+    reach_ready_[a] = 1;
+    const std::span<const PostId> ids = inst_.label_posts(a);
+    const size_t base = inst_.label_offset(a);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      reach_flat_[base + i] = model_.Reach(inst_, ids[i], a);
+    }
   }
 
   /// Records "-1 over positions [r.begin, r.end) of LP(a)" in the
@@ -214,6 +242,10 @@ class GreedyState {
   std::span<size_t> dirty_hi_;
   std::span<LabelId> dirty_labels_;
   size_t num_dirty_ = 0;
+  // Exact-path state (sized only for variable-lambda models): flat
+  // per-pair reach rows plus a per-label filled flag.
+  std::span<double> reach_flat_;
+  std::span<uint8_t> reach_ready_;
   uint64_t fastpath_updates_ = 0;
   uint64_t exact_updates_ = 0;
 };

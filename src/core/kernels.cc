@@ -120,6 +120,13 @@ size_t LastCover(const double* values, size_t n, double center, double reach,
   return last;
 }
 
+void CoverDecrement(const double* values, const double* reaches, size_t n,
+                    double center, const PostId* ids, int64_t* gains) {
+  for (size_t i = 0; i < n; ++i) {
+    if (std::fabs(values[i] - center) <= reaches[i]) --gains[ids[i]];
+  }
+}
+
 }  // namespace scalar
 
 namespace {
@@ -128,6 +135,7 @@ constexpr KernelTable kScalarTable{
     scalar::ArgmaxCompact, scalar::ArgmaxDense, scalar::Materialize,
     scalar::PrefixRuns,    scalar::CoverRun,    scalar::CovererRun,
     scalar::SumU8,         scalar::MaxCoverEnd, scalar::LastCover,
+    scalar::CoverDecrement,
 };
 
 // Dispatch state. Written once at startup (or from single-threaded

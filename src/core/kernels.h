@@ -96,6 +96,20 @@ using MaxCoverEndFn = double (*)(const double* values, size_t n,
 using LastCoverFn = size_t (*)(const double* values, size_t n, double center,
                                double reach, double limit);
 
+/// Variable-lambda exact Covers decrement (GreedyState's Select when
+/// the model is directional): element i covers the pair at `center`
+/// iff fl(values[i] - center) has |.| <= reaches[i] — per-element
+/// radii, so the losers are not a contiguous run and every candidate
+/// is tested. Scalar semantics:
+///   for i in [0, n): if (fabs(values[i] - center) <= reaches[i])
+///                      --gains[ids[i]];
+/// Decrements are integer and commutative, so any evaluation order is
+/// bit-identical; `ids` may repeat (each hit decrements once).
+using CoverDecrementFn = void (*)(const double* values,
+                                  const double* reaches, size_t n,
+                                  double center, const PostId* ids,
+                                  int64_t* gains);
+
 inline constexpr size_t kNoIndex = static_cast<size_t>(-1);
 
 struct KernelTable {
@@ -108,6 +122,7 @@ struct KernelTable {
   SumU8Fn sum_u8;
   MaxCoverEndFn max_cover_end;
   LastCoverFn last_cover;
+  CoverDecrementFn cover_decrement;
 };
 
 /// The table for one specific tier (differential tests run both).

@@ -332,10 +332,35 @@ size_t LastCoverAvx2(const double* values, size_t n, double center,
   return last;
 }
 
+void CoverDecrementAvx2(const double* values, const double* reaches,
+                        size_t n, double center, const PostId* ids,
+                        int64_t* gains) {
+  size_t i = 0;
+  const __m256d c = _mm256_set1_pd(center);
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(values + i);
+    const __m256d r = _mm256_loadu_pd(reaches + i);
+    const __m256d ad = _mm256_andnot_pd(sign, _mm256_sub_pd(v, c));
+    unsigned pass = MaskPd(_mm256_cmp_pd(ad, r, _CMP_LE_OQ));
+    // Scatter the rare hits scalar-ly: `ids` may repeat inside one
+    // vector, so a gather/subtract/scatter would lose decrements.
+    while (pass != 0) {
+      const unsigned j = static_cast<unsigned>(std::countr_zero(pass));
+      pass &= pass - 1u;
+      --gains[ids[i + j]];
+    }
+  }
+  for (; i < n; ++i) {
+    if (std::fabs(values[i] - center) <= reaches[i]) --gains[ids[i]];
+  }
+}
+
 constexpr KernelTable kAvx2Table{
     ArgmaxCompactAvx2, ArgmaxDenseAvx2, MaterializeAvx2,
     PrefixRunsAvx2,    CoverRunAvx2,    CovererRunAvx2,
     SumU8Avx2,         MaxCoverEndAvx2, LastCoverAvx2,
+    CoverDecrementAvx2,
 };
 
 }  // namespace

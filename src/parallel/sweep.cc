@@ -1,0 +1,37 @@
+#include "parallel/sweep.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mqd {
+
+size_t NumSweepShards(size_t n, size_t grain) {
+  MQD_DCHECK(grain > 0);
+  return n == 0 ? 0 : (n + grain - 1) / grain;
+}
+
+bool RunShardedSweep(
+    ThreadPool* pool, size_t n, size_t grain, bool force_serial,
+    const std::function<void(size_t shard, size_t begin, size_t end)>&
+        body) {
+  const size_t shards = NumSweepShards(n, grain);
+  if (shards == 0) return false;
+  if (force_serial || pool == nullptr || pool->num_workers() == 0 ||
+      shards == 1) {
+    for (size_t s = 0; s < shards; ++s) {
+      const size_t begin = s * grain;
+      body(s, begin, std::min(n, begin + grain));
+    }
+    return false;
+  }
+  // ParallelFor's chunk boundaries are exactly the shard boundaries
+  // (both are grain-multiples clipped to n), so begin / grain recovers
+  // the shard index on whichever thread picked the chunk up.
+  ParallelFor(pool, n, grain, [&body, grain](size_t begin, size_t end) {
+    body(begin / grain, begin, end);
+  });
+  return true;
+}
+
+}  // namespace mqd

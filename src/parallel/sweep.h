@@ -1,0 +1,37 @@
+#ifndef MQD_PARALLEL_SWEEP_H_
+#define MQD_PARALLEL_SWEEP_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "util/thread_pool.h"
+
+namespace mqd {
+
+/// Deterministic sharding of `n` independent work items into
+/// fixed-size shards: shard s covers [s*grain, min(n, (s+1)*grain)).
+/// Boundaries depend only on (n, grain) — never on the thread count —
+/// the same contract ParallelFor gives its chunks, so per-shard
+/// results a caller accumulates by shard index are identical at every
+/// thread count. The multi-tenant engine sweeps its live clusters
+/// through this with one delivery tally and one latency sample per
+/// shard.
+size_t NumSweepShards(size_t n, size_t grain);
+
+/// Runs `body(shard, begin, end)` over every shard of [0, n). With a
+/// null/zero-worker pool, a single shard, or `force_serial`, shards
+/// run in ascending order on the caller; otherwise they are dispatched
+/// through ParallelFor (caller participating, first exception
+/// rethrown). Returns true when the parallel path was taken. Bodies
+/// of distinct shards must not share mutable state.
+///
+/// `force_serial` exists for the fault-injection regime: injected
+/// fault firing is a pure function of (seed, site, hit index), so an
+/// armed injector needs probes issued in one deterministic order.
+bool RunShardedSweep(
+    ThreadPool* pool, size_t n, size_t grain, bool force_serial,
+    const std::function<void(size_t shard, size_t begin, size_t end)>& body);
+
+}  // namespace mqd
+
+#endif  // MQD_PARALLEL_SWEEP_H_

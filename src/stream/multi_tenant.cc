@@ -6,14 +6,20 @@
 #include <istream>
 #include <iterator>
 #include <ostream>
+#include <span>
 #include <sstream>
 #include <string>
 
+#include "core/solve_scratch.h"
 #include "obs/stack_metrics.h"
+#include "parallel/sweep.h"
 #include "stream/checkpoint.h"
+#include "stream/stream_greedy.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace mqd {
 
@@ -23,6 +29,11 @@ constexpr char kTenantMagic[8] = {'M', 'Q', 'D', 'T', 'N', 'T', '0', '1'};
 constexpr uint32_t kTenantFormatVersion = 1;
 constexpr uint8_t kTierShared = 0;
 constexpr uint8_t kTierCluster = 1;
+/// Plain-scan cluster tenants: header-only snapshot. The representative
+/// replay is deterministic from (mask, join), and rebuilding regenerates
+/// the fire log — which an embedded checkpoint could not, since fire
+/// logs are not checkpointed.
+constexpr uint8_t kTierScanCluster = 2;
 
 /// CoverageModel of a TenantView: every query is answered by the
 /// parent model under the local→global post/label mappings, so the
@@ -110,11 +121,7 @@ Result<TenantView> BuildTenantView(const Instance& inst,
 MultiTenantStream::MultiTenantStream(const Instance& inst,
                                      const CoverageModel& model,
                                      StreamKind kind, double tau)
-    : inst_(inst),
-      model_(model),
-      kind_(kind),
-      tau_(tau),
-      label_clusters_(static_cast<size_t>(inst.num_labels())) {}
+    : inst_(inst), model_(model), kind_(kind), tau_(tau) {}
 
 Result<std::unique_ptr<MultiTenantStream>> MultiTenantStream::Create(
     const Instance& inst, const CoverageModel& model, StreamKind kind,
@@ -130,6 +137,10 @@ Result<std::unique_ptr<MultiTenantStream>> MultiTenantStream::Create(
   }
   return std::unique_ptr<MultiTenantStream>(
       new MultiTenantStream(inst, model, kind, tau));
+}
+
+void MultiTenantStream::set_cluster_slack(int k) {
+  cluster_slack_ = k < 0 ? 0 : k;
 }
 
 Status MultiTenantStream::ValidateMask(LabelMask mask) const {
@@ -156,21 +167,54 @@ Result<std::unique_ptr<MultiTenantStream::Cluster>>
 MultiTenantStream::BuildCluster(LabelMask mask, PostId join) const {
   auto cluster = std::make_unique<Cluster>();
   cluster->mask = mask;
+  cluster->members_intersection = mask;
   cluster->join_cursor = join;
   MQD_ASSIGN_OR_RETURN(cluster->view,
                        BuildTenantView(inst_, model_, mask, join));
-  cluster->processor = CreateStreamProcessor(kind_, cluster->view.sub,
-                                             *cluster->view.model, tau_);
+  switch (kind_) {
+    case StreamKind::kStreamScan: {
+      // Plain-scan representative: fire log on, so near-identical
+      // members can derive their residual-corrected sequences.
+      auto scan = std::make_unique<StreamScanProcessor>(
+          cluster->view.sub, *cluster->view.model, tau_,
+          /*cross_label_pruning=*/false);
+      scan->EnableFireLog();
+      cluster->scan = scan.get();
+      cluster->processor = std::move(scan);
+      break;
+    }
+    case StreamKind::kStreamGreedy:
+    case StreamKind::kStreamGreedyPlus:
+      // Greedy representative: carried windows on a per-cluster bump
+      // arena, so steady-state sweeps stop touching malloc.
+      cluster->arena = std::make_unique<Arena>();
+      cluster->processor = std::make_unique<StreamGreedyProcessor>(
+          cluster->view.sub, *cluster->view.model, tau_,
+          kind_ == StreamKind::kStreamGreedyPlus, cluster->arena.get());
+      break;
+    default:
+      cluster->processor = CreateStreamProcessor(
+          kind_, cluster->view.sub, *cluster->view.model, tau_);
+      break;
+  }
   return cluster;
+}
+
+void MultiTenantStream::CatchUp(Cluster& cluster) {
+  const uint32_t target =
+      LocalLowerBound(cluster.view.global_of_local, cursor_);
+  for (uint32_t local = cluster.next_local; local < target; ++local) {
+    cluster.processor->AdvanceTo(cluster.view.sub.value(local));
+    cluster.processor->OnArrival(local);
+  }
+  cluster.next_local = target;
+  if (finished_) cluster.processor->Finish();
 }
 
 uint32_t MultiTenantStream::RegisterCluster(
     std::unique_ptr<Cluster> cluster) {
   const uint32_t index = static_cast<uint32_t>(clusters_.size());
   cluster_index_[{cluster->mask, cluster->join_cursor}] = index;
-  ForEachLabel(cluster->mask, [&](LabelId a) {
-    label_clusters_[a].push_back(index);
-  });
   clusters_.push_back(std::move(cluster));
   ++live_clusters_;
   obs::GetTenantMetrics().clusters->Set(static_cast<double>(live_clusters_));
@@ -192,12 +236,83 @@ Result<uint32_t> MultiTenantStream::AttachCluster(LabelMask mask,
   return RegisterCluster(std::move(cluster));
 }
 
+Result<uint32_t> MultiTenantStream::AttachScanCluster(LabelMask mask,
+                                                      PostId join) {
+  const auto it = cluster_index_.find({mask, join});
+  if (it != cluster_index_.end()) {
+    Cluster& cluster = *clusters_[it->second];
+    if (!cluster.health.ok()) return cluster.health;
+    ++cluster.refcount;
+    cluster.members_intersection &= mask;
+    return it->second;
+  }
+  if (cluster_slack_ > 0) {
+    // Near-identical sharing: adopt (or widen to) a superset
+    // representative at the SAME join cursor — a representative joined
+    // earlier would carry pre-join uncovered posts the tenant must
+    // never see, and one joined later would have missed posts. Scan
+    // ascending by cluster id so the choice is deterministic.
+    for (uint32_t c = 0; c < clusters_.size(); ++c) {
+      Cluster* cl = clusters_[c].get();
+      if (cl == nullptr || cl->scan == nullptr || !cl->health.ok()) continue;
+      if (cl->join_cursor != join) continue;
+      if ((mask & ~cl->mask) == 0) {
+        // Subset attach: the representative already covers the tenant.
+        if (MaskCount(cl->mask & ~mask) > cluster_slack_) continue;
+        ++cl->refcount;
+        cl->members_intersection &= mask;
+        ++near_identical_attaches_;
+        obs::GetTenantMetrics().near_attaches->Increment();
+        return c;
+      }
+      const LabelMask grown = cl->mask | mask;
+      // Widen only if EVERY member (existing, witnessed conservatively
+      // by the mask intersection, and the newcomer) stays within slack
+      // of the widened mask, and the widened key is free.
+      if (MaskCount(grown & ~(cl->members_intersection & mask)) >
+          cluster_slack_) {
+        continue;
+      }
+      if (cluster_index_.count({grown, join}) != 0) continue;
+      MQD_RETURN_NOT_OK(GrowScanCluster(c, grown));
+      Cluster& cluster = *clusters_[c];
+      ++cluster.refcount;
+      cluster.members_intersection &= mask;
+      ++near_identical_attaches_;
+      obs::GetTenantMetrics().near_attaches->Increment();
+      return c;
+    }
+  }
+  MQD_ASSIGN_OR_RETURN(std::unique_ptr<Cluster> cluster,
+                       BuildCluster(mask, join));
+  CatchUp(*cluster);
+  cluster->refcount = 1;
+  return RegisterCluster(std::move(cluster));
+}
+
+Status MultiTenantStream::GrowScanCluster(uint32_t index, LabelMask grown) {
+  Cluster& old = *clusters_[index];
+  MQD_ASSIGN_OR_RETURN(std::unique_ptr<Cluster> replacement,
+                       BuildCluster(grown, old.join_cursor));
+  replacement->members_intersection = old.members_intersection;
+  replacement->refcount = old.refcount;
+  // Replay the widened sub-stream from the join point: deterministic,
+  // and it regenerates the whole fire log, so existing members'
+  // residual derivations keep working over the wider mask.
+  CatchUp(*replacement);
+  cluster_index_.erase({old.mask, old.join_cursor});
+  cluster_index_[{grown, replacement->join_cursor}] = index;
+  clusters_[index] = std::move(replacement);
+  ++rep_grows_;
+  obs::GetTenantMetrics().rep_grows->Increment();
+  return Status::OK();
+}
+
 void MultiTenantStream::DetachCluster(uint32_t index) {
   Cluster& cluster = *clusters_[index];
   MQD_DCHECK(cluster.refcount > 0);
   if (--cluster.refcount > 0) return;
   cluster_index_.erase({cluster.mask, cluster.join_cursor});
-  // label_clusters_ may keep the tombstoned id; Deliver skips nulls.
   clusters_[index].reset();
   --live_clusters_;
   obs::GetTenantMetrics().clusters->Set(static_cast<double>(live_clusters_));
@@ -218,6 +333,9 @@ Result<TenantId> MultiTenantStream::Subscribe(LabelMask labels) {
     // so one full-universe engine serves every epoch-0 subscriber.
     EnsureSharedScan();
     ++shared_tier_tenants_;
+  } else if (kind_ == StreamKind::kStreamScan) {
+    // Mid-stream plain-scan joiner: near-identical clustering applies.
+    MQD_ASSIGN_OR_RETURN(rec.cluster, AttachScanCluster(labels, cursor_));
   } else {
     MQD_ASSIGN_OR_RETURN(rec.cluster, AttachCluster(labels, cursor_));
   }
@@ -250,25 +368,97 @@ Status MultiTenantStream::Unsubscribe(TenantId tenant) {
   return Status::OK();
 }
 
-void MultiTenantStream::Deliver(Cluster& cluster, PostId post) {
-  if (!cluster.health.ok()) return;  // quarantined: stops receiving
+uint64_t MultiTenantStream::DeliverPending(Cluster& cluster, PostId end,
+                                           bool probe) {
+  if (!cluster.health.ok()) return 0;  // quarantined: stops receiving
+  const std::vector<PostId>& gol = cluster.view.global_of_local;
+  uint32_t local = cluster.next_local;
+  uint64_t delivered = 0;
+  while (local < gol.size() && gol[local] < end) {
+    if (probe) {
+      Status fault = FaultInjector::Global().MaybeInject("tenant.fanout");
+      if (!fault.ok()) {
+        // Quarantine this cluster only: its tenants' queries return
+        // the fault; every other tenant's state is untouched.
+        cluster.health = std::move(fault);
+        obs::GetTenantMetrics().quarantines->Increment();
+        break;
+      }
+    }
+    cluster.processor->AdvanceTo(cluster.view.sub.value(local));
+    cluster.processor->OnArrival(local);
+    ++local;
+    ++delivered;
+  }
+  cluster.next_local = local;
+  return delivered;
+}
+
+void MultiTenantStream::SweepClusters(PostId end) {
+  live_list_.clear();
+  for (uint32_t c = 0; c < static_cast<uint32_t>(clusters_.size()); ++c) {
+    if (clusters_[c]) live_list_.push_back(c);
+  }
+  const size_t n = live_list_.size();
+  if (n == 0) return;
+  const size_t shards = NumSweepShards(n, kSweepGrain);
+  shard_deliveries_.assign(shards, 0);
+  shard_seconds_.assign(shards, 0.0);
+  const obs::TenantMetrics& metrics = obs::GetTenantMetrics();
   FaultInjector& injector = FaultInjector::Global();
   if (injector.armed()) {
-    Status fault = injector.MaybeInject("tenant.fanout");
-    if (!fault.ok()) {
-      // Quarantine this cluster only: its tenants' queries return the
-      // fault; every other tenant's state is untouched.
-      cluster.health = std::move(fault);
-      obs::GetTenantMetrics().quarantines->Increment();
-      return;
+    // Injected fault firing is a pure function of (seed, site, hit
+    // index), so probes must be issued in one deterministic order:
+    // the sweep degrades to serial, shard by shard. A tenant.shard
+    // fire quarantines every cluster in that one shard and the sweep
+    // moves on — one-shard blast radius.
+    for (size_t s = 0; s < shards; ++s) {
+      const size_t begin = s * kSweepGrain;
+      const size_t stop = std::min(n, begin + kSweepGrain);
+      Status fault = injector.MaybeInject("tenant.shard");
+      if (!fault.ok()) {
+        for (size_t i = begin; i < stop; ++i) {
+          Cluster& cluster = *clusters_[live_list_[i]];
+          if (!cluster.health.ok()) continue;
+          cluster.health = fault;
+          metrics.quarantines->Increment();
+        }
+        continue;
+      }
+      for (size_t i = begin; i < stop; ++i) {
+        shard_deliveries_[s] +=
+            DeliverPending(*clusters_[live_list_[i]], end, /*probe=*/true);
+      }
+    }
+  } else {
+    // Clusters are mutually independent and each belongs to exactly
+    // one shard, so the sharded sweep is bit-identical to serial at
+    // every thread count; tallies merge by shard index below.
+    const bool parallel = RunShardedSweep(
+        pool_, n, kSweepGrain, /*force_serial=*/false,
+        [&](size_t shard, size_t begin, size_t stop) {
+          Stopwatch sw;
+          uint64_t delivered = 0;
+          for (size_t i = begin; i < stop; ++i) {
+            delivered += DeliverPending(*clusters_[live_list_[i]], end,
+                                        /*probe=*/false);
+          }
+          shard_deliveries_[shard] = delivered;
+          shard_seconds_[shard] = sw.ElapsedSeconds();
+        });
+    if (parallel) {
+      ++parallel_sweeps_;
+      parallel_shards_ += shards;
+      metrics.parallel_sweeps->Increment();
+      metrics.parallel_shards->Increment(static_cast<double>(shards));
+    }
+    for (size_t s = 0; s < shards; ++s) {
+      metrics.shard_seconds->Observe(shard_seconds_[s]);
     }
   }
-  const uint32_t local = cluster.next_local++;
-  MQD_DCHECK(local < cluster.view.global_of_local.size() &&
-             cluster.view.global_of_local[local] == post);
-  cluster.processor->AdvanceTo(inst_.value(post));
-  cluster.processor->OnArrival(local);
-  ++fanout_deliveries_;
+  for (size_t s = 0; s < shards; ++s) {
+    fanout_deliveries_ += shard_deliveries_[s];
+  }
 }
 
 Status MultiTenantStream::RunUntil(PostId end) {
@@ -281,29 +471,18 @@ Status MultiTenantStream::RunUntil(PostId end) {
   if (finished_) {
     return Status::FailedPrecondition("stream already finished");
   }
-  for (PostId p = cursor_; p < end; ++p) {
-    ++arrivals_;
-    if (shared_scan_) {
-      // The whole shared tier absorbs this arrival once, for every
-      // subscribed scan tenant at once.
+  arrivals_ += end - cursor_;
+  if (shared_scan_) {
+    // The whole shared tier absorbs each arrival once, for every
+    // subscribed scan tenant at once.
+    for (PostId p = cursor_; p < end; ++p) {
       shared_scan_->AdvanceTo(inst_.value(p));
       shared_scan_->OnArrival(p);
-      ++shared_tier_hits_;
     }
-    // Cluster fan-out: visit each cluster carrying any of the post's
-    // labels exactly once (stamp dedup across the label lists).
-    ++visit_stamp_;
-    ForEachLabel(inst_.labels(p), [&](LabelId a) {
-      for (const uint32_t c : label_clusters_[a]) {
-        Cluster* cluster = clusters_[c].get();
-        if (cluster == nullptr) continue;  // tombstone
-        if (cluster->visit_stamp == visit_stamp_) continue;
-        cluster->visit_stamp = visit_stamp_;
-        Deliver(*cluster, p);
-      }
-    });
-    cursor_ = p + 1;
+    shared_tier_hits_ += end - cursor_;
   }
+  SweepClusters(end);
+  cursor_ = end;
   return Status::OK();
 }
 
@@ -337,14 +516,55 @@ std::vector<Emission> MultiTenantStream::DeriveSharedEmissions(
   // drop repeat posts: exactly the Emit() sequence of a private
   // StreamScan over the tenant's sub-stream, because per-label state
   // is independent and fires happen in (deadline, label) order on
-  // both sides.
+  // both sides. The seen bitmap borrows the thread's solve scratch,
+  // so repeated derivations are allocation-free.
   std::vector<Emission> out;
-  std::vector<bool> seen(inst_.num_posts(), false);
+  SolveScratch::Session session(SolveScratch::ThreadLocal());
+  std::span<uint8_t> seen =
+      session.arena().AllocZeroedSpan<uint8_t>(inst_.num_posts());
   for (const StreamScanProcessor::LabelFire& fire :
        shared_scan_->fire_log()) {
     if (!MaskHas(mask, fire.label) || seen[fire.post]) continue;
-    seen[fire.post] = true;
+    seen[fire.post] = 1;
     out.push_back(Emission{fire.post, fire.time});
+  }
+  return out;
+}
+
+std::vector<Emission> MultiTenantStream::DeriveClusterEmissions(
+    const Cluster& cluster, LabelMask mask) const {
+  // Residual correction for a near-identical member: same fire-log
+  // machinery as the shared tier, scoped to the representative. Map
+  // the tenant's global labels onto the cluster's dense local ids
+  // (monotone, so the filtered fire order IS the tenant's private
+  // (deadline, label) order), filter, first-occurrence dedup.
+  LabelMask local_mask = 0;
+  int local = 0;
+  ForEachLabel(cluster.mask, [&](LabelId a) {
+    if (MaskHas(mask, a)) local_mask |= MaskOf(static_cast<LabelId>(local));
+    ++local;
+  });
+  std::vector<Emission> out;
+  SolveScratch::Session session(SolveScratch::ThreadLocal());
+  std::span<uint8_t> seen = session.arena().AllocZeroedSpan<uint8_t>(
+      cluster.view.sub.num_posts());
+  uint64_t filtered = 0;
+  for (const StreamScanProcessor::LabelFire& fire : cluster.scan->fire_log()) {
+    if (!MaskHas(local_mask, fire.label)) {
+      ++filtered;
+      continue;
+    }
+    if (seen[fire.post]) continue;
+    seen[fire.post] = 1;
+    out.push_back(
+        Emission{cluster.view.global_of_local[fire.post], fire.time});
+  }
+  ++residual_corrections_;
+  residual_filtered_fires_ += filtered;
+  const obs::TenantMetrics& metrics = obs::GetTenantMetrics();
+  metrics.residual_corrections->Increment();
+  if (filtered > 0) {
+    metrics.residual_filtered->Increment(static_cast<double>(filtered));
   }
   return out;
 }
@@ -359,6 +579,9 @@ Result<std::vector<Emission>> MultiTenantStream::TenantEmissions(
   if (rec.cluster == kNoCluster) return DeriveSharedEmissions(rec.mask);
   const Cluster& cluster = *clusters_[rec.cluster];
   if (!cluster.health.ok()) return cluster.health;
+  if (cluster.scan != nullptr && cluster.mask != rec.mask) {
+    return DeriveClusterEmissions(cluster, rec.mask);
+  }
   std::vector<Emission> out;
   out.reserve(cluster.processor->emissions().size());
   for (const Emission& e : cluster.processor->emissions()) {
@@ -400,6 +623,14 @@ double MultiTenantStream::shared_hit_rate() const {
          static_cast<double>(total);
 }
 
+Arena::Stats MultiTenantStream::arena_stats() const {
+  Arena::Stats total;
+  for (const std::unique_ptr<Cluster>& cluster : clusters_) {
+    if (cluster && cluster->arena) total += cluster->arena->stats();
+  }
+  return total;
+}
+
 Status MultiTenantStream::EvictTenant(TenantId tenant, std::ostream& os) {
   MQD_FAULT_POINT("tenant.evict");
   if (finished_) {
@@ -427,11 +658,16 @@ Status MultiTenantStream::EvictTenant(TenantId tenant, std::ostream& os) {
   } else {
     const Cluster& cluster = *clusters_[rec.cluster];
     if (!cluster.health.ok()) return cluster.health;
-    body.U8(kTierCluster);
-    std::ostringstream inner;
-    MQD_RETURN_NOT_OK(SaveStreamCheckpoint(*cluster.processor,
-                                           cluster.next_local, inner));
-    body.Str(inner.str());
+    if (cluster.scan != nullptr) {
+      // Plain-scan cluster: header-only (see kTierScanCluster above).
+      body.U8(kTierScanCluster);
+    } else {
+      body.U8(kTierCluster);
+      std::ostringstream inner;
+      MQD_RETURN_NOT_OK(SaveStreamCheckpoint(*cluster.processor,
+                                             cluster.next_local, inner));
+      body.Str(inner.str());
+    }
   }
 
   os.write(kTenantMagic, sizeof(kTenantMagic));
@@ -523,7 +759,25 @@ Result<TenantId> MultiTenantStream::RestoreTenant(std::istream& is) {
       EnsureSharedScan();
     }
     ++shared_tier_tenants_;
+  } else if (tier == kTierScanCluster) {
+    if (reader.remaining() != 0) {
+      return Status::InvalidArgument(
+          "tenant snapshot carries trailing bytes");
+    }
+    if (kind_ != StreamKind::kStreamScan) {
+      return Status::InvalidArgument(
+          "scan-cluster tenant snapshot under a non-scan algorithm");
+    }
+    // Header-only: re-attach (possibly to a near-identical superset
+    // representative) or rebuild-and-replay — either way the tenant's
+    // derived sequence is exactly the evicted run continued.
+    MQD_ASSIGN_OR_RETURN(rec.cluster, AttachScanCluster(mask, join));
   } else if (tier == kTierCluster) {
+    if (kind_ == StreamKind::kStreamScan) {
+      return Status::InvalidArgument(
+          "plain-scan tenant snapshots are header-only; embedded "
+          "checkpoint tier is not valid here");
+    }
     const std::string payload = reader.Str();
     MQD_RETURN_NOT_OK(reader.status());
     if (reader.remaining() != 0) {
@@ -554,14 +808,8 @@ Result<TenantId> MultiTenantStream::RestoreTenant(std::istream& is) {
       }
       // Catch up to the engine's cursor: deliver the sub-posts the
       // tenant missed while evicted, exactly as ResumeStream would.
-      const uint32_t target_local =
-          LocalLowerBound(cluster->view.global_of_local, cursor_);
-      for (uint32_t local = restored_local; local < target_local; ++local) {
-        cluster->processor->AdvanceTo(cluster->view.sub.value(local));
-        cluster->processor->OnArrival(local);
-      }
-      if (finished_) cluster->processor->Finish();
-      cluster->next_local = target_local;
+      cluster->next_local = restored_local;
+      CatchUp(*cluster);
       cluster->refcount = 1;
       rec.cluster = RegisterCluster(std::move(cluster));
     }

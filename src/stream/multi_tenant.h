@@ -14,10 +14,13 @@
 #include "stream/factory.h"
 #include "stream/stream_scan.h"
 #include "stream/stream_solver.h"
+#include "util/arena.h"
 #include "util/result.h"
 #include "util/status.h"
 
 namespace mqd {
+
+class ThreadPool;
 
 /// Handle for one subscription in a MultiTenantStream. Ids are dense
 /// and never reused within one engine; an unsubscribed or evicted id
@@ -50,9 +53,9 @@ Result<TenantView> BuildTenantView(const Instance& inst,
                                    const CoverageModel& model,
                                    LabelMask mask, PostId from_post);
 
-/// Multi-tenant stream fan-out engine (DESIGN.md §14): one replay of
-/// the shared firehose serves every subscribed label-set profile, and
-/// each tenant's emissions are bit-identical to what a private
+/// Multi-tenant stream fan-out engine (DESIGN.md §14, §16): one replay
+/// of the shared firehose serves every subscribed label-set profile,
+/// and each tenant's emissions are bit-identical to what a private
 /// single-tenant processor of the same algorithm would produce on the
 /// tenant's sub-stream.
 ///
@@ -69,13 +72,36 @@ Result<TenantView> BuildTenantView(const Instance& inst,
 ///  * Cluster tier (Scan+/Greedy± — whose cross-label coupling makes
 ///    label states interact — and any mid-stream joiner). Tenants with
 ///    the same (mask, join point) share one representative processor
-///    over the restricted TenantView; arrivals fan out once per
-///    matching *cluster*, found through a label→cluster index, so cost
-///    scales with distinct subscriptions, not tenants. The
-///    representative's clock only advances when a matching post
+///    over the restricted TenantView. For plain StreamScan mid-stream
+///    joiners the same per-label independence that powers the shared
+///    tier extends sharing to NEAR-IDENTICAL profiles: tenants whose
+///    masks differ by at most `cluster_slack()` labels share one
+///    superset-mask representative (fire log enabled), and each
+///    tenant's true sequence is recovered at derive time by a residual
+///    correction — mask-filter plus first-occurrence dedup against the
+///    tenant's own labels, the identical machinery the epoch-0 tier
+///    uses. Exact because dense renumbering is monotone in global
+///    label order, so the (deadline, label) fire order of the shared
+///    representative filters to precisely the tenant's private order.
+///    The representative's clock only advances when a matching post
 ///    arrives (or at Finish) — exact, because AdvanceTo fires all
 ///    pending deadlines in (deadline, label) order with emission times
 ///    taken from the deadlines themselves, not the call instant.
+///
+/// Parallel sweep: per RunUntil batch the live clusters are
+/// partitioned into deterministic fixed-grain shards
+/// (parallel/sweep.h) and advanced on the borrowed ThreadPool.
+/// Clusters are mutually independent and each is touched by exactly
+/// one shard, so outputs are exact-equal to the serial sweep at every
+/// thread count; per-shard delivery tallies are merged in shard
+/// order. While a fault injector is armed the sweep degrades to the
+/// serial order (fault firing is a pure function of the probe hit
+/// index, which concurrency would scramble).
+///
+/// Allocation: greedy representatives bump-allocate their carried
+/// windows from a per-cluster Arena (`arena_stats()` aggregates the
+/// fleet) and residual derivations borrow the thread's SolveScratch,
+/// so steady-state fan-out performs zero heap allocations.
 ///
 /// Churn: Subscribe after the first arrival joins at the current
 /// cursor (equal to a fresh tenant whose stream starts there);
@@ -86,10 +112,13 @@ Result<TenantView> BuildTenantView(const Instance& inst,
 ///
 /// Fault sites: "tenant.fanout" probes each per-cluster delivery —
 /// a fire quarantines that cluster only (its tenants' queries return
-/// the fault; every other tenant stays bit-identical). "tenant.evict"
+/// the fault; every other tenant stays bit-identical). "tenant.shard"
+/// probes each sweep shard before it runs — a fire quarantines every
+/// cluster in that one shard (one-shard blast radius). "tenant.evict"
 /// probes EvictTenant and leaves the tenant intact on fire.
 ///
-/// Not thread-safe; one engine per replay thread.
+/// Not thread-safe at the API surface; one engine per replay thread
+/// (the engine parallelizes internally across the borrowed pool).
 class MultiTenantStream {
  public:
   /// `kind` must be a replayable stream algorithm (kInstant is not
@@ -98,6 +127,19 @@ class MultiTenantStream {
   static Result<std::unique_ptr<MultiTenantStream>> Create(
       const Instance& inst, const CoverageModel& model, StreamKind kind,
       double tau);
+
+  /// Borrows `pool` for the cluster sweep (not owned; must outlive the
+  /// engine or be cleared first). Null or zero workers = serial sweep.
+  /// Outputs are bit-identical at every setting.
+  void SetThreadPool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Near-identical clustering slack for plain-StreamScan mid-stream
+  /// joiners: a tenant shares a superset representative when the
+  /// representative carries at most `k` labels outside the tenant's
+  /// own mask (k = 0 degenerates to exact (mask, join) clustering).
+  /// Applies to subsequent Subscribe/RestoreTenant calls.
+  void set_cluster_slack(int k);
+  int cluster_slack() const { return cluster_slack_; }
 
   /// Registers a tenant subscribed to `labels` (non-empty, within the
   /// instance's label universe) joining at the current cursor.
@@ -126,8 +168,9 @@ class MultiTenantStream {
 
   /// Serializes the tenant's state to `os` (versioned, checksummed;
   /// embeds the representative's stream checkpoint for cluster-tier
-  /// tenants) and unsubscribes it. Rejected after Finish and for
-  /// quarantined tenants.
+  /// tenants — scan-cluster tenants serialize header-only, their
+  /// replay being deterministic from (mask, join)) and unsubscribes
+  /// it. Rejected after Finish and for quarantined tenants.
   Status EvictTenant(TenantId tenant, std::ostream& os);
   /// Readmits an evicted tenant: validates magic/checksum/version/
   /// algorithm/tau/instance fingerprint, rebuilds or re-attaches the
@@ -156,6 +199,27 @@ class MultiTenantStream {
   double fanout_amplification() const;
   /// Fraction of delivery work absorbed by the shared tier.
   double shared_hit_rate() const;
+  /// Cluster sweeps dispatched through the thread pool, and the
+  /// shards those sweeps ran.
+  uint64_t parallel_sweeps() const { return parallel_sweeps_; }
+  uint64_t parallel_shards() const { return parallel_shards_; }
+  /// Subscribes/restores absorbed by an existing near-identical
+  /// representative (subset attach or grow attach).
+  uint64_t near_identical_attaches() const {
+    return near_identical_attaches_;
+  }
+  /// Representative rebuilds that widened a scan cluster's mask.
+  uint64_t rep_grows() const { return rep_grows_; }
+  /// Residual-corrected derivations served, and fire-log entries the
+  /// mask filter dropped across them.
+  uint64_t residual_corrections() const { return residual_corrections_; }
+  uint64_t residual_filtered_fires() const {
+    return residual_filtered_fires_;
+  }
+  /// Aggregate allocator stats over the per-cluster representative
+  /// arenas (greedy kinds). Steady-state fan-out holds block_allocs
+  /// flat — the zero-allocation regression checks watch this.
+  Arena::Stats arena_stats() const;
 
  private:
   struct TenantRec {
@@ -166,40 +230,82 @@ class MultiTenantStream {
   };
 
   struct Cluster {
+    /// Union of the member tenants' masks (== every member's mask for
+    /// exact clusters; a superset under near-identical sharing).
     LabelMask mask = 0;
+    /// Intersection of the member tenants' masks: the conservative
+    /// witness that every member is within slack of the union.
+    LabelMask members_intersection = 0;
     PostId join_cursor = 0;
     TenantView view;
+    /// Carried-window storage for greedy representatives; null for
+    /// scan kinds. Declared before the processor so the processor's
+    /// pmr containers die first.
+    std::unique_ptr<Arena> arena;
     std::unique_ptr<StreamProcessor> processor;  // after view: refs it
+    /// Non-owning alias of `processor` for plain-scan representatives
+    /// (fire log enabled); null otherwise.
+    StreamScanProcessor* scan = nullptr;
     uint32_t next_local = 0;  // local id of the next view post to deliver
     uint32_t refcount = 0;
-    uint64_t visit_stamp = 0;  // arrival stamp (per-arrival dedup)
-    Status health = Status::OK();  // !ok() => quarantined by tenant.fanout
+    Status health = Status::OK();  // !ok() => quarantined by a fault
   };
 
   static constexpr uint32_t kNoCluster = static_cast<uint32_t>(-1);
+  /// Clusters per sweep shard. Fixed (never thread-count-dependent) so
+  /// the shard structure — and tenant.shard blast radius — is stable.
+  static constexpr size_t kSweepGrain = 2;
 
   MultiTenantStream(const Instance& inst, const CoverageModel& model,
                     StreamKind kind, double tau);
 
   Status ValidateMask(LabelMask mask) const;
-  /// Finds or creates the representative for (mask, join); bumps its
-  /// refcount.
+  /// Finds or creates the representative for exactly (mask, join);
+  /// bumps its refcount. Non-scan kinds.
   Result<uint32_t> AttachCluster(LabelMask mask, PostId join);
+  /// Plain-scan attach with near-identical sharing: exact key hit,
+  /// else subset attach / grow attach within slack at the same join,
+  /// else a fresh cluster caught up to the engine cursor.
+  Result<uint32_t> AttachScanCluster(LabelMask mask, PostId join);
+  /// Rebuilds cluster `index`'s representative over the widened
+  /// `grown` mask and replays it back to the engine cursor (the fire
+  /// log is regenerated whole, so members' residual derivations keep
+  /// working). The cluster id is stable.
+  Status GrowScanCluster(uint32_t index, LabelMask grown);
   /// Builds a cluster shell (view + processor) without registering it.
   Result<std::unique_ptr<Cluster>> BuildCluster(LabelMask mask,
                                                 PostId join) const;
-  /// Registers a built cluster in the key map and label index.
+  /// Replays cluster posts with global id < cursor_ through the
+  /// processor (Finish too if the engine already finished).
+  void CatchUp(Cluster& cluster);
+  /// Registers a built cluster in the key map.
   uint32_t RegisterCluster(std::unique_ptr<Cluster> cluster);
   void DetachCluster(uint32_t index);
-  void Deliver(Cluster& cluster, PostId post);
+  /// Advances `cluster` through every pending view post with global id
+  /// < end; returns deliveries made. With `probe` each delivery hits
+  /// the tenant.fanout site first (a fire quarantines the cluster and
+  /// stops it).
+  uint64_t DeliverPending(Cluster& cluster, PostId end, bool probe);
+  /// One batch sweep of all live clusters up to `end` — sharded over
+  /// the pool when profitable, serial (with fault probes) when the
+  /// injector is armed.
+  void SweepClusters(PostId end);
   void EnsureSharedScan();
   std::vector<Emission> DeriveSharedEmissions(LabelMask mask) const;
+  /// Residual correction for a scan-cluster tenant: the cluster's
+  /// fire log filtered to the tenant's own labels, first-occurrence
+  /// deduped, mapped back to global posts.
+  std::vector<Emission> DeriveClusterEmissions(const Cluster& cluster,
+                                               LabelMask mask) const;
   void Deactivate(TenantId tenant);
 
   const Instance& inst_;
   const CoverageModel& model_;
   StreamKind kind_;
   double tau_;
+  ThreadPool* pool_ = nullptr;
+  int cluster_slack_ = kDefaultClusterSlack;
+  static constexpr int kDefaultClusterSlack = 4;
 
   PostId cursor_ = 0;
   bool finished_ = false;
@@ -216,14 +322,24 @@ class MultiTenantStream {
   std::vector<std::unique_ptr<Cluster>> clusters_;  // tombstone = null
   size_t live_clusters_ = 0;
   std::map<std::pair<LabelMask, PostId>, uint32_t> cluster_index_;
-  /// label -> cluster ids whose mask carries the label (may hold
-  /// tombstoned ids; Deliver skips them).
-  std::vector<std::vector<uint32_t>> label_clusters_;
-  uint64_t visit_stamp_ = 0;
+
+  /// Sweep scratch, reused across sweeps (allocation-free at steady
+  /// state): live cluster ids in ascending id order, one delivery
+  /// tally and one latency sample per shard.
+  std::vector<uint32_t> live_list_;
+  std::vector<uint64_t> shard_deliveries_;
+  std::vector<double> shard_seconds_;
 
   uint64_t arrivals_ = 0;
   uint64_t fanout_deliveries_ = 0;
   uint64_t shared_tier_hits_ = 0;
+  uint64_t parallel_sweeps_ = 0;
+  uint64_t parallel_shards_ = 0;
+  uint64_t near_identical_attaches_ = 0;
+  uint64_t rep_grows_ = 0;
+  /// Derive-side counters mutate under const queries.
+  mutable uint64_t residual_corrections_ = 0;
+  mutable uint64_t residual_filtered_fires_ = 0;
   uint64_t flushed_arrivals_ = 0;
   uint64_t flushed_fanout_deliveries_ = 0;
   uint64_t flushed_shared_tier_hits_ = 0;

@@ -33,6 +33,18 @@ class Arena {
     size_t bytes_peak = 0;    // max bytes_live ever observed
     uint64_t resets = 0;      // Reset calls
     uint64_t block_allocs = 0;  // trips to malloc (growth events)
+
+    /// Elementwise accumulation for fleets of arenas (the multi-tenant
+    /// engine's per-cluster representatives): bytes_peak sums too, so
+    /// the aggregate reads as the fleet's total high-water budget.
+    Stats& operator+=(const Stats& other) {
+      bytes_held += other.bytes_held;
+      bytes_live += other.bytes_live;
+      bytes_peak += other.bytes_peak;
+      resets += other.resets;
+      block_allocs += other.block_allocs;
+      return *this;
+    }
   };
 
   explicit Arena(size_t initial_block_bytes = kDefaultBlockBytes);

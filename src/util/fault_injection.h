@@ -36,10 +36,12 @@ struct FaultSpec {
 /// carry the sites for free.
 ///
 /// Built-in sites: io.read_instance, index.load, stream.replay,
-/// pool.task, and the multi-tenant pair tenant.fanout (probed on each
+/// pool.task, and the multi-tenant trio tenant.fanout (probed on each
 /// per-cluster delivery; a fire quarantines that cluster only — see
-/// stream/multi_tenant.h) and tenant.evict (probed in EvictTenant; a
-/// fire returns the fault and leaves the tenant subscribed).
+/// stream/multi_tenant.h), tenant.shard (probed once per sweep shard;
+/// a fire quarantines every cluster in that one shard — the sweep's
+/// blast-radius unit) and tenant.evict (probed in EvictTenant; a fire
+/// returns the fault and leaves the tenant subscribed).
 ///
 /// Armed, firing is a pure function of (seed, site, hit index): the
 /// k-th pass through a site either always fires or never fires for a

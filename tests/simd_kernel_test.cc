@@ -310,6 +310,49 @@ TEST(SimdKernel, LastCoverMatchesScalar) {
   }
 }
 
+TEST(SimdKernel, CoverDecrementMatchesScalar) {
+  SKIP_WITHOUT_AVX2();
+  const Tables t = BothTables();
+  Rng rng(10);
+  for (size_t n : kSizes) {
+    for (size_t off : kOffsets) {
+      for (int rep = 0; rep < 8; ++rep) {
+        const size_t universe = n + 8;
+        std::vector<double> values(off, 0.0);
+        const std::vector<double> v = SortedValues(rng, n);
+        values.insert(values.end(), v.begin(), v.end());
+        // Per-element radii (the kernel's whole point): integral half
+        // the time so |value - center| == reach boundaries occur.
+        std::vector<double> reaches(off + n);
+        for (size_t i = 0; i < n; ++i) {
+          reaches[off + i] = (rng.Uniform(2) != 0u)
+                                 ? static_cast<double>(rng.Uniform(6))
+                                 : rng.UniformDouble(0.0, 8.0);
+        }
+        // Duplicate ids on purpose: each passing hit must land its own
+        // decrement even when a vector lane repeats the target.
+        std::vector<PostId> ids(off + n);
+        for (size_t i = 0; i < n; ++i) {
+          ids[off + i] = static_cast<PostId>(rng.Uniform(universe / 2 + 1));
+        }
+        const double center = (n > 0 && rng.Uniform(2) != 0u)
+                                  ? v[rng.Uniform(n)]
+                                  : rng.UniformDouble(-120.0, 120.0);
+        std::vector<int64_t> gains_a(universe);
+        for (int64_t& g : gains_a) g = rng.UniformInt(0, 50);
+        std::vector<int64_t> gains_b = gains_a;
+        t.scalar.cover_decrement(values.data() + off, reaches.data() + off,
+                                 n, center, ids.data() + off,
+                                 gains_a.data());
+        t.avx2.cover_decrement(values.data() + off, reaches.data() + off,
+                               n, center, ids.data() + off, gains_b.data());
+        ASSERT_EQ(gains_a, gains_b)
+            << "n=" << n << " off=" << off << " rep=" << rep;
+      }
+    }
+  }
+}
+
 // --- Full-path goldens under both dispatch tiers. ---
 
 Instance MakeGoldenInstance(uint64_t seed) {
@@ -367,6 +410,41 @@ TEST(SimdDispatch, SolverCoversIdenticalAcrossTiers) {
       return *z;
     });
     EXPECT_EQ(scalar_scan, avx2_scan) << "seed=" << seed;
+  }
+}
+
+/// Variable-lambda goldens: a directional model routes GreedyState's
+/// Select through the cover_decrement kernel, so greedy covers must be
+/// tier-invariant there too (the uniform goldens above never touch
+/// that path).
+TEST(SimdDispatch, VariableLambdaCoversIdenticalAcrossTiers) {
+  SKIP_WITHOUT_AVX2();
+  for (uint64_t seed : {13u, 31u}) {
+    const Instance inst = MakeGoldenInstance(seed);
+    const double max_reach = 45.0;
+    Rng rng(seed * 0x9e3779b9ULL + 5);
+    std::vector<std::vector<DimValue>> table(inst.num_posts());
+    for (PostId p = 0; p < static_cast<PostId>(inst.num_posts()); ++p) {
+      ForEachLabel(inst.labels(p), [&](LabelId) {
+        table[p].push_back(rng.UniformDouble(0.3 * max_reach, max_reach));
+      });
+    }
+    const VariableLambda model(table, max_reach);
+    for (GreedyEngine engine :
+         {GreedyEngine::kLinearArgmax, GreedyEngine::kLazyHeap}) {
+      const GreedySCSolver solver(engine);
+      auto scalar_cover = AtLevel(simd::Level::kScalar, [&] {
+        auto z = solver.Solve(inst, model);
+        MQD_CHECK(z.ok());
+        return *z;
+      });
+      auto avx2_cover = AtLevel(simd::Level::kAvx2, [&] {
+        auto z = solver.Solve(inst, model);
+        MQD_CHECK(z.ok());
+        return *z;
+      });
+      EXPECT_EQ(scalar_cover, avx2_cover) << "seed=" << seed;
+    }
   }
 }
 

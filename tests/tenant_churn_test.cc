@@ -15,6 +15,7 @@
 #include "stream/multi_tenant.h"
 #include "stream/replay.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace mqd {
 namespace {
@@ -400,6 +401,239 @@ TEST(TenantChurnTest, EngineGuards) {
       << "evict after Finish must fail";
   EXPECT_TRUE(engine.TenantEmissions(tenant).ok())
       << "queries stay valid after Finish";
+}
+
+/// Mid-stream plain-scan tenants live in scan clusters whose snapshots
+/// are header-only (the fire-log replay is deterministic from
+/// (mask, join)). Evict/restore through that tier must be exact on
+/// both sides of the cluster lifecycle: sole member (evict destroys
+/// the representative, restore rebuilds and replays it) and shared
+/// member (a near-identical twin keeps the widened representative
+/// alive, restore re-attaches within slack and derives through the
+/// residual correction).
+TEST(TenantChurnTest, ScanClusterEvictRestoreIsExact) {
+  const double tau = 3.0;
+  const double lambda = 7.0;
+  const Instance inst = TestInstance(10);
+  const PostId n = static_cast<PostId>(inst.num_posts());
+  const LabelMask mask = MaskOf(1) | MaskOf(3);
+  const LabelMask twin_mask = MaskOf(1) | MaskOf(3) | MaskOf(5);
+  const LabelMask shared_mask = MaskOf(0) | MaskOf(2);
+  Rng rng(555);
+  for (const bool with_twin : {false, true}) {
+    for (int round = 0; round < 4; ++round) {
+      const PostId join = static_cast<PostId>(1 + rng.Uniform(n / 2));
+      const PostId evict_at =
+          static_cast<PostId>(join + 1 + rng.Uniform(n - join - 1));
+      const PostId restore_at =
+          static_cast<PostId>(evict_at + rng.Uniform(n - evict_at + 1));
+      const std::string context =
+          std::string("twin=") + std::to_string(with_twin) +
+          " join=" + std::to_string(join) +
+          " evict=" + std::to_string(evict_at) +
+          " restore=" + std::to_string(restore_at);
+      UniformLambda model(lambda);
+      auto engine = MultiTenantStream::Create(inst, model,
+                                              StreamKind::kStreamScan, tau);
+      ASSERT_TRUE(engine.ok());
+      const TenantId shared_id = *(*engine)->Subscribe(shared_mask);
+      ASSERT_TRUE((*engine)->RunUntil(join).ok());
+      auto victim = (*engine)->Subscribe(mask);
+      ASSERT_TRUE(victim.ok()) << context;
+      TenantId twin = kInvalidTenant;
+      if (with_twin) {
+        auto t = (*engine)->Subscribe(twin_mask);
+        ASSERT_TRUE(t.ok()) << context;
+        twin = *t;
+        // The twin widened the shared representative in place.
+        EXPECT_GT((*engine)->rep_grows(), 0u) << context;
+        EXPECT_EQ((*engine)->num_clusters(), 1u) << context;
+      }
+      ASSERT_TRUE((*engine)->RunUntil(evict_at).ok());
+      std::ostringstream snapshot;
+      ASSERT_TRUE((*engine)->EvictTenant(*victim, snapshot).ok()) << context;
+      if (!with_twin) {
+        EXPECT_EQ((*engine)->num_clusters(), 0u)
+            << context << ": sole member's cluster must die with it";
+      }
+      ASSERT_TRUE((*engine)->RunUntil(restore_at).ok());
+      std::istringstream in(snapshot.str());
+      auto restored = (*engine)->RestoreTenant(in);
+      ASSERT_TRUE(restored.ok()) << context << ": "
+                                 << restored.status().ToString();
+      ASSERT_TRUE((*engine)->RunToEnd().ok());
+
+      ExpectEmissionsEqual(
+          *(*engine)->TenantEmissions(*restored),
+          RunSolo(inst, mask, join, StreamKind::kStreamScan, tau, lambda),
+          context + " restored scan-cluster tenant");
+      if (with_twin) {
+        ExpectEmissionsEqual(
+            *(*engine)->TenantEmissions(twin),
+            RunSolo(inst, twin_mask, join, StreamKind::kStreamScan, tau,
+                    lambda),
+            context + " twin");
+      }
+      ExpectEmissionsEqual(
+          *(*engine)->TenantEmissions(shared_id),
+          RunSolo(inst, shared_mask, 0, StreamKind::kStreamScan, tau,
+                  lambda),
+          context + " shared-tier bystander");
+      if (::testing::Test::HasFailure()) return;
+    }
+  }
+}
+
+/// One deterministic churn schedule: windows of 61 posts with one
+/// subscribe/unsubscribe/evict/restore action per boundary. Decisions
+/// depend only on the seeded Rng and list sizes — never on engine
+/// output — so the identical schedule replays on any engine.
+struct ChurnOutcome {
+  std::vector<LabelMask> masks;
+  std::vector<PostId> joins;
+  std::vector<std::vector<Emission>> emissions;
+  uint64_t parallel_sweeps = 0;
+};
+
+ChurnOutcome RunChurnSchedule(const Instance& inst, StreamKind kind,
+                              double tau, double lambda, ThreadPool* pool,
+                              uint64_t seed, const std::string& context) {
+  ChurnOutcome out;
+  UniformLambda model(lambda);
+  auto created = MultiTenantStream::Create(inst, model, kind, tau);
+  EXPECT_TRUE(created.ok()) << context;
+  if (!created.ok()) return out;
+  MultiTenantStream& engine = **created;
+  engine.SetThreadPool(pool);
+  Rng rng(seed);
+  struct LiveTenant {
+    TenantId id;
+    LabelMask mask;
+    PostId join;
+  };
+  struct Snapshot {
+    std::string blob;
+    LabelMask mask;
+    PostId join;
+  };
+  std::vector<LiveTenant> live;
+  std::vector<Snapshot> evicted;
+  const int num_labels = inst.num_labels();
+  auto subscribe = [&] {
+    LabelMask mask = 0;
+    const int want = 2 + static_cast<int>(rng.Uniform(2));
+    while (MaskCount(mask) < want) {
+      mask |= MaskOf(static_cast<LabelId>(rng.Uniform(num_labels)));
+    }
+    auto id = engine.Subscribe(mask);
+    EXPECT_TRUE(id.ok()) << context;
+    if (id.ok()) live.push_back({*id, mask, engine.cursor()});
+  };
+  for (int i = 0; i < 8; ++i) subscribe();
+  const PostId n = static_cast<PostId>(inst.num_posts());
+  PostId cursor = 0;
+  while (cursor < n) {
+    const PostId next = std::min<PostId>(n, cursor + 61);
+    EXPECT_TRUE(engine.RunUntil(next).ok()) << context;
+    cursor = next;
+    if (cursor >= n) break;
+    switch (rng.Uniform(4)) {
+      case 0:
+        subscribe();
+        break;
+      case 1:
+        if (live.size() > 2) {
+          const size_t k = rng.Uniform(live.size());
+          EXPECT_TRUE(engine.Unsubscribe(live[k].id).ok()) << context;
+          live.erase(live.begin() + static_cast<ptrdiff_t>(k));
+        } else {
+          subscribe();
+        }
+        break;
+      case 2:
+        if (!live.empty()) {
+          const size_t k = rng.Uniform(live.size());
+          std::ostringstream snap;
+          EXPECT_TRUE(engine.EvictTenant(live[k].id, snap).ok()) << context;
+          evicted.push_back({snap.str(), live[k].mask, live[k].join});
+          live.erase(live.begin() + static_cast<ptrdiff_t>(k));
+        } else {
+          subscribe();
+        }
+        break;
+      default:
+        if (!evicted.empty()) {
+          const size_t k = rng.Uniform(evicted.size());
+          std::istringstream in(evicted[k].blob);
+          auto restored = engine.RestoreTenant(in);
+          EXPECT_TRUE(restored.ok())
+              << context << ": " << restored.status().ToString();
+          if (restored.ok()) {
+            live.push_back({*restored, evicted[k].mask, evicted[k].join});
+          }
+          evicted.erase(evicted.begin() + static_cast<ptrdiff_t>(k));
+        } else {
+          subscribe();
+        }
+        break;
+    }
+  }
+  engine.Finish();
+  for (const LiveTenant& t : live) {
+    auto e = engine.TenantEmissions(t.id);
+    EXPECT_TRUE(e.ok()) << context;
+    out.masks.push_back(t.mask);
+    out.joins.push_back(t.join);
+    out.emissions.push_back(e.ok() ? std::move(*e)
+                                   : std::vector<Emission>{});
+  }
+  out.parallel_sweeps = engine.parallel_sweeps();
+  return out;
+}
+
+/// Fuzzed join/unsubscribe/evict/restore churn racing the sharded
+/// sweep: the identical schedule on a serial engine and on one
+/// borrowing a 4-thread pool must end with bit-identical survivors,
+/// and every survivor equals its independent single-tenant reference.
+TEST(TenantChurnTest, FuzzedChurnRacingPooledSweepMatchesSerial) {
+  const double tau = 2.5;
+  const double lambda = 6.0;
+  const Instance inst = TestInstance(9);
+  for (StreamKind kind : kAllKinds) {
+    for (uint64_t seed : {4242u, 4243u}) {
+      const std::string context = std::string(StreamKindName(kind)) +
+                                  " seed=" + std::to_string(seed);
+      const ChurnOutcome serial = RunChurnSchedule(
+          inst, kind, tau, lambda, nullptr, seed, context + " serial");
+      EXPECT_EQ(serial.parallel_sweeps, 0u) << context;
+      ThreadPool pool(3);
+      const ChurnOutcome pooled = RunChurnSchedule(
+          inst, kind, tau, lambda, &pool, seed, context + " pooled");
+
+      ASSERT_EQ(serial.masks, pooled.masks) << context;
+      ASSERT_EQ(serial.joins, pooled.joins) << context;
+      ASSERT_EQ(serial.emissions.size(), pooled.emissions.size()) << context;
+      for (size_t i = 0; i < serial.emissions.size(); ++i) {
+        ExpectEmissionsEqual(pooled.emissions[i], serial.emissions[i],
+                             context + " tenant " + std::to_string(i));
+      }
+      // Anchor a sample of survivors against independent replicas:
+      // equal-to-serial alone would not catch a bug both engines share.
+      for (size_t i = 0; i < serial.masks.size(); i += 3) {
+        ExpectEmissionsEqual(
+            serial.emissions[i],
+            RunSolo(inst, serial.masks[i], serial.joins[i], kind, tau,
+                    lambda),
+            context + " solo anchor tenant " + std::to_string(i));
+      }
+      if (kind == StreamKind::kStreamGreedy ||
+          kind == StreamKind::kStreamGreedyPlus) {
+        EXPECT_GT(pooled.parallel_sweeps, 0u)
+            << context << ": pool was never used";
+      }
+      if (::testing::Test::HasFailure()) return;
+    }
+  }
 }
 
 }  // namespace

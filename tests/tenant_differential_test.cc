@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -16,6 +19,7 @@
 #include "stream/multi_tenant.h"
 #include "stream/replay.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace mqd {
 namespace {
@@ -262,6 +266,323 @@ TEST(TenantDifferentialTest, StreamGreedyPlusClustersMatchSingleTenant) {
   const size_t compared = RunBattery(StreamKind::kStreamGreedyPlus, &sharing);
   EXPECT_GE(compared, 25000u) << "battery under-sampled";
   EXPECT_GT(sharing, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel sweep differential: the sharded thread-pool sweep must be
+// bit-identical to the serial sweep at every thread count.
+// ---------------------------------------------------------------------------
+
+/// Thread counts to exercise. MQD_TENANT_THREADS pins one count (the
+/// CI corner legs use 1 and the machine width); otherwise {2, hw}. A
+/// count of t means a pool with t-1 workers plus the calling thread,
+/// so t == 1 exercises the zero-worker (inline) pool configuration.
+std::vector<int> SweepThreadCounts() {
+  if (const char* env = std::getenv("MQD_TENANT_THREADS")) {
+    const int t = std::atoi(env);
+    if (t >= 1) return {t};
+  }
+  std::vector<int> counts = {2};
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 2) counts.push_back(hw);
+  return counts;
+}
+
+/// Everything observable about one windowed engine run: per-tenant
+/// emissions and covers plus the sweep counters, so two runs can be
+/// compared field-for-field after the engines are gone.
+struct WindowedRun {
+  std::vector<LabelMask> masks;
+  std::vector<PostId> joins;
+  std::vector<std::vector<Emission>> emissions;
+  std::vector<std::vector<PostId>> covers;
+  uint64_t parallel_sweeps = 0;
+  uint64_t parallel_shards = 0;
+  size_t clusters = 0;
+};
+
+/// Drives one engine through fixed 97-post windows, subscribing
+/// `early` at epoch 0 and `late` at the first window boundary >= cut.
+/// The window structure depends only on the instance, never on the
+/// pool, so every run sees identical batch boundaries and join
+/// cursors.
+WindowedRun RunWindowedEngine(const Instance& inst,
+                              const CoverageModel& model, StreamKind kind,
+                              double tau,
+                              const std::vector<LabelMask>& early,
+                              const std::vector<LabelMask>& late,
+                              PostId cut, ThreadPool* pool,
+                              const std::string& context) {
+  WindowedRun out;
+  auto engine = MultiTenantStream::Create(inst, model, kind, tau);
+  EXPECT_TRUE(engine.ok()) << context;
+  if (!engine.ok()) return out;
+  (*engine)->SetThreadPool(pool);
+  std::vector<TenantId> ids;
+  auto subscribe = [&](LabelMask mask, PostId join) {
+    auto id = (*engine)->Subscribe(mask);
+    EXPECT_TRUE(id.ok()) << context;
+    ids.push_back(id.ok() ? *id : kInvalidTenant);
+    out.masks.push_back(mask);
+    out.joins.push_back(join);
+  };
+  for (LabelMask mask : early) subscribe(mask, 0);
+  const PostId n = static_cast<PostId>(inst.num_posts());
+  PostId cursor = 0;
+  bool joined_late = false;
+  while (cursor < n) {
+    if (!joined_late && cursor >= cut) {
+      for (LabelMask mask : late) subscribe(mask, cursor);
+      joined_late = true;
+    }
+    const PostId next = std::min<PostId>(n, cursor + 97);
+    EXPECT_TRUE((*engine)->RunUntil(next).ok()) << context;
+    cursor = next;
+  }
+  if (!joined_late) {
+    for (LabelMask mask : late) subscribe(mask, cursor);
+  }
+  (*engine)->Finish();
+  for (TenantId id : ids) {
+    auto e = (*engine)->TenantEmissions(id);
+    auto c = (*engine)->TenantCover(id);
+    EXPECT_TRUE(e.ok() && c.ok()) << context;
+    out.emissions.push_back(e.ok() ? std::move(*e) : std::vector<Emission>{});
+    out.covers.push_back(c.ok() ? std::move(*c) : std::vector<PostId>{});
+  }
+  out.parallel_sweeps = (*engine)->parallel_sweeps();
+  out.parallel_shards = (*engine)->parallel_shards();
+  out.clusters = (*engine)->num_clusters();
+  return out;
+}
+
+/// Serial-vs-pooled differential over every algorithm and both
+/// coverage models, with mid-stream joiners in the mix: the pooled
+/// engines must reproduce the serial tenant outputs exactly, the
+/// serial run is anchored against independent single-tenant replicas,
+/// and at >= 2 threads with >= 3 live clusters the pool must actually
+/// have been used (parallel_sweeps > 0 — sharing must be real).
+TEST(TenantParallelSweepTest, PooledSweepBitIdenticalAcrossThreadCounts) {
+  InstanceGenConfig cfg;
+  cfg.num_labels = 10;
+  cfg.duration = 600.0;
+  cfg.posts_per_minute = 80.0;
+  cfg.overlap_rate = 1.5;
+  cfg.burst_fraction = 0.3;
+  cfg.seed = 9100;
+  auto inst = GenerateInstance(cfg);
+  ASSERT_TRUE(inst.ok());
+  const PostId cut = static_cast<PostId>(inst->num_posts() / 2);
+
+  const std::vector<LabelMask> profiles = FuzzProfiles(cfg.num_labels, 3);
+  ASSERT_GE(profiles.size(), 56u);
+  const std::vector<LabelMask> early(profiles.begin(), profiles.begin() + 36);
+  const std::vector<LabelMask> late(profiles.begin() + 36,
+                                    profiles.begin() + 56);
+
+  const double lambda = 6.0;
+  const double tau = 3.0;
+  const auto table = MakeVariableTable(*inst, lambda, 3);
+  UniformLambda uniform(lambda);
+  VariableLambda variable(table, lambda);
+
+  const std::vector<int> thread_counts = SweepThreadCounts();
+  const int max_threads =
+      *std::max_element(thread_counts.begin(), thread_counts.end());
+  uint64_t total_parallel_sweeps = 0;
+
+  for (StreamKind kind :
+       {StreamKind::kStreamScan, StreamKind::kStreamScanPlus,
+        StreamKind::kStreamGreedy, StreamKind::kStreamGreedyPlus}) {
+    for (const bool use_variable : {false, true}) {
+      const CoverageModel& model =
+          use_variable ? static_cast<const CoverageModel&>(variable)
+                       : static_cast<const CoverageModel&>(uniform);
+      const std::string context =
+          std::string(StreamKindName(kind)) +
+          (use_variable ? " variable" : " uniform");
+      const WindowedRun serial = RunWindowedEngine(
+          *inst, model, kind, tau, early, late, cut, nullptr,
+          context + " serial");
+      EXPECT_EQ(serial.parallel_sweeps, 0u) << context;
+
+      // Anchor the serial run against independent replicas — a few
+      // epoch-0 tenants and a few mid-stream joiners each.
+      for (size_t i : {size_t{0}, size_t{17}, size_t{35}, size_t{36},
+                       size_t{45}, size_t{55}}) {
+        SingleTenant solo = BuildSingleTenant(
+            *inst, serial.masks[i], serial.joins[i], lambda,
+            use_variable ? &table : nullptr, lambda);
+        auto proc = CreateStreamProcessor(kind, solo.sub, *solo.model, tau);
+        ASSERT_TRUE(RunStream(solo.sub, proc.get()).ok()) << context;
+        const auto& want = proc->emissions();
+        const auto& got = serial.emissions[i];
+        ASSERT_EQ(got.size(), want.size())
+            << context << " anchor tenant " << i;
+        for (size_t e = 0; e < got.size(); ++e) {
+          ASSERT_EQ(got[e].post, solo.global_of_local[want[e].post])
+              << context << " anchor tenant " << i << " emission " << e;
+          ASSERT_EQ(got[e].emit_time, want[e].emit_time)
+              << context << " anchor tenant " << i << " emission " << e;
+        }
+      }
+
+      for (int t : thread_counts) {
+        ThreadPool pool(t - 1);
+        const std::string pooled_context =
+            context + " threads=" + std::to_string(t);
+        const WindowedRun pooled = RunWindowedEngine(
+            *inst, model, kind, tau, early, late, cut, &pool,
+            pooled_context);
+        ASSERT_EQ(pooled.masks, serial.masks) << pooled_context;
+        ASSERT_EQ(pooled.emissions.size(), serial.emissions.size())
+            << pooled_context;
+        for (size_t i = 0; i < serial.emissions.size(); ++i) {
+          EXPECT_EQ(pooled.emissions[i], serial.emissions[i])
+              << pooled_context << " tenant " << i << " diverged";
+          EXPECT_EQ(pooled.covers[i], serial.covers[i])
+              << pooled_context << " tenant " << i << " cover diverged";
+          if (::testing::Test::HasFailure()) return;
+        }
+        EXPECT_EQ(pooled.clusters, serial.clusters) << pooled_context;
+        if (t >= 2 && pooled.clusters >= 3) {
+          EXPECT_GT(pooled.parallel_sweeps, 0u)
+              << pooled_context << ": pool was never used";
+          EXPECT_GE(pooled.parallel_shards, 2 * pooled.parallel_sweeps)
+              << pooled_context;
+        }
+        total_parallel_sweeps += pooled.parallel_sweeps;
+      }
+    }
+  }
+  if (max_threads >= 2) {
+    EXPECT_GT(total_parallel_sweeps, 0u)
+        << "no configuration ever dispatched a parallel sweep";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Near-identical profile clustering: plain-scan mid-stream joiners
+// within `cluster_slack` labels of each other share one superset
+// representative, and the residual correction recovers each tenant's
+// private sequence exactly.
+// ---------------------------------------------------------------------------
+
+/// Base masks plus one-label neighbors (one label added, one removed)
+/// for each — every neighbor is within slack 1 of its base, so the
+/// default slack must fold each family onto a shared representative.
+std::vector<LabelMask> NearIdenticalProfiles(int num_labels,
+                                             uint64_t seed) {
+  Rng rng(seed * 913 + 3);
+  auto bases = GenerateLabelMaskProfiles(num_labels, 3, 6, &rng);
+  EXPECT_TRUE(bases.ok());
+  std::vector<LabelMask> profiles;
+  for (LabelMask base : *bases) {
+    profiles.push_back(base);
+    // Superset neighbor: add the lowest label outside the mask.
+    for (LabelId a = 0; a < static_cast<LabelId>(num_labels); ++a) {
+      if (!MaskHas(base, a)) {
+        profiles.push_back(base | MaskOf(a));
+        break;
+      }
+    }
+    // Subset neighbor: drop the lowest label.
+    const std::vector<LabelId> labels = MaskToLabels(base);
+    if (labels.size() >= 2) {
+      profiles.push_back(base & ~MaskOf(labels[0]));
+    }
+    // A duplicate of the base (pure refcount attach).
+    profiles.push_back(base);
+  }
+  return profiles;
+}
+
+TEST(TenantNearIdenticalTest, SlackSharingIsExactAndReal) {
+  InstanceGenConfig cfg;
+  cfg.num_labels = 12;
+  cfg.duration = 700.0;
+  cfg.posts_per_minute = 80.0;
+  cfg.overlap_rate = 1.5;
+  cfg.burst_fraction = 0.3;
+  cfg.seed = 9200;
+  auto inst = GenerateInstance(cfg);
+  ASSERT_TRUE(inst.ok());
+  const PostId cut = static_cast<PostId>(inst->num_posts() / 3);
+  const double lambda = 6.0;
+  const double tau = 3.0;
+  const auto table = MakeVariableTable(*inst, lambda, 5);
+  UniformLambda uniform(lambda);
+  VariableLambda variable(table, lambda);
+
+  const std::vector<LabelMask> profiles =
+      NearIdenticalProfiles(cfg.num_labels, 1);
+  const size_t distinct =
+      std::set<LabelMask>(profiles.begin(), profiles.end()).size();
+  ASSERT_GE(distinct, 10u);
+
+  for (const bool use_variable : {false, true}) {
+    const CoverageModel& model =
+        use_variable ? static_cast<const CoverageModel&>(variable)
+                     : static_cast<const CoverageModel&>(uniform);
+    for (const int slack : {4, 0}) {
+      const std::string context =
+          std::string(use_variable ? "variable" : "uniform") +
+          " slack=" + std::to_string(slack);
+      auto engine = MultiTenantStream::Create(*inst, model,
+                                              StreamKind::kStreamScan, tau);
+      ASSERT_TRUE(engine.ok());
+      (*engine)->set_cluster_slack(slack);
+      ASSERT_TRUE((*engine)->RunUntil(cut).ok());
+      std::vector<TenantId> ids;
+      for (LabelMask mask : profiles) {
+        auto id = (*engine)->Subscribe(mask);
+        ASSERT_TRUE(id.ok()) << context;
+        ids.push_back(*id);
+      }
+      // Continue in windows so the representatives advance live, then
+      // flush the remaining deadlines.
+      PostId cursor = cut;
+      const PostId n = static_cast<PostId>(inst->num_posts());
+      while (cursor < n) {
+        cursor = std::min<PostId>(n, cursor + 89);
+        ASSERT_TRUE((*engine)->RunUntil(cursor).ok()) << context;
+      }
+      (*engine)->Finish();
+
+      if (slack > 0) {
+        // Sharing must be real: fewer representatives than distinct
+        // masks, attaches absorbed, and at least one mask-widening
+        // rebuild (every base is subscribed before its superset).
+        EXPECT_LT((*engine)->num_clusters(), distinct) << context;
+        EXPECT_GT((*engine)->near_identical_attaches(), 0u) << context;
+        EXPECT_GT((*engine)->rep_grows(), 0u) << context;
+      } else {
+        // Slack 0 degenerates to exact (mask, join) clustering.
+        EXPECT_EQ((*engine)->num_clusters(), distinct) << context;
+        EXPECT_EQ((*engine)->near_identical_attaches(), 0u) << context;
+        EXPECT_EQ((*engine)->rep_grows(), 0u) << context;
+      }
+
+      size_t compared = 0;
+      for (size_t i = 0; i < profiles.size(); ++i) {
+        compared += ExpectTenantMatchesSingleTenant(
+            **engine, ids[i], *inst, profiles[i], /*join=*/cut,
+            StreamKind::kStreamScan, tau, lambda,
+            use_variable ? &table : nullptr, lambda,
+            context + " tenant=" + std::to_string(i));
+        if (::testing::Test::HasFailure()) return;
+      }
+      EXPECT_GT(compared, 0u) << context;
+      if (slack > 0) {
+        // Tenants narrower than their shared representative must have
+        // taken the residual-correction derive path.
+        EXPECT_GT((*engine)->residual_corrections(), 0u) << context;
+        EXPECT_GT((*engine)->residual_filtered_fires(), 0u) << context;
+      } else {
+        EXPECT_EQ((*engine)->residual_corrections(), 0u) << context;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -2,12 +2,25 @@
 """Diffs freshly recorded BENCH_*.json timings against the committed
 baselines and fails on regressions past a threshold.
 
-Compares every benchmark entry present in both documents by cpu_time
-(normalized to nanoseconds), prints the full ratio table, and exits
-non-zero when any entry regressed by more than --threshold (a ratio:
-2.0 means "twice as slow as the committed baseline"). Entries that
-exist on only one side — new benches, or /avx2 tiers absent on the
-current host — are reported but never fail the run.
+Compares every entry present in both documents, prints the full ratio
+table, and exits non-zero when any entry regressed by more than
+--threshold (a ratio: 2.0 means "twice as bad as the committed
+baseline"). Entries that exist on only one side — new benches, /avx2
+tiers absent on the current host — are reported but never fail the
+run.
+
+All four artifact schemas are understood:
+  core/stream - google-benchmark entries, compared by cpu_time
+                normalized to nanoseconds;
+  tenant      - the fan-out grid rows, compared by per-post cost
+                (keyed tenant/{algo}/tenants={n}/threads={t});
+  gap         - the certified lower/upper gaps, compared by gap size
+                (keyed gap/lambda={l}/seed={s} and gap/labels={n}).
+                These are deterministic at a fixed node budget, so
+                when baseline and current used the same budget any
+                ratio other than 1.00 is a real certificate change.
+A gap of zero on both sides compares as 1.0 (proven-optimal rows stay
+comparable); zero only on the baseline side is an infinite regression.
 
 The default threshold is deliberately loose: CI runners are noisy and
 the sanity-mode recordings use minimal repetitions, so this gate is a
@@ -30,7 +43,7 @@ UNITS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def load_entries(path):
-    """Flattens one BENCH_*.json into {bench_name: cpu_time_ns}."""
+    """Flattens one BENCH_*.json into {name: (value, display_unit)}."""
     with open(path) as f:
         doc = json.load(f)
     entries = {}
@@ -40,9 +53,22 @@ def load_entries(path):
             if unit not in UNITS:
                 raise SystemExit(f"{path}: {name}: unknown time unit "
                                  f"'{unit}'")
-            entries[name] = row["cpu_time"] * UNITS[unit]
+            entries[name] = (row["cpu_time"] * UNITS[unit], "ns")
+    for row in doc.get("bench_tenant", {}).get("rows", []):
+        name = (f"tenant/{row['algo']}/tenants={row['tenants']}"
+                f"/threads={row.get('threads', 1)}")
+        entries[name] = (row["per_post_us"] * UNITS["us"], "ns")
+    gap_doc = doc.get("bench_gap", {})
+    for row in gap_doc.get("gap_vs_lambda", []):
+        name = f"gap/lambda={row['lambda_s']}/seed={row['seed']}"
+        entries[name] = (float(row["gap"]), "")
+    for row in gap_doc.get("gap_vs_labels", []):
+        entries[f"gap/labels={row['num_labels']}"] = (
+            float(row["gap"]), "")
     if not entries:
-        raise SystemExit(f"{path}: no bench_micro/bench_stream entries")
+        raise SystemExit(f"{path}: no comparable entries (expected "
+                         f"bench_micro/bench_stream/bench_tenant/"
+                         f"bench_gap)")
     return entries, doc.get("sanity_mode", False)
 
 
@@ -68,20 +94,29 @@ def main():
           f"ratio")
     for name in sorted(set(base) | set(cur)):
         if name not in cur:
-            print(f"{name:<{width}}  {base[name]:>10.0f}ns  "
+            value, unit = base[name]
+            print(f"{name:<{width}}  {value:>10.0f}{unit:2}  "
                   f"{'absent':>12}  (skipped here; ok)")
             continue
         if name not in base:
-            print(f"{name:<{width}}  {'absent':>12}  {cur[name]:>10.0f}ns  "
-                  f"(new; ok)")
+            value, unit = cur[name]
+            print(f"{name:<{width}}  {'absent':>12}  "
+                  f"{value:>10.0f}{unit:2}  (new; ok)")
             continue
-        ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
+        base_value, unit = base[name]
+        cur_value, _ = cur[name]
+        if base_value == 0 and cur_value == 0:
+            ratio = 1.0  # e.g. proven-optimal gap rows on both sides
+        elif base_value == 0:
+            ratio = float("inf")
+        else:
+            ratio = cur_value / base_value
         flag = ""
         if ratio > args.threshold:
             regressed.append((name, ratio))
             flag = f"  REGRESSED (> {args.threshold}x)"
-        print(f"{name:<{width}}  {base[name]:>10.0f}ns  "
-              f"{cur[name]:>10.0f}ns  {ratio:5.2f}x{flag}")
+        print(f"{name:<{width}}  {base_value:>10.0f}{unit:2}  "
+              f"{cur_value:>10.0f}{unit:2}  {ratio:5.2f}x{flag}")
 
     if regressed:
         print(f"\n{len(regressed)} benchmark(s) regressed past "

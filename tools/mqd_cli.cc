@@ -460,6 +460,10 @@ int CmdServeStream(const std::vector<std::string>& args) {
   flags.Define("lambda", "60", "coverage threshold");
   flags.Define("tau", "10", "max reporting delay");
   flags.Define("seed", "1", "profile-generator seed");
+  flags.Define("threads", "1",
+               "threads for the cluster sweep (0 = all hardware "
+               "threads, 1 = serial); outputs are bit-identical at "
+               "every setting");
   DefineMetricsFlags(&flags);
   DefineFaultFlags(&flags);
   if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
@@ -476,15 +480,19 @@ int CmdServeStream(const std::vector<std::string>& args) {
   auto lambda = flags.GetDouble("lambda");
   auto tau = flags.GetDouble("tau");
   auto seed = flags.GetInt("seed");
+  auto threads = flags.GetInt("threads");
   for (const Status& s :
        {num_profiles.status(), profile_labels.status(), lambda.status(),
-        tau.status(), seed.status()}) {
+        tau.status(), seed.status(), threads.status()}) {
     if (!s.ok()) return Fail(s);
   }
   auto kind = ParseStreamKind(flags.GetString("algorithm"));
   if (!kind.ok()) return Fail(kind.status());
   if (*num_profiles <= 0) {
     return Fail(Status::InvalidArgument("--profiles must be positive"));
+  }
+  if (*threads < 0) {
+    return Fail(Status::InvalidArgument("--threads must be >= 0"));
   }
 
   Rng rng(static_cast<uint64_t>(*seed));
@@ -494,10 +502,17 @@ int CmdServeStream(const std::vector<std::string>& args) {
   if (!profiles.ok()) return Fail(profiles.status());
 
   UniformLambda model(*lambda);
+  // Declared before the engine so the borrowed pool outlives it.
+  const int total_threads = ResolveNumThreads(*threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (total_threads > 1) {
+    pool = std::make_unique<ThreadPool>(total_threads - 1);
+  }
   auto engine_or =
       MultiTenantStream::Create(*instance, model, *kind, *tau);
   if (!engine_or.ok()) return Fail(engine_or.status());
   auto engine = std::move(engine_or).value();
+  if (pool != nullptr) engine->SetThreadPool(pool.get());
   std::vector<TenantId> ids;
   ids.reserve(profiles->size());
   for (LabelMask mask : *profiles) {
@@ -531,7 +546,10 @@ int CmdServeStream(const std::vector<std::string>& args) {
             << " clusters, fan-out amplification "
             << FormatDouble(engine->fanout_amplification(), 2)
             << ", shared-tier hit rate "
-            << FormatDouble(engine->shared_hit_rate(), 3) << "\n"
+            << FormatDouble(engine->shared_hit_rate(), 3) << ", "
+            << total_threads << " sweep thread(s), "
+            << engine->parallel_sweeps() << " pooled sweeps over "
+            << engine->parallel_shards() << " shards\n"
             << "tenant emissions: " << emitted << " total across "
             << (ids.size() - degraded) << " healthy tenants, " << degraded
             << " degraded\n";
