@@ -207,6 +207,66 @@ const TenantMetrics& GetTenantMetrics() {
   return *metrics;
 }
 
+const ServeLaneMetrics& ServeLaneMetricsFor(std::string_view lane) {
+  static LabeledFamily<ServeLaneMetrics>* const family =
+      new LabeledFamily<ServeLaneMetrics>(+[](const LabelSet& labels) {
+        // LabeledFamily labels with "algorithm"; rebrand as "lane".
+        LabelSet lane_labels;
+        for (const auto& [key, value] : labels) {
+          lane_labels.emplace_back(key == "algorithm" ? "lane" : key, value);
+        }
+        MetricsRegistry& reg = MetricsRegistry::Global();
+        return new ServeLaneMetrics{
+            &reg.MustCounter("mqd_serve_requests_total", lane_labels),
+            &reg.MustCounter("mqd_serve_admitted_total", lane_labels),
+            &reg.MustCounter("mqd_serve_shed_total", lane_labels),
+            &reg.MustCounter("mqd_serve_completed_total", lane_labels),
+            &reg.MustCounter("mqd_serve_errors_total", lane_labels),
+            &reg.MustGauge("mqd_serve_queue_depth", lane_labels),
+            // Serving latencies live well below a second when healthy;
+            // the saturating top bucket still counts the overloaded tail.
+            &reg.MustHistogram("mqd_serve_latency_seconds",
+                               LinearBuckets(0.0, 0.5, 50), lane_labels),
+        };
+      });
+  return family->For(lane);
+}
+
+namespace {
+
+/// rung -> Counter cache for mqd_serve_pre_degraded_total{rung}.
+struct PreDegradedCounter {
+  Counter* counter;
+};
+
+}  // namespace
+
+Counter& ServePreDegradedFor(std::string_view rung) {
+  static LabeledFamily<PreDegradedCounter>* const family =
+      new LabeledFamily<PreDegradedCounter>(+[](const LabelSet& labels) {
+        LabelSet rung_labels;
+        for (const auto& [key, value] : labels) {
+          rung_labels.emplace_back(key == "algorithm" ? "rung" : key, value);
+        }
+        return new PreDegradedCounter{&MetricsRegistry::Global().MustCounter(
+            "mqd_serve_pre_degraded_total", rung_labels)};
+      });
+  return *family->For(rung).counter;
+}
+
+const ServeMetrics& GetServeMetrics() {
+  static const ServeMetrics* const metrics = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    return new ServeMetrics{
+        &reg.MustCounter("mqd_serve_drains_total"),
+        &reg.MustCounter("mqd_serve_drain_shed_total"),
+        &reg.MustCounter("mqd_serve_tenant_rejects_total"),
+        &reg.MustCounter("mqd_serve_fault_rejects_total"),
+    };
+  }();
+  return *metrics;
+}
+
 namespace {
 
 /// rung -> Counter cache for mqd_robust_degraded_total{rung}.

@@ -162,6 +162,36 @@ struct TenantMetrics {
 
 const TenantMetrics& GetTenantMetrics();
 
+/// Serving-daemon per-lane family (src/serve, label lane="stream" |
+/// "batch"): admission funnel counters, live queue depth and
+/// enqueue-to-response latency. shed counts every rejected request
+/// regardless of reason (queue_full / deadline_unmeetable / draining).
+struct ServeLaneMetrics {
+  Counter* submitted;            // mqd_serve_requests_total
+  Counter* admitted;             // mqd_serve_admitted_total
+  Counter* shed;                 // mqd_serve_shed_total
+  Counter* completed;            // mqd_serve_completed_total
+  Counter* errors;               // mqd_serve_errors_total
+  Gauge* queue_depth;            // mqd_serve_queue_depth
+  LatencyHistogram* latency_seconds;  // mqd_serve_latency_seconds
+};
+
+const ServeLaneMetrics& ServeLaneMetricsFor(std::string_view lane);
+
+/// mqd_serve_pre_degraded_total{rung}: batch solves that admission
+/// started below the full ladder ("ScanPlus", "Scan").
+Counter& ServePreDegradedFor(std::string_view rung);
+
+/// Unlabeled daemon-wide counters.
+struct ServeMetrics {
+  Counter* drains;               // mqd_serve_drains_total
+  Counter* drain_shed;           // mqd_serve_drain_shed_total
+  Counter* tenant_rejects;       // mqd_serve_tenant_rejects_total
+  Counter* fault_rejects;        // mqd_serve_fault_rejects_total
+};
+
+const ServeMetrics& GetServeMetrics();
+
 /// Installs the registry-backed ThreadPoolObserver so every ThreadPool
 /// reports into GetThreadPoolMetrics(). Idempotent and thread safe;
 /// call once near process start (mqd_cli and bench_common do).

@@ -1,0 +1,238 @@
+#include "serve/protocol.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace mqd {
+namespace {
+
+// Splits on runs of spaces/tabs. The framing layer has already
+// stripped the newline.
+std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+// strtod with full-consumption + finiteness checks: "nan", "inf",
+// "1e999" and "3.5junk" are all protocol errors, not values.
+Status ParseFiniteDouble(std::string_view key, std::string_view text,
+                         double* out) {
+  std::string buf(text);
+  if (buf.empty()) {
+    return Status::InvalidArgument("empty value for key '" + std::string(key) +
+                                   "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE ||
+      !std::isfinite(value)) {
+    return Status::InvalidArgument("value for key '" + std::string(key) +
+                                   "' must be a finite number, got '" + buf +
+                                   "'");
+  }
+  *out = value;
+  return Status::OK();
+}
+
+Status ParseU64(std::string_view key, std::string_view text, int base,
+                uint64_t* out) {
+  std::string buf(text);
+  if (buf.empty() || buf[0] == '-' || buf[0] == '+') {
+    return Status::InvalidArgument("value for key '" + std::string(key) +
+                                   "' must be a non-negative integer, got '" +
+                                   buf + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  uint64_t value = std::strtoull(buf.c_str(), &end, base);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE) {
+    return Status::InvalidArgument("value for key '" + std::string(key) +
+                                   "' is not a valid integer: '" + buf + "'");
+  }
+  *out = value;
+  return Status::OK();
+}
+
+std::string FormatDoubleKv(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string_view ServeVerbName(ServeVerb verb) {
+  switch (verb) {
+    case ServeVerb::kSolve: return "solve";
+    case ServeVerb::kFeed: return "feed";
+    case ServeVerb::kFinish: return "finish";
+    case ServeVerb::kSubscribe: return "subscribe";
+    case ServeVerb::kUnsubscribe: return "unsubscribe";
+    case ServeVerb::kEmissions: return "emissions";
+    case ServeVerb::kStats: return "stats";
+    case ServeVerb::kPing: return "ping";
+    case ServeVerb::kDrain: return "drain";
+  }
+  return "unknown";
+}
+
+std::string_view ServeLaneName(ServeLane lane) {
+  return lane == ServeLane::kStream ? "stream" : "batch";
+}
+
+ServeLane LaneOfVerb(ServeVerb verb) {
+  return verb == ServeVerb::kSolve ? ServeLane::kBatch : ServeLane::kStream;
+}
+
+bool IsInlineVerb(ServeVerb verb) {
+  return verb == ServeVerb::kStats || verb == ServeVerb::kPing ||
+         verb == ServeVerb::kDrain;
+}
+
+Result<ServeRequest> ParseServeRequest(std::string_view line) {
+  std::vector<std::string_view> tokens = Tokenize(line);
+  if (tokens.size() < 2) {
+    return Status::InvalidArgument(
+        "request must be '<id> <verb> [key=value]...'");
+  }
+  ServeRequest req;
+  if (tokens[0].find('=') != std::string_view::npos) {
+    return Status::InvalidArgument("request id may not contain '='");
+  }
+  req.id = std::string(tokens[0]);
+
+  std::string_view verb = tokens[1];
+  if (verb == "solve") req.verb = ServeVerb::kSolve;
+  else if (verb == "feed") req.verb = ServeVerb::kFeed;
+  else if (verb == "finish") req.verb = ServeVerb::kFinish;
+  else if (verb == "subscribe") req.verb = ServeVerb::kSubscribe;
+  else if (verb == "unsubscribe") req.verb = ServeVerb::kUnsubscribe;
+  else if (verb == "emissions") req.verb = ServeVerb::kEmissions;
+  else if (verb == "stats") req.verb = ServeVerb::kStats;
+  else if (verb == "ping") req.verb = ServeVerb::kPing;
+  else if (verb == "drain") req.verb = ServeVerb::kDrain;
+  else {
+    return Status::InvalidArgument("unknown verb '" + std::string(verb) + "'");
+  }
+
+  bool saw_mask = false;
+  bool saw_tenant = false;
+  for (size_t i = 2; i < tokens.size(); ++i) {
+    std::string_view tok = tokens[i];
+    size_t eq = tok.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument("expected key=value, got '" +
+                                     std::string(tok) + "'");
+    }
+    std::string_view key = tok.substr(0, eq);
+    std::string_view value = tok.substr(eq + 1);
+    if (key == "lambda" && req.verb == ServeVerb::kSolve) {
+      MQD_RETURN_NOT_OK(ParseFiniteDouble(key, value, &req.lambda));
+      if (req.lambda <= 0.0) {
+        return Status::InvalidArgument("lambda must be > 0");
+      }
+    } else if (key == "budget_ms" && req.verb == ServeVerb::kSolve) {
+      MQD_RETURN_NOT_OK(ParseFiniteDouble(key, value, &req.budget_ms));
+      if (req.budget_ms < 0.0) {
+        return Status::InvalidArgument("budget_ms must be >= 0");
+      }
+    } else if (key == "posts" && req.verb == ServeVerb::kFeed) {
+      uint64_t posts = 0;
+      MQD_RETURN_NOT_OK(ParseU64(key, value, 10, &posts));
+      if (posts == 0 || posts > (1u << 30)) {
+        return Status::InvalidArgument("posts must be in [1, 2^30]");
+      }
+      req.posts = static_cast<uint32_t>(posts);
+    } else if (key == "mask" && req.verb == ServeVerb::kSubscribe) {
+      uint64_t mask = 0;
+      MQD_RETURN_NOT_OK(ParseU64(key, value, 16, &mask));
+      if (mask == 0) {
+        return Status::InvalidArgument("mask must be a nonzero hex label set");
+      }
+      req.mask = static_cast<LabelMask>(mask);
+      saw_mask = true;
+    } else if (key == "tenant" && (req.verb == ServeVerb::kUnsubscribe ||
+                                   req.verb == ServeVerb::kEmissions)) {
+      uint64_t tenant = 0;
+      MQD_RETURN_NOT_OK(ParseU64(key, value, 10, &tenant));
+      if (tenant >= kInvalidTenant) {
+        return Status::InvalidArgument("tenant id out of range");
+      }
+      req.tenant = static_cast<TenantId>(tenant);
+      saw_tenant = true;
+    } else {
+      return Status::InvalidArgument("unknown key '" + std::string(key) +
+                                     "' for verb '" + std::string(verb) + "'");
+    }
+  }
+  if (req.verb == ServeVerb::kSubscribe && !saw_mask) {
+    return Status::InvalidArgument("subscribe requires mask=<hex>");
+  }
+  if (req.verb == ServeVerb::kUnsubscribe && !saw_tenant) {
+    return Status::InvalidArgument("unsubscribe requires tenant=<id>");
+  }
+  return req;
+}
+
+std::string ServeResponse::Format() const {
+  std::string out = id;
+  switch (outcome) {
+    case ServeOutcome::kOk:
+      out += " ok";
+      if (!body.empty()) {
+        out += ' ';
+        out += body;
+      }
+      break;
+    case ServeOutcome::kShed:
+      out += " shed reason=";
+      out += shed_reason;
+      out += " retry_after_ms=";
+      out += FormatDoubleKv(retry_after_ms);
+      break;
+    case ServeOutcome::kError:
+      out += " error ";
+      out += status.ToString();
+      break;
+  }
+  return out;
+}
+
+ServeResponse ServeResponse::Ok(std::string id, std::string body) {
+  ServeResponse r;
+  r.id = std::move(id);
+  r.outcome = ServeOutcome::kOk;
+  r.body = std::move(body);
+  return r;
+}
+
+ServeResponse ServeResponse::Shed(std::string id, std::string_view reason,
+                                  double retry_after_ms) {
+  ServeResponse r;
+  r.id = std::move(id);
+  r.outcome = ServeOutcome::kShed;
+  r.shed_reason = std::string(reason);
+  r.retry_after_ms = retry_after_ms;
+  return r;
+}
+
+ServeResponse ServeResponse::Error(std::string id, Status status) {
+  ServeResponse r;
+  r.id = std::move(id);
+  r.outcome = ServeOutcome::kError;
+  r.status = std::move(status);
+  return r;
+}
+
+}  // namespace mqd

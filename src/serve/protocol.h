@@ -1,0 +1,119 @@
+#ifndef MQD_SERVE_PROTOCOL_H_
+#define MQD_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/types.h"
+#include "stream/multi_tenant.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace mqd {
+
+/// Wire protocol of the serving daemon (DESIGN.md §17). One request
+/// per line, one response line per request, over stdin/stdout or a
+/// TCP connection:
+///
+///   <id> <verb> [key=value]...
+///
+/// `id` is an opaque client token echoed back verbatim (responses may
+/// arrive out of submission order; the id is how clients correlate).
+/// Verbs:
+///
+///   solve [lambda=<f>] [budget_ms=<f>]   batch lane: degradation-
+///                                        ladder re-solve of the full
+///                                        instance
+///   feed [posts=<n>]                     stream lane: deliver the
+///                                        next n posts (default 64)
+///                                        from the replay cursor
+///   finish                               stream lane: fire remaining
+///                                        deadlines (end of stream)
+///   subscribe mask=<hex>                 stream lane (tenant mode):
+///                                        admit a label-set profile
+///   unsubscribe tenant=<id>              stream lane (tenant mode)
+///   emissions [tenant=<id>]              stream lane: emission count
+///   stats                                answered inline, never
+///                                        queued (must respond under
+///                                        overload)
+///   ping                                 answered inline
+///   drain                                graceful shutdown (handled
+///                                        by the transport)
+///
+/// Responses:
+///
+///   <id> ok [key=value]...
+///   <id> shed reason=<word> retry_after_ms=<f>
+///   <id> error <Code>: <message>
+enum class ServeVerb {
+  kSolve,
+  kFeed,
+  kFinish,
+  kSubscribe,
+  kUnsubscribe,
+  kEmissions,
+  kStats,
+  kPing,
+  kDrain,
+};
+
+std::string_view ServeVerbName(ServeVerb verb);
+
+/// The two priority lanes. Stream outranks batch on every pop: a
+/// late report is a broken tau contract, a late re-solve is only a
+/// stale digest.
+enum class ServeLane { kStream = 0, kBatch = 1 };
+
+std::string_view ServeLaneName(ServeLane lane);
+
+/// Lane a verb is queued on. kStats/kPing/kDrain are inline verbs and
+/// never reach a queue.
+ServeLane LaneOfVerb(ServeVerb verb);
+bool IsInlineVerb(ServeVerb verb);
+
+struct ServeRequest {
+  std::string id;
+  ServeVerb verb = ServeVerb::kPing;
+  /// solve: coverage threshold; < 0 = server default.
+  double lambda = -1.0;
+  /// solve: deadline budget; < 0 = server default, 0 = unbounded.
+  double budget_ms = -1.0;
+  /// feed: posts to deliver from the cursor.
+  uint32_t posts = 64;
+  /// subscribe: label mask (hex on the wire).
+  LabelMask mask = 0;
+  /// unsubscribe/emissions: tenant handle.
+  TenantId tenant = kInvalidTenant;
+};
+
+/// Parses one request line. Rejects unknown verbs/keys, non-numeric,
+/// NaN or infinite values, and missing required keys with
+/// InvalidArgument (a malformed request must never reach a queue).
+Result<ServeRequest> ParseServeRequest(std::string_view line);
+
+enum class ServeOutcome { kOk, kShed, kError };
+
+struct ServeResponse {
+  std::string id = "-";
+  ServeOutcome outcome = ServeOutcome::kOk;
+  /// "key=value ..." payload for kOk (may be empty).
+  std::string body;
+  /// kShed: why, and the client-visible backoff hint.
+  std::string shed_reason;
+  double retry_after_ms = 0.0;
+  /// kError: the typed failure.
+  Status status;
+
+  /// One response line, no trailing newline.
+  std::string Format() const;
+
+  static ServeResponse Ok(std::string id, std::string body = "");
+  static ServeResponse Shed(std::string id, std::string_view reason,
+                            double retry_after_ms);
+  static ServeResponse Error(std::string id, Status status);
+};
+
+}  // namespace mqd
+
+#endif  // MQD_SERVE_PROTOCOL_H_

@@ -1,0 +1,93 @@
+#ifndef MQD_SERVE_QUEUE_H_
+#define MQD_SERVE_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/deadline.h"
+
+namespace mqd {
+
+/// Exactly-once response delivery: every admitted request's callback
+/// fires exactly once, from a worker (completion/error) or from the
+/// drain sweep (shed).
+using ServeResponseCallback = std::function<void(const ServeResponse&)>;
+
+/// A request that passed admission, with everything the worker needs.
+struct QueuedRequest {
+  ServeRequest request;
+  ServeResponseCallback callback;
+  std::chrono::steady_clock::time_point enqueue_time{};
+  /// Assigned at admission from the effective budget.
+  Deadline deadline = Deadline::Unbounded();
+  /// Batch pre-degrade: index of the first ladder rung admission
+  /// allows (0 = full GreedySC ladder).
+  int ladder_start = 0;
+};
+
+/// Two bounded FIFO lanes with strict priority: a waiting worker
+/// always takes the stream lane first. Stream requests mutate the
+/// single replay engine, so at most one is in service at a time
+/// (`stream lane busy` flag, released via StreamServiceDone); batch
+/// solves are read-only on the instance and run on all remaining
+/// workers concurrently.
+///
+/// Bounded means TryPush fails (never blocks, never drops silently)
+/// when a lane is at capacity — the caller turns that into a shed
+/// response with a retry-after hint.
+class RequestQueue {
+ public:
+  RequestQueue(size_t stream_capacity, size_t batch_capacity);
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// False when the lane is full or the queue is closed; the request
+  /// is returned unmoved in that case so the caller can still respond.
+  bool TryPush(ServeLane lane, QueuedRequest* item);
+
+  /// Blocks until a request is available or the queue is closed.
+  /// Returns false immediately once Close() has been called — queued
+  /// requests are deliberately left behind for the drain sweep, so
+  /// workers only finish what they already popped.
+  bool PopBlocking(QueuedRequest* out, ServeLane* lane);
+
+  /// Releases the stream-service slot after a popped stream request
+  /// finishes executing.
+  void StreamServiceDone();
+
+  /// Rejects future pushes and wakes all poppers (they return false).
+  void Close();
+
+  /// Removes and returns everything still queued, in lane-priority
+  /// then FIFO order. Only meaningful after Close().
+  std::vector<std::pair<ServeLane, QueuedRequest>> DrainAll();
+
+  size_t depth(ServeLane lane) const;
+  size_t capacity(ServeLane lane) const {
+    return lane == ServeLane::kStream ? stream_capacity_ : batch_capacity_;
+  }
+  bool closed() const;
+
+ private:
+  const size_t stream_capacity_;
+  const size_t batch_capacity_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<QueuedRequest> stream_;
+  std::deque<QueuedRequest> batch_;
+  bool stream_in_service_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace mqd
+
+#endif  // MQD_SERVE_QUEUE_H_

@@ -1,0 +1,277 @@
+#include "serve/transport.h"
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/fault_injection.h"
+
+namespace mqd {
+namespace {
+
+constexpr const char* kSiteAccept = "serve.accept";
+
+Status ProbeAccept() {
+  try {
+    return FaultInjector::Global().MaybeInject(kSiteAccept);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("injected exception at serve.accept: ") +
+                            e.what());
+  }
+}
+
+// Per-client response bookkeeping shared with the callbacks of its
+// still-queued requests: a pipelined client's `drain` line means
+// "after everything I already sent", so the reader quiesces
+// (outstanding == 0) before submitting the drain. Without the barrier
+// a piped script's own requests race the workers into the drain sweep.
+struct LineClientState {
+  explicit LineClientState(std::ostream& out) : out(out) {}
+  std::ostream& out;
+  std::mutex mu;
+  std::condition_variable cv;
+  int outstanding = 0;
+
+  void WriteLine(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    out << line << '\n' << std::flush;
+  }
+  void Quiesce() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return outstanding == 0; });
+  }
+};
+
+// One request line -> Submit; the callback writes the response line.
+// Returns true when the line was a drain request (the caller should
+// stop reading).
+bool HandleLine(Server* server, const std::string& line,
+                LineClientState* state) {
+  if (line.empty()) return false;
+  Status accept = ProbeAccept();
+  if (!accept.ok()) {
+    state->WriteLine(ServeResponse::Error("-", std::move(accept)).Format());
+    return false;
+  }
+  Result<ServeRequest> parsed = ParseServeRequest(line);
+  if (!parsed.ok()) {
+    state->WriteLine(ServeResponse::Error("-", parsed.status()).Format());
+    return false;
+  }
+  const bool is_drain = parsed->verb == ServeVerb::kDrain;
+  if (is_drain) state->Quiesce();
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    ++state->outstanding;
+  }
+  server->Submit(std::move(*parsed), [state](const ServeResponse& r) {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->out << r.Format() << '\n' << std::flush;
+      --state->outstanding;
+    }
+    state->cv.notify_all();
+  });
+  // Submit handles drain synchronously (the callback has run by now),
+  // so returning here cannot lose responses.
+  return is_drain;
+}
+
+}  // namespace
+
+Status ServeStdio(Server* server, std::istream& in, std::ostream& out) {
+  // Stack lifetime is safe: both exits below guarantee every callback
+  // has run before this frame unwinds (drain is synchronous in
+  // Submit; Drain() answers everything still queued).
+  LineClientState state(out);
+  std::string line;
+  bool drained_by_request = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (HandleLine(server, line, &state)) {
+      drained_by_request = true;
+      break;
+    }
+  }
+  // EOF without an explicit drain: same graceful path — in-flight
+  // requests complete, queued ones are shed with responses written
+  // before we return.
+  if (!drained_by_request) return server->Drain();
+  return Status::OK();
+}
+
+namespace {
+
+// Writes response lines straight to the socket (no stdio buffering).
+struct FdWriter : std::streambuf {
+  explicit FdWriter(int fd) : fd(fd) {}
+  int fd;
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    std::streamsize written = 0;
+    while (written < n) {
+      ssize_t w = ::send(fd, s + written, static_cast<size_t>(n - written),
+                         MSG_NOSIGNAL);
+      if (w <= 0) return written;
+      written += w;
+    }
+    return written;
+  }
+  int overflow(int ch) override {
+    if (ch == traits_type::eof()) return 0;
+    char c = static_cast<char>(ch);
+    return xsputn(&c, 1) == 1 ? ch : traits_type::eof();
+  }
+};
+
+// Shared between the connection reader and the response callbacks of
+// its still-queued requests: the reader must not close the socket
+// until every submitted request has answered (callbacks hold a
+// shared_ptr, the reader waits for `outstanding` to hit zero).
+struct ConnState {
+  explicit ConnState(int fd) : writer(fd), out(&writer) {}
+  FdWriter writer;
+  std::ostream out;
+  std::mutex mu;
+  std::condition_variable cv;
+  int outstanding = 0;
+
+  void WriteLine(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    out << line << '\n' << std::flush;
+  }
+};
+
+// Reads newline-framed requests from `fd` until EOF or drain.
+void ConnectionLoop(Server* server, int fd, std::atomic<bool>* stop) {
+  auto state = std::make_shared<ConnState>(fd);
+  std::string pending;
+  char buf[4096];
+  bool drain = false;
+
+  while (!drain) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    pending.append(buf, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl = pending.find('\n', start);
+         nl != std::string::npos && !drain; nl = pending.find('\n', start)) {
+      std::string line = pending.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      Status accept = ProbeAccept();
+      if (!accept.ok()) {
+        state->WriteLine(ServeResponse::Error("-", std::move(accept)).Format());
+        continue;
+      }
+      Result<ServeRequest> parsed = ParseServeRequest(line);
+      if (!parsed.ok()) {
+        state->WriteLine(ServeResponse::Error("-", parsed.status()).Format());
+        continue;
+      }
+      drain = parsed->verb == ServeVerb::kDrain;
+      if (drain) {
+        // Same pipelined-drain barrier as stdio: this connection's
+        // earlier requests finish first. Other connections' queued
+        // requests are the drain sweep's documented blast radius.
+        std::unique_lock<std::mutex> lock(state->mu);
+        state->cv.wait(lock, [&] { return state->outstanding == 0; });
+      }
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        ++state->outstanding;
+      }
+      server->Submit(std::move(*parsed), [state](const ServeResponse& r) {
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          state->out << r.Format() << '\n' << std::flush;
+          --state->outstanding;
+        }
+        state->cv.notify_all();
+      });
+    }
+    pending.erase(0, start);
+  }
+  if (drain) stop->store(true, std::memory_order_release);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->outstanding == 0; });
+  lock.unlock();
+  ::close(fd);
+}
+
+}  // namespace
+
+Status ServeTcp(Server* server, int port, std::ostream& announce) {
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status =
+        Status::Internal(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd);
+    return status;
+  }
+  if (::listen(listen_fd, 16) < 0) {
+    Status status =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd);
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  announce << "serving on 127.0.0.1:" << ntohs(addr.sin_port) << "\n"
+           << std::flush;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> connections;
+  while (!stop.load(std::memory_order_acquire)) {
+    // Poll so a drain on some connection thread stops the listener
+    // promptly instead of blocking in accept() forever.
+    pollfd pfd{listen_fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) break;  // listener closed or fatal accept error
+    Status accept_fault = ProbeAccept();
+    if (!accept_fault.ok()) {
+      // Shed at accept: one error line, then the connection is gone.
+      ServeResponse r = ServeResponse::Error("-", std::move(accept_fault));
+      std::string line = r.Format() + "\n";
+      (void)::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
+    connections.emplace_back(ConnectionLoop, server, fd, &stop);
+  }
+  ::close(listen_fd);
+  for (std::thread& t : connections) {
+    if (t.joinable()) t.join();
+  }
+  return server->Drain();
+}
+
+}  // namespace mqd

@@ -1,0 +1,30 @@
+#ifndef MQD_SERVE_TRANSPORT_H_
+#define MQD_SERVE_TRANSPORT_H_
+
+#include <iosfwd>
+
+#include "serve/server.h"
+
+namespace mqd {
+
+/// Stdin/stdout framing: one request line in, one response line out
+/// (order of responses follows completion, not submission — clients
+/// correlate by id). Returns after a `drain` request or EOF; either
+/// way the server is drained before returning, so every admitted
+/// request has been answered. A pipelined `drain` line acts as a
+/// barrier: this client's earlier requests complete before the drain
+/// is submitted. An armed "serve.accept" fault rejects the affected
+/// line with an error response instead of killing the loop.
+Status ServeStdio(Server* server, std::istream& in, std::ostream& out);
+
+/// TCP framing on 127.0.0.1:`port` (0 = ephemeral), same line
+/// protocol per connection. The bound port is announced on `announce`
+/// as "serving on 127.0.0.1:<port>". Accept loop runs until a client
+/// sends `drain`; an armed "serve.accept" fault sheds the incoming
+/// connection (closed after an error line) — one connection blast
+/// radius, the listener survives.
+Status ServeTcp(Server* server, int port, std::ostream& announce);
+
+}  // namespace mqd
+
+#endif  // MQD_SERVE_TRANSPORT_H_

@@ -1,5 +1,8 @@
 #include "stream/checkpoint.h"
 
+#include <cstdio>
+#include <exception>
+#include <fstream>
 #include <istream>
 #include <iterator>
 #include <ostream>
@@ -7,6 +10,7 @@
 #include <vector>
 
 #include "obs/stack_metrics.h"
+#include "util/fault_injection.h"
 #include "util/string_util.h"
 
 namespace mqd {
@@ -200,6 +204,69 @@ Result<PostId> RestoreStreamCheckpoint(StreamProcessor* processor,
   }
   obs::GetRobustMetrics().checkpoints_restored->Increment();
   return static_cast<PostId>(next_post);
+}
+
+Status WriteStreamCheckpointToFile(const StreamProcessor& processor,
+                                   PostId next_post, const std::string& path) {
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream os(tmp_path,
+                     std::ios::binary | std::ios::out | std::ios::trunc);
+    if (!os.good()) {
+      return Status::Internal("cannot open checkpoint tmp file: " + tmp_path);
+    }
+    Status saved = SaveStreamCheckpoint(processor, next_post, os);
+    if (!saved.ok()) {
+      os.close();
+      std::remove(tmp_path.c_str());
+      return saved;
+    }
+    os.flush();
+    if (!os.good()) {
+      os.close();
+      std::remove(tmp_path.c_str());
+      return Status::Internal("checkpoint write failed: " + tmp_path);
+    }
+  }
+  // Deterministic torn-write drill: chop the flushed tmp in half and
+  // fail before the rename, exactly what a crash mid-write leaves on
+  // disk. The previous snapshot at `path` must survive untouched.
+  Status fault;
+  try {
+    fault = FaultInjector::Global().MaybeInject("io.write_checkpoint");
+  } catch (const std::exception& e) {
+    fault = Status::Internal(
+        std::string("injected exception at io.write_checkpoint: ") + e.what());
+  }
+  if (!fault.ok()) {
+    std::string bytes;
+    {
+      std::ifstream back(tmp_path, std::ios::binary);
+      bytes.assign(std::istreambuf_iterator<char>(back),
+                   std::istreambuf_iterator<char>());
+    }
+    std::ofstream torn(tmp_path,
+                       std::ios::binary | std::ios::out | std::ios::trunc);
+    torn.write(bytes.data(),
+               static_cast<std::streamsize>(bytes.size() / 2));
+    torn.close();
+    return fault;
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("cannot rename checkpoint into place: " + path);
+  }
+  return Status::OK();
+}
+
+Result<PostId> ReadStreamCheckpointFromFile(StreamProcessor* processor,
+                                            const Instance& inst,
+                                            const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) {
+    return Status::NotFound("checkpoint file not found: " + path);
+  }
+  return RestoreStreamCheckpoint(processor, inst, is);
 }
 
 }  // namespace mqd

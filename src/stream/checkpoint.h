@@ -172,6 +172,24 @@ Result<PostId> RestoreStreamCheckpoint(StreamProcessor* processor,
                                        const Instance& inst,
                                        std::istream& is);
 
+/// SaveStreamCheckpoint to a file, atomically: the snapshot is
+/// written and flushed to `<path>.tmp` first and renamed over `path`
+/// only on success, so a failed or torn write — a full disk, a kill
+/// mid-write, or the deterministic "io.write_checkpoint" fault site —
+/// leaves any previous snapshot at `path` intact (the tmp file is
+/// removed). An injected fault additionally leaves a deliberately
+/// truncated tmp behind the error to model a torn write; it is never
+/// renamed into place.
+Status WriteStreamCheckpointToFile(const StreamProcessor& processor,
+                                   PostId next_post, const std::string& path);
+
+/// RestoreStreamCheckpoint from `path`, with the same corruption /
+/// mismatch detection (truncated or checksum-broken files are
+/// rejected with InvalidArgument and the processor is left untouched).
+Result<PostId> ReadStreamCheckpointFromFile(StreamProcessor* processor,
+                                            const Instance& inst,
+                                            const std::string& path);
+
 }  // namespace mqd
 
 #endif  // MQD_STREAM_CHECKPOINT_H_

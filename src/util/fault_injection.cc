@@ -1,8 +1,11 @@
 #include "util/fault_injection.h"
 
+#include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
+#include <utility>
 
 #include "util/string_util.h"
 
@@ -85,8 +88,34 @@ void FaultInjector::SetFault(std::string_view site, const FaultSpec& spec) {
   sites_.push_back(fresh);
 }
 
+namespace {
+
+// Full-consumption finite strtod: "0.5junk", "nan", "inf" and "1e999"
+// are all rejected, not partially accepted.
+bool ParseFiniteDouble(std::string_view text, double* out) {
+  const std::string buf(text);
+  if (buf.empty()) return false;
+  errno = 0;
+  char* parse_end = nullptr;
+  const double value = std::strtod(buf.c_str(), &parse_end);
+  if (parse_end != buf.c_str() + buf.size() || errno == ERANGE ||
+      !std::isfinite(value)) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
 Status FaultInjector::ArmFromSpec(std::string_view spec, uint64_t seed) {
+  // Fail closed: parse the whole spec first and apply it only if every
+  // entry is valid. A mid-spec error must never leave earlier entries
+  // armed (a partial chaos schedule is worse than none — tests would
+  // silently exercise the wrong blast radius), so any previously armed
+  // configuration is also dropped before reporting the error.
   Disarm();
+  std::vector<std::pair<std::string, FaultSpec>> parsed;
   size_t pos = 0;
   while (pos < spec.size()) {
     size_t end = spec.find(',', pos);
@@ -111,24 +140,23 @@ Status FaultInjector::ArmFromSpec(std::string_view spec, uint64_t seed) {
                     static_cast<int>(entry.size()), entry.data()));
     }
     FaultSpec fault;
-    char* parse_end = nullptr;
-    const std::string prob_str(parts[1]);
-    fault.probability = std::strtod(prob_str.c_str(), &parse_end);
-    if (parse_end == prob_str.c_str() || fault.probability < 0.0 ||
-        fault.probability > 1.0) {
+    if (!ParseFiniteDouble(parts[1], &fault.probability) ||
+        fault.probability < 0.0 || fault.probability > 1.0) {
       return Status::InvalidArgument(
-          StrFormat("fault spec '%s': probability must be in [0,1]",
-                    prob_str.c_str()));
+          StrFormat("fault spec '%.*s': probability must be a finite number "
+                    "in [0,1]",
+                    static_cast<int>(parts[1].size()), parts[1].data()));
     }
     size_t next = 2;
     if (next < parts.size() && parts[next] != "throw") {
-      const std::string ms_str(parts[next]);
-      fault.latency_seconds =
-          std::strtod(ms_str.c_str(), &parse_end) / 1000.0;
-      if (parse_end == ms_str.c_str() || fault.latency_seconds < 0.0) {
-        return Status::InvalidArgument(StrFormat(
-            "fault spec '%s': bad latency_ms", ms_str.c_str()));
+      double latency_ms = 0.0;
+      if (!ParseFiniteDouble(parts[next], &latency_ms) || latency_ms < 0.0) {
+        return Status::InvalidArgument(
+            StrFormat("fault spec '%.*s': bad latency_ms",
+                      static_cast<int>(parts[next].size()),
+                      parts[next].data()));
       }
+      fault.latency_seconds = latency_ms / 1000.0;
       ++next;
     }
     if (next < parts.size()) {
@@ -143,7 +171,10 @@ Status FaultInjector::ArmFromSpec(std::string_view spec, uint64_t seed) {
     if (next != parts.size()) {
       return Status::InvalidArgument("fault spec: too many fields");
     }
-    SetFault(parts[0], fault);
+    parsed.emplace_back(std::string(parts[0]), fault);
+  }
+  for (const auto& [site, fault] : parsed) {
+    SetFault(site, fault);
   }
   Arm(seed);
   return Status::OK();

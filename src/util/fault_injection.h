@@ -36,12 +36,21 @@ struct FaultSpec {
 /// carry the sites for free.
 ///
 /// Built-in sites: io.read_instance, index.load, stream.replay,
-/// pool.task, and the multi-tenant trio tenant.fanout (probed on each
-/// per-cluster delivery; a fire quarantines that cluster only — see
+/// pool.task, io.write_checkpoint (probed between the flushed tmp
+/// write and the rename in WriteStreamCheckpointToFile; a fire models
+/// a torn write — the previous on-disk snapshot survives), the
+/// multi-tenant trio tenant.fanout (probed on each per-cluster
+/// delivery; a fire quarantines that cluster only — see
 /// stream/multi_tenant.h), tenant.shard (probed once per sweep shard;
 /// a fire quarantines every cluster in that one shard — the sweep's
 /// blast-radius unit) and tenant.evict (probed in EvictTenant; a fire
-/// returns the fault and leaves the tenant subscribed).
+/// returns the fault and leaves the tenant subscribed), and the
+/// serving-daemon trio serve.accept (transport framing; a fire
+/// rejects the line/connection, the loop survives), serve.queue
+/// (probed in Server::Submit before admission; a fire answers the
+/// request with the fault) and serve.worker (probed at execution
+/// start; a fire fails that one request, the worker survives — throw
+/// specs included).
 ///
 /// Armed, firing is a pure function of (seed, site, hit index): the
 /// k-th pass through a site either always fires or never fires for a
@@ -71,7 +80,10 @@ class FaultInjector {
   /// Parses a comma-separated schedule "site:prob[:latency_ms][:throw]"
   /// (e.g. "io.read_instance:0.5,pool.task:0.1:5:throw") and arms with
   /// `seed`. Used by the MQD_FAULTS / MQD_FAULT_SEED environment
-  /// variables and the CLI --faults flag.
+  /// variables and the CLI --faults flag. Fails closed: numbers must
+  /// be finite and fully consumed (no "nan", "inf" or trailing
+  /// garbage), and a malformed entry anywhere leaves the registry
+  /// disarmed with zero sites configured — never a partial spec.
   Status ArmFromSpec(std::string_view spec, uint64_t seed);
 
   /// Reads MQD_FAULTS / MQD_FAULT_SEED and arms if the former is set.

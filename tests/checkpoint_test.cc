@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -15,6 +18,7 @@
 #include "stream/replay.h"
 #include "stream/stream_solver.h"
 #include "test_helpers.h"
+#include "util/fault_injection.h"
 #include "util/rng.h"
 
 namespace mqd {
@@ -304,6 +308,119 @@ TEST(CheckpointTest, CorruptSnapshotsAreRejected) {
     auto r = RestoreStreamCheckpoint(fresh.get(), *inst, is);
     EXPECT_FALSE(r.ok()) << "corruption " << i << " was accepted";
   }
+}
+
+/// S3: a checkpoint write that dies between the tmp write and the
+/// rename (the "io.write_checkpoint" fault models a torn write) must
+/// leave the previous on-disk snapshot fully usable — same recovery
+/// guarantees as if the second checkpoint had never been attempted.
+TEST(CheckpointTest, FaultedFileWriteLeavesPreviousSnapshotIntact) {
+  InstanceGenConfig cfg;
+  cfg.num_labels = 3;
+  cfg.duration = 240.0;
+  cfg.posts_per_minute = 50.0;
+  cfg.seed = 7311;
+  auto inst = GenerateInstance(cfg);
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(6.0);
+  const auto n = static_cast<PostId>(inst->num_posts());
+  const PostId cut1 = n / 3, cut2 = (2 * n) / 3;
+  const std::string path =
+      ::testing::TempDir() + "/mqd_faulted_write.snap";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+
+  auto baseline = CreateStreamProcessor(StreamKind::kStreamScanPlus,
+                                        *inst, model, 3.0);
+  ASSERT_TRUE(RunStream(*inst, baseline.get()).ok());
+
+  auto victim = CreateStreamProcessor(StreamKind::kStreamScanPlus, *inst,
+                                      model, 3.0);
+  RunPrefix(*inst, victim.get(), cut1);
+  ASSERT_TRUE(WriteStreamCheckpointToFile(*victim, cut1, path).ok());
+
+  // Advance to cut2 (suffix only — re-delivering [0, cut1) would
+  // corrupt the stream state) and attempt a second checkpoint under
+  // the armed fault.
+  for (PostId p = cut1; p < cut2; ++p) {
+    victim->AdvanceTo(inst->value(p));
+    victim->OnArrival(p);
+  }
+  FaultInjector& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.ArmFromSpec("io.write_checkpoint:1", 11).ok());
+  const Status torn = WriteStreamCheckpointToFile(*victim, cut2, path);
+  injector.Disarm();
+  EXPECT_FALSE(torn.ok());
+
+  // The torn tmp the fault leaves behind must itself be rejected.
+  {
+    auto fresh = CreateStreamProcessor(StreamKind::kStreamScanPlus, *inst,
+                                       model, 3.0);
+    auto r = ReadStreamCheckpointFromFile(fresh.get(), *inst,
+                                          path + ".tmp");
+    EXPECT_FALSE(r.ok()) << "torn tmp accepted";
+  }
+
+  // The previous snapshot still restores to cut1, and resuming from
+  // it reproduces the uninterrupted baseline exactly.
+  auto revived = CreateStreamProcessor(StreamKind::kStreamScanPlus, *inst,
+                                       model, 3.0);
+  auto cursor = ReadStreamCheckpointFromFile(revived.get(), *inst, path);
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  ASSERT_EQ(*cursor, cut1);
+  ASSERT_TRUE(ResumeStream(*inst, revived.get(), *cursor).ok());
+  const std::vector<Emission>& resumed = revived->emissions();
+  ASSERT_EQ(resumed.size(), baseline->emissions().size());
+  for (size_t i = 0; i < resumed.size(); ++i) {
+    ASSERT_EQ(resumed[i].post, baseline->emissions()[i].post) << i;
+    ASSERT_EQ(resumed[i].emit_time, baseline->emissions()[i].emit_time)
+        << i;
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+/// S3: byte-level truncation of the snapshot file — what a torn write
+/// that DID get renamed would look like — is detected on restore, and
+/// a missing file reports NotFound rather than a parse error.
+TEST(CheckpointTest, TruncatedCheckpointFileIsDetectedOnRestore) {
+  InstanceGenConfig cfg;
+  cfg.num_labels = 3;
+  cfg.duration = 120.0;
+  cfg.posts_per_minute = 40.0;
+  cfg.seed = 7312;
+  auto inst = GenerateInstance(cfg);
+  ASSERT_TRUE(inst.ok());
+  UniformLambda model(6.0);
+  auto victim = CreateStreamProcessor(StreamKind::kStreamScan, *inst,
+                                      model, 2.0);
+  const auto cut = static_cast<PostId>(inst->num_posts() / 2);
+  RunPrefix(*inst, victim.get(), cut);
+  const std::string path = ::testing::TempDir() + "/mqd_truncated.snap";
+  ASSERT_TRUE(WriteStreamCheckpointToFile(*victim, cut, path).ok());
+
+  std::string blob;
+  {
+    std::ifstream is(path, std::ios::binary);
+    blob.assign(std::istreambuf_iterator<char>(is),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(blob.size(), 16u);
+  for (size_t keep : {blob.size() / 2, blob.size() - 1, size_t{4}}) {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(blob.data(), static_cast<std::streamsize>(keep));
+    os.close();
+    auto fresh = CreateStreamProcessor(StreamKind::kStreamScan, *inst,
+                                       model, 2.0);
+    auto r = ReadStreamCheckpointFromFile(fresh.get(), *inst, path);
+    EXPECT_FALSE(r.ok()) << "kept " << keep << " of " << blob.size();
+  }
+  std::remove(path.c_str());
+
+  auto fresh = CreateStreamProcessor(StreamKind::kStreamScan, *inst,
+                                     model, 2.0);
+  auto missing = ReadStreamCheckpointFromFile(fresh.get(), *inst, path);
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
 }
 
 }  // namespace

@@ -383,5 +383,65 @@ TEST(FaultInjectionTest, MalformedSpecsRejected) {
   injector.Disarm();
 }
 
+TEST(FaultInjectionTest, NonFiniteAndPartialNumbersFailClosed) {
+  // strtod happily parses "nan", "inf", "1e400" (ERANGE) and stops at
+  // the first bad char of "0.5junk"; a fault schedule must accept none
+  // of them — an armed NaN probability would make ShouldFire's compare
+  // silently always-false while the test believes chaos is on.
+  FaultInjector& injector = FaultInjector::Global();
+  injector.Disarm();
+  const std::vector<std::string> bad = {
+      "s:nan",      "s:inf",      "s:-inf",     "s:1e400",
+      "s:0.5junk",  "s:+",        "s:.",        "s:0x1p2",
+      "s:0.5:nan",  "s:0.5:inf",  "s:0.5:1e400", "s:0.5:5junk",
+      "s:0.5:-1",
+  };
+  for (const std::string& spec : bad) {
+    EXPECT_FALSE(injector.ArmFromSpec(spec, 0).ok()) << spec;
+    EXPECT_FALSE(injector.armed()) << spec;
+    EXPECT_TRUE(injector.MaybeInject("s").ok()) << spec;
+  }
+}
+
+TEST(FaultInjectionTest, MalformedEntryNeverArmsPartialSpec) {
+  FaultInjector& injector = FaultInjector::Global();
+  // A valid leading entry followed by garbage must not arm the leader.
+  EXPECT_FALSE(injector.ArmFromSpec("good.site:1,later:", 0).ok());
+  EXPECT_FALSE(injector.armed());
+  EXPECT_TRUE(injector.MaybeInject("good.site").ok());
+  EXPECT_EQ(injector.Hits("good.site"), 0u);
+
+  // A malformed re-arm also drops the previously armed schedule: a
+  // half-swapped chaos config is worse than none.
+  ASSERT_TRUE(injector.ArmFromSpec("good.site:1", 0).ok());
+  EXPECT_FALSE(injector.MaybeInject("good.site").ok());
+  EXPECT_FALSE(injector.ArmFromSpec("good.site:1,oops:nan", 0).ok());
+  EXPECT_FALSE(injector.armed());
+  EXPECT_TRUE(injector.MaybeInject("good.site").ok());
+}
+
+TEST(FaultInjectionTest, SpecMutationFuzzArmsFullyOrNotAtAll) {
+  // Single-character mutations of a valid schedule: whatever the
+  // parser decides, the registry must end up either fully armed
+  // (status ok) or fully disarmed (status !ok) — never in between.
+  FaultInjector& injector = FaultInjector::Global();
+  const std::string valid =
+      "io.read_instance:0.5:2,pool.task:1:0:throw,serve.worker:0.25";
+  Rng rng(20240809);
+  const std::string alphabet = "abz019.,:+-enif xX\t";
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string mutated = valid;
+    const size_t pos = rng.Uniform(mutated.size());
+    mutated[pos] = alphabet[rng.Uniform(alphabet.size())];
+    const Status status = injector.ArmFromSpec(mutated, 7);
+    EXPECT_EQ(status.ok(), injector.armed()) << mutated;
+    injector.Disarm();
+  }
+  // The unmutated spec itself arms (guards against a vacuous fuzz).
+  EXPECT_TRUE(injector.ArmFromSpec(valid, 7).ok());
+  EXPECT_TRUE(injector.armed());
+  injector.Disarm();
+}
+
 }  // namespace
 }  // namespace mqd

@@ -22,16 +22,23 @@ Three suites:
             profiles, Figure 14-15 arrival regime), written to
             BENCH_tenant.json with the per-post cost growth ratio —
             the sublinearity evidence — computed per algorithm.
+  serve   - the bench_serve overload drill (in-process daemon, open-
+            loop arrivals at 1x/10x/100x of the base rate against a
+            2 ms service floor), written to BENCH_serve.json with
+            per-rate shed counts, goodput, and client-side latency
+            percentiles. The service floor makes the shed pattern
+            machine-independent; the latency numbers are still timing.
 
 Each suite writes one JSON document so this and future PRs can diff
 the recorded numbers. Pure stdlib; no third-party deps.
 
 Usage:
-  tools/bench_baseline.py [--suite core|stream|gap|tenant|all]
+  tools/bench_baseline.py [--suite core|stream|gap|tenant|serve|all]
                           [--build-dir build] [--out BENCH_core.json]
                           [--stream-out BENCH_stream.json]
                           [--gap-out BENCH_gap.json]
                           [--tenant-out BENCH_tenant.json]
+                          [--serve-out BENCH_serve.json]
                           [--sanity] [--fig13-scale 0.02]
 
 --sanity is the CI mode: it still runs every binary end to end and
@@ -409,6 +416,102 @@ def write_tenant(args):
           f"{reread['revision']})")
 
 
+# One bench_serve table row: rate multiplier, request/outcome counts,
+# goodput, client-side latency percentiles per lane, wall seconds
+# (see bench/bench_serve.cc).
+SERVE_ROW_RE = re.compile(
+    r"^\s*(\d+)\s+(\d+)\s+(\d+)\s+(\d+)\s+(\d+)\s+(\d+)\s+(\d+)\s+"
+    r"([\d.]+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s*$")
+
+SERVE_RATES_EXPECTED = [1, 10, 100]
+
+
+def run_serve(build_dir, sanity):
+    binary = os.path.join(build_dir, "bench", "bench_serve")
+    env = dict(os.environ)
+    if sanity:
+        # Shrink the per-rate duration; the rates — the variable under
+        # test — stay at the full 1x/10x/100x sweep. The binary skips
+        # its own shed-contract MQD_CHECKs below full scale.
+        env["MQD_BENCH_SCALE"] = "0.02"
+    start = time.monotonic()
+    out = subprocess.run([binary], check=True, capture_output=True,
+                         text=True, env=env)
+    elapsed = time.monotonic() - start
+    rows = []
+    for line in out.stdout.splitlines():
+        row = SERVE_ROW_RE.match(line)
+        if row:
+            rows.append({
+                "rate_x": int(row.group(1)),
+                "requests": int(row.group(2)),
+                "admitted": int(row.group(3)),
+                "completed": int(row.group(4)),
+                "shed_stream": int(row.group(5)),
+                "shed_batch": int(row.group(6)),
+                "pre_degraded": int(row.group(7)),
+                "goodput_rps": float(row.group(8)),
+                "stream_p50_ms": float(row.group(9)),
+                "stream_p99_ms": float(row.group(10)),
+                "batch_p50_ms": float(row.group(11)),
+                "batch_p99_ms": float(row.group(12)),
+                "wall_s": float(row.group(13)),
+            })
+    if [r["rate_x"] for r in rows] != SERVE_RATES_EXPECTED:
+        raise SystemExit(
+            f"could not parse bench_serve output: rates "
+            f"{[r['rate_x'] for r in rows]} (want {SERVE_RATES_EXPECTED})"
+            f"\n{out.stdout}")
+    return {"wall_seconds": round(elapsed, 3), "rows": rows}
+
+
+def write_serve(args):
+    serve = run_serve(args.build_dir, args.sanity)
+    doc = {
+        "schema": "mqd-bench-serve/1",
+        "revision": git_revision(),
+        "recorded_unix": int(time.time()),
+        "sanity_mode": args.sanity,
+        "workload": {
+            "serve": "bench_serve overload drill: in-process daemon "
+                     "(2 workers, 2 ms service floor, batch cap 16, "
+                     "stream cap 8192, 100 ms budget), open-loop "
+                     "arrivals at 1x/10x/100x of 16 req/s, every 4th "
+                     "request a stream-lane feed",
+        },
+        "bench_serve": serve,
+    }
+
+    with open(args.serve_out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    reread = json.load(open(args.serve_out))
+    rows = reread["bench_serve"]["rows"]
+    assert [r["rate_x"] for r in rows] == SERVE_RATES_EXPECTED
+    for r in rows:
+        # Accounting always holds, at any scale: every request is
+        # admitted or shed, every admitted request is answered.
+        assert r["admitted"] + r["shed_stream"] + r["shed_batch"] \
+            == r["requests"], r
+        assert r["completed"] <= r["admitted"], r
+    if not args.sanity:
+        # The shed contract is deterministic at full scale (the
+        # service floor sets capacity; the rates straddle it) — the
+        # binary already MQD_CHECKs it, re-asserted here on the JSON.
+        for r in rows:
+            if r["rate_x"] <= 10:
+                assert r["shed_stream"] + r["shed_batch"] == 0, r
+            else:
+                assert r["shed_batch"] > 0 and r["shed_stream"] == 0, r
+                assert r["batch_p99_ms"] <= 100.0, r
+    overload = rows[-1]
+    print(f"wrote {args.serve_out}: rates {SERVE_RATES_EXPECTED}; at "
+          f"{overload['rate_x']}x: {overload['shed_batch']} batch sheds, "
+          f"{overload['shed_stream']} stream sheds, batch p99 "
+          f"{overload['batch_p99_ms']} ms (revision {reread['revision']})")
+
+
 def git_revision():
     try:
         return subprocess.run(
@@ -487,13 +590,15 @@ def write_stream(args):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--suite",
-                        choices=["core", "stream", "gap", "tenant", "all"],
+                        choices=["core", "stream", "gap", "tenant",
+                                 "serve", "all"],
                         default="all")
     parser.add_argument("--build-dir", default="build")
     parser.add_argument("--out", default="BENCH_core.json")
     parser.add_argument("--stream-out", default="BENCH_stream.json")
     parser.add_argument("--gap-out", default="BENCH_gap.json")
     parser.add_argument("--tenant-out", default="BENCH_tenant.json")
+    parser.add_argument("--serve-out", default="BENCH_serve.json")
     parser.add_argument("--sanity", action="store_true",
                         help="CI smoke mode: minimal reps, structure-"
                              "only validation, no timing thresholds")
@@ -514,6 +619,8 @@ def main():
         write_gap(args)
     if args.suite in ("tenant", "all"):
         write_tenant(args)
+    if args.suite in ("serve", "all"):
+        write_serve(args)
     return 0
 
 

@@ -9,7 +9,7 @@ baseline"). Entries that exist on only one side — new benches, /avx2
 tiers absent on the current host — are reported but never fail the
 run.
 
-All four artifact schemas are understood:
+All five artifact schemas are understood:
   core/stream - google-benchmark entries, compared by cpu_time
                 normalized to nanoseconds;
   tenant      - the fan-out grid rows, compared by per-post cost
@@ -18,7 +18,12 @@ All four artifact schemas are understood:
                 (keyed gap/lambda={l}/seed={s} and gap/labels={n}).
                 These are deterministic at a fixed node budget, so
                 when baseline and current used the same budget any
-                ratio other than 1.00 is a real certificate change.
+                ratio other than 1.00 is a real certificate change;
+  serve       - the overload-drill rows, compared by client-side p99
+                latency per lane (serve/rate={r}/{lane}_p99_ms) and
+                by time per completed request (serve/rate={r}/
+                ns_per_completed — goodput inverted so that, like
+                every other entry, a bigger ratio is a regression).
 A gap of zero on both sides compares as 1.0 (proven-optimal rows stay
 comparable); zero only on the baseline side is an infinite regression.
 
@@ -58,6 +63,15 @@ def load_entries(path):
         name = (f"tenant/{row['algo']}/tenants={row['tenants']}"
                 f"/threads={row.get('threads', 1)}")
         entries[name] = (row["per_post_us"] * UNITS["us"], "ns")
+    for row in doc.get("bench_serve", {}).get("rows", []):
+        prefix = f"serve/rate={row['rate_x']}"
+        entries[f"{prefix}/stream_p99_ms"] = (
+            row["stream_p99_ms"] * UNITS["ms"], "ns")
+        entries[f"{prefix}/batch_p99_ms"] = (
+            row["batch_p99_ms"] * UNITS["ms"], "ns")
+        if row.get("goodput_rps", 0) > 0:
+            entries[f"{prefix}/ns_per_completed"] = (
+                1e9 / row["goodput_rps"], "ns")
     gap_doc = doc.get("bench_gap", {})
     for row in gap_doc.get("gap_vs_lambda", []):
         name = f"gap/lambda={row['lambda_s']}/seed={row['seed']}"
@@ -68,7 +82,7 @@ def load_entries(path):
     if not entries:
         raise SystemExit(f"{path}: no comparable entries (expected "
                          f"bench_micro/bench_stream/bench_tenant/"
-                         f"bench_gap)")
+                         f"bench_gap/bench_serve)")
     return entries, doc.get("sanity_mode", False)
 
 

@@ -6,6 +6,7 @@
 //   solve-batch  fan many (instance, lambda) jobs across a thread pool
 //   stream       replay an instance through a StreamMQDP processor
 //   serve-stream replay once for many tenant label-set profiles
+//   serve        long-running daemon: bounded queues + admission control
 //   stats        describe an instance / a cover
 //
 // Examples:
@@ -15,7 +16,10 @@
 //   mqd solve-batch a.mqdp b.mqdp --algorithm scan+ --lambdas 5,15,60
 //   mqd stream inst.mqdp --algorithm stream-scan --lambda 10 --tau 5
 //   mqd serve-stream inst.mqdp --profiles 1000 --algorithm stream-scan
+//   echo "1 ping" | mqd serve inst.mqdp --workers 2
+//   mqd serve inst.mqdp --port 0            # TCP, ephemeral port
 //   mqd stats inst.mqdp --cover cover.txt --lambda 5
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -38,6 +42,8 @@
 #include "obs/trace.h"
 #include "parallel/batch_solver.h"
 #include "parallel/parallel_solver.h"
+#include "serve/server.h"
+#include "serve/transport.h"
 #include "stream/delay_stats.h"
 #include "stream/factory.h"
 #include "stream/multi_tenant.h"
@@ -82,6 +88,36 @@ Result<StreamKind> ParseStreamKind(const std::string& name) {
       "instant)");
 }
 
+/// Validated numeric flag accessors. FlagParser::GetDouble is a bare
+/// strtod, which happily accepts "nan", "inf" and negatives — for
+/// time-budget-shaped flags all three are operator errors that must
+/// die at the flag, not surface later as an unbounded deadline.
+Result<double> GetFiniteNonNegative(const FlagParser& flags,
+                                    const std::string& name) {
+  auto value = flags.GetDouble(name);
+  if (!value.ok()) return value.status();
+  if (!std::isfinite(*value) || *value < 0.0) {
+    return Status::InvalidArgument(
+        "--" + name + " must be a finite number >= 0, got '" +
+        flags.GetString(name) + "'");
+  }
+  return *value;
+}
+
+/// Thread-count flags: an integer in [0, 4096] (0 = all cores).
+/// GetInt already rejects non-numeric and trailing garbage.
+Result<int> GetThreadCount(const FlagParser& flags,
+                           const std::string& name) {
+  auto value = flags.GetInt(name);
+  if (!value.ok()) return value.status();
+  if (*value < 0 || *value > 4096) {
+    return Status::InvalidArgument(
+        "--" + name + " must be in [0, 4096], got '" +
+        flags.GetString(name) + "'");
+  }
+  return static_cast<int>(*value);
+}
+
 /// Observability flags shared by solve / solve-batch / stream.
 void DefineMetricsFlags(FlagParser* flags) {
   flags->Define("metrics-json", "",
@@ -104,8 +140,9 @@ void DefineFaultFlags(FlagParser* flags) {
   flags->Define("faults", "",
                 "arm fault injection, comma-separated "
                 "site:prob[:latency_ms][:throw] entries (sites: "
-                "io.read_instance, index.load, pool.task, stream.replay, "
-                "tenant.fanout, tenant.evict)");
+                "io.read_instance, io.write_checkpoint, index.load, "
+                "pool.task, stream.replay, tenant.fanout, tenant.evict, "
+                "serve.accept, serve.queue, serve.worker)");
   flags->Define("fault-seed", "0",
                 "seed of the deterministic fault schedule");
 }
@@ -219,12 +256,9 @@ int CmdSolve(const std::vector<std::string>& args) {
   if (!lambda.ok()) return Fail(lambda.status());
   auto kind = ParseSolverKind(flags.GetString("algorithm"));
   if (!kind.ok()) return Fail(kind.status());
-  auto threads = flags.GetInt("threads");
+  auto threads = GetThreadCount(flags, "threads");
   if (!threads.ok()) return Fail(threads.status());
-  if (*threads < 0) {
-    return Fail(Status::InvalidArgument("--threads must be >= 0"));
-  }
-  auto budget_ms = flags.GetDouble("budget-ms");
+  auto budget_ms = GetFiniteNonNegative(flags, "budget-ms");
   if (!budget_ms.ok()) return Fail(budget_ms.status());
 
   UniformLambda model(*lambda);
@@ -329,11 +363,8 @@ int CmdSolveBatch(const std::vector<std::string>& args) {
   if (Status s = MaybeArmFaults(flags); !s.ok()) return Fail(s);
   auto kind = ParseSolverKind(flags.GetString("algorithm"));
   if (!kind.ok()) return Fail(kind.status());
-  auto threads = flags.GetInt("threads");
+  auto threads = GetThreadCount(flags, "threads");
   if (!threads.ok()) return Fail(threads.status());
-  if (*threads < 0) {
-    return Fail(Status::InvalidArgument("--threads must be >= 0"));
-  }
 
   std::vector<double> lambdas;
   for (const std::string& part : Split(flags.GetString("lambdas"), ',')) {
@@ -480,7 +511,7 @@ int CmdServeStream(const std::vector<std::string>& args) {
   auto lambda = flags.GetDouble("lambda");
   auto tau = flags.GetDouble("tau");
   auto seed = flags.GetInt("seed");
-  auto threads = flags.GetInt("threads");
+  auto threads = GetThreadCount(flags, "threads");
   for (const Status& s :
        {num_profiles.status(), profile_labels.status(), lambda.status(),
         tau.status(), seed.status(), threads.status()}) {
@@ -490,9 +521,6 @@ int CmdServeStream(const std::vector<std::string>& args) {
   if (!kind.ok()) return Fail(kind.status());
   if (*num_profiles <= 0) {
     return Fail(Status::InvalidArgument("--profiles must be positive"));
-  }
-  if (*threads < 0) {
-    return Fail(Status::InvalidArgument("--threads must be >= 0"));
   }
 
   Rng rng(static_cast<uint64_t>(*seed));
@@ -557,6 +585,124 @@ int CmdServeStream(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// serve: the long-running daemon (DESIGN.md §17). Wraps the solvers
+/// and the stream engine behind a bounded two-lane queue with
+/// admission control and overload shedding; speaks the line protocol
+/// of serve/protocol.h over stdio (default) or TCP (--port).
+int CmdServe(const std::vector<std::string>& args) {
+  FlagParser flags;
+  flags.Define("algorithm", "stream-scan+",
+               "stream engine for feed/finish: stream-scan | "
+               "stream-scan+ | stream-greedy | stream-greedy+ | instant");
+  flags.Define("lambda", "60", "coverage threshold");
+  flags.Define("tau", "10", "max reporting delay");
+  flags.Define("workers", "2", "worker threads draining the queue");
+  flags.Define("queue-cap", "32", "batch-lane queue capacity");
+  flags.Define("stream-queue-cap", "4096", "stream-lane queue capacity");
+  flags.Define("budget-ms", "0",
+               "default per-request deadline budget when the client "
+               "sends none (0 = unbounded)");
+  flags.Define("service-floor-ms", "0",
+               "deliberate minimum batch service time; load-drill knob "
+               "that makes overload reproducible on any machine");
+  flags.DefineBool("tenant-mode", false,
+                   "serve a MultiTenantStream: subscribe/unsubscribe/"
+                   "emissions manage per-tenant label-mask profiles");
+  flags.Define("max-tenants", "0",
+               "tenant admission cap for subscribe (0 = unlimited)");
+  flags.Define("checkpoint", "",
+               "single-stream mode: drain checkpoints replay state to "
+               "this file and startup restores from it if it exists");
+  flags.Define("port", "-1",
+               "listen on 127.0.0.1:<port> instead of stdio "
+               "(0 = ephemeral, announced on stderr; -1 = stdio)");
+  DefineMetricsFlags(&flags);
+  DefineFaultFlags(&flags);
+  if (Status s = flags.Parse(args); !s.ok()) return Fail(s);
+  if (flags.positional().size() != 1) {
+    std::cerr << "usage: mqd serve <instance-file> [flags]\n";
+    return 1;
+  }
+  MaybeEnableTrace(flags);
+  if (Status s = MaybeArmFaults(flags); !s.ok()) return Fail(s);
+  auto kind = ParseStreamKind(flags.GetString("algorithm"));
+  if (!kind.ok()) return Fail(kind.status());
+  auto lambda = flags.GetDouble("lambda");
+  if (!lambda.ok()) return Fail(lambda.status());
+  if (!std::isfinite(*lambda) || *lambda <= 0.0) {
+    return Fail(Status::InvalidArgument(
+        "--lambda must be a finite number > 0"));
+  }
+  auto tau = GetFiniteNonNegative(flags, "tau");
+  auto budget_ms = GetFiniteNonNegative(flags, "budget-ms");
+  auto floor_ms = GetFiniteNonNegative(flags, "service-floor-ms");
+  auto workers = flags.GetInt("workers");
+  auto queue_cap = flags.GetInt("queue-cap");
+  auto stream_cap = flags.GetInt("stream-queue-cap");
+  auto max_tenants = flags.GetInt("max-tenants");
+  auto port = flags.GetInt("port");
+  for (const Status& s :
+       {tau.status(), budget_ms.status(), floor_ms.status(),
+        workers.status(), queue_cap.status(), stream_cap.status(),
+        max_tenants.status(), port.status()}) {
+    if (!s.ok()) return Fail(s);
+  }
+  if (*workers < 1 || *workers > 512) {
+    return Fail(Status::InvalidArgument("--workers must be in [1, 512]"));
+  }
+  if (*queue_cap < 1 || *stream_cap < 1) {
+    return Fail(Status::InvalidArgument("queue capacities must be >= 1"));
+  }
+  if (*max_tenants < 0) {
+    return Fail(Status::InvalidArgument("--max-tenants must be >= 0"));
+  }
+  if (*port < -1 || *port > 65535) {
+    return Fail(Status::InvalidArgument("--port must be in [-1, 65535]"));
+  }
+  auto instance = ReadInstanceFromFile(flags.positional()[0]);
+  if (!instance.ok()) return Fail(instance.status());
+
+  ServeConfig config;
+  config.stream_kind = *kind;
+  config.lambda = *lambda;
+  config.tau = *tau;
+  config.workers = static_cast<int>(*workers);
+  config.service_floor_ms = *floor_ms;
+  config.tenant_mode = flags.GetBool("tenant-mode");
+  config.checkpoint_path = flags.GetString("checkpoint");
+  config.admission.batch_capacity = static_cast<size_t>(*queue_cap);
+  config.admission.stream_capacity = static_cast<size_t>(*stream_cap);
+  config.admission.default_budget_ms = *budget_ms;
+  config.admission.max_tenants = static_cast<size_t>(*max_tenants);
+  auto server_or = Server::Create(*instance, config);
+  if (!server_or.ok()) return Fail(server_or.status());
+  auto server = std::move(server_or).value();
+  if (server->restored_from_checkpoint()) {
+    std::cerr << "restored replay cursor " << server->cursor()
+              << " from checkpoint " << config.checkpoint_path << "\n";
+  }
+
+  Status served = *port >= 0
+                      ? ServeTcp(server.get(), static_cast<int>(*port),
+                                 std::cerr)
+                      : ServeStdio(server.get(), std::cin, std::cout);
+  if (!served.ok()) return Fail(served);
+
+  const ServeStatsSnapshot stats = server->Stats();
+  std::cerr << "serve done: stream "
+            << stats.completed[static_cast<int>(ServeLane::kStream)]
+            << " completed / "
+            << stats.shed[static_cast<int>(ServeLane::kStream)]
+            << " shed, batch "
+            << stats.completed[static_cast<int>(ServeLane::kBatch)]
+            << " completed / "
+            << stats.shed[static_cast<int>(ServeLane::kBatch)]
+            << " shed (" << stats.pre_degraded << " pre-degraded), "
+            << stats.drain_shed << " drain-shed, cursor " << stats.cursor
+            << "\n";
+  return EmitObservability(flags);
+}
+
 int CmdStats(const std::vector<std::string>& args) {
   FlagParser flags;
   flags.Define("cover", "", "optional cover file to describe");
@@ -613,6 +759,9 @@ int Usage() {
          "  solve-batch  solve many (instance, lambda) jobs in parallel\n"
          "  stream       replay an instance through a streaming solver\n"
          "  serve-stream replay once for many tenant label-set profiles\n"
+         "  serve        run the serving daemon (bounded queues, "
+         "admission\n"
+         "               control, overload shedding) over stdio or TCP\n"
          "  stats        describe an instance and optionally a cover\n";
   return 2;
 }
@@ -636,6 +785,7 @@ int main(int argc, char** argv) {
   if (command == "solve-batch") return mqd::CmdSolveBatch(args);
   if (command == "stream") return mqd::CmdStream(args);
   if (command == "serve-stream") return mqd::CmdServeStream(args);
+  if (command == "serve") return mqd::CmdServe(args);
   if (command == "stats") return mqd::CmdStats(args);
   return mqd::Usage();
 }
